@@ -1,0 +1,31 @@
+//! **B2** — predicate transitive closure cost: the class-based production
+//! implementation vs the literal pairwise fixpoint, on chain queries of
+//! growing size (a chain of n equalities closes into n(n+1)/2 predicates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use els_bench::chain_predicates;
+use els_core::closure::{pairwise_fixpoint, transitive_closure};
+use std::hint::black_box;
+
+fn bench_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transitive_closure");
+    for n in [4usize, 8, 16] {
+        let preds = chain_predicates(n);
+        g.bench_with_input(BenchmarkId::new("class_based", n), &n, |b, _| {
+            b.iter(|| transitive_closure(black_box(&preds)))
+        });
+        if n <= 8 {
+            g.bench_with_input(BenchmarkId::new("pairwise_fixpoint", n), &n, |b, _| {
+                b.iter(|| pairwise_fixpoint(black_box(&preds)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_closure
+}
+criterion_main!(benches);

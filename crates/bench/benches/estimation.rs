@@ -1,0 +1,48 @@
+//! **B1** — estimation throughput: Algorithm ELS preparation (Steps 1–5)
+//! and incremental estimation (Step 6), the per-query and per-DP-transition
+//! costs an optimizer pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use els_bench::{chain_predicates, chain_statistics};
+use els_core::{Els, ElsOptions};
+use std::hint::black_box;
+
+fn dims(n: usize) -> Vec<(f64, f64)> {
+    (0..n).map(|i| (((i + 2) * 1000) as f64, ((i + 1) * 100) as f64)).collect()
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("els_prepare");
+    for n in [4usize, 8, 12] {
+        let stats = chain_statistics(&dims(n));
+        let preds = chain_predicates(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                Els::prepare(black_box(&preds), black_box(&stats), &ElsOptions::default())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_join_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("els_join_step");
+    for n in [4usize, 8, 12] {
+        let stats = chain_statistics(&dims(n));
+        let preds = chain_predicates(n);
+        let els = Els::prepare(&preds, &stats, &ElsOptions::default()).unwrap();
+        let order: Vec<usize> = (0..n).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| els.estimate_order(black_box(&order)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_prepare, bench_join_step
+}
+criterion_main!(benches);

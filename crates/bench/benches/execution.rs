@@ -1,0 +1,79 @@
+//! **B4** — executor cost: the three join methods at a fixed workload
+//! (10k ⋈ 10k foreign-key join), plus the filtered-scan path. Grounds the
+//! wall-time column of experiment T1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use els_core::predicate::CmpOp;
+use els_core::ColumnRef;
+use els_exec::filter::CompiledFilter;
+use els_exec::join::{hash_join, nested_loop_rescan_join, sort_merge_join};
+use els_exec::{Chunk, ExecMetrics};
+use els_storage::datagen::{ColumnSpec, Distribution, TableSpec};
+use els_storage::Value;
+use std::hint::black_box;
+
+fn make_chunk(table_id: usize, rows: usize, modulus: u64, seed: u64) -> Chunk {
+    let t = TableSpec::new("t", rows)
+        .column(ColumnSpec::new("k", Distribution::CycleInt { modulus, start: 0 }))
+        .generate(seed);
+    Chunk::from_base_table(table_id, t)
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let left = make_chunk(0, 10_000, 10_000, 1);
+    let right = make_chunk(1, 10_000, 10_000, 2);
+    let keys = vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))];
+
+    c.bench_function("join/sort_merge_10k", |b| {
+        b.iter(|| {
+            let mut m = ExecMetrics::default();
+            sort_merge_join(black_box(&left), black_box(&right), &keys, &mut m).unwrap()
+        })
+    });
+    c.bench_function("join/hash_10k", |b| {
+        b.iter(|| {
+            let mut m = ExecMetrics::default();
+            hash_join(black_box(&left), black_box(&right), &keys, &mut m).unwrap()
+        })
+    });
+    // Nested loops is quadratic; use a small outer so the bench stays sane.
+    let small_outer = make_chunk(0, 100, 100, 3);
+    c.bench_function("join/nl_rescan_100x10k", |b| {
+        b.iter(|| {
+            let mut m = ExecMetrics::default();
+            let mut io = els_exec::PageIo::unbuffered();
+            nested_loop_rescan_join(
+                black_box(&small_outer),
+                1,
+                &right.data,
+                &[],
+                &keys,
+                &mut m,
+                &mut io,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_filtered_scan(c: &mut Criterion) {
+    let chunk = make_chunk(0, 100_000, 100_000, 4);
+    let filters = vec![CompiledFilter::Cmp {
+        column: ColumnRef::new(0, 0),
+        op: CmpOp::Lt,
+        value: Value::Int(100),
+    }];
+    c.bench_function("scan/filtered_100k", |b| {
+        b.iter(|| {
+            let mut m = ExecMetrics::default();
+            els_exec::filter::apply_filters(black_box(&chunk), &filters, &mut m).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_joins, bench_filtered_scan
+}
+criterion_main!(benches);

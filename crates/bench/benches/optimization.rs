@@ -1,0 +1,78 @@
+//! **B3** — optimizer cost: full dynamic-programming enumeration (join
+//! order + method selection) over chain queries of growing size, under the
+//! ELS and SM estimators. Measures what the paper's "modified Starburst
+//! optimizer" pays per query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use els_bench::{chain_predicates, chain_statistics};
+use els_exec::plan::PlanOutput;
+use els_optimizer::{optimize, EstimatorPreset, OptimizerOptions, TableProfile};
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_enumeration");
+    for n in [4usize, 6, 8, 10] {
+        let dims: Vec<(f64, f64)> =
+            (0..n).map(|i| (((i + 2) * 1000) as f64, ((i + 1) * 100) as f64)).collect();
+        let stats = chain_statistics(&dims);
+        let preds = chain_predicates(n);
+        let profiles: Vec<TableProfile> =
+            dims.iter().map(|&(rows, _)| TableProfile::synthetic(rows, 16)).collect();
+        for preset in [EstimatorPreset::Els, EstimatorPreset::Sm] {
+            g.bench_with_input(
+                BenchmarkId::new(preset.label().replace(' ', "_"), n),
+                &n,
+                |b, _| {
+                    let options = OptimizerOptions::preset(preset);
+                    b.iter(|| {
+                        optimize(
+                            black_box(&preds),
+                            black_box(&stats),
+                            black_box(&profiles),
+                            PlanOutput::CountStar,
+                            &options,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    use els_core::{Els, ElsOptions};
+    use els_exec::JoinMethod;
+    use els_optimizer::heuristic::{greedy_order, iterative_improvement};
+    use els_optimizer::CostParams;
+
+    let mut g = c.benchmark_group("heuristic_ordering");
+    for n in [8usize, 16, 24] {
+        let dims: Vec<(f64, f64)> =
+            (0..n).map(|i| (((i + 2) * 1000) as f64, ((i + 1) * 100) as f64)).collect();
+        let stats = chain_statistics(&dims);
+        let preds = chain_predicates(n);
+        let els = Els::prepare(&preds, &stats, &ElsOptions::default()).unwrap();
+        let profiles: Vec<TableProfile> =
+            dims.iter().map(|&(rows, _)| TableProfile::synthetic(rows, 16)).collect();
+        let methods = [JoinMethod::NestedLoop, JoinMethod::SortMerge];
+        g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy_order(&els, &profiles, &methods, &CostParams::default()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("iterative_improvement", n), &n, |b, _| {
+            b.iter(|| {
+                iterative_improvement(&els, &profiles, &methods, &CostParams::default(), 2, 7)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_enumeration, bench_heuristics
+}
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! **F3** — sensitivity of the estimates to skew (Zipf data).
+//!
+//! The paper's assumptions include uniformity of join-column values; its
+//! Section 9 names Zipfian distributions as the important violation. This
+//! figure quantifies the damage: a fact table whose join column is
+//! Zipf(θ)-distributed is joined with a uniform dimension table, with and
+//! without a local predicate on the fact table's hot value, and the ELS
+//! estimate is compared with the executed truth.
+//!
+//! Expected shape: at θ = 0 the ratio is ~1 (assumptions hold); as θ grows
+//! the pure uniformity estimate degrades, and supplying distribution
+//! statistics (equi-depth histogram + MCV) repairs the *local-predicate*
+//! part of the error while the join-uniformity error remains — exactly the
+//! division of labour the paper describes in Section 5.
+
+use els_catalog::collect::CollectOptions;
+use els_catalog::Catalog;
+use els_exec::execute_plan;
+use els_optimizer::{bound_query_tables, optimize_bound, EstimatorPreset, OptimizerOptions};
+use els_sql::{bind, parse};
+use els_storage::datagen::{ColumnSpec, Distribution, TableSpec};
+
+fn run_case(theta: f64, with_filter: bool) -> (f64, f64) {
+    let rows = 20_000usize;
+    let dim_rows = 500usize;
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            TableSpec::new("FACT", rows)
+                .column(ColumnSpec::new(
+                    "key",
+                    Distribution::ZipfInt { n: dim_rows as u64, theta, start: 0 },
+                ))
+                .generate(11),
+            &CollectOptions::full(),
+        )
+        .unwrap();
+    catalog
+        .register(
+            TableSpec::new("DIM", dim_rows)
+                .column(ColumnSpec::new("id", Distribution::SequentialInt { start: 0 }))
+                .generate(12),
+            &CollectOptions::default(),
+        )
+        .unwrap();
+
+    let sql = if with_filter {
+        "SELECT COUNT(*) FROM FACT, DIM WHERE FACT.key = DIM.id AND FACT.key = 0"
+    } else {
+        "SELECT COUNT(*) FROM FACT, DIM WHERE FACT.key = DIM.id"
+    };
+    let bound = bind(&parse(sql).unwrap(), &catalog).unwrap();
+    let tables = bound_query_tables(&bound, &catalog).unwrap();
+    let optimized =
+        optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Els)).unwrap();
+    let truth = execute_plan(&optimized.plan, &tables).unwrap().count as f64;
+    let estimate = *optimized.estimated_sizes.last().unwrap();
+    (estimate, truth)
+}
+
+/// The case where uniformity genuinely bites: both join columns are
+/// Zipf(θ) over the same domain, so the true size Σᵢ fᵢ·gᵢ concentrates on
+/// the hot ranks while Equation 2 assumes it spreads evenly.
+fn run_zipf_zipf(theta: f64) -> (f64, f64) {
+    let rows = 5_000usize;
+    let domain = 500u64;
+    let mut catalog = Catalog::new();
+    for (name, seed) in [("ZA", 21u64), ("ZB", 22)] {
+        catalog
+            .register(
+                TableSpec::new(name, rows)
+                    .column(ColumnSpec::new("key", Distribution::ZipfInt { n: domain, theta, start: 0 }))
+                    .generate(seed),
+                &CollectOptions::full(),
+            )
+            .unwrap();
+    }
+    let sql = "SELECT COUNT(*) FROM ZA, ZB WHERE ZA.key = ZB.key";
+    let bound = bind(&parse(sql).unwrap(), &catalog).unwrap();
+    let tables = bound_query_tables(&bound, &catalog).unwrap();
+    let optimized = optimize_bound(
+        &bound,
+        &catalog,
+        &OptimizerOptions::preset(EstimatorPreset::Els).with_hash_join(),
+    )
+    .unwrap();
+    let truth = execute_plan(&optimized.plan, &tables).unwrap().count as f64;
+    (*optimized.estimated_sizes.last().unwrap(), truth)
+}
+
+fn main() {
+    println!("# F3 — ELS estimate/truth under Zipf(θ) join columns");
+    println!("(FACT 20000 rows ⋈ DIM 500 rows; histograms + MCV collected on FACT)\n");
+    println!(
+        "| {:>4} | {:<26} | {:>10} | {:>10} | {:>9} |",
+        "θ", "query", "estimate", "truth", "est/true"
+    );
+    println!("|{}|{}|{}|{}|{}|", "-".repeat(6), "-".repeat(28), "-".repeat(12), "-".repeat(12), "-".repeat(11));
+    for theta in [0.0, 0.5, 1.0, 1.5] {
+        for with_filter in [false, true] {
+            let (estimate, truth) = run_case(theta, with_filter);
+            println!(
+                "| {:>4.1} | {:<26} | {:>10.1} | {:>10.0} | {:>9.3} |",
+                theta,
+                if with_filter { "join + hot-value filter" } else { "plain join" },
+                estimate,
+                truth,
+                estimate / truth.max(1.0),
+            );
+        }
+    }
+    println!();
+    for theta in [0.0, 0.5, 1.0, 1.5] {
+        let (estimate, truth) = run_zipf_zipf(theta);
+        println!(
+            "| {:>4.1} | {:<26} | {:>10.1} | {:>10.0} | {:>9.3} |",
+            theta,
+            "Zipf ⋈ Zipf (both skewed)",
+            estimate,
+            truth,
+            estimate / truth.max(1.0),
+        );
+    }
+    println!(
+        "\nexpected shape: the FK join stays exact even under skew — uniformity is only \
+         needed on one side (Rosenthal [12]) — and the hot-value filter case stays accurate \
+         because the MCV list repairs the local selectivity (drop CollectOptions::full() and \
+         it collapses to 1/d). The Zipf ⋈ Zipf rows are where the uniformity assumption \
+         genuinely fails: the true size Σ fᵢ·gᵢ concentrates on hot ranks and Equation 2 \
+         underestimates it, increasingly with θ — the future-work case of the paper's \
+         Section 9."
+    );
+}

@@ -1,0 +1,278 @@
+//! The catalog registry and the bridge into `els-core`.
+
+use std::sync::Arc;
+
+use els_core::predicate::CmpOp;
+use els_core::selectivity::SelectivityOracle;
+use els_core::{ColumnRef, QueryStatistics};
+use els_storage::{Table, Value};
+
+use crate::collect::{collect_table_stats, CollectOptions};
+use crate::error::{CatalogError, CatalogResult};
+use crate::schema::TableDef;
+use crate::stats::TableStats;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    def: TableDef,
+    stats: TableStats,
+    data: Arc<Table>,
+}
+
+/// A registry of tables with their definitions, statistics and data —
+/// the stand-in for Starburst's system catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    entries: Vec<Entry>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table, collecting its statistics with `options`.
+    ///
+    /// # Errors
+    /// [`CatalogError::DuplicateTable`] when the name is taken.
+    pub fn register(&mut self, table: Table, options: &CollectOptions) -> CatalogResult<()> {
+        if self.find(table.name()).is_some() {
+            return Err(CatalogError::DuplicateTable(table.name().to_owned()));
+        }
+        let def = TableDef::from_table(&table);
+        let stats = collect_table_stats(&table, options);
+        self.entries.push(Entry { def, stats, data: Arc::new(table) });
+        Ok(())
+    }
+
+    fn find(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.def.name == name)
+    }
+
+    fn entry(&self, name: &str) -> CatalogResult<&Entry> {
+        self.find(name)
+            .map(|i| &self.entries[i])
+            .ok_or_else(|| CatalogError::UnknownTable(name.to_owned()))
+    }
+
+    /// Names of all registered tables, in registration order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.def.name.as_str()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A table's definition.
+    pub fn table_def(&self, name: &str) -> CatalogResult<&TableDef> {
+        Ok(&self.entry(name)?.def)
+    }
+
+    /// A table's statistics.
+    pub fn table_stats(&self, name: &str) -> CatalogResult<&TableStats> {
+        Ok(&self.entry(name)?.stats)
+    }
+
+    /// A table's data.
+    pub fn table_data(&self, name: &str) -> CatalogResult<Arc<Table>> {
+        Ok(Arc::clone(&self.entry(name)?.data))
+    }
+
+    /// Resolve a `(table, column)` name pair to a positional
+    /// [`ColumnRef`] against a `FROM` list.
+    pub fn resolve_column(
+        &self,
+        from: &[&str],
+        table: &str,
+        column: &str,
+    ) -> CatalogResult<ColumnRef> {
+        let t = from
+            .iter()
+            .position(|n| *n == table)
+            .ok_or_else(|| CatalogError::UnknownTable(table.to_owned()))?;
+        let def = self.table_def(table)?;
+        let c = def.column_index(column).ok_or_else(|| CatalogError::UnknownColumn {
+            table: table.to_owned(),
+            column: column.to_owned(),
+        })?;
+        Ok(ColumnRef::new(t, c))
+    }
+
+    /// Positional statistics for a `FROM` list, ready for
+    /// [`els_core::Els::prepare`].
+    pub fn query_statistics(&self, from: &[&str]) -> CatalogResult<QueryStatistics> {
+        let tables = from
+            .iter()
+            .map(|name| Ok(self.entry(name)?.stats.to_core()))
+            .collect::<CatalogResult<Vec<_>>>()?;
+        Ok(QueryStatistics::new(tables))
+    }
+
+    /// A histogram/MCV-backed [`SelectivityOracle`] for a `FROM` list.
+    pub fn oracle(&self, from: &[&str]) -> CatalogResult<QueryOracle<'_>> {
+        let tables = from
+            .iter()
+            .map(|name| self.find(name).ok_or_else(|| CatalogError::UnknownTable((*name).to_owned())))
+            .collect::<CatalogResult<Vec<_>>>()?;
+        Ok(QueryOracle { catalog: self, tables })
+    }
+}
+
+/// Oracle that answers local-predicate selectivity questions from the
+/// catalog's histograms and MCV lists, positionally bound to one query's
+/// `FROM` list. Misses (string constants, missing histograms) return `None`
+/// so `els-core` falls back to its uniformity model — exactly the
+/// "distribution statistics when available" behaviour of the paper's
+/// Section 5.
+#[derive(Debug, Clone)]
+pub struct QueryOracle<'a> {
+    catalog: &'a Catalog,
+    tables: Vec<usize>,
+}
+
+impl SelectivityOracle for QueryOracle<'_> {
+    fn local_selectivity(&self, column: ColumnRef, op: CmpOp, value: &Value) -> Option<f64> {
+        let entry = self.catalog.entries.get(*self.tables.get(column.table)?)?;
+        let stats = entry.stats.columns.get(column.column)?;
+        let v = value.as_f64()?;
+        // MCV answers equality on tracked values exactly.
+        if op == CmpOp::Eq {
+            if let Some(s) = stats.mcv.as_ref().and_then(|m| m.eq_selectivity(v)) {
+                return Some(s);
+            }
+        }
+        stats.histogram.as_ref().map(|h| h.selectivity(op, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els_storage::datagen::{ColumnSpec, Distribution, TableSpec};
+
+    fn sample_catalog(options: &CollectOptions) -> Catalog {
+        let mut c = Catalog::new();
+        let a = TableSpec::new("A", 1000)
+            .column(ColumnSpec::new("x", Distribution::SequentialInt { start: 0 }))
+            .generate(1);
+        let b = TableSpec::new("B", 500)
+            .column(ColumnSpec::new("y", Distribution::CycleInt { modulus: 50, start: 0 }))
+            .generate(2);
+        c.register(a, options).unwrap();
+        c.register(b, options).unwrap();
+        c
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = sample_catalog(&CollectOptions::default());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.table_names(), vec!["A", "B"]);
+        assert_eq!(c.table_def("A").unwrap().num_columns(), 1);
+        assert_eq!(c.table_stats("B").unwrap().row_count, 500);
+        assert_eq!(c.table_data("A").unwrap().num_rows(), 1000);
+        assert!(matches!(c.table_def("Z"), Err(CatalogError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut c = sample_catalog(&CollectOptions::default());
+        let dup = TableSpec::new("A", 10)
+            .column(ColumnSpec::new("x", Distribution::ConstInt { value: 1 }))
+            .generate(1);
+        assert!(matches!(
+            c.register(dup, &CollectOptions::default()),
+            Err(CatalogError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_column_is_positional_in_from_list() {
+        let c = sample_catalog(&CollectOptions::default());
+        // FROM B, A — B is table 0.
+        let r = c.resolve_column(&["B", "A"], "A", "x").unwrap();
+        assert_eq!(r, ColumnRef::new(1, 0));
+        assert!(c.resolve_column(&["B"], "A", "x").is_err());
+        assert!(matches!(
+            c.resolve_column(&["B", "A"], "A", "nope"),
+            Err(CatalogError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn query_statistics_match_catalog_order() {
+        let c = sample_catalog(&CollectOptions::default());
+        let qs = c.query_statistics(&["B", "A"]).unwrap();
+        assert_eq!(qs.tables[0].cardinality, 500.0);
+        assert_eq!(qs.tables[0].columns[0].distinct, 50.0);
+        assert_eq!(qs.tables[1].cardinality, 1000.0);
+    }
+
+    #[test]
+    fn oracle_uses_histograms() {
+        let c = sample_catalog(&CollectOptions::full());
+        let oracle = c.oracle(&["A"]).unwrap();
+        let s = oracle
+            .local_selectivity(ColumnRef::new(0, 0), CmpOp::Lt, &Value::Int(100))
+            .expect("histogram answers");
+        assert!((s - 0.1).abs() < 0.02, "selectivity {s}");
+    }
+
+    #[test]
+    fn oracle_misses_without_histograms() {
+        let c = sample_catalog(&CollectOptions::default());
+        let oracle = c.oracle(&["A"]).unwrap();
+        assert!(oracle
+            .local_selectivity(ColumnRef::new(0, 0), CmpOp::Lt, &Value::Int(100))
+            .is_none());
+        // String constants miss too.
+        let c2 = sample_catalog(&CollectOptions::full());
+        let o2 = c2.oracle(&["A"]).unwrap();
+        assert!(o2
+            .local_selectivity(ColumnRef::new(0, 0), CmpOp::Eq, &Value::from("s"))
+            .is_none());
+    }
+
+    #[test]
+    fn oracle_mcv_beats_histogram_for_hot_equality() {
+        let mut c = Catalog::new();
+        let z = TableSpec::new("Z", 5000)
+            .column(ColumnSpec::new("v", Distribution::ZipfInt { n: 100, theta: 1.5, start: 0 }))
+            .generate(9);
+        c.register(z, &CollectOptions::full()).unwrap();
+        let truth = {
+            let data = c.table_data("Z").unwrap();
+            let col = data.column_by_name("v").unwrap();
+            col.iter().filter(|v| v.as_int() == Some(0)).count() as f64 / 5000.0
+        };
+        let oracle = c.oracle(&["Z"]).unwrap();
+        let est = oracle
+            .local_selectivity(ColumnRef::new(0, 0), CmpOp::Eq, &Value::Int(0))
+            .unwrap();
+        assert!((est - truth).abs() < 1e-9, "MCV estimate {est} != truth {truth}");
+    }
+
+    #[test]
+    fn full_pipeline_into_els_core() {
+        // The catalog output plugs straight into Els::prepare.
+        let c = sample_catalog(&CollectOptions::full());
+        let stats = c.query_statistics(&["A", "B"]).unwrap();
+        let preds = vec![els_core::Predicate::col_eq(
+            c.resolve_column(&["A", "B"], "A", "x").unwrap(),
+            c.resolve_column(&["A", "B"], "B", "y").unwrap(),
+        )];
+        let els =
+            els_core::Els::prepare(&preds, &stats, &els_core::ElsOptions::default()).unwrap();
+        // ||A ⋈ B|| = 1000·500/max(1000,50) = 500.
+        let s = els.join(&els.initial_state(0).unwrap(), 1).unwrap();
+        assert_eq!(s.cardinality(), 500.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Distribution statistics: histograms and most-common-value lists.
+//!
+//! The paper (Section 5) allows local-predicate selectivities to come from
+//! "distribution statistics on y" instead of the uniformity assumption.
+//! This module provides the two classic histogram flavours —
+//! **equi-width** (fixed-width value ranges) and **equi-depth** (fixed
+//! tuple count per bucket, per Piatetsky-Shapiro & Connell [10] and
+//! Muralikrishna & DeWitt [8]) — plus a most-common-values list for highly
+//! skewed (Zipfian) columns, the case Lynch [6] targets.
+//!
+//! Histograms are built over the numeric projection of a column; string
+//! columns fall back to distinct-count-based estimation in `els-core`.
+
+use std::collections::HashMap;
+
+use els_core::predicate::CmpOp;
+
+/// One histogram bucket over `[lo, hi]` (buckets partition the domain; a
+/// value on a boundary belongs to the earlier bucket's `hi` only for the
+/// last bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Upper bound (inclusive for the last bucket, exclusive otherwise).
+    pub hi: f64,
+    /// Number of rows in the bucket.
+    pub count: u64,
+    /// Number of distinct values in the bucket.
+    pub distinct: u64,
+}
+
+/// An equi-width histogram: the value domain is cut into equal-width ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiWidthHistogram {
+    buckets: Vec<Bucket>,
+    total: u64,
+}
+
+/// An equi-depth histogram: buckets hold (approximately) equal row counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    buckets: Vec<Bucket>,
+    total: u64,
+}
+
+/// Either histogram flavour, behind one estimation interface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Histogram {
+    /// Equal-width buckets.
+    EquiWidth(EquiWidthHistogram),
+    /// Equal-depth buckets.
+    EquiDepth(EquiDepthHistogram),
+}
+
+impl Histogram {
+    /// Build an equi-width histogram from the (unsorted) non-NULL numeric
+    /// values of a column. Returns `None` for empty input or `bucket_count
+    /// == 0`.
+    pub fn equi_width(values: &[f64], bucket_count: usize) -> Option<Histogram> {
+        if values.is_empty() || bucket_count == 0 {
+            return None;
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let nb = bucket_count.min(values.len()).max(1);
+        let width = if hi > lo { (hi - lo) / nb as f64 } else { 1.0 };
+        let mut counts = vec![0u64; nb];
+        let mut distinct: Vec<HashMap<u64, ()>> = vec![HashMap::new(); nb];
+        for &v in values {
+            let idx = (((v - lo) / width) as usize).min(nb - 1);
+            counts[idx] += 1;
+            distinct[idx].insert(v.to_bits(), ());
+        }
+        let buckets = (0..nb)
+            .map(|i| Bucket {
+                lo: lo + width * i as f64,
+                hi: if i == nb - 1 { hi } else { lo + width * (i + 1) as f64 },
+                count: counts[i],
+                distinct: distinct[i].len() as u64,
+            })
+            .collect();
+        Some(Histogram::EquiWidth(EquiWidthHistogram { buckets, total: values.len() as u64 }))
+    }
+
+    /// Build an equi-depth histogram. Values are sorted internally; equal
+    /// values never straddle a bucket boundary (so equality estimates inside
+    /// one bucket stay meaningful).
+    pub fn equi_depth(values: &[f64], bucket_count: usize) -> Option<Histogram> {
+        if values.is_empty() || bucket_count == 0 {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let nb = bucket_count.min(n).max(1);
+        let target = n.div_ceil(nb);
+        let mut buckets = Vec::with_capacity(nb);
+        let mut start = 0usize;
+        while start < n {
+            let mut end = (start + target).min(n);
+            // Extend so equal values stay together.
+            while end < n && sorted[end] == sorted[end - 1] {
+                end += 1;
+            }
+            let slice = &sorted[start..end];
+            let mut distinct = 1u64;
+            for w in slice.windows(2) {
+                if w[0] != w[1] {
+                    distinct += 1;
+                }
+            }
+            buckets.push(Bucket {
+                lo: slice[0],
+                hi: slice[slice.len() - 1],
+                count: slice.len() as u64,
+                distinct,
+            });
+            start = end;
+        }
+        Some(Histogram::EquiDepth(EquiDepthHistogram { buckets, total: n as u64 }))
+    }
+
+    fn buckets(&self) -> &[Bucket] {
+        match self {
+            Histogram::EquiWidth(h) => &h.buckets,
+            Histogram::EquiDepth(h) => &h.buckets,
+        }
+    }
+
+    /// Total number of rows the histogram describes.
+    pub fn total_count(&self) -> u64 {
+        match self {
+            Histogram::EquiWidth(h) => h.total,
+            Histogram::EquiDepth(h) => h.total,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets().len()
+    }
+
+    /// Estimated fraction of rows with value strictly less than `v`.
+    pub fn fraction_below(&self, v: f64) -> f64 {
+        let total = self.total_count() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0f64;
+        for b in self.buckets() {
+            if v <= b.lo {
+                break;
+            }
+            if v > b.hi {
+                acc += b.count as f64;
+            } else {
+                // Linear interpolation inside the bucket.
+                let span = (b.hi - b.lo).max(f64::MIN_POSITIVE);
+                acc += b.count as f64 * ((v - b.lo) / span).clamp(0.0, 1.0);
+                break;
+            }
+        }
+        (acc / total).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of rows equal to `v` (uniformity within the
+    /// containing bucket: `count / distinct` rows per value).
+    pub fn fraction_equal(&self, v: f64) -> f64 {
+        let total = self.total_count() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        for b in self.buckets() {
+            let contains = v >= b.lo && (v <= b.hi);
+            if contains {
+                let per_value = b.count as f64 / b.distinct.max(1) as f64;
+                return (per_value / total).clamp(0.0, 1.0);
+            }
+        }
+        0.0
+    }
+
+    /// Selectivity of `column op v` from this histogram.
+    pub fn selectivity(&self, op: CmpOp, v: f64) -> f64 {
+        match op {
+            CmpOp::Eq => self.fraction_equal(v),
+            CmpOp::Ne => (1.0 - self.fraction_equal(v)).clamp(0.0, 1.0),
+            CmpOp::Lt => self.fraction_below(v),
+            CmpOp::Le => (self.fraction_below(v) + self.fraction_equal(v)).clamp(0.0, 1.0),
+            CmpOp::Gt => (1.0 - self.fraction_below(v) - self.fraction_equal(v)).clamp(0.0, 1.0),
+            CmpOp::Ge => (1.0 - self.fraction_below(v)).clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// The `k` most frequent values of a column with their exact row counts —
+/// the sharp tool for equality predicates on skewed data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MostCommonValues {
+    /// `(value, row count)` pairs, most frequent first.
+    entries: Vec<(f64, u64)>,
+    /// Total rows in the column (including rows not in the list).
+    total: u64,
+}
+
+impl MostCommonValues {
+    /// Build from the non-NULL numeric values of a column, keeping the top
+    /// `k` by frequency. Returns `None` on empty input.
+    pub fn build(values: &[f64], k: usize) -> Option<MostCommonValues> {
+        if values.is_empty() || k == 0 {
+            return None;
+        }
+        let mut freq: HashMap<u64, u64> = HashMap::new();
+        for &v in values {
+            *freq.entry(v.to_bits()).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(f64, u64)> =
+            freq.into_iter().map(|(bits, n)| (f64::from_bits(bits), n)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.total_cmp(&b.0)));
+        entries.truncate(k);
+        Some(MostCommonValues { entries, total: values.len() as u64 })
+    }
+
+    /// Exact selectivity of `= v` when `v` is in the list.
+    pub fn eq_selectivity(&self, v: f64) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(val, _)| *val == v)
+            .map(|(_, n)| *n as f64 / self.total as f64)
+    }
+
+    /// The tracked entries.
+    pub fn entries(&self) -> &[(f64, u64)] {
+        &self.entries
+    }
+
+    /// Total row count of the underlying column.
+    pub fn total_count(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_0_999() -> Vec<f64> {
+        (0..1000).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn equi_width_counts_everything() {
+        let h = Histogram::equi_width(&uniform_0_999(), 10).unwrap();
+        assert_eq!(h.total_count(), 1000);
+        assert_eq!(h.num_buckets(), 10);
+        let total: u64 = h.buckets().iter().map(|b| b.count).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn equi_depth_balances_counts() {
+        let h = Histogram::equi_depth(&uniform_0_999(), 10).unwrap();
+        for b in h.buckets() {
+            assert_eq!(b.count, 100);
+        }
+    }
+
+    #[test]
+    fn uniform_range_selectivity_matches_model() {
+        for h in [
+            Histogram::equi_width(&uniform_0_999(), 20).unwrap(),
+            Histogram::equi_depth(&uniform_0_999(), 20).unwrap(),
+        ] {
+            let s = h.selectivity(CmpOp::Lt, 100.0);
+            assert!((s - 0.1).abs() < 0.02, "lt selectivity {s} far from 0.1");
+            let s = h.selectivity(CmpOp::Ge, 900.0);
+            assert!((s - 0.1).abs() < 0.02, "ge selectivity {s} far from 0.1");
+        }
+    }
+
+    #[test]
+    fn skewed_data_equality_is_sharper_than_uniform() {
+        // 900 copies of 0, then 1..=100 once each.
+        let mut values = vec![0.0; 900];
+        values.extend((1..=100).map(|i| i as f64));
+        let h = Histogram::equi_depth(&values, 10).unwrap();
+        let hot = h.selectivity(CmpOp::Eq, 0.0);
+        // True selectivity 0.9; the uniformity model (1/d = 1/101) is
+        // hopeless. The histogram must get within 2x.
+        assert!(hot > 0.45, "hot-value selectivity {hot} too low");
+        let cold = h.selectivity(CmpOp::Eq, 50.0);
+        assert!(cold < 0.05, "cold-value selectivity {cold} too high");
+    }
+
+    #[test]
+    fn boundaries_clamp_to_zero_and_one() {
+        let h = Histogram::equi_width(&uniform_0_999(), 10).unwrap();
+        assert_eq!(h.selectivity(CmpOp::Lt, -1.0), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, -1.0), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Lt, 5000.0), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, 5000.0), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Eq, 5000.0), 0.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(Histogram::equi_width(&[], 10).is_none());
+        assert!(Histogram::equi_depth(&[], 10).is_none());
+        assert!(Histogram::equi_width(&[1.0], 0).is_none());
+        // Single value: one bucket covering a point.
+        let h = Histogram::equi_width(&[5.0, 5.0, 5.0], 4).unwrap();
+        assert_eq!(h.selectivity(CmpOp::Eq, 5.0), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Lt, 5.0), 0.0);
+    }
+
+    #[test]
+    fn equi_depth_keeps_equal_values_together() {
+        // 10 copies each of 0..10; 4 buckets of target 25 would split value
+        // groups — the builder must extend to group boundaries.
+        let mut values = Vec::new();
+        for v in 0..10 {
+            values.extend(std::iter::repeat_n(v as f64, 10));
+        }
+        let h = Histogram::equi_depth(&values, 4).unwrap();
+        for b in h.buckets() {
+            // count must be a multiple of 10 (whole value groups).
+            assert_eq!(b.count % 10, 0, "bucket split a value group: {b:?}");
+        }
+    }
+
+    #[test]
+    fn ne_is_complement_of_eq() {
+        let h = Histogram::equi_depth(&uniform_0_999(), 10).unwrap();
+        let eq = h.selectivity(CmpOp::Eq, 500.0);
+        let ne = h.selectivity(CmpOp::Ne, 500.0);
+        assert!((eq + ne - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcv_tracks_top_values_exactly() {
+        let mut values = vec![7.0; 500];
+        values.extend(vec![3.0; 300]);
+        values.extend((0..200).map(|i| 100.0 + i as f64));
+        let mcv = MostCommonValues::build(&values, 2).unwrap();
+        assert_eq!(mcv.entries().len(), 2);
+        assert_eq!(mcv.eq_selectivity(7.0), Some(0.5));
+        assert_eq!(mcv.eq_selectivity(3.0), Some(0.3));
+        assert_eq!(mcv.eq_selectivity(100.0), None);
+        assert_eq!(mcv.total_count(), 1000);
+    }
+
+    #[test]
+    fn mcv_empty_input() {
+        assert!(MostCommonValues::build(&[], 4).is_none());
+        assert!(MostCommonValues::build(&[1.0], 0).is_none());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn selectivities_are_probabilities(
+            values in proptest::collection::vec(-1000.0f64..1000.0, 1..300),
+            v in -1500.0f64..1500.0,
+            nb in 1usize..16,
+        ) {
+            for h in [
+                Histogram::equi_width(&values, nb).unwrap(),
+                Histogram::equi_depth(&values, nb).unwrap(),
+            ] {
+                for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+                    let s = h.selectivity(op, v);
+                    proptest::prop_assert!((0.0..=1.0).contains(&s), "{op:?} gave {s}");
+                }
+            }
+        }
+
+        #[test]
+        fn fraction_below_is_monotone(
+            values in proptest::collection::vec(0.0f64..100.0, 1..200),
+        ) {
+            let h = Histogram::equi_depth(&values, 8).unwrap();
+            let mut prev = 0.0;
+            for step in 0..=110 {
+                let cur = h.fraction_below(step as f64);
+                proptest::prop_assert!(cur + 1e-12 >= prev);
+                prev = cur;
+            }
+        }
+    }
+}

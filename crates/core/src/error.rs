@@ -1,0 +1,62 @@
+//! Error type for the estimation core.
+
+use std::fmt;
+
+use crate::ids::{ColumnRef, TableId};
+
+/// Errors raised while preparing or running Algorithm ELS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElsError {
+    /// A predicate references a table not present in the statistics.
+    UnknownTable(TableId),
+    /// A predicate references a column index beyond its table's statistics.
+    UnknownColumn(ColumnRef),
+    /// A join predicate's two sides live in the same table (it should have
+    /// been a local column-equality predicate) or a local column equality
+    /// spans two tables.
+    MalformedPredicate(String),
+    /// A statistic was non-finite or out of range (e.g. negative cardinality
+    /// or zero distinct count on a non-empty table).
+    InvalidStatistics(String),
+    /// A table id passed to the incremental estimator was already part of the
+    /// join state, or is out of range.
+    InvalidJoinStep {
+        /// The offending table.
+        table: TableId,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ElsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElsError::UnknownTable(t) => write!(f, "unknown table R{t}"),
+            ElsError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            ElsError::MalformedPredicate(msg) => write!(f, "malformed predicate: {msg}"),
+            ElsError::InvalidStatistics(msg) => write!(f, "invalid statistics: {msg}"),
+            ElsError::InvalidJoinStep { table, reason } => {
+                write!(f, "invalid join step with R{table}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElsError {}
+
+/// Result alias for this crate.
+pub type ElsResult<T> = Result<T, ElsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offenders() {
+        assert!(ElsError::UnknownTable(3).to_string().contains("R3"));
+        assert!(ElsError::UnknownColumn(ColumnRef::new(1, 2)).to_string().contains("R1.c2"));
+        assert!(ElsError::InvalidJoinStep { table: 0, reason: "already joined" }
+            .to_string()
+            .contains("already joined"));
+    }
+}

@@ -1,0 +1,451 @@
+//! Incremental join-result-size estimation (Algorithm ELS, Step 6;
+//! paper Section 7).
+//!
+//! A [`PreparedQuery`] holds everything Steps 1–5 produced: effective table
+//! cardinalities, the column cardinalities to plug into Equation 2, the
+//! equivalence classes, and the annotated join predicates. A [`JoinState`]
+//! is an immutable snapshot of one intermediate result (a set of joined
+//! tables plus its estimated cardinality); [`PreparedQuery::join`] extends a
+//! state by one table, the access pattern of every System-R style
+//! enumerator.
+//!
+//! At each step the *eligible* predicates — those linking the new table to
+//! tables already in the state — are grouped by equivalence class, each
+//! class contributes one selectivity chosen by the configured
+//! [`SelectivityRule`], classes multiply (independence assumption), and the
+//! new cardinality is `old · ‖T‖′ · ∏ per-class selectivity`.
+
+use std::collections::HashMap;
+
+use crate::error::{ElsError, ElsResult};
+use crate::ids::{ClassId, TableId};
+use crate::join_sel::JoinPredicateInfo;
+use crate::rules::SelectivityRule;
+
+/// Maximum number of tables in one query (states are 64-bit bitmasks).
+pub const MAX_TABLES: usize = 64;
+
+/// An immutable snapshot of an intermediate join result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinState {
+    tables: u64,
+    cardinality: f64,
+}
+
+impl JoinState {
+    /// The estimated cardinality of this intermediate result.
+    pub fn cardinality(&self) -> f64 {
+        self.cardinality
+    }
+
+    /// Bitmask of the joined tables (bit `i` = table `i`).
+    pub fn table_mask(&self) -> u64 {
+        self.tables
+    }
+
+    /// True when `table` is part of this state.
+    pub fn contains(&self, table: TableId) -> bool {
+        table < MAX_TABLES && self.tables & (1 << table) != 0
+    }
+
+    /// The tables in this state, ascending.
+    pub fn tables(&self) -> Vec<TableId> {
+        (0..MAX_TABLES).filter(|t| self.contains(*t)).collect()
+    }
+
+    /// Number of tables in the state.
+    pub fn len(&self) -> usize {
+        self.tables.count_ones() as usize
+    }
+
+    /// True when the state is empty (no tables yet).
+    pub fn is_empty(&self) -> bool {
+        self.tables == 0
+    }
+}
+
+/// How one equivalence class contributed to one join step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassChoice {
+    /// The class.
+    pub class: ClassId,
+    /// Selectivities of the eligible predicates in this class.
+    pub eligible: Vec<f64>,
+    /// The value the configured rule selected/combined.
+    pub chosen: f64,
+}
+
+/// Diagnostic record of one join step (see
+/// [`PreparedQuery::explain_join`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStepExplanation {
+    /// The table being joined in.
+    pub table: TableId,
+    /// Its effective base cardinality.
+    pub base_cardinality: f64,
+    /// Per-class eligible selectivities and the rule's choice.
+    pub classes: Vec<ClassChoice>,
+    /// Intermediate cardinality before the step.
+    pub cardinality_before: f64,
+    /// Intermediate cardinality after the step.
+    pub cardinality_after: f64,
+}
+
+/// The output of Steps 1–5, ready for incremental estimation.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// Effective table cardinalities (‖R‖′, or ‖R‖″ after Section 6).
+    pub(crate) table_cardinality: Vec<f64>,
+    /// Annotated join predicates (post-closure when closure is enabled).
+    pub(crate) join_predicates: Vec<JoinPredicateInfo>,
+    /// Fixed representative selectivity per class (for Rule REP).
+    pub(crate) class_representative: HashMap<ClassId, f64>,
+    /// The configured selectivity-choice rule.
+    pub(crate) rule: SelectivityRule,
+}
+
+impl PreparedQuery {
+    /// Build a prepared query directly from its parts. Most users should go
+    /// through [`crate::algorithm::Els::prepare`], which runs Steps 1–5;
+    /// this constructor exists for tests and custom pipelines.
+    pub fn from_parts(
+        table_cardinality: Vec<f64>,
+        join_predicates: Vec<JoinPredicateInfo>,
+        class_representative: HashMap<ClassId, f64>,
+        rule: SelectivityRule,
+    ) -> Self {
+        PreparedQuery { table_cardinality, join_predicates, class_representative, rule }
+    }
+
+    /// Number of tables in the query.
+    pub fn num_tables(&self) -> usize {
+        self.table_cardinality.len()
+    }
+
+    /// Effective cardinality of a base table (after local predicates and the
+    /// Section 6 adjustment).
+    pub fn base_cardinality(&self, table: TableId) -> ElsResult<f64> {
+        self.table_cardinality
+            .get(table)
+            .copied()
+            .ok_or(ElsError::UnknownTable(table))
+    }
+
+    /// The annotated join predicates.
+    pub fn join_predicates(&self) -> &[JoinPredicateInfo] {
+        &self.join_predicates
+    }
+
+    /// The selectivity-choice rule in force.
+    pub fn rule(&self) -> SelectivityRule {
+        self.rule
+    }
+
+    /// Start a join with a single base table.
+    pub fn initial_state(&self, table: TableId) -> ElsResult<JoinState> {
+        if table >= self.num_tables() || table >= MAX_TABLES {
+            return Err(ElsError::InvalidJoinStep { table, reason: "table out of range" });
+        }
+        Ok(JoinState { tables: 1 << table, cardinality: self.table_cardinality[table] })
+    }
+
+    /// Selectivities of the predicates linking `table` to the tables of
+    /// `state`, grouped by equivalence class.
+    fn eligible_by_class(&self, state: &JoinState, table: TableId) -> HashMap<ClassId, Vec<f64>> {
+        let mut by_class: HashMap<ClassId, Vec<f64>> = HashMap::new();
+        for p in &self.join_predicates {
+            let links = (p.left.table == table && state.contains(p.right.table))
+                || (p.right.table == table && state.contains(p.left.table));
+            if links {
+                by_class.entry(p.class).or_default().push(p.selectivity);
+            }
+        }
+        by_class
+    }
+
+    /// Extend `state` by `table`, returning the new state with its estimated
+    /// cardinality. When no predicate links the new table to the state the
+    /// step is a cartesian product.
+    pub fn join(&self, state: &JoinState, table: TableId) -> ElsResult<JoinState> {
+        if table >= self.num_tables() {
+            return Err(ElsError::InvalidJoinStep { table, reason: "table out of range" });
+        }
+        if state.contains(table) {
+            return Err(ElsError::InvalidJoinStep { table, reason: "table already joined" });
+        }
+        if state.is_empty() {
+            return self.initial_state(table);
+        }
+        let mut selectivity = 1.0f64;
+        for (class, eligible) in self.eligible_by_class(state, table) {
+            let representative = self.class_representative.get(&class).copied().unwrap_or(1.0);
+            selectivity *= self.rule.combine(&eligible, representative);
+        }
+        Ok(JoinState {
+            tables: state.tables | (1 << table),
+            cardinality: state.cardinality * self.table_cardinality[table] * selectivity,
+        })
+    }
+
+    /// Explain one join step: the eligible selectivities per class, the
+    /// value each class contributed under the configured rule, and the
+    /// resulting cardinality. Pure diagnostics — [`PreparedQuery::join`]
+    /// computes the same numbers.
+    pub fn explain_join(&self, state: &JoinState, table: TableId) -> ElsResult<JoinStepExplanation> {
+        let new_state = self.join(state, table)?;
+        let mut classes: Vec<ClassChoice> = self
+            .eligible_by_class(state, table)
+            .into_iter()
+            .map(|(class, eligible)| {
+                let representative =
+                    self.class_representative.get(&class).copied().unwrap_or(1.0);
+                let chosen = self.rule.combine(&eligible, representative);
+                ClassChoice { class, eligible, chosen }
+            })
+            .collect();
+        classes.sort_by_key(|c| c.class);
+        Ok(JoinStepExplanation {
+            table,
+            base_cardinality: self.table_cardinality[table],
+            classes,
+            cardinality_before: state.cardinality(),
+            cardinality_after: new_state.cardinality(),
+        })
+    }
+
+    /// Join two disjoint intermediate results (the bushy-tree transition).
+    /// Eligible predicates are those linking a table of `a` to a table of
+    /// `b`; the configured rule combines them per class exactly as in the
+    /// left-deep case. Rule LS remains consistent with Equation 3 here:
+    /// with per-side class minima `m_a`, `m_b`, the largest eligible
+    /// selectivity is `1/max(m_a, m_b)`, which stitches the two partial
+    /// denominators into the full all-but-global-min product.
+    pub fn join_sets(&self, a: &JoinState, b: &JoinState) -> ElsResult<JoinState> {
+        if a.tables & b.tables != 0 {
+            return Err(ElsError::InvalidJoinStep {
+                table: (a.tables & b.tables).trailing_zeros() as usize,
+                reason: "join sides overlap",
+            });
+        }
+        if a.is_empty() {
+            return Ok(*b);
+        }
+        if b.is_empty() {
+            return Ok(*a);
+        }
+        let mut by_class: HashMap<ClassId, Vec<f64>> = HashMap::new();
+        for p in &self.join_predicates {
+            let links = (a.contains(p.left.table) && b.contains(p.right.table))
+                || (b.contains(p.left.table) && a.contains(p.right.table));
+            if links {
+                by_class.entry(p.class).or_default().push(p.selectivity);
+            }
+        }
+        let mut selectivity = 1.0f64;
+        for (class, eligible) in by_class {
+            let representative = self.class_representative.get(&class).copied().unwrap_or(1.0);
+            selectivity *= self.rule.combine(&eligible, representative);
+        }
+        Ok(JoinState {
+            tables: a.tables | b.tables,
+            cardinality: a.cardinality * b.cardinality * selectivity,
+        })
+    }
+
+    /// Estimate the sizes of every intermediate result along a join order.
+    /// Returns one entry per join step (so `order.len() - 1` entries).
+    pub fn estimate_order(&self, order: &[TableId]) -> ElsResult<Vec<f64>> {
+        let Some((&first, rest)) = order.split_first() else {
+            return Ok(Vec::new());
+        };
+        let mut state = self.initial_state(first)?;
+        let mut sizes = Vec::with_capacity(rest.len());
+        for &t in rest {
+            state = self.join(&state, t)?;
+            sizes.push(state.cardinality());
+        }
+        Ok(sizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::transitive_closure;
+    use crate::equivalence::EquivalenceClasses;
+    use crate::ids::ColumnRef;
+    use crate::join_sel::annotate_join_predicates;
+    use crate::predicate::Predicate;
+    use crate::rules::RepresentativeStrategy;
+
+    fn c(t: usize, col: usize) -> ColumnRef {
+        ColumnRef::new(t, col)
+    }
+
+    /// Paper Example 1b query: three tables, one class, closure applied;
+    /// cardinalities 100/1000/1000, d = 10/100/1000.
+    fn example_1b(rule: SelectivityRule, rep: RepresentativeStrategy) -> PreparedQuery {
+        let preds = transitive_closure(&[
+            Predicate::col_eq(c(0, 0), c(1, 0)),
+            Predicate::col_eq(c(1, 0), c(2, 0)),
+        ]);
+        let classes = EquivalenceClasses::from_predicates(&preds);
+        let d = |cr: ColumnRef| [10.0, 100.0, 1000.0][cr.table];
+        let infos = annotate_join_predicates(&preds, &classes, d).unwrap();
+        let mut class_sels: HashMap<ClassId, Vec<f64>> = HashMap::new();
+        for i in &infos {
+            class_sels.entry(i.class).or_default().push(i.selectivity);
+        }
+        let reps = class_sels.into_iter().map(|(k, v)| (k, rep.derive(&v))).collect();
+        PreparedQuery::from_parts(vec![100.0, 1000.0, 1000.0], infos, reps, rule)
+    }
+
+    #[test]
+    fn example_1b_intermediate_and_final() {
+        // R2 ⋈ R3 = 1000, then LS gives the correct 1000.
+        let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
+        let sizes = q.estimate_order(&[1, 2, 0]).unwrap();
+        assert_eq!(sizes, vec![1000.0, 1000.0]);
+    }
+
+    #[test]
+    fn example_2_rule_m_underestimates() {
+        let q = example_1b(SelectivityRule::Multiplicative, Default::default());
+        let sizes = q.estimate_order(&[1, 2, 0]).unwrap();
+        assert_eq!(sizes[0], 1000.0);
+        assert!((sizes[1] - 1.0).abs() < 1e-9, "Rule M should give 1, got {}", sizes[1]);
+    }
+
+    #[test]
+    fn example_3_rule_ss_underestimates() {
+        let q = example_1b(SelectivityRule::SmallestSelectivity, Default::default());
+        let sizes = q.estimate_order(&[1, 2, 0]).unwrap();
+        assert_eq!(sizes, vec![1000.0, 100.0]);
+    }
+
+    #[test]
+    fn representative_rule_fails_both_ways() {
+        // Rep = 0.01 (largest in class): final = 10000, too high.
+        let q = example_1b(SelectivityRule::Representative, RepresentativeStrategy::LargestInClass);
+        let sizes = q.estimate_order(&[1, 2, 0]).unwrap();
+        assert_eq!(sizes, vec![10_000.0, 10_000.0]);
+        // Rep = 0.001 (smallest): final = 100, too low.
+        let q =
+            example_1b(SelectivityRule::Representative, RepresentativeStrategy::SmallestInClass);
+        let sizes = q.estimate_order(&[1, 2, 0]).unwrap();
+        assert_eq!(sizes, vec![1000.0, 100.0]);
+    }
+
+    #[test]
+    fn ls_is_order_independent_on_example_1b() {
+        let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
+        for order in [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let sizes = q.estimate_order(&order).unwrap();
+            assert_eq!(
+                *sizes.last().unwrap(),
+                1000.0,
+                "final size differs for order {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_m_is_order_dependent_here() {
+        // Starting with R1 ⋈ R2 then R3: eligible at step 2 are J2 and J3.
+        let q = example_1b(SelectivityRule::Multiplicative, Default::default());
+        let a = q.estimate_order(&[0, 1, 2]).unwrap().last().copied().unwrap();
+        let b = q.estimate_order(&[1, 2, 0]).unwrap().last().copied().unwrap();
+        assert!((a - 1.0).abs() < 1e-9 && (b - 1.0).abs() < 1e-9);
+        // Both underestimate, but via different paths; the intermediate
+        // differs: R1 ⋈ R2 = 100*1000*0.01 = 1000.
+        assert_eq!(q.estimate_order(&[0, 1, 2]).unwrap()[0], 1000.0);
+    }
+
+    #[test]
+    fn cartesian_product_when_no_predicate_links() {
+        let q = PreparedQuery::from_parts(
+            vec![10.0, 20.0],
+            Vec::new(),
+            HashMap::new(),
+            SelectivityRule::LargestSelectivity,
+        );
+        let s = q.join(&q.initial_state(0).unwrap(), 1).unwrap();
+        assert_eq!(s.cardinality(), 200.0);
+    }
+
+    #[test]
+    fn join_state_accessors() {
+        let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
+        let s = q.initial_state(1).unwrap();
+        assert!(s.contains(1));
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 1);
+        let s = q.join(&s, 2).unwrap();
+        assert_eq!(s.tables(), vec![1, 2]);
+        assert_eq!(s.table_mask(), 0b110);
+    }
+
+    #[test]
+    fn invalid_steps_are_rejected() {
+        let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
+        let s = q.initial_state(0).unwrap();
+        assert!(matches!(
+            q.join(&s, 0),
+            Err(ElsError::InvalidJoinStep { table: 0, reason: "table already joined" })
+        ));
+        assert!(q.join(&s, 9).is_err());
+        assert!(q.initial_state(9).is_err());
+    }
+
+    #[test]
+    fn join_sets_matches_left_deep_for_single_table_sides() {
+        let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
+        let a = q.initial_state(1).unwrap();
+        let b = q.initial_state(2).unwrap();
+        let bushy = q.join_sets(&a, &b).unwrap();
+        let left_deep = q.join(&a, 2).unwrap();
+        assert_eq!(bushy.cardinality(), left_deep.cardinality());
+        assert_eq!(bushy.table_mask(), left_deep.table_mask());
+    }
+
+    #[test]
+    fn join_sets_is_consistent_with_equation_3() {
+        // (R1) ⋈ (R2 ⋈ R3) bushy == 1000 under LS.
+        let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
+        let right = q.join(&q.initial_state(1).unwrap(), 2).unwrap();
+        let left = q.initial_state(0).unwrap();
+        let all = q.join_sets(&left, &right).unwrap();
+        assert_eq!(all.cardinality(), 1000.0);
+    }
+
+    #[test]
+    fn join_sets_rejects_overlap_and_handles_empty() {
+        let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
+        let a = q.initial_state(0).unwrap();
+        assert!(q.join_sets(&a, &a).is_err());
+        let empty = JoinState { tables: 0, cardinality: 0.0 };
+        assert_eq!(q.join_sets(&a, &empty).unwrap(), a);
+        assert_eq!(q.join_sets(&empty, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn join_sets_cartesian_when_disconnected() {
+        let q = PreparedQuery::from_parts(
+            vec![10.0, 20.0],
+            Vec::new(),
+            HashMap::new(),
+            SelectivityRule::LargestSelectivity,
+        );
+        let s = q
+            .join_sets(&q.initial_state(0).unwrap(), &q.initial_state(1).unwrap())
+            .unwrap();
+        assert_eq!(s.cardinality(), 200.0);
+    }
+
+    #[test]
+    fn empty_order_estimates_nothing() {
+        let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
+        assert!(q.estimate_order(&[]).unwrap().is_empty());
+        assert!(q.estimate_order(&[2]).unwrap().is_empty());
+    }
+}

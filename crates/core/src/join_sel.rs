@@ -1,0 +1,134 @@
+//! Join-predicate selectivities (Algorithm ELS, Step 5; paper Equation 2).
+//!
+//! The selectivity of a join predicate `R1.x1 = R2.x2` is
+//!
+//! ```text
+//! S_J = 1 / max(d1, d2)
+//! ```
+//!
+//! derived from the uniformity and containment assumptions (paper,
+//! Section 2). Which `d` values are plugged in distinguishes the paper's
+//! algorithm from the standard one: **ELS** uses the *effective* column
+//! cardinalities after Steps 4–5, the **standard** algorithm the original
+//! (unreduced) ones.
+
+use crate::equivalence::EquivalenceClasses;
+use crate::error::{ElsError, ElsResult};
+use crate::ids::{ClassId, ColumnRef};
+use crate::predicate::Predicate;
+
+/// Equation 2: selectivity of one join predicate from its two column
+/// cardinalities. Returns 0 when either column is empty (an empty side makes
+/// the join empty, which a factor of 0 propagates).
+/// # Examples
+///
+/// ```
+/// use els_core::join_sel::join_selectivity;
+/// assert_eq!(join_selectivity(10.0, 100.0), 0.01); // Example 1b's J1
+/// ```
+pub fn join_selectivity(d_left: f64, d_right: f64) -> f64 {
+    let m = d_left.max(d_right);
+    if d_left <= 0.0 || d_right <= 0.0 {
+        return 0.0;
+    }
+    1.0 / m
+}
+
+/// One join predicate, annotated for the incremental estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPredicateInfo {
+    /// Left column (lower-numbered table).
+    pub left: ColumnRef,
+    /// Right column (higher-numbered table).
+    pub right: ColumnRef,
+    /// The j-equivalence class both sides belong to.
+    pub class: ClassId,
+    /// Equation 2 selectivity, computed from the chosen distinct counts.
+    pub selectivity: f64,
+}
+
+/// Annotate every [`Predicate::JoinEq`] in `predicates` with its class and
+/// selectivity. `distinct_of` supplies the column cardinality to use (the
+/// caller decides between effective and original values).
+pub fn annotate_join_predicates(
+    predicates: &[Predicate],
+    classes: &EquivalenceClasses,
+    mut distinct_of: impl FnMut(ColumnRef) -> f64,
+) -> ElsResult<Vec<JoinPredicateInfo>> {
+    let mut out = Vec::new();
+    for p in predicates {
+        if let Predicate::JoinEq { left, right } = p {
+            let class = classes.class_of(*left).ok_or_else(|| {
+                ElsError::MalformedPredicate(format!(
+                    "join predicate {p} has no equivalence class (classes must be built \
+                     from the same predicate set)"
+                ))
+            })?;
+            debug_assert_eq!(classes.class_of(*right), Some(class));
+            let selectivity = join_selectivity(distinct_of(*left), distinct_of(*right));
+            out.push(JoinPredicateInfo { left: *left, right: *right, class, selectivity });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(t: usize, col: usize) -> ColumnRef {
+        ColumnRef::new(t, col)
+    }
+
+    #[test]
+    fn example_1b_selectivities() {
+        // d_x=10, d_y=100, d_z=1000 (paper Example 1b).
+        assert_eq!(join_selectivity(10.0, 100.0), 0.01); // J1
+        assert_eq!(join_selectivity(100.0, 1000.0), 0.001); // J2
+        assert_eq!(join_selectivity(10.0, 1000.0), 0.001); // J3
+    }
+
+    #[test]
+    fn selectivity_is_symmetric() {
+        assert_eq!(join_selectivity(7.0, 3.0), join_selectivity(3.0, 7.0));
+    }
+
+    #[test]
+    fn empty_side_gives_zero() {
+        assert_eq!(join_selectivity(0.0, 100.0), 0.0);
+        assert_eq!(join_selectivity(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn annotate_assigns_classes_and_selectivities() {
+        let preds = crate::closure::transitive_closure(&[
+            Predicate::col_eq(c(0, 0), c(1, 0)),
+            Predicate::col_eq(c(1, 0), c(2, 0)),
+        ]);
+        let classes = EquivalenceClasses::from_predicates(&preds);
+        let d = |cr: ColumnRef| [10.0, 100.0, 1000.0][cr.table];
+        let infos = annotate_join_predicates(&preds, &classes, d).unwrap();
+        assert_eq!(infos.len(), 3);
+        assert!(infos.iter().all(|i| i.class == ClassId(0)));
+        let mut sels: Vec<f64> = infos.iter().map(|i| i.selectivity).collect();
+        sels.sort_by(f64::total_cmp);
+        assert_eq!(sels, vec![0.001, 0.001, 0.01]);
+    }
+
+    #[test]
+    fn annotate_rejects_classless_join_predicate() {
+        // Classes built from a *different* predicate set than the join list.
+        let classes = EquivalenceClasses::from_predicates(&[]);
+        let preds = vec![Predicate::col_eq(c(0, 0), c(1, 0))];
+        let err = annotate_join_predicates(&preds, &classes, |_| 1.0).unwrap_err();
+        assert!(matches!(err, ElsError::MalformedPredicate(_)));
+    }
+
+    #[test]
+    fn annotate_skips_local_predicates() {
+        let preds = vec![Predicate::local_cmp(c(0, 0), crate::CmpOp::Lt, 5i64)];
+        let classes = EquivalenceClasses::from_predicates(&preds);
+        let infos = annotate_join_predicates(&preds, &classes, |_| 1.0).unwrap();
+        assert!(infos.is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! Effect of local predicates on table and column cardinalities
+//! (Algorithm ELS, Step 4; paper Section 5).
+//!
+//! After Step 3 has resolved the constant predicates on each column, this
+//! module computes, per table:
+//!
+//! * the **effective table cardinality** ‖R‖′ = ‖R‖ · ∏ S_c (product over
+//!   the per-column resolved selectivities, independence assumption), and
+//! * the **effective column cardinality** d′ of every column:
+//!   * a column constrained by its own equality predicate has d′ = 1;
+//!   * a column constrained by its own range predicates has d′ = d · S_c
+//!     (paper: "d_y′ = d_y × S_L");
+//!   * any column is additionally bounded by the urn model
+//!     d′ ≤ ⌈d·(1−(1−1/d)^‖R‖′)⌉ — the paper's treatment of columns *other*
+//!     than the predicate column, generalized here to several predicate
+//!     columns by taking the minimum of the own-predicate bound and the urn
+//!     bound (each is an upper bound on the surviving distinct count);
+//!   * nothing exceeds ‖R‖′ (a table cannot hold fewer rows than distinct
+//!     values).
+//!
+//! After this step the rest of the algorithm deals exclusively with join
+//! predicates (paper, end of Section 5): the original statistics are
+//! retained alongside for the *standard* (pre-ELS) estimation mode and for
+//! access-cost calculations.
+
+use std::collections::HashMap;
+
+use crate::error::ElsResult;
+use crate::ids::ColumnRef;
+use crate::predicate::Predicate;
+use crate::selectivity::{resolve_column_predicates, ResolvedShape, SelectivityOracle};
+use crate::stats::QueryStatistics;
+use crate::urn;
+
+/// Which distinct-value reduction model to use for columns that are reduced
+/// indirectly (by predicates on *other* columns). The paper argues for the
+/// urn model; the proportional alternative is kept for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistinctReduction {
+    /// The paper's urn model (Section 5).
+    #[default]
+    UrnModel,
+    /// The "other common estimate" d′ = d · ‖R‖′/‖R‖ the paper criticizes.
+    Proportional,
+}
+
+/// Post-Step-4 statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectiveTable {
+    /// ‖R‖ before local predicates.
+    pub original_cardinality: f64,
+    /// ‖R‖′ after local predicates.
+    pub cardinality: f64,
+    /// d′ per column (indexed by column position).
+    pub column_distinct: Vec<f64>,
+    /// Original d per column, kept for the standard estimation mode.
+    pub original_distinct: Vec<f64>,
+    /// Combined selectivity of all local constant predicates on this table.
+    pub local_selectivity: f64,
+    /// True when the local predicates are contradictory (empty table).
+    pub contradiction: bool,
+}
+
+/// Post-Step-4 statistics for the whole query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectiveStats {
+    /// Per-table effective statistics, in `FROM`-list order.
+    pub tables: Vec<EffectiveTable>,
+}
+
+impl EffectiveStats {
+    /// Effective cardinality ‖R‖′ of a table.
+    pub fn cardinality(&self, table: usize) -> f64 {
+        self.tables[table].cardinality
+    }
+
+    /// Effective distinct count d′ of a column.
+    pub fn distinct(&self, c: ColumnRef) -> f64 {
+        self.tables[c.table].column_distinct[c.column]
+    }
+
+    /// Original (pre-predicate) distinct count of a column.
+    pub fn original_distinct(&self, c: ColumnRef) -> f64 {
+        self.tables[c.table].original_distinct[c.column]
+    }
+}
+
+/// Compute Step 4 for all tables. `predicates` must already be deduplicated
+/// (and normally closed under transitivity, so that derived filters like the
+/// Section 8 `m < 100` are present). Only [`Predicate::LocalCmp`] conjuncts
+/// are consumed here; local column equalities are the business of Step 5
+/// ([`crate::same_table`]).
+pub fn compute_effective_stats(
+    predicates: &[Predicate],
+    stats: &QueryStatistics,
+    oracle: &dyn SelectivityOracle,
+    reduction: DistinctReduction,
+) -> ElsResult<EffectiveStats> {
+    stats.validate()?;
+    let shape = stats.shape();
+    for p in predicates {
+        p.validate(&shape)?;
+    }
+
+    // Bucket constant predicates by column; collect nullness tests apart
+    // (they are not comparisons and compose differently).
+    let mut by_column: HashMap<ColumnRef, Vec<(crate::predicate::CmpOp, els_storage::Value)>> =
+        HashMap::new();
+    let mut null_tests: HashMap<ColumnRef, (bool, bool)> = HashMap::new(); // (is_null, is_not_null)
+    for p in predicates {
+        match p {
+            Predicate::LocalCmp { column, op, value } => {
+                by_column.entry(*column).or_default().push((*op, value.clone()));
+            }
+            Predicate::IsNull { column, negated } => {
+                let e = null_tests.entry(*column).or_insert((false, false));
+                if *negated {
+                    e.1 = true;
+                } else {
+                    e.0 = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut tables = Vec::with_capacity(stats.tables.len());
+    for (t, tstats) in stats.tables.iter().enumerate() {
+        let ncols = tstats.columns.len();
+        let mut table_sel = 1.0f64;
+        let mut contradiction = false;
+        // Resolve each column's own predicates.
+        let mut own_bound: Vec<Option<f64>> = vec![None; ncols];
+        let mut own_sel: Vec<f64> = vec![1.0; ncols];
+        for (c, cstats) in tstats.columns.iter().enumerate() {
+            let cref = ColumnRef::new(t, c);
+            let has_cmp = by_column.contains_key(&cref);
+            // Nullness tests first: `IS NULL` conflicts with any comparison
+            // (comparisons require a non-NULL value) and with IS NOT NULL;
+            // `IS NOT NULL` is redundant next to a comparison (the model
+            // selectivities already carry the non-NULL factor).
+            if let Some(&(is_null, is_not_null)) = null_tests.get(&cref) {
+                if is_null {
+                    if is_not_null || has_cmp || cstats.null_fraction == 0.0 {
+                        contradiction = true;
+                    } else {
+                        table_sel *= cstats.null_fraction;
+                        own_sel[c] *= cstats.null_fraction;
+                        // Only NULL rows remain: the column carries no
+                        // joinable values at all.
+                        own_bound[c] = Some(0.0);
+                    }
+                } else if is_not_null && !has_cmp {
+                    let sel = 1.0 - cstats.null_fraction;
+                    table_sel *= sel;
+                    own_sel[c] *= sel;
+                    // Every distinct (non-NULL) value survives.
+                    own_bound[c] = Some(cstats.distinct);
+                }
+            }
+            let Some(preds) = by_column.get(&cref) else { continue };
+            let resolved = resolve_column_predicates(cref, cstats, preds, oracle);
+            table_sel *= resolved.selectivity;
+            own_sel[c] *= resolved.selectivity;
+            match resolved.shape {
+                ResolvedShape::Contradiction => contradiction = true,
+                ResolvedShape::Equality(_) => own_bound[c] = Some(1.0),
+                ResolvedShape::Range => {
+                    own_bound[c] = Some(cstats.distinct * resolved.selectivity)
+                }
+                ResolvedShape::Unconstrained => {}
+            }
+        }
+
+        let original = tstats.cardinality;
+        let cardinality = if contradiction { 0.0 } else { original * table_sel };
+
+        let mut column_distinct = Vec::with_capacity(ncols);
+        for (c, cstats) in tstats.columns.iter().enumerate() {
+            let d = cstats.distinct;
+            // Selectivity contributed by predicates on *other* columns.
+            let other_sel = if own_sel[c] > 0.0 { table_sel / own_sel[c] } else { 0.0 };
+            let d_prime = if contradiction || cardinality == 0.0 {
+                0.0
+            } else if cardinality >= original {
+                // No reduction at all: keep d exactly.
+                d
+            } else if other_sel >= 1.0 - 1e-12 {
+                // Reduction comes only from this column's own predicates:
+                // the paper's exact rule (d' = 1 for equality, d·S for
+                // ranges) applies with no urn shaving.
+                own_bound[c].unwrap_or(d)
+            } else {
+                // Other columns shrank the table too: the urn bound with the
+                // final ||R||' captures their effect; own predicates give an
+                // independent upper bound. Both hold, so take the minimum.
+                let indirect = match reduction {
+                    DistinctReduction::UrnModel => urn::expected_distinct_rounded(d, cardinality),
+                    DistinctReduction::Proportional => {
+                        urn::proportional_distinct(d, cardinality, original)
+                    }
+                };
+                own_bound[c].unwrap_or(f64::INFINITY).min(indirect)
+            };
+            column_distinct.push(d_prime.min(cardinality.max(0.0)).min(d));
+        }
+
+        tables.push(EffectiveTable {
+            original_cardinality: original,
+            cardinality,
+            column_distinct,
+            original_distinct: tstats.columns.iter().map(|c| c.distinct).collect(),
+            local_selectivity: if contradiction { 0.0 } else { table_sel },
+            contradiction,
+        });
+    }
+    Ok(EffectiveStats { tables })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::selectivity::NoOracle;
+    use crate::stats::{ColumnStatistics, TableStatistics};
+    
+
+    fn c(t: usize, col: usize) -> ColumnRef {
+        ColumnRef::new(t, col)
+    }
+
+    /// One table, ||R|| rows, sequential-style columns with given d.
+    fn one_table(rows: f64, ds: &[f64]) -> QueryStatistics {
+        QueryStatistics::new(vec![TableStatistics::new(
+            rows,
+            ds.iter().map(|&d| ColumnStatistics::with_domain(d, 0.0, d - 1.0)).collect(),
+        )])
+    }
+
+    #[test]
+    fn no_predicates_changes_nothing() {
+        let stats = one_table(1000.0, &[100.0, 1000.0]);
+        let eff =
+            compute_effective_stats(&[], &stats, &NoOracle, DistinctReduction::UrnModel).unwrap();
+        assert_eq!(eff.cardinality(0), 1000.0);
+        assert_eq!(eff.distinct(c(0, 0)), 100.0);
+        assert_eq!(eff.distinct(c(0, 1)), 1000.0);
+        assert_eq!(eff.tables[0].local_selectivity, 1.0);
+    }
+
+    #[test]
+    fn section8_filter_on_s() {
+        // ||S|| = 1000, d_s = 1000, s < 100 -> ||S||' = 100, d_s' = 100.
+        let stats = one_table(1000.0, &[1000.0]);
+        let preds = vec![Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64)];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert_eq!(eff.cardinality(0), 100.0);
+        assert_eq!(eff.distinct(c(0, 0)), 100.0);
+        assert_eq!(eff.tables[0].local_selectivity, 0.1);
+    }
+
+    #[test]
+    fn equality_predicate_pins_distinct_to_one() {
+        let stats = one_table(1000.0, &[100.0, 500.0]);
+        let preds = vec![Predicate::local_cmp(c(0, 0), CmpOp::Eq, 7i64)];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        // ||R||' = 1000/100 = 10 (uniformity), d0' = 1.
+        assert_eq!(eff.cardinality(0), 10.0);
+        assert_eq!(eff.distinct(c(0, 0)), 1.0);
+        // The untouched column is urn-reduced: urn(500, 10) = 10 (ceil) —
+        // ten tuples can hold at most ten distinct values.
+        assert!(eff.distinct(c(0, 1)) <= 10.0);
+        assert!(eff.distinct(c(0, 1)) >= 9.0);
+    }
+
+    #[test]
+    fn paper_section5_urn_numbers() {
+        // d_x = 10000, ||R|| = 100000, local predicate halves the table:
+        // urn gives 9933, proportional gives 5000.
+        let stats = one_table(100_000.0, &[10_000.0, 100_000.0]);
+        // Predicate on column 1 (a key) keeping half the rows: v < 50000.
+        let preds = vec![Predicate::local_cmp(c(0, 1), CmpOp::Lt, 50_000i64)];
+        let eff_urn =
+            compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+                .unwrap();
+        assert_eq!(eff_urn.cardinality(0), 50_000.0);
+        assert_eq!(eff_urn.distinct(c(0, 0)), 9933.0);
+        let eff_prop =
+            compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::Proportional)
+                .unwrap();
+        assert_eq!(eff_prop.distinct(c(0, 0)), 5000.0);
+    }
+
+    #[test]
+    fn own_range_reduction_is_linear_not_urn() {
+        // Paper: d_y' = d_y * S_L for the predicate column itself, even when
+        // d_y equals ||R|| (where the urn model would shave ~37%).
+        let stats = one_table(1000.0, &[1000.0]);
+        let preds = vec![Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64)];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert_eq!(eff.distinct(c(0, 0)), 100.0);
+    }
+
+    #[test]
+    fn contradiction_empties_the_table() {
+        let stats = one_table(1000.0, &[100.0, 50.0]);
+        let preds = vec![
+            Predicate::local_cmp(c(0, 0), CmpOp::Eq, 5i64),
+            Predicate::local_cmp(c(0, 0), CmpOp::Eq, 6i64),
+        ];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert!(eff.tables[0].contradiction);
+        assert_eq!(eff.cardinality(0), 0.0);
+        assert_eq!(eff.distinct(c(0, 0)), 0.0);
+        assert_eq!(eff.distinct(c(0, 1)), 0.0);
+    }
+
+    #[test]
+    fn predicates_on_two_columns_compound() {
+        // Two independent 0.1-selectivity filters: ||R||' = 10.
+        let stats = one_table(1000.0, &[1000.0, 1000.0, 200.0]);
+        let preds = vec![
+            Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64),
+            Predicate::local_cmp(c(0, 1), CmpOp::Lt, 100i64),
+        ];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert!((eff.cardinality(0) - 10.0).abs() < 1e-9);
+        // Own bound for column 0 is 100, but only 10 rows remain.
+        assert!(eff.distinct(c(0, 0)) <= 10.0);
+        // The bystander column is urn-bounded by the 10 surviving rows.
+        assert!(eff.distinct(c(0, 2)) <= 10.0);
+    }
+
+    #[test]
+    fn distinct_never_exceeds_rows_or_original() {
+        let stats = one_table(100.0, &[100.0]);
+        let preds = vec![Predicate::local_cmp(c(0, 0), CmpOp::Le, 999i64)];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert!(eff.distinct(c(0, 0)) <= 100.0);
+        assert!(eff.distinct(c(0, 0)) <= eff.cardinality(0));
+    }
+
+    #[test]
+    fn multiple_tables_processed_independently() {
+        let stats = QueryStatistics::new(vec![
+            TableStatistics::new(1000.0, vec![ColumnStatistics::with_domain(1000.0, 0.0, 999.0)]),
+            TableStatistics::new(500.0, vec![ColumnStatistics::with_domain(500.0, 0.0, 499.0)]),
+        ]);
+        let preds = vec![Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64)];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert_eq!(eff.cardinality(0), 100.0);
+        assert_eq!(eff.cardinality(1), 500.0);
+        assert_eq!(eff.distinct(c(1, 0)), 500.0);
+    }
+
+    #[test]
+    fn is_null_keeps_only_the_null_fraction() {
+        let mut stats = one_table(1000.0, &[100.0, 50.0]);
+        stats.tables[0].columns[0].null_fraction = 0.2;
+        let preds = vec![Predicate::is_null(c(0, 0))];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert_eq!(eff.cardinality(0), 200.0);
+        // The IS NULL column carries no joinable values.
+        assert_eq!(eff.distinct(c(0, 0)), 0.0);
+        // Bystander columns shrink with the table.
+        assert!(eff.distinct(c(0, 1)) <= 200.0);
+    }
+
+    #[test]
+    fn is_not_null_scales_by_complement() {
+        let mut stats = one_table(1000.0, &[100.0]);
+        stats.tables[0].columns[0].null_fraction = 0.25;
+        let preds = vec![Predicate::is_not_null(c(0, 0))];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert_eq!(eff.cardinality(0), 750.0);
+        // All distinct (non-NULL) values survive.
+        assert_eq!(eff.distinct(c(0, 0)), 100.0);
+    }
+
+    #[test]
+    fn is_null_conflicts_with_comparisons_and_not_null() {
+        let mut stats = one_table(1000.0, &[100.0]);
+        stats.tables[0].columns[0].null_fraction = 0.2;
+        for extra in [
+            Predicate::local_cmp(c(0, 0), CmpOp::Lt, 10i64),
+            Predicate::is_not_null(c(0, 0)),
+        ] {
+            let preds = vec![Predicate::is_null(c(0, 0)), extra];
+            let eff =
+                compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+                    .unwrap();
+            assert!(eff.tables[0].contradiction);
+            assert_eq!(eff.cardinality(0), 0.0);
+        }
+        // IS NULL on a column with no NULLs empties the table too.
+        let stats = one_table(1000.0, &[100.0]);
+        let preds = vec![Predicate::is_null(c(0, 0))];
+        let eff = compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert_eq!(eff.cardinality(0), 0.0);
+    }
+
+    #[test]
+    fn is_not_null_is_redundant_next_to_a_comparison() {
+        // The model selectivity of a comparison already carries (1 - nf);
+        // adding IS NOT NULL must not double-count it.
+        let mut stats = one_table(1000.0, &[1000.0]);
+        stats.tables[0].columns[0].null_fraction = 0.5;
+        let cmp_only = vec![Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64)];
+        let both = vec![
+            Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64),
+            Predicate::is_not_null(c(0, 0)),
+        ];
+        let a = compute_effective_stats(&cmp_only, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        let b = compute_effective_stats(&both, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert_eq!(a.cardinality(0), b.cardinality(0));
+    }
+
+    #[test]
+    fn invalid_predicate_indices_are_rejected() {
+        let stats = one_table(10.0, &[10.0]);
+        let preds = vec![Predicate::local_cmp(c(2, 0), CmpOp::Eq, 1i64)];
+        assert!(compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
+            .is_err());
+    }
+}

@@ -1,0 +1,538 @@
+//! Local-predicate selectivities (Algorithm ELS, Step 3).
+//!
+//! Each local predicate `R.x op c` is assigned a selectivity. Uniformity is
+//! *not* assumed for local predicates when better information exists: a
+//! [`SelectivityOracle`] (implemented over histograms by `els-catalog`) is
+//! consulted first, and only on a miss does estimation fall back to the
+//! discrete-uniform-domain model below.
+//!
+//! **Model.** A column with distinct count `d`, minimum `min` and maximum
+//! `max` is modelled as `d` equally spaced values on `[min, max]` (the
+//! uniformity assumption made concrete). Selectivities of range predicates
+//! are then exact set counts over that grid — e.g. the paper's Section 8
+//! filter `s < 100` over `d_s = 1000` sequential values `0..999` gets
+//! selectivity exactly `0.1`. When no domain bounds are known the classic
+//! System-R default of 1/3 per range predicate applies.
+//!
+//! **Multiple predicates on one column.** Following the paper's companion
+//! report [16] (Section 4, step 3): if any *equality* predicate exists, the
+//! most restrictive consistent equality wins (contradictory constants make
+//! the column — and the whole conjunct — empty); otherwise the *tightest
+//! pair of range bounds* is kept. `<>` predicates contribute their
+//! complement selectivity multiplicatively and never constrain the bounds.
+
+use els_storage::Value;
+
+use crate::ids::ColumnRef;
+use crate::predicate::CmpOp;
+use crate::stats::ColumnStatistics;
+
+/// Default selectivity of a range predicate when nothing is known about the
+/// column's domain (System R's classic 1/3).
+pub const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Default selectivity of an equality predicate when even the distinct count
+/// is unknown or zero (System R's classic 1/10).
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+
+/// Hook for distribution statistics (histograms, most-common values).
+///
+/// `els-core` calls this before applying its uniform model; a `Some(s)`
+/// answer is used as-is. Implementations must return selectivities of the
+/// predicate against the **base** table (before any other predicate).
+pub trait SelectivityOracle {
+    /// Selectivity in `[0, 1]` of `column op value`, if this oracle knows.
+    fn local_selectivity(&self, column: ColumnRef, op: CmpOp, value: &Value) -> Option<f64>;
+}
+
+/// An oracle that knows nothing; estimation always falls back to the
+/// uniform-domain model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOracle;
+
+impl SelectivityOracle for NoOracle {
+    fn local_selectivity(&self, _: ColumnRef, _: CmpOp, _: &Value) -> Option<f64> {
+        None
+    }
+}
+
+/// What the per-column resolution of Step 3 decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedShape {
+    /// No constant predicate on this column.
+    Unconstrained,
+    /// A single consistent equality `x = value`; the column cardinality
+    /// after the predicate is 1 (paper, Section 5).
+    Equality(Value),
+    /// A (possibly one-sided) range; column cardinality scales with the
+    /// selectivity (`d' = d · S_L`, paper Section 5).
+    Range,
+    /// The predicates contradict each other — the table is empty.
+    Contradiction,
+}
+
+/// Result of resolving all constant predicates on one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedColumn {
+    /// Combined selectivity of the retained predicates.
+    pub selectivity: f64,
+    /// The retained shape, which drives the column-cardinality update.
+    pub shape: ResolvedShape,
+}
+
+/// Selectivity of a single `column op value` under the uniform-domain model
+/// (oracle misses handled by the caller). Always in `[0, 1]`.
+/// # Examples
+///
+/// The Section 8 filter `s < 100` over 1000 sequential values:
+///
+/// ```
+/// use els_core::{selectivity::model_selectivity, ColumnStatistics, CmpOp};
+/// use els_storage::Value;
+/// let stats = ColumnStatistics::with_domain(1000.0, 0.0, 999.0);
+/// assert_eq!(model_selectivity(&stats, CmpOp::Lt, &Value::Int(100)), 0.1);
+/// ```
+pub fn model_selectivity(stats: &ColumnStatistics, op: CmpOp, value: &Value) -> f64 {
+    let non_null = 1.0 - stats.null_fraction;
+    let d = stats.distinct;
+    let sel = match op {
+        CmpOp::Eq => {
+            if d <= 0.0 {
+                DEFAULT_EQ_SELECTIVITY
+            } else if out_of_domain(stats, value) {
+                0.0
+            } else {
+                1.0 / d
+            }
+        }
+        CmpOp::Ne => {
+            if d <= 0.0 {
+                1.0 - DEFAULT_EQ_SELECTIVITY
+            } else if out_of_domain(stats, value) {
+                1.0
+            } else {
+                1.0 - 1.0 / d
+            }
+        }
+        CmpOp::Lt => fraction_satisfying(stats, value, RangeSide::Below { strict: true }),
+        CmpOp::Le => fraction_satisfying(stats, value, RangeSide::Below { strict: false }),
+        CmpOp::Gt => fraction_satisfying(stats, value, RangeSide::Above { strict: true }),
+        CmpOp::Ge => fraction_satisfying(stats, value, RangeSide::Above { strict: false }),
+    };
+    (sel * non_null).clamp(0.0, 1.0)
+}
+
+enum RangeSide {
+    Below { strict: bool },
+    Above { strict: bool },
+}
+
+fn out_of_domain(stats: &ColumnStatistics, value: &Value) -> bool {
+    match (value.as_f64(), stats.min, stats.max) {
+        (Some(c), Some(lo), Some(hi)) => c < lo || c > hi,
+        _ => false,
+    }
+}
+
+/// Count how many of the `d` grid points satisfy the one-sided range, as a
+/// fraction of `d`. Falls back to [`DEFAULT_RANGE_SELECTIVITY`] when the
+/// domain or the constant is not numeric.
+fn fraction_satisfying(stats: &ColumnStatistics, value: &Value, side: RangeSide) -> f64 {
+    let (Some(c), Some(lo), Some(hi)) = (value.as_f64(), stats.min, stats.max) else {
+        return DEFAULT_RANGE_SELECTIVITY;
+    };
+    // NaN constants sort above every float in the engine's total order, so
+    // `x < NaN` is satisfied by everything and `x > NaN` by nothing.
+    if c.is_nan() {
+        return match side {
+            RangeSide::Below { .. } => 1.0,
+            RangeSide::Above { .. } => 0.0,
+        };
+    }
+    let d = stats.distinct;
+    if d <= 0.0 {
+        return DEFAULT_RANGE_SELECTIVITY;
+    }
+    let below = grid_points_below(c, lo, hi, d, matches!(side, RangeSide::Below { strict: true } | RangeSide::Above { strict: false }));
+    match side {
+        // `x < c` counts strictly-below points; `x <= c` counts
+        // non-strictly-below (grid_points_below's flag selects which).
+        RangeSide::Below { .. } => below / d,
+        // `x > c` = 1 - (x <= c); `x >= c` = 1 - (x < c).
+        RangeSide::Above { .. } => 1.0 - below / d,
+    }
+}
+
+/// Number of the `d` equally spaced grid points on `[lo, hi]` that are
+/// `< c` (when `strict`) or `<= c` (when `!strict`).
+fn grid_points_below(c: f64, lo: f64, hi: f64, d: f64, strict: bool) -> f64 {
+    if d <= 1.0 {
+        // One value at lo (== hi).
+        let sat = if strict { lo < c } else { lo <= c };
+        return if sat { d.clamp(0.0, 1.0) } else { 0.0 };
+    }
+    if c < lo || (strict && c == lo) {
+        return 0.0;
+    }
+    if c > hi || (!strict && c == hi) {
+        return d;
+    }
+    let step = (hi - lo) / (d - 1.0);
+    // Index positions i = 0..d at lo + i*step; count those below c.
+    let t = (c - lo) / step;
+    let count = if strict {
+        // points with i*step < c - lo  <=>  i < t; count = ceil(t) (t not
+        // integer) or t (integer).
+        t.ceil()
+    } else {
+        t.floor() + 1.0
+    };
+    count.clamp(0.0, d)
+}
+
+/// Resolve all constant predicates on one column, per [16]: keep the most
+/// restrictive equality if any exists, otherwise the tightest range-bound
+/// pair; `<>` predicates multiply in their complement. The oracle is
+/// consulted per retained predicate.
+pub fn resolve_column_predicates(
+    column: ColumnRef,
+    stats: &ColumnStatistics,
+    preds: &[(CmpOp, Value)],
+    oracle: &dyn SelectivityOracle,
+) -> ResolvedColumn {
+    if preds.is_empty() {
+        return ResolvedColumn { selectivity: 1.0, shape: ResolvedShape::Unconstrained };
+    }
+
+    let sel_of = |op: CmpOp, v: &Value| -> f64 {
+        oracle
+            .local_selectivity(column, op, v)
+            .unwrap_or_else(|| model_selectivity(stats, op, v))
+            .clamp(0.0, 1.0)
+    };
+
+    // Phase 1: equalities. All must agree on one constant; the constant must
+    // satisfy every other predicate on the column.
+    let equalities: Vec<&Value> = preds
+        .iter()
+        .filter_map(|(op, v)| (*op == CmpOp::Eq).then_some(v))
+        .collect();
+    if let Some(first) = equalities.first() {
+        if equalities.iter().any(|v| !v.sql_eq(first)) {
+            return ResolvedColumn { selectivity: 0.0, shape: ResolvedShape::Contradiction };
+        }
+        for (op, v) in preds.iter().filter(|(op, _)| *op != CmpOp::Eq) {
+            let sat = first.sql_cmp(v).map(|ord| op.eval(ord));
+            if sat == Some(false) {
+                return ResolvedColumn { selectivity: 0.0, shape: ResolvedShape::Contradiction };
+            }
+        }
+        return ResolvedColumn {
+            selectivity: sel_of(CmpOp::Eq, first),
+            shape: ResolvedShape::Equality((*first).clone()),
+        };
+    }
+
+    // Phase 2: tightest lower bound (largest constant; at a tie the strict
+    // bound is tighter) and tightest upper bound (smallest constant; strict
+    // tighter).
+    let mut lower: Option<(CmpOp, &Value)> = None;
+    let mut upper: Option<(CmpOp, &Value)> = None;
+    let mut ne_count = 0usize;
+    for (op, v) in preds {
+        match op {
+            CmpOp::Gt | CmpOp::Ge => {
+                lower = Some(match lower {
+                    None => (*op, v),
+                    Some((cur_op, cur_v)) => match v.sql_cmp(cur_v) {
+                        Some(std::cmp::Ordering::Greater) => (*op, v),
+                        Some(std::cmp::Ordering::Equal) if *op == CmpOp::Gt => (*op, v),
+                        _ => (cur_op, cur_v),
+                    },
+                });
+            }
+            CmpOp::Lt | CmpOp::Le => {
+                upper = Some(match upper {
+                    None => (*op, v),
+                    Some((cur_op, cur_v)) => match v.sql_cmp(cur_v) {
+                        Some(std::cmp::Ordering::Less) => (*op, v),
+                        Some(std::cmp::Ordering::Equal) if *op == CmpOp::Lt => (*op, v),
+                        _ => (cur_op, cur_v),
+                    },
+                });
+            }
+            CmpOp::Ne => ne_count += 1,
+            CmpOp::Eq => unreachable!("equalities handled above"),
+        }
+    }
+
+    // Detect an empty range (lo >= hi in the strict sense).
+    if let (Some((lop, lv)), Some((uop, uv))) = (&lower, &upper) {
+        if let Some(ord) = lv.sql_cmp(uv) {
+            use std::cmp::Ordering::{Equal, Greater};
+            let empty = match ord {
+                Greater => true,
+                Equal => *lop == CmpOp::Gt || *uop == CmpOp::Lt,
+                _ => false,
+            };
+            if empty {
+                return ResolvedColumn { selectivity: 0.0, shape: ResolvedShape::Contradiction };
+            }
+        }
+    }
+
+    let mut sel = match (&lower, &upper) {
+        (None, None) => 1.0,
+        (Some((op, v)), None) | (None, Some((op, v))) => sel_of(*op, v),
+        (Some((lop, lv)), Some((uop, uv))) => {
+            // The satisfied sets are a suffix and a prefix of the value grid,
+            // so |A ∩ B| = max(0, |A| + |B| − d): exact under the model.
+            (sel_of(*lop, lv) + sel_of(*uop, uv) - 1.0).max(0.0)
+        }
+    };
+    // Each `<>` removes (at most) one value.
+    for _ in 0..ne_count {
+        let d = stats.distinct;
+        sel *= if d > 1.0 { 1.0 - 1.0 / d } else { 1.0 };
+    }
+
+    let shape = if lower.is_none() && upper.is_none() && ne_count == 0 {
+        ResolvedShape::Unconstrained
+    } else {
+        ResolvedShape::Range
+    };
+    ResolvedColumn { selectivity: sel.clamp(0.0, 1.0), shape }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col() -> ColumnRef {
+        ColumnRef::new(0, 0)
+    }
+
+    fn seq_stats(d: f64) -> ColumnStatistics {
+        // Sequential integer column 0..d-1, the Section 8 shape.
+        ColumnStatistics::with_domain(d, 0.0, d - 1.0)
+    }
+
+    #[test]
+    fn section8_filter_selectivity_is_exactly_one_tenth() {
+        let stats = seq_stats(1000.0);
+        let s = model_selectivity(&stats, CmpOp::Lt, &Value::Int(100));
+        assert_eq!(s, 0.1);
+    }
+
+    #[test]
+    fn le_counts_the_boundary_value() {
+        let stats = seq_stats(1000.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Le, &Value::Int(99)), 0.1);
+        assert_eq!(model_selectivity(&stats, CmpOp::Le, &Value::Int(100)), 0.101);
+    }
+
+    #[test]
+    fn gt_ge_are_complements_of_le_lt() {
+        let stats = seq_stats(100.0);
+        let c = Value::Int(30);
+        let lt = model_selectivity(&stats, CmpOp::Lt, &c);
+        let ge = model_selectivity(&stats, CmpOp::Ge, &c);
+        assert!((lt + ge - 1.0).abs() < 1e-12);
+        let le = model_selectivity(&stats, CmpOp::Le, &c);
+        let gt = model_selectivity(&stats, CmpOp::Gt, &c);
+        assert!((le + gt - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_is_one_over_d_inside_domain_and_zero_outside() {
+        let stats = seq_stats(50.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Eq, &Value::Int(10)), 1.0 / 50.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Eq, &Value::Int(500)), 0.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Ne, &Value::Int(500)), 1.0);
+    }
+
+    #[test]
+    fn range_without_domain_uses_default() {
+        let stats = ColumnStatistics::with_distinct(100.0);
+        assert_eq!(
+            model_selectivity(&stats, CmpOp::Lt, &Value::Int(5)),
+            DEFAULT_RANGE_SELECTIVITY
+        );
+    }
+
+    #[test]
+    fn string_equality_uses_distinct_count() {
+        let stats = ColumnStatistics::with_distinct(4.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Eq, &Value::from("a")), 0.25);
+        assert_eq!(
+            model_selectivity(&stats, CmpOp::Lt, &Value::from("a")),
+            DEFAULT_RANGE_SELECTIVITY
+        );
+    }
+
+    #[test]
+    fn null_fraction_scales_everything() {
+        let mut stats = seq_stats(10.0);
+        stats.null_fraction = 0.5;
+        assert_eq!(model_selectivity(&stats, CmpOp::Eq, &Value::Int(3)), 0.05);
+    }
+
+    #[test]
+    fn out_of_range_boundaries_clamp() {
+        let stats = seq_stats(10.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Lt, &Value::Int(-5)), 0.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Lt, &Value::Int(100)), 1.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Gt, &Value::Int(-5)), 1.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Gt, &Value::Int(100)), 0.0);
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let stats = ColumnStatistics::with_domain(1.0, 7.0, 7.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Le, &Value::Int(7)), 1.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Lt, &Value::Int(7)), 0.0);
+        assert_eq!(model_selectivity(&stats, CmpOp::Ge, &Value::Int(7)), 1.0);
+    }
+
+    #[test]
+    fn resolve_empty_is_unconstrained() {
+        let r = resolve_column_predicates(col(), &seq_stats(10.0), &[], &NoOracle);
+        assert_eq!(r.selectivity, 1.0);
+        assert_eq!(r.shape, ResolvedShape::Unconstrained);
+    }
+
+    #[test]
+    fn resolve_picks_equality_over_ranges() {
+        // x = 5 AND x < 100: the equality wins, selectivity 1/d.
+        let preds = vec![(CmpOp::Eq, Value::Int(5)), (CmpOp::Lt, Value::Int(100))];
+        let r = resolve_column_predicates(col(), &seq_stats(1000.0), &preds, &NoOracle);
+        assert_eq!(r.selectivity, 1.0 / 1000.0);
+        assert_eq!(r.shape, ResolvedShape::Equality(Value::Int(5)));
+    }
+
+    #[test]
+    fn resolve_detects_equality_contradictions() {
+        let preds = vec![(CmpOp::Eq, Value::Int(5)), (CmpOp::Eq, Value::Int(6))];
+        let r = resolve_column_predicates(col(), &seq_stats(1000.0), &preds, &NoOracle);
+        assert_eq!(r.shape, ResolvedShape::Contradiction);
+        assert_eq!(r.selectivity, 0.0);
+
+        // x = 5 AND x > 100 is also empty.
+        let preds = vec![(CmpOp::Eq, Value::Int(5)), (CmpOp::Gt, Value::Int(100))];
+        let r = resolve_column_predicates(col(), &seq_stats(1000.0), &preds, &NoOracle);
+        assert_eq!(r.shape, ResolvedShape::Contradiction);
+    }
+
+    #[test]
+    fn resolve_keeps_tightest_bounds() {
+        // x > 10 AND x > 500 AND x < 900: keep (x > 500, x < 900).
+        let preds = vec![
+            (CmpOp::Gt, Value::Int(10)),
+            (CmpOp::Gt, Value::Int(500)),
+            (CmpOp::Lt, Value::Int(900)),
+        ];
+        let stats = seq_stats(1000.0);
+        let r = resolve_column_predicates(col(), &stats, &preds, &NoOracle);
+        // Values 501..=899: 399 of 1000.
+        assert!((r.selectivity - 0.399).abs() < 1e-9, "got {}", r.selectivity);
+        assert_eq!(r.shape, ResolvedShape::Range);
+    }
+
+    #[test]
+    fn resolve_duplicate_range_predicate_is_idempotent() {
+        // The paper's Step 1 example: (x > 500) AND (x > 500).
+        let preds = vec![(CmpOp::Gt, Value::Int(500)), (CmpOp::Gt, Value::Int(500))];
+        let once = resolve_column_predicates(col(), &seq_stats(1000.0), &preds[..1], &NoOracle);
+        let twice = resolve_column_predicates(col(), &seq_stats(1000.0), &preds, &NoOracle);
+        assert_eq!(once.selectivity, twice.selectivity);
+    }
+
+    #[test]
+    fn resolve_detects_empty_ranges() {
+        let preds = vec![(CmpOp::Gt, Value::Int(900)), (CmpOp::Lt, Value::Int(100))];
+        let r = resolve_column_predicates(col(), &seq_stats(1000.0), &preds, &NoOracle);
+        assert_eq!(r.shape, ResolvedShape::Contradiction);
+
+        // x > 5 AND x < 5 and x >= 5 AND x < 5 are empty; x >= 5 AND x <= 5
+        // is the single value 5.
+        let r = resolve_column_predicates(
+            col(),
+            &seq_stats(1000.0),
+            &[(CmpOp::Ge, Value::Int(5)), (CmpOp::Lt, Value::Int(5))],
+            &NoOracle,
+        );
+        assert_eq!(r.shape, ResolvedShape::Contradiction);
+        let r = resolve_column_predicates(
+            col(),
+            &seq_stats(1000.0),
+            &[(CmpOp::Ge, Value::Int(5)), (CmpOp::Le, Value::Int(5))],
+            &NoOracle,
+        );
+        assert!((r.selectivity - 1.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolve_strict_bound_is_tighter_at_equal_constant() {
+        let stats = seq_stats(100.0);
+        let strict = resolve_column_predicates(
+            col(),
+            &stats,
+            &[(CmpOp::Gt, Value::Int(50)), (CmpOp::Ge, Value::Int(50))],
+            &NoOracle,
+        );
+        let only_strict =
+            resolve_column_predicates(col(), &stats, &[(CmpOp::Gt, Value::Int(50))], &NoOracle);
+        assert_eq!(strict.selectivity, only_strict.selectivity);
+    }
+
+    #[test]
+    fn resolve_ne_multiplies_complement() {
+        let stats = seq_stats(10.0);
+        let r = resolve_column_predicates(col(), &stats, &[(CmpOp::Ne, Value::Int(3))], &NoOracle);
+        assert!((r.selectivity - 0.9).abs() < 1e-12);
+        assert_eq!(r.shape, ResolvedShape::Range);
+    }
+
+    #[test]
+    fn oracle_overrides_model() {
+        struct Fixed;
+        impl SelectivityOracle for Fixed {
+            fn local_selectivity(&self, _: ColumnRef, _: CmpOp, _: &Value) -> Option<f64> {
+                Some(0.25)
+            }
+        }
+        let stats = seq_stats(1000.0);
+        let r = resolve_column_predicates(col(), &stats, &[(CmpOp::Lt, Value::Int(100))], &Fixed);
+        assert_eq!(r.selectivity, 0.25);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn model_selectivity_is_a_probability(
+            d in 1.0f64..10_000.0,
+            c in -100i64..1100,
+            op_idx in 0usize..6,
+        ) {
+            let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+            let stats = ColumnStatistics::with_domain(d.floor(), 0.0, 999.0);
+            let s = model_selectivity(&stats, ops[op_idx], &Value::Int(c));
+            proptest::prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn tighter_bound_never_increases_selectivity(
+            a in 0i64..1000,
+            b in 0i64..1000,
+        ) {
+            let stats = ColumnStatistics::with_domain(1000.0, 0.0, 999.0);
+            let wide = model_selectivity(&stats, CmpOp::Lt, &Value::Int(a.max(b)));
+            let joint = resolve_column_predicates(
+                ColumnRef::new(0, 0),
+                &stats,
+                &[(CmpOp::Lt, Value::Int(a)), (CmpOp::Lt, Value::Int(b))],
+                &NoOracle,
+            );
+            proptest::prop_assert!(joint.selectivity <= wide + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the executor.
+
+use std::fmt;
+
+use els_core::ColumnRef;
+
+/// Errors raised while building or executing a physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A plan node referenced a table id with no registered data.
+    UnknownTable(usize),
+    /// A column reference did not resolve in an intermediate schema.
+    ColumnNotInSchema(ColumnRef),
+    /// Underlying storage failure.
+    Storage(String),
+    /// A plan was structurally invalid (e.g. join key columns on the wrong
+    /// side).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "no data registered for table {t}"),
+            ExecError::ColumnNotInSchema(c) => {
+                write!(f, "column {c} not present in intermediate schema")
+            }
+            ExecError::Storage(m) => write!(f, "storage error: {m}"),
+            ExecError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<els_storage::StorageError> for ExecError {
+    fn from(e: els_storage::StorageError) -> Self {
+        ExecError::Storage(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type ExecResult<T> = Result<T, ExecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        assert!(ExecError::UnknownTable(2).to_string().contains('2'));
+        assert!(ExecError::ColumnNotInSchema(ColumnRef::new(0, 1))
+            .to_string()
+            .contains("R0.c1"));
+    }
+}

@@ -1,0 +1,610 @@
+//! Plan interpretation.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use els_storage::Table;
+
+use crate::chunk::Chunk;
+use crate::error::{ExecError, ExecResult};
+use crate::filter::apply_filters;
+use crate::join::{hash_join, nested_loop_join, sort_merge_join};
+use crate::metrics::ExecMetrics;
+use crate::plan::{JoinMethod, PlanNode, PlanOutput, QueryPlan};
+
+/// Result of executing a plan.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// The result rows (for `COUNT(*)`, a single-row single-column table
+    /// holding the count).
+    pub rows: Table,
+    /// The count when the output was `COUNT(*)`, else the row count.
+    pub count: u64,
+    /// Accumulated metrics, including wall time.
+    pub metrics: ExecMetrics,
+}
+
+/// Execute `plan` against `tables`, where `tables[i]` is the data of query
+/// table `i` (the `FROM`-list position). No buffering: every logical base
+/// page read is physical.
+pub fn execute_plan(plan: &QueryPlan, tables: &[Arc<Table>]) -> ExecResult<ExecOutput> {
+    execute_plan_io(plan, tables, &mut crate::buffer::PageIo::unbuffered())
+}
+
+/// [`execute_plan`] with an LRU buffer pool of `buffer_pages` pages: base
+/// pages already resident cost no physical I/O (the paper's experiment ran
+/// with a fixed buffer size).
+pub fn execute_plan_buffered(
+    plan: &QueryPlan,
+    tables: &[Arc<Table>],
+    buffer_pages: usize,
+) -> ExecResult<ExecOutput> {
+    execute_plan_io(plan, tables, &mut crate::buffer::PageIo::with_pool(buffer_pages))
+}
+
+/// Per-operator output sizes observed during execution, in post-order —
+/// the "actual rows" column of EXPLAIN ANALYZE. Join entries align with
+/// [`els_core::Els`] step estimates for left-deep plans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Observations {
+    /// `(tables covered by the subtree, output rows)` for every Join node,
+    /// post-order.
+    pub join_outputs: Vec<(Vec<usize>, u64)>,
+    /// `(table id, rows surviving the scan filters)` for every Scan node.
+    /// For inners consumed by rescanning access paths (plain or indexed
+    /// nested loops) the stored row count is recorded instead — their
+    /// filters are applied during each rescan, so no single filtered
+    /// output exists.
+    pub scan_outputs: Vec<(usize, u64)>,
+}
+
+/// [`execute_plan`] that also records per-operator actual cardinalities.
+pub fn execute_plan_observed(
+    plan: &QueryPlan,
+    tables: &[Arc<Table>],
+) -> ExecResult<(ExecOutput, Observations)> {
+    let mut obs = Observations::default();
+    let out = execute_plan_io_observed(
+        plan,
+        tables,
+        &mut crate::buffer::PageIo::unbuffered(),
+        &mut obs,
+    )?;
+    Ok((out, obs))
+}
+
+fn execute_plan_io(
+    plan: &QueryPlan,
+    tables: &[Arc<Table>],
+    io: &mut crate::buffer::PageIo,
+) -> ExecResult<ExecOutput> {
+    execute_plan_io_observed(plan, tables, io, &mut Observations::default())
+}
+
+fn execute_plan_io_observed(
+    plan: &QueryPlan,
+    tables: &[Arc<Table>],
+    io: &mut crate::buffer::PageIo,
+    obs: &mut Observations,
+) -> ExecResult<ExecOutput> {
+    let start = Instant::now();
+    let mut metrics = ExecMetrics::default();
+    let chunk = execute_node_observed(&plan.root, tables, &mut metrics, io, obs)?;
+    #[allow(unused_mut)]
+    let (mut rows, count): (Table, u64) = match &plan.output {
+        PlanOutput::CountStar => {
+            let n = chunk.num_rows() as u64;
+            let mut t = Table::empty("count", &[("count", els_storage::DataType::Int)]);
+            t.push_row(vec![els_storage::Value::Int(n as i64)])?;
+            (t, n)
+        }
+        PlanOutput::Star => {
+            let n = chunk.num_rows() as u64;
+            (chunk.data, n)
+        }
+        PlanOutput::Columns(cols) => {
+            let projected = chunk.project(cols)?;
+            let n = projected.num_rows() as u64;
+            (projected.data, n)
+        }
+        PlanOutput::GroupCount(cols) => {
+            let grouped = group_count(&chunk, cols, &mut metrics)?;
+            let n = grouped.num_rows() as u64;
+            (grouped, n)
+        }
+    };
+    if !plan.order_by.is_empty() {
+        rows = sort_output(&rows, &plan.order_by, &mut metrics)?;
+    }
+    let mut count = count;
+    if let Some(limit) = plan.limit {
+        let keep = (limit as usize).min(rows.num_rows());
+        if keep < rows.num_rows() {
+            let indices: Vec<usize> = (0..keep).collect();
+            rows = rows.gather(rows.name().to_owned(), &indices)?;
+        }
+        count = count.min(limit);
+    }
+    metrics.elapsed = start.elapsed();
+    Ok(ExecOutput { rows, count, metrics })
+}
+
+/// Stable-sort an output table by `(column, descending)` keys; the columns
+/// are located by their synthesized output names (`t{T}_c{C}`).
+fn sort_output(
+    rows: &Table,
+    order_by: &[(els_core::ColumnRef, bool)],
+    metrics: &mut ExecMetrics,
+) -> ExecResult<Table> {
+    let positions: Vec<(usize, bool)> = order_by
+        .iter()
+        .map(|&(c, desc)| {
+            rows.column_index(&format!("t{}_c{}", c.table, c.column))
+                .map(|p| (p, desc))
+                .ok_or(ExecError::ColumnNotInSchema(c))
+        })
+        .collect::<ExecResult<Vec<_>>>()?;
+    let mut indices: Vec<usize> = (0..rows.num_rows()).collect();
+    metrics.rows_sorted += rows.num_rows() as u64;
+    indices.sort_by(|&a, &b| {
+        for &(p, desc) in &positions {
+            let va = rows.column(p).expect("position checked").get(a).expect("row in range");
+            let vb = rows.column(p).expect("position checked").get(b).expect("row in range");
+            let ord = va.total_cmp(&vb);
+            if ord != std::cmp::Ordering::Equal {
+                return if desc { ord.reverse() } else { ord };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(rows.gather(rows.name().to_owned(), &indices)?)
+}
+
+/// Hash-aggregate `chunk` by the given key columns, producing a table of
+/// the keys plus a trailing `count` column, sorted by key (deterministic
+/// output order). NULL keys form their own group, as in SQL `GROUP BY`.
+pub fn group_count(
+    chunk: &Chunk,
+    columns: &[els_core::ColumnRef],
+    metrics: &mut ExecMetrics,
+) -> ExecResult<Table> {
+    let positions: Vec<usize> = columns
+        .iter()
+        .map(|&c| chunk.require(c))
+        .collect::<ExecResult<Vec<_>>>()?;
+    // Group by the rendered total-order key (values of one column share a
+    // type, so rendering is collision-free) and remember one witness row.
+    let mut groups: std::collections::BTreeMap<Vec<String>, (usize, u64)> =
+        std::collections::BTreeMap::new();
+    for row in 0..chunk.num_rows() {
+        let mut key = Vec::with_capacity(positions.len());
+        for &p in &positions {
+            key.push(chunk.data.column(p)?.get(row)?.to_string());
+        }
+        metrics.hash_probes += 1;
+        groups.entry(key).and_modify(|(_, n)| *n += 1).or_insert((row, 1));
+    }
+    // Assemble the output table.
+    let mut out_columns: Vec<(String, els_storage::ColumnVector)> = positions
+        .iter()
+        .zip(columns)
+        .map(|(&p, c)| {
+            Ok((
+                format!("t{}_c{}", c.table, c.column),
+                els_storage::ColumnVector::with_capacity(
+                    chunk.data.column(p)?.data_type(),
+                    groups.len(),
+                ),
+            ))
+        })
+        .collect::<ExecResult<Vec<_>>>()?;
+    let mut counts = els_storage::ColumnVector::with_capacity(
+        els_storage::DataType::Int,
+        groups.len(),
+    );
+    for (witness, n) in groups.values() {
+        for (slot, &p) in positions.iter().enumerate() {
+            let v = chunk.data.column(p)?.get(*witness)?;
+            out_columns[slot].1.push(v)?;
+        }
+        counts.push(els_storage::Value::Int(*n as i64))?;
+    }
+    out_columns.push(("count".to_owned(), counts));
+    metrics.tuples_emitted += groups.len() as u64;
+    Ok(Table::new("group_count", out_columns)?)
+}
+
+/// Recursively execute one plan node.
+pub fn execute_node(
+    node: &PlanNode,
+    tables: &[Arc<Table>],
+    metrics: &mut ExecMetrics,
+    io: &mut crate::buffer::PageIo,
+) -> ExecResult<Chunk> {
+    execute_node_observed(node, tables, metrics, io, &mut Observations::default())
+}
+
+/// [`execute_node`] recording per-operator output sizes into `obs`.
+pub fn execute_node_observed(
+    node: &PlanNode,
+    tables: &[Arc<Table>],
+    metrics: &mut ExecMetrics,
+    io: &mut crate::buffer::PageIo,
+    obs: &mut Observations,
+) -> ExecResult<Chunk> {
+    let chunk = execute_node_inner(node, tables, metrics, io, obs)?;
+    match node {
+        PlanNode::Scan { table_id, .. } => {
+            obs.scan_outputs.push((*table_id, chunk.num_rows() as u64));
+        }
+        PlanNode::Join { .. } => {
+            obs.join_outputs.push((node.tables(), chunk.num_rows() as u64));
+        }
+    }
+    Ok(chunk)
+}
+
+fn execute_node_inner(
+    node: &PlanNode,
+    tables: &[Arc<Table>],
+    metrics: &mut ExecMetrics,
+    io: &mut crate::buffer::PageIo,
+    obs: &mut Observations,
+) -> ExecResult<Chunk> {
+    match node {
+        PlanNode::Scan { table_id, filters } => {
+            let data = tables
+                .get(*table_id)
+                .ok_or(ExecError::UnknownTable(*table_id))?;
+            metrics.tuples_scanned += data.num_rows() as u64;
+            io.scan_table(*table_id, data.num_pages() as u64, metrics);
+            let chunk = Chunk::from_base_table(*table_id, (**data).clone());
+            let filtered = apply_filters(&chunk, filters, metrics)?;
+            metrics.tuples_emitted += filtered.num_rows() as u64;
+            Ok(filtered)
+        }
+        PlanNode::Join { method, left, right, keys } => {
+            let l = execute_node_observed(left, tables, metrics, io, obs)?;
+            // Nested loops with a base-table inner uses the System-R access
+            // pattern: rescan the stored relation (filters applied on the
+            // fly) once per outer tuple. Other shapes materialize the inner.
+            if let (JoinMethod::NestedLoop, PlanNode::Scan { table_id, filters }) =
+                (method, right.as_ref())
+            {
+                let inner = tables
+                    .get(*table_id)
+                    .ok_or(ExecError::UnknownTable(*table_id))?;
+                let out = crate::join::nested_loop_rescan_join(
+                    &l, *table_id, inner, filters, keys, metrics, io,
+                )?;
+                obs.scan_outputs.push((*table_id, inner.num_rows() as u64));
+                return Ok(out);
+            }
+            // Indexed nested loops: build a sorted index on the inner's
+            // first key column (charged as a scan plus a sort), then probe
+            // per outer tuple.
+            if *method == JoinMethod::IndexNestedLoop {
+                let PlanNode::Scan { table_id, filters } = right.as_ref() else {
+                    return Err(ExecError::InvalidPlan(
+                        "index nested loops requires a base-table inner".into(),
+                    ));
+                };
+                let inner = tables
+                    .get(*table_id)
+                    .ok_or(ExecError::UnknownTable(*table_id))?;
+                let Some(&(_, first_right)) = keys.first() else {
+                    return Err(ExecError::InvalidPlan(
+                        "index nested loops requires at least one join key".into(),
+                    ));
+                };
+                let index = crate::index::SortedIndex::build(inner, first_right.column)?;
+                metrics.tuples_scanned += inner.num_rows() as u64;
+                io.scan_table(*table_id, inner.num_pages() as u64, metrics);
+                metrics.rows_sorted += inner.num_rows() as u64;
+                let out = crate::index::index_nested_loop_join(
+                    &l, *table_id, inner, &index, filters, keys, metrics, io,
+                )?;
+                obs.scan_outputs.push((*table_id, inner.num_rows() as u64));
+                return Ok(out);
+            }
+            let r = execute_node_observed(right, tables, metrics, io, obs)?;
+            match method {
+                JoinMethod::NestedLoop => nested_loop_join(&l, &r, keys, metrics),
+                JoinMethod::SortMerge => sort_merge_join(&l, &r, keys, metrics),
+                JoinMethod::Hash => hash_join(&l, &r, keys, metrics),
+                JoinMethod::IndexNestedLoop => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::CompiledFilter;
+    use els_core::predicate::CmpOp;
+    use els_core::ColumnRef;
+    use els_storage::datagen::{ColumnSpec, Distribution, TableSpec};
+    use els_storage::Value;
+
+    /// Two tables: T0 has keys 0..100, T1 has keys 0..1000; every T0 key
+    /// matches exactly one T1 key.
+    fn tables() -> Vec<Arc<Table>> {
+        let t0 = TableSpec::new("T0", 100)
+            .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 }))
+            .generate(1);
+        let t1 = TableSpec::new("T1", 1000)
+            .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 }))
+            .generate(2);
+        vec![Arc::new(t0), Arc::new(t1)]
+    }
+
+    fn join_plan(method: JoinMethod, filters: Vec<CompiledFilter>) -> QueryPlan {
+        QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Join {
+                method,
+                left: Box::new(PlanNode::Scan { table_id: 0, filters }),
+                right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
+                keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+            },
+            output: PlanOutput::CountStar,
+        }
+    }
+
+    #[test]
+    fn count_star_counts_join_result() {
+        for method in [JoinMethod::NestedLoop, JoinMethod::SortMerge, JoinMethod::Hash] {
+            let out = execute_plan(&join_plan(method, Vec::new()), &tables()).unwrap();
+            assert_eq!(out.count, 100, "{method:?}");
+            assert_eq!(out.rows.row(0).unwrap(), vec![Value::Int(100)]);
+        }
+    }
+
+    #[test]
+    fn scan_filters_apply_before_join() {
+        let f = CompiledFilter::Cmp {
+            column: ColumnRef::new(0, 0),
+            op: CmpOp::Lt,
+            value: Value::Int(10),
+        };
+        let out = execute_plan(&join_plan(JoinMethod::SortMerge, vec![f]), &tables()).unwrap();
+        assert_eq!(out.count, 10);
+    }
+
+    #[test]
+    fn metrics_accumulate_across_nodes() {
+        let out = execute_plan(&join_plan(JoinMethod::Hash, Vec::new()), &tables()).unwrap();
+        assert_eq!(out.metrics.tuples_scanned, 1100);
+        assert!(out.metrics.pages_read >= 3); // both scans at least.
+        assert!(out.metrics.hash_probes == 1000);
+        assert!(out.metrics.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn star_output_returns_all_columns() {
+        let mut plan = join_plan(JoinMethod::SortMerge, Vec::new());
+        plan.output = PlanOutput::Star;
+        let out = execute_plan(&plan, &tables()).unwrap();
+        assert_eq!(out.count, 100);
+        assert_eq!(out.rows.num_columns(), 2);
+    }
+
+    #[test]
+    fn column_output_projects() {
+        let mut plan = join_plan(JoinMethod::SortMerge, Vec::new());
+        plan.output = PlanOutput::Columns(vec![ColumnRef::new(1, 0)]);
+        let out = execute_plan(&plan, &tables()).unwrap();
+        assert_eq!(out.rows.num_columns(), 1);
+        assert_eq!(out.count, 100);
+    }
+
+    #[test]
+    fn index_nested_loop_plan_executes_and_is_cheap() {
+        let filter = CompiledFilter::Cmp {
+            column: ColumnRef::new(0, 0),
+            op: CmpOp::Lt,
+            value: Value::Int(10),
+        };
+        let plan = |method| QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Join {
+                method,
+                left: Box::new(PlanNode::Scan { table_id: 0, filters: vec![filter.clone()] }),
+                right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
+                keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+            },
+            output: PlanOutput::CountStar,
+        };
+        let inl = execute_plan(&plan(JoinMethod::IndexNestedLoop), &tables()).unwrap();
+        assert_eq!(inl.count, 10);
+        let nl = execute_plan(&plan(JoinMethod::NestedLoop), &tables()).unwrap();
+        assert_eq!(nl.count, 10);
+        // INL scans the inner once for the build; NL rescans it 10 times.
+        assert!(
+            inl.metrics.tuples_scanned < nl.metrics.tuples_scanned,
+            "INL {} vs NL {}",
+            inl.metrics.tuples_scanned,
+            nl.metrics.tuples_scanned
+        );
+    }
+
+    #[test]
+    fn index_nested_loop_rejects_intermediate_inner() {
+        let scan = |t| PlanNode::Scan { table_id: t, filters: Vec::new() };
+        let plan = QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Join {
+                method: JoinMethod::IndexNestedLoop,
+                left: Box::new(scan(0)),
+                right: Box::new(PlanNode::Join {
+                    method: JoinMethod::Hash,
+                    left: Box::new(scan(1)),
+                    right: Box::new(scan(0)),
+                    keys: vec![],
+                }),
+                keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+            },
+            output: PlanOutput::CountStar,
+        };
+        assert!(matches!(
+            execute_plan(&plan, &tables()),
+            Err(ExecError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn buffered_execution_absorbs_rescans_when_the_inner_fits() {
+        // NL join with T1 (1000 rows = 2 pages) as the inner, 100 outer
+        // tuples: unbuffered pays 100 rescans; a 16-page pool reads T1 once.
+        let plan = QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Join {
+                method: JoinMethod::NestedLoop,
+                left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
+                right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
+                keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+            },
+            output: PlanOutput::CountStar,
+        };
+        let ts = tables();
+        let unbuffered = execute_plan(&plan, &ts).unwrap();
+        let buffered = execute_plan_buffered(&plan, &ts, 16).unwrap();
+        assert_eq!(unbuffered.count, buffered.count);
+        // Logical reads identical; physical reads collapse.
+        assert_eq!(unbuffered.metrics.pages_read, buffered.metrics.pages_read);
+        assert_eq!(
+            unbuffered.metrics.physical_pages_read,
+            unbuffered.metrics.pages_read
+        );
+        let t0_pages = ts[0].num_pages() as u64;
+        let t1_pages = ts[1].num_pages() as u64;
+        assert_eq!(buffered.metrics.physical_pages_read, t0_pages + t1_pages);
+    }
+
+    #[test]
+    fn a_too_small_buffer_floods_and_does_not_help() {
+        let plan = QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Join {
+                method: JoinMethod::NestedLoop,
+                left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
+                right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
+                keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+            },
+            output: PlanOutput::CountStar,
+        };
+        let ts = tables();
+        let t1_pages = ts[1].num_pages();
+        assert!(t1_pages >= 2);
+        // Pool strictly smaller than the rescanned inner: LRU sequential
+        // flooding -- physical equals logical on the inner.
+        let out = execute_plan_buffered(&plan, &ts, t1_pages - 1).unwrap();
+        let unbuffered = execute_plan(&plan, &ts).unwrap();
+        assert_eq!(out.metrics.physical_pages_read, unbuffered.metrics.physical_pages_read);
+    }
+
+    #[test]
+    fn group_count_output() {
+        // T0 keys 0..100 joined with T1 keys 0..1000, grouped by T0 key
+        // modulo nothing: every key occurs once -> 100 groups of 1. More
+        // interesting: group the *inner* side of a duplicated join.
+        let mut ts = tables();
+        // A table where each key 0..10 appears 3 times.
+        let mut dup = Table::empty("dup", &[("k", els_storage::DataType::Int)]);
+        for r in 0..30 {
+            dup.push_row(vec![Value::Int(r % 10)]).unwrap();
+        }
+        ts.push(Arc::new(dup));
+        let plan = QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Scan { table_id: 2, filters: Vec::new() },
+            output: PlanOutput::GroupCount(vec![ColumnRef::new(2, 0)]),
+        };
+        let out = execute_plan(&plan, &ts).unwrap();
+        assert_eq!(out.count, 10); // ten groups
+        assert_eq!(out.rows.num_columns(), 2);
+        // Every group has count 3; keys are sorted.
+        for r in 0..10 {
+            let row = out.rows.row(r).unwrap();
+            assert_eq!(row[1], Value::Int(3), "group {r}");
+        }
+        assert_eq!(out.rows.row(0).unwrap()[0], Value::Int(0));
+    }
+
+    #[test]
+    fn group_count_nulls_form_one_group() {
+        let mut t = Table::empty("t", &[("k", els_storage::DataType::Int)]);
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        let ts = vec![Arc::new(t)];
+        let plan = QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Scan { table_id: 0, filters: Vec::new() },
+            output: PlanOutput::GroupCount(vec![ColumnRef::new(0, 0)]),
+        };
+        let out = execute_plan(&plan, &ts).unwrap();
+        assert_eq!(out.count, 2);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let plan = QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Scan { table_id: 7, filters: Vec::new() },
+            output: PlanOutput::CountStar,
+        };
+        assert!(matches!(execute_plan(&plan, &tables()), Err(ExecError::UnknownTable(7))));
+    }
+
+    #[test]
+    fn single_scan_count() {
+        let plan = QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Scan { table_id: 0, filters: Vec::new() },
+            output: PlanOutput::CountStar,
+        };
+        let out = execute_plan(&plan, &tables()).unwrap();
+        assert_eq!(out.count, 100);
+    }
+
+    #[test]
+    fn three_way_join_pipeline() {
+        // (T0 ⋈ T1) ⋈ T2 with T2 = 0..50.
+        let mut ts = tables();
+        ts.push(Arc::new(
+            TableSpec::new("T2", 50)
+                .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 }))
+                .generate(3),
+        ));
+        let plan = QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Join {
+                method: JoinMethod::Hash,
+                left: Box::new(PlanNode::Join {
+                    method: JoinMethod::SortMerge,
+                    left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
+                    right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
+                    keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+                }),
+                right: Box::new(PlanNode::Scan { table_id: 2, filters: Vec::new() }),
+                // Join on either prior table's key: use T1's column.
+                keys: vec![(ColumnRef::new(1, 0), ColumnRef::new(2, 0))],
+            },
+            output: PlanOutput::CountStar,
+        };
+        let out = execute_plan(&plan, &ts).unwrap();
+        assert_eq!(out.count, 50);
+    }
+}

@@ -1,0 +1,235 @@
+//! Local predicate evaluation during scans.
+
+use els_core::predicate::{CmpOp, Predicate};
+use els_core::ColumnRef;
+use els_storage::Value;
+
+use crate::chunk::Chunk;
+use crate::error::{ExecError, ExecResult};
+use crate::metrics::ExecMetrics;
+
+/// A local predicate compiled against one scan: either `column op constant`
+/// or `column = column` within the same table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledFilter {
+    /// `column op value`.
+    Cmp {
+        /// The restricted column.
+        column: ColumnRef,
+        /// Operator.
+        op: CmpOp,
+        /// Constant.
+        value: Value,
+    },
+    /// `left = right` with both columns in the scanned table.
+    ColEq {
+        /// First column.
+        left: ColumnRef,
+        /// Second column.
+        right: ColumnRef,
+    },
+    /// `column IS NULL` / `column IS NOT NULL`.
+    IsNull {
+        /// The tested column.
+        column: ColumnRef,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl CompiledFilter {
+    /// Compile a local [`Predicate`]; join predicates are rejected.
+    pub fn from_predicate(p: &Predicate) -> ExecResult<CompiledFilter> {
+        match p {
+            Predicate::LocalCmp { column, op, value } => Ok(CompiledFilter::Cmp {
+                column: *column,
+                op: *op,
+                value: value.clone(),
+            }),
+            Predicate::LocalColEq { left, right } => {
+                Ok(CompiledFilter::ColEq { left: *left, right: *right })
+            }
+            Predicate::IsNull { column, negated } => {
+                Ok(CompiledFilter::IsNull { column: *column, negated: *negated })
+            }
+            Predicate::JoinEq { .. } => Err(ExecError::InvalidPlan(format!(
+                "join predicate `{p}` cannot run as a scan filter"
+            ))),
+        }
+    }
+
+    /// Evaluate against one row of a chunk (SQL semantics: NULL comparisons
+    /// are false).
+    pub fn matches(&self, chunk: &Chunk, row: usize) -> ExecResult<bool> {
+        match self {
+            CompiledFilter::Cmp { column, op, value } => {
+                let pos = chunk.require(*column)?;
+                let v = chunk.data.column(pos)?.get(row)?;
+                Ok(v.sql_cmp(value).map(|ord| op.eval(ord)).unwrap_or(false))
+            }
+            CompiledFilter::ColEq { left, right } => {
+                let lp = chunk.require(*left)?;
+                let rp = chunk.require(*right)?;
+                let lv = chunk.data.column(lp)?.get(row)?;
+                let rv = chunk.data.column(rp)?.get(row)?;
+                Ok(lv.sql_eq(&rv))
+            }
+            CompiledFilter::IsNull { column, negated } => {
+                let pos = chunk.require(*column)?;
+                let is_null = chunk.data.column(pos)?.get(row)?.is_null();
+                Ok(is_null != *negated)
+            }
+        }
+    }
+}
+
+/// Apply a conjunction of filters to a chunk, counting comparisons.
+pub fn apply_filters(
+    chunk: &Chunk,
+    filters: &[CompiledFilter],
+    metrics: &mut ExecMetrics,
+) -> ExecResult<Chunk> {
+    if filters.is_empty() {
+        return Ok(chunk.clone());
+    }
+    let mut keep = Vec::new();
+    for row in 0..chunk.num_rows() {
+        let mut ok = true;
+        for f in filters {
+            metrics.comparisons += 1;
+            if !f.matches(chunk, row)? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            keep.push(row);
+        }
+    }
+    chunk.filter_rows(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els_storage::{DataType, Table};
+
+    fn chunk() -> Chunk {
+        let mut t = Table::empty("t", &[("a", DataType::Int), ("b", DataType::Int)]);
+        for (a, b) in [(1, 1), (2, 5), (3, 3), (4, 0)] {
+            t.push_row(vec![Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        Chunk::from_base_table(0, t)
+    }
+
+    fn c(col: usize) -> ColumnRef {
+        ColumnRef::new(0, col)
+    }
+
+    #[test]
+    fn cmp_filter_selects() {
+        let ch = chunk();
+        let f = CompiledFilter::Cmp { column: c(0), op: CmpOp::Ge, value: Value::Int(3) };
+        let mut m = ExecMetrics::default();
+        let out = apply_filters(&ch, &[f], &mut m).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(m.comparisons, 4);
+    }
+
+    #[test]
+    fn col_eq_filter_selects_agreeing_rows() {
+        let ch = chunk();
+        let f = CompiledFilter::ColEq { left: c(0), right: c(1) };
+        let mut m = ExecMetrics::default();
+        let out = apply_filters(&ch, &[f], &mut m).unwrap();
+        assert_eq!(out.num_rows(), 2); // (1,1) and (3,3)
+    }
+
+    #[test]
+    fn conjunction_short_circuits() {
+        let ch = chunk();
+        let f1 = CompiledFilter::Cmp { column: c(0), op: CmpOp::Gt, value: Value::Int(100) };
+        let f2 = CompiledFilter::Cmp { column: c(1), op: CmpOp::Gt, value: Value::Int(0) };
+        let mut m = ExecMetrics::default();
+        let out = apply_filters(&ch, &[f1, f2], &mut m).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        // First filter fails every row; second never evaluated.
+        assert_eq!(m.comparisons, 4);
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let mut t = Table::empty("t", &[("a", DataType::Int)]);
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        let ch = Chunk::from_base_table(0, t);
+        let f = CompiledFilter::Cmp { column: c(0), op: CmpOp::Ne, value: Value::Int(5) };
+        let mut m = ExecMetrics::default();
+        let out = apply_filters(&ch, &[f], &mut m).unwrap();
+        // NULL <> 5 is unknown -> filtered out; 1 <> 5 is true.
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn join_predicates_rejected() {
+        let p = Predicate::col_eq(ColumnRef::new(0, 0), ColumnRef::new(1, 0));
+        assert!(CompiledFilter::from_predicate(&p).is_err());
+        let p = Predicate::col_eq(ColumnRef::new(0, 0), ColumnRef::new(0, 1));
+        assert!(CompiledFilter::from_predicate(&p).is_ok());
+    }
+
+    #[test]
+    fn empty_filter_list_is_identity() {
+        let ch = chunk();
+        let mut m = ExecMetrics::default();
+        let out = apply_filters(&ch, &[], &mut m).unwrap();
+        assert_eq!(out.num_rows(), ch.num_rows());
+        assert_eq!(m.comparisons, 0);
+    }
+
+    #[test]
+    fn is_null_filter_selects_null_rows() {
+        let mut t = Table::empty("t", &[("a", DataType::Int)]);
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        let ch = Chunk::from_base_table(0, t);
+        let mut m = ExecMetrics::default();
+        let nulls = apply_filters(
+            &ch,
+            &[CompiledFilter::IsNull { column: c(0), negated: false }],
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(nulls.num_rows(), 2);
+        let non_nulls = apply_filters(
+            &ch,
+            &[CompiledFilter::IsNull { column: c(0), negated: true }],
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(non_nulls.num_rows(), 1);
+    }
+
+    #[test]
+    fn is_null_predicate_compiles() {
+        let p = Predicate::is_not_null(ColumnRef::new(0, 0));
+        assert_eq!(
+            CompiledFilter::from_predicate(&p).unwrap(),
+            CompiledFilter::IsNull { column: ColumnRef::new(0, 0), negated: true }
+        );
+    }
+
+    #[test]
+    fn string_filters_work() {
+        let mut t = Table::empty("t", &[("s", DataType::Str)]);
+        for s in ["apple", "banana", "cherry"] {
+            t.push_row(vec![Value::from(s)]).unwrap();
+        }
+        let ch = Chunk::from_base_table(0, t);
+        let f = CompiledFilter::Cmp { column: c(0), op: CmpOp::Eq, value: Value::from("banana") };
+        let mut m = ExecMetrics::default();
+        let out = apply_filters(&ch, &[f], &mut m).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+}

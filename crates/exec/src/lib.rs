@@ -1,0 +1,38 @@
+//! # els-exec
+//!
+//! A small Volcano-flavoured (but block-materializing) execution engine —
+//! the stand-in for the Starburst runtime on which the paper's Section 8
+//! measured elapsed query times.
+//!
+//! * [`chunk`] — intermediate results: a materialized table plus the
+//!   provenance of each column (`(table, column)` of the original query).
+//! * [`filter`] — compiled local predicates evaluated during scans.
+//! * [`join`] — nested-loops, sort-merge, and hash join implementations
+//!   (the paper's experiment used Nested Loops and Sort Merge; hash join is
+//!   included for the extended plan-quality studies).
+//! * [`plan`] — physical plan trees built by the optimizer.
+//! * [`executor`] — plan interpretation with [`metrics`] collection
+//!   (tuples, simulated page reads, comparisons, wall time).
+//!
+//! The engine executes *exactly* the predicate set it is given: join
+//! predicates become join keys as soon as both sides are available, local
+//! predicates are pushed into scans, and intra-table column equalities are
+//! applied at the scan too. Correctness of every join method is tested
+//! against a brute-force cartesian evaluator.
+
+pub mod buffer;
+pub mod chunk;
+pub mod error;
+pub mod executor;
+pub mod filter;
+pub mod index;
+pub mod join;
+pub mod metrics;
+pub mod plan;
+
+pub use chunk::Chunk;
+pub use error::{ExecError, ExecResult};
+pub use buffer::{BufferPool, PageIo};
+pub use executor::{execute_plan, execute_plan_buffered, execute_plan_observed, ExecOutput, Observations};
+pub use metrics::ExecMetrics;
+pub use plan::{JoinMethod, PlanNode, QueryPlan};

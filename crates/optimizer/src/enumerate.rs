@@ -1,0 +1,541 @@
+//! Dynamic-programming enumeration of left-deep join trees.
+//!
+//! The classic System R algorithm [13]: the best plan for every subset of
+//! tables is kept, and subsets are extended one table at a time. At each
+//! extension the estimator supplies the intermediate result size — this is
+//! precisely the "incremental estimation" loop the paper's Algorithm ELS
+//! serves — and the cost model prices each available join method; the
+//! cheapest (plan, method) combination survives.
+//!
+//! Cartesian products are permitted but naturally priced out whenever a
+//! connected extension exists. Ties keep the earlier (lower table id)
+//! candidate so results are deterministic.
+
+use els_core::estimator::JoinState;
+use els_core::predicate::Predicate;
+use els_core::{ColumnRef, Els};
+use els_exec::filter::CompiledFilter;
+use els_exec::{JoinMethod, PlanNode};
+
+use crate::cost::CostParams;
+use crate::error::{OptimizerError, OptimizerResult};
+use crate::profile::TableProfile;
+
+/// Hard cap on query size: the DP table is dense over `2^n` subsets.
+pub const MAX_DP_TABLES: usize = 16;
+
+/// The space of join trees the DP explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TreeShape {
+    /// Left-deep trees only: every join's inner is a base table (System R
+    /// [13], and the shape the paper's incremental estimation addresses).
+    #[default]
+    LeftDeep,
+    /// All bushy trees: both join inputs may be intermediates. An
+    /// extension beyond the paper; estimation uses the set-vs-set form of
+    /// Step 6 ([`Els::join_sets`]), under which Rule LS remains consistent
+    /// with Equation 3.
+    Bushy,
+}
+
+/// The winning plan for the full table set.
+#[derive(Debug, Clone)]
+pub struct EnumerationResult {
+    /// The chosen operator tree (no output node).
+    pub root: PlanNode,
+    /// Join order: tables in the sequence the left-deep tree touches them.
+    pub join_order: Vec<usize>,
+    /// Estimated result size after each join step (`join_order.len() - 1`
+    /// entries) — the numbers the paper's experiment table reports.
+    pub estimated_sizes: Vec<f64>,
+    /// Total estimated cost in page units.
+    pub estimated_cost: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    cost: f64,
+    state: JoinState,
+    node: PlanNode,
+    /// Combined tuple width of covered tables (for intermediate sizing by
+    /// future cost extensions).
+    width: usize,
+}
+
+/// Scan filters for one table: every local predicate of the (possibly
+/// closed) predicate set that touches only this table.
+pub fn scan_filters(predicates: &[Predicate], table: usize) -> OptimizerResult<Vec<CompiledFilter>> {
+    predicates
+        .iter()
+        .filter(|p| p.is_local() && p.columns().iter().all(|c| c.table == table))
+        .map(|p| CompiledFilter::from_predicate(p).map_err(OptimizerError::from))
+        .collect()
+}
+
+/// Join keys linking the tables of `mask` to `table`: `(left, right)` pairs
+/// with `left` inside the mask and `right` on the new table.
+pub fn join_keys(
+    predicates: &[Predicate],
+    mask: u64,
+    table: usize,
+) -> Vec<(ColumnRef, ColumnRef)> {
+    join_keys_between(predicates, mask, 1u64 << table)
+}
+
+/// Join keys between two disjoint table sets: `(left, right)` pairs with
+/// `left` in `left_mask` and `right` in `right_mask`.
+pub fn join_keys_between(
+    predicates: &[Predicate],
+    left_mask: u64,
+    right_mask: u64,
+) -> Vec<(ColumnRef, ColumnRef)> {
+    let in_left = |t: usize| left_mask & (1 << t) != 0;
+    let in_right = |t: usize| right_mask & (1 << t) != 0;
+    let mut keys = Vec::new();
+    for p in predicates {
+        if let Predicate::JoinEq { left, right } = p {
+            if in_left(left.table) && in_right(right.table) {
+                keys.push((*left, *right));
+            } else if in_left(right.table) && in_right(left.table) {
+                keys.push((*right, *left));
+            }
+        }
+    }
+    keys
+}
+
+/// Run the DP over left-deep trees. `els` must have been prepared over the
+/// same table numbering as `profiles`.
+pub fn enumerate_left_deep(
+    els: &Els,
+    profiles: &[TableProfile],
+    methods: &[JoinMethod],
+    params: &CostParams,
+) -> OptimizerResult<EnumerationResult> {
+    enumerate(els, profiles, methods, params, TreeShape::LeftDeep)
+}
+
+/// Post-order estimated sizes of every join node in a plan tree (for a
+/// left-deep tree this equals the step-by-step sizes of
+/// [`Els::estimate_order`]).
+fn node_sizes(els: &Els, node: &PlanNode, sizes: &mut Vec<f64>) -> OptimizerResult<els_core::estimator::JoinState> {
+    match node {
+        PlanNode::Scan { table_id, .. } => Ok(els.initial_state(*table_id)?),
+        PlanNode::Join { left, right, .. } => {
+            let l = node_sizes(els, left, sizes)?;
+            let r = node_sizes(els, right, sizes)?;
+            let s = els.join_sets(&l, &r)?;
+            sizes.push(s.cardinality());
+            Ok(s)
+        }
+    }
+}
+
+/// Run the DP. `shape` selects left-deep (System R) or bushy exploration.
+pub fn enumerate(
+    els: &Els,
+    profiles: &[TableProfile],
+    methods: &[JoinMethod],
+    params: &CostParams,
+    shape: TreeShape,
+) -> OptimizerResult<EnumerationResult> {
+    let n = profiles.len();
+    if n == 0 {
+        return Err(OptimizerError::Unsupported("query with no tables".into()));
+    }
+    if n > MAX_DP_TABLES {
+        return Err(OptimizerError::Unsupported(format!(
+            "{n} tables exceeds the DP limit of {MAX_DP_TABLES}"
+        )));
+    }
+    if methods.is_empty() {
+        return Err(OptimizerError::Unsupported("no join methods enabled".into()));
+    }
+    let predicates = els.predicates();
+
+    let mut best: Vec<Option<Entry>> = vec![None; 1usize << n];
+    for (t, profile) in profiles.iter().enumerate() {
+        let state = els.initial_state(t)?;
+        let node = PlanNode::Scan { table_id: t, filters: scan_filters(predicates, t)? };
+        best[1usize << t] = Some(Entry {
+            cost: params.scan(profile),
+            state,
+            node,
+            width: profile.row_bytes,
+        });
+    }
+
+    // Extend subsets in increasing mask order (all proper submasks of m are
+    // numerically smaller than m, so they are final when m is built).
+    for mask in 1usize..(1 << n) {
+        let Some(entry) = best[mask].clone() else { continue };
+
+        // Left-deep transitions: extend by one base table.
+        #[allow(clippy::needless_range_loop)] // `t` is a table id, not just an index
+        for t in 0..n {
+            if mask & (1 << t) != 0 {
+                continue;
+            }
+            let new_state = els.join(&entry.state, t)?;
+            let outer_rows = entry.state.cardinality();
+            let inner_eff = els.effective_cardinality(t)?;
+            let out_rows = new_state.cardinality();
+            let keys = join_keys(predicates, mask as u64, t);
+
+            let mut best_method: Option<(JoinMethod, f64)> = None;
+            for &m in methods {
+                // Indexed nested loops needs at least one key to probe on.
+                if m == JoinMethod::IndexNestedLoop && keys.is_empty() {
+                    continue;
+                }
+                let join_cost = match m {
+                    JoinMethod::NestedLoop => params.nested_loop(outer_rows, &profiles[t]),
+                    JoinMethod::SortMerge => {
+                        params.sort_merge(outer_rows, &profiles[t], inner_eff, out_rows)
+                    }
+                    JoinMethod::Hash => params.hash(outer_rows, &profiles[t], inner_eff, out_rows),
+                    JoinMethod::IndexNestedLoop => {
+                        params.index_nested_loop(outer_rows, &profiles[t], out_rows)
+                    }
+                };
+                if best_method.is_none_or(|(_, c)| join_cost < c) {
+                    best_method = Some((m, join_cost));
+                }
+            }
+            let Some((method, join_cost)) = best_method else { continue };
+            let total = entry.cost + join_cost;
+
+            let new_mask = mask | (1 << t);
+            if best[new_mask].as_ref().is_none_or(|e| total < e.cost) {
+                let node = PlanNode::Join {
+                    method,
+                    left: Box::new(entry.node.clone()),
+                    right: Box::new(PlanNode::Scan {
+                        table_id: t,
+                        filters: scan_filters(predicates, t)?,
+                    }),
+                    keys,
+                };
+                best[new_mask] = Some(Entry {
+                    cost: total,
+                    state: new_state,
+                    node,
+                    width: entry.width + profiles[t].row_bytes,
+                });
+            }
+        }
+
+        // Bushy transitions: pair this subtree with every disjoint,
+        // already-final subtree of size >= 2 (size-1 partners are covered
+        // by the left-deep transitions above, with their cheaper
+        // base-inner cost structure).
+        if shape == TreeShape::Bushy && mask + 1 < (1 << n) {
+            let universe = (1usize << n) - 1;
+            let rest = universe & !mask;
+            // Iterate non-empty submasks of `rest`. A pair {A, B} is
+            // evaluated at iteration A with best[B] and at iteration B with
+            // best[A]; at iteration max(A, B) both entries are final (every
+            // push into a mask comes from a numerically smaller mask), so
+            // the optimal combination is always considered.
+            let mut sub = rest;
+            while sub > 0 {
+                if sub.count_ones() >= 2 {
+                    if let Some(partner) = best[sub].clone() {
+                        let new_state = els.join_sets(&entry.state, &partner.state)?;
+                        let out_rows = new_state.cardinality();
+                        let outer_rows = entry.state.cardinality();
+                        let inner_rows = partner.state.cardinality();
+
+                        let mut best_method: Option<(JoinMethod, f64)> = None;
+                        for &m in methods {
+                            // Indexes exist on stored tables only.
+                            if m == JoinMethod::IndexNestedLoop {
+                                continue;
+                            }
+                            let join_cost = match m {
+                                JoinMethod::NestedLoop => params.nested_loop_intermediate(
+                                    outer_rows,
+                                    inner_rows,
+                                    partner.width,
+                                ),
+                                JoinMethod::SortMerge => params.sort_merge_intermediate(
+                                    outer_rows, inner_rows, out_rows,
+                                ),
+                                JoinMethod::Hash => {
+                                    params.hash_intermediate(outer_rows, inner_rows, out_rows)
+                                }
+                                JoinMethod::IndexNestedLoop => unreachable!("skipped above"),
+                            };
+                            if best_method.is_none_or(|(_, c)| join_cost < c) {
+                                best_method = Some((m, join_cost));
+                            }
+                        }
+                        let (method, join_cost) = best_method.expect("methods non-empty");
+                        let total = entry.cost + partner.cost + join_cost;
+                        let new_mask = mask | sub;
+                        if best[new_mask].as_ref().is_none_or(|e| total < e.cost) {
+                            let node = PlanNode::Join {
+                                method,
+                                left: Box::new(entry.node.clone()),
+                                right: Box::new(partner.node.clone()),
+                                keys: join_keys_between(predicates, mask as u64, sub as u64),
+                            };
+                            best[new_mask] = Some(Entry {
+                                cost: total,
+                                state: new_state,
+                                node,
+                                width: entry.width + partner.width,
+                            });
+                        }
+                    }
+                }
+                sub = (sub - 1) & rest;
+            }
+        }
+    }
+
+    let full = (1usize << n) - 1;
+    let winner = best[full].clone().expect("every subset reachable");
+    let join_order = winner.node.join_order();
+    let mut estimated_sizes = Vec::new();
+    node_sizes(els, &winner.node, &mut estimated_sizes)?;
+    Ok(EnumerationResult {
+        root: winner.node,
+        join_order,
+        estimated_sizes,
+        estimated_cost: winner.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els_core::predicate::CmpOp;
+    use els_core::{ColumnStatistics, ElsOptions, QueryStatistics, TableStatistics};
+
+    fn c(t: usize, col: usize) -> ColumnRef {
+        ColumnRef::new(t, col)
+    }
+
+    /// The paper's Section 8 setup (statistics only).
+    fn section8(options: &ElsOptions) -> (Els, Vec<TableProfile>) {
+        let mk = |rows: f64| {
+            TableStatistics::new(rows, vec![ColumnStatistics::with_domain(rows, 0.0, rows - 1.0)])
+        };
+        let stats =
+            QueryStatistics::new(vec![mk(1000.0), mk(10_000.0), mk(50_000.0), mk(100_000.0)]);
+        let preds = vec![
+            Predicate::col_eq(c(0, 0), c(1, 0)),
+            Predicate::col_eq(c(1, 0), c(2, 0)),
+            Predicate::col_eq(c(2, 0), c(3, 0)),
+            Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64),
+        ];
+        let els = Els::prepare(&preds, &stats, options).unwrap();
+        let profiles = [1000.0, 10_000.0, 50_000.0, 100_000.0]
+            .iter()
+            .map(|&r| TableProfile::synthetic(r, 16))
+            .collect();
+        (els, profiles)
+    }
+
+    const NL_SM: [JoinMethod; 2] = [JoinMethod::NestedLoop, JoinMethod::SortMerge];
+
+    #[test]
+    fn single_table_is_a_scan() {
+        let stats = QueryStatistics::new(vec![TableStatistics::new(
+            10.0,
+            vec![ColumnStatistics::with_distinct(10.0)],
+        )]);
+        let els = Els::prepare(&[], &stats, &ElsOptions::default()).unwrap();
+        let r = enumerate_left_deep(
+            &els,
+            &[TableProfile::synthetic(10.0, 8)],
+            &NL_SM,
+            &CostParams::default(),
+        )
+        .unwrap();
+        assert!(matches!(r.root, PlanNode::Scan { table_id: 0, .. }));
+        assert_eq!(r.join_order, vec![0]);
+        assert!(r.estimated_sizes.is_empty());
+    }
+
+    #[test]
+    fn section8_els_avoids_nested_loops_over_giants() {
+        let (els, profiles) = section8(&ElsOptions::algorithm_els());
+        let r = enumerate_left_deep(&els, &profiles, &NL_SM, &CostParams::default()).unwrap();
+        // Every intermediate is estimated at 100.
+        for s in &r.estimated_sizes {
+            assert!((s - 100.0).abs() < 1e-6, "sizes {:?}", r.estimated_sizes);
+        }
+        // No nested-loops join may have table G (3) as its inner: an honest
+        // 100-tuple outer makes rescanning 100k rows absurd.
+        fn nl_inner_tables(node: &PlanNode, out: &mut Vec<usize>) {
+            if let PlanNode::Join { method, left, right, .. } = node {
+                nl_inner_tables(left, out);
+                if *method == JoinMethod::NestedLoop {
+                    if let PlanNode::Scan { table_id, .. } = right.as_ref() {
+                        out.push(*table_id);
+                    }
+                }
+            }
+        }
+        let mut nl_inners = Vec::new();
+        nl_inner_tables(&r.root, &mut nl_inners);
+        assert!(!nl_inners.contains(&3), "ELS plan rescans G: {}", r.root.explain());
+    }
+
+    #[test]
+    fn section8_sm_is_misled_into_rescanning_a_giant() {
+        let (els, profiles) = section8(&ElsOptions::algorithm_sm());
+        let r = enumerate_left_deep(&els, &profiles, &NL_SM, &CostParams::default()).unwrap();
+        // The final intermediate estimates collapse toward zero...
+        assert!(
+            r.estimated_sizes.last().copied().unwrap() < 1e-3,
+            "sizes {:?}",
+            r.estimated_sizes
+        );
+        // ...so some nested-loops rescan of a big table looks free. G (or at
+        // least B) must appear as an NL inner.
+        let text = r.root.explain();
+        fn has_nl(node: &PlanNode) -> bool {
+            match node {
+                PlanNode::Scan { .. } => false,
+                PlanNode::Join { method, left, .. } => {
+                    *method == JoinMethod::NestedLoop || has_nl(left)
+                }
+            }
+        }
+        assert!(has_nl(&r.root), "SM plan unexpectedly avoids NL:\n{text}");
+    }
+
+    #[test]
+    fn cartesian_products_are_priced_not_forbidden() {
+        // Two tables, no predicates: the only plan is a cartesian product.
+        let stats = QueryStatistics::new(vec![
+            TableStatistics::new(10.0, vec![ColumnStatistics::with_distinct(10.0)]),
+            TableStatistics::new(20.0, vec![ColumnStatistics::with_distinct(20.0)]),
+        ]);
+        let els = Els::prepare(&[], &stats, &ElsOptions::default()).unwrap();
+        let profiles = vec![TableProfile::synthetic(10.0, 8), TableProfile::synthetic(20.0, 8)];
+        let r = enumerate_left_deep(&els, &profiles, &NL_SM, &CostParams::default()).unwrap();
+        assert_eq!(r.estimated_sizes, vec![200.0]);
+        if let PlanNode::Join { keys, .. } = &r.root {
+            assert!(keys.is_empty());
+        } else {
+            panic!("expected a join root");
+        }
+    }
+
+    #[test]
+    fn join_keys_collects_all_closure_edges() {
+        let preds = els_core::closure::transitive_closure(&[
+            Predicate::col_eq(c(0, 0), c(1, 0)),
+            Predicate::col_eq(c(1, 0), c(2, 0)),
+        ]);
+        // Mask {0, 1}, new table 2: keys from both s=... and m=...
+        let keys = join_keys(&preds, 0b011, 2);
+        assert_eq!(keys.len(), 2);
+        for (l, r) in keys {
+            assert_eq!(r.table, 2);
+            assert!(l.table < 2);
+        }
+    }
+
+    #[test]
+    fn scan_filters_pick_only_this_tables_locals() {
+        let preds = vec![
+            Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64),
+            Predicate::local_cmp(c(1, 0), CmpOp::Gt, 5i64),
+            Predicate::col_eq(c(0, 0), c(1, 0)),
+        ];
+        let f0 = scan_filters(&preds, 0).unwrap();
+        assert_eq!(f0.len(), 1);
+        let f2 = scan_filters(&preds, 2).unwrap();
+        assert!(f2.is_empty());
+    }
+
+    #[test]
+    fn bushy_space_never_costs_more_than_left_deep() {
+        let (els, profiles) = section8(&ElsOptions::algorithm_els());
+        let ld =
+            enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
+                .unwrap();
+        let bushy =
+            enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::Bushy).unwrap();
+        assert!(
+            bushy.estimated_cost <= ld.estimated_cost + 1e-9,
+            "bushy {} > left-deep {}",
+            bushy.estimated_cost,
+            ld.estimated_cost
+        );
+        // The bushy winner still estimates 100 at every join node.
+        for s in &bushy.estimated_sizes {
+            assert!((s - 100.0).abs() < 1e-6, "sizes {:?}", bushy.estimated_sizes);
+        }
+    }
+
+    #[test]
+    fn bushy_helps_disconnected_pair_queries() {
+        // Two independent joins (A⋈B) and (C⋈D) linked by nothing until the
+        // top: bushy can join the two small results; left-deep must push one
+        // pair's result through a cartesian step with a base table first.
+        let mk = |rows: f64| {
+            TableStatistics::new(rows, vec![ColumnStatistics::with_domain(rows, 0.0, rows - 1.0)])
+        };
+        let stats = QueryStatistics::new(vec![mk(1000.0), mk(1000.0), mk(1000.0), mk(1000.0)]);
+        let preds = vec![
+            Predicate::col_eq(c(0, 0), c(1, 0)),
+            Predicate::col_eq(c(2, 0), c(3, 0)),
+            Predicate::local_cmp(c(0, 0), CmpOp::Lt, 10i64),
+            Predicate::local_cmp(c(2, 0), CmpOp::Lt, 10i64),
+        ];
+        let els = Els::prepare(&preds, &stats, &ElsOptions::algorithm_els()).unwrap();
+        let profiles: Vec<TableProfile> =
+            (0..4).map(|_| TableProfile::synthetic(1000.0, 16)).collect();
+        let ld =
+            enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
+                .unwrap();
+        let bushy =
+            enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::Bushy).unwrap();
+        assert!(bushy.estimated_cost <= ld.estimated_cost + 1e-9);
+        // Final estimate is (10 ⋈ 10) × (10 ⋈ 10) = 100 either way.
+        assert!((bushy.estimated_sizes.last().unwrap() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_sizes_matches_estimate_order_on_left_deep_plans() {
+        let (els, profiles) = section8(&ElsOptions::algorithm_sm());
+        let r = enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
+            .unwrap();
+        let expected = els.estimate_order(&r.join_order).unwrap();
+        assert_eq!(r.estimated_sizes.len(), expected.len());
+        for (a, b) in r.estimated_sizes.iter().zip(&expected) {
+            assert!((a - b).abs() <= b.abs() * 1e-12 + 1e-300, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn errors_on_empty_or_oversized_queries() {
+        let stats = QueryStatistics::new(vec![]);
+        let els = Els::prepare(&[], &stats, &ElsOptions::default()).unwrap();
+        assert!(matches!(
+            enumerate_left_deep(&els, &[], &NL_SM, &CostParams::default()),
+            Err(OptimizerError::Unsupported(_))
+        ));
+        let stats = QueryStatistics::new(
+            (0..20).map(|_| TableStatistics::new(1.0, vec![])).collect(),
+        );
+        let els = Els::prepare(&[], &stats, &ElsOptions::default()).unwrap();
+        let profiles: Vec<TableProfile> =
+            (0..20).map(|_| TableProfile::synthetic(1.0, 8)).collect();
+        assert!(matches!(
+            enumerate_left_deep(&els, &profiles, &NL_SM, &CostParams::default()),
+            Err(OptimizerError::Unsupported(_))
+        ));
+        let (els, profiles) = section8(&ElsOptions::default());
+        assert!(matches!(
+            enumerate_left_deep(&els, &profiles, &[], &CostParams::default()),
+            Err(OptimizerError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the optimizer.
+
+use std::fmt;
+
+/// Errors raised during optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerError {
+    /// Estimation failed (invalid statistics, malformed predicates, …).
+    Estimation(els_core::ElsError),
+    /// Plan construction failed.
+    Exec(els_exec::ExecError),
+    /// Catalog lookup failed.
+    Catalog(String),
+    /// The query shape is unsupported (no tables, too many tables, …).
+    Unsupported(String),
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerError::Estimation(e) => write!(f, "estimation error: {e}"),
+            OptimizerError::Exec(e) => write!(f, "plan error: {e}"),
+            OptimizerError::Catalog(m) => write!(f, "catalog error: {m}"),
+            OptimizerError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimizerError::Estimation(e) => Some(e),
+            OptimizerError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<els_core::ElsError> for OptimizerError {
+    fn from(e: els_core::ElsError) -> Self {
+        OptimizerError::Estimation(e)
+    }
+}
+
+impl From<els_exec::ExecError> for OptimizerError {
+    fn from(e: els_exec::ExecError) -> Self {
+        OptimizerError::Exec(e)
+    }
+}
+
+impl From<els_catalog::CatalogError> for OptimizerError {
+    fn from(e: els_catalog::CatalogError) -> Self {
+        OptimizerError::Catalog(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type OptimizerResult<T> = Result<T, OptimizerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        let e: OptimizerError = els_core::ElsError::UnknownTable(1).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("estimation"));
+        let e: OptimizerError = els_exec::ExecError::UnknownTable(1).into();
+        assert!(e.to_string().contains("plan"));
+    }
+}

@@ -1,0 +1,367 @@
+//! The optimizer front door.
+
+use std::sync::Arc;
+
+use els_catalog::Catalog;
+use els_core::{Els, ElsOptions, Predicate, QueryStatistics};
+use els_exec::plan::PlanOutput;
+use els_exec::{JoinMethod, QueryPlan};
+use els_sql::{BoundProjection, BoundQuery};
+use els_storage::Table;
+
+use crate::cost::CostParams;
+use crate::enumerate::{enumerate, TreeShape};
+use crate::error::{OptimizerError, OptimizerResult};
+use crate::profile::TableProfile;
+
+/// The four estimation configurations of the paper's Section 8 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimatorPreset {
+    /// Algorithm SM on the original query (no predicate transitive
+    /// closure) — the paper's first row.
+    SmNoPtc,
+    /// Algorithm SM after predicate transitive closure — second row.
+    Sm,
+    /// Algorithm SSS after predicate transitive closure — third row.
+    Sss,
+    /// Algorithm ELS (closure is integral to it) — fourth row.
+    Els,
+}
+
+impl EstimatorPreset {
+    /// The label used in the paper's experiment table.
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimatorPreset::SmNoPtc => "Orig. SM",
+            EstimatorPreset::Sm => "Orig.+PTC SM",
+            EstimatorPreset::Sss => "Orig.+PTC SSS",
+            EstimatorPreset::Els => "Orig. ELS",
+        }
+    }
+
+    /// The estimation-core options this preset denotes.
+    pub fn els_options(self) -> ElsOptions {
+        match self {
+            EstimatorPreset::SmNoPtc => ElsOptions::algorithm_sm().with_closure(false),
+            EstimatorPreset::Sm => ElsOptions::algorithm_sm(),
+            EstimatorPreset::Sss => ElsOptions::algorithm_sss(),
+            EstimatorPreset::Els => ElsOptions::algorithm_els(),
+        }
+    }
+
+    /// All four presets, in the paper's row order.
+    pub fn all() -> [EstimatorPreset; 4] {
+        [EstimatorPreset::SmNoPtc, EstimatorPreset::Sm, EstimatorPreset::Sss, EstimatorPreset::Els]
+    }
+}
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerOptions {
+    /// Estimation-core configuration (rule, pre-processing, closure).
+    pub els: ElsOptions,
+    /// Join methods the enumerator may choose from. The paper's experiment
+    /// enabled Nested Loops and Sort Merge.
+    pub join_methods: Vec<JoinMethod>,
+    /// Cost-model constants.
+    pub cost: CostParams,
+    /// Join-tree space to enumerate (left-deep by default, as in System R
+    /// and the paper's experiment).
+    pub tree_shape: TreeShape,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            els: ElsOptions::default(),
+            join_methods: vec![JoinMethod::NestedLoop, JoinMethod::SortMerge],
+            cost: CostParams::default(),
+            tree_shape: TreeShape::LeftDeep,
+        }
+    }
+}
+
+impl OptimizerOptions {
+    /// Options for one of the paper's presets.
+    pub fn preset(preset: EstimatorPreset) -> Self {
+        OptimizerOptions { els: preset.els_options(), ..OptimizerOptions::default() }
+    }
+
+    /// Enable hash joins too (used by the extended experiments).
+    #[must_use]
+    pub fn with_hash_join(mut self) -> Self {
+        if !self.join_methods.contains(&JoinMethod::Hash) {
+            self.join_methods.push(JoinMethod::Hash);
+        }
+        self
+    }
+
+    /// Explore bushy join trees instead of left-deep only.
+    #[must_use]
+    pub fn with_bushy_trees(mut self) -> Self {
+        self.tree_shape = TreeShape::Bushy;
+        self
+    }
+
+    /// Enable indexed nested loops (a sorted index on the inner's join
+    /// key). Used by the access-method ablation (experiment F6).
+    #[must_use]
+    pub fn with_index_nested_loop(mut self) -> Self {
+        if !self.join_methods.contains(&JoinMethod::IndexNestedLoop) {
+            self.join_methods.push(JoinMethod::IndexNestedLoop);
+        }
+        self
+    }
+}
+
+/// The result of optimization: an executable plan plus everything the paper
+/// reports about it.
+#[derive(Debug, Clone)]
+pub struct OptimizedQuery {
+    /// The executable physical plan.
+    pub plan: QueryPlan,
+    /// The chosen join order (table positions in the `FROM` list).
+    pub join_order: Vec<usize>,
+    /// Estimated intermediate result sizes along that order.
+    pub estimated_sizes: Vec<f64>,
+    /// Total estimated cost in page units.
+    pub estimated_cost: f64,
+    /// The prepared estimator (for EXPLAIN-style inspection).
+    pub els: Els,
+}
+
+/// Optimize from raw parts: predicates + statistics + physical profiles.
+/// `output` is what the plan should return.
+pub fn optimize(
+    predicates: &[Predicate],
+    stats: &QueryStatistics,
+    profiles: &[TableProfile],
+    output: PlanOutput,
+    options: &OptimizerOptions,
+) -> OptimizerResult<OptimizedQuery> {
+    optimize_with_oracle(predicates, stats, profiles, output, options, &els_core::selectivity::NoOracle)
+}
+
+/// Output decorations (final sort + limit) applied to a plan after
+/// optimization; they do not influence join order or method choice.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OutputDecorations {
+    /// `(column, descending)` final sort keys.
+    pub order_by: Vec<(els_core::ColumnRef, bool)>,
+    /// Row limit.
+    pub limit: Option<u64>,
+}
+
+/// [`optimize`] with a selectivity oracle (histograms) for local predicates.
+pub fn optimize_with_oracle(
+    predicates: &[Predicate],
+    stats: &QueryStatistics,
+    profiles: &[TableProfile],
+    output: PlanOutput,
+    options: &OptimizerOptions,
+    oracle: &dyn els_core::selectivity::SelectivityOracle,
+) -> OptimizerResult<OptimizedQuery> {
+    if stats.num_tables() != profiles.len() {
+        return Err(OptimizerError::Unsupported(format!(
+            "statistics describe {} tables but {} profiles were supplied",
+            stats.num_tables(),
+            profiles.len()
+        )));
+    }
+    let els = Els::prepare_with_oracle(predicates, stats, &options.els, oracle)?;
+    let result =
+        enumerate(&els, profiles, &options.join_methods, &options.cost, options.tree_shape)?;
+    Ok(OptimizedQuery {
+        plan: QueryPlan::new(result.root, output),
+        join_order: result.join_order,
+        estimated_sizes: result.estimated_sizes,
+        estimated_cost: result.estimated_cost,
+        els,
+    })
+}
+
+/// Optimize a bound SQL query against a catalog (statistics, histograms and
+/// physical profiles all come from the catalog).
+pub fn optimize_bound(
+    query: &BoundQuery,
+    catalog: &Catalog,
+    options: &OptimizerOptions,
+) -> OptimizerResult<OptimizedQuery> {
+    let from: Vec<&str> = query.table_names.iter().map(String::as_str).collect();
+    let stats = catalog.query_statistics(&from)?;
+    let profiles = from
+        .iter()
+        .map(|name| Ok(TableProfile::of(catalog.table_data(name)?.as_ref())))
+        .collect::<OptimizerResult<Vec<_>>>()?;
+    let oracle = catalog.oracle(&from)?;
+    let output = match &query.projection {
+        BoundProjection::CountStar => PlanOutput::CountStar,
+        BoundProjection::Star => PlanOutput::Star,
+        BoundProjection::Columns(cols) => PlanOutput::Columns(cols.clone()),
+        BoundProjection::GroupCount(cols) => PlanOutput::GroupCount(cols.clone()),
+    };
+    let mut optimized =
+        optimize_with_oracle(&query.predicates, &stats, &profiles, output, options, &oracle)?;
+    optimized.plan.order_by = query.order_by.clone();
+    optimized.plan.limit = query.limit;
+    Ok(optimized)
+}
+
+/// Fetch the `FROM`-list table data for executing an optimized bound query.
+pub fn bound_query_tables(
+    query: &BoundQuery,
+    catalog: &Catalog,
+) -> OptimizerResult<Vec<Arc<Table>>> {
+    query
+        .table_names
+        .iter()
+        .map(|name| catalog.table_data(name).map_err(OptimizerError::from))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els_catalog::collect::CollectOptions;
+    use els_exec::execute_plan;
+    use els_sql::{bind, parse};
+    use els_storage::datagen::starburst_experiment_tables;
+
+    fn section8_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for t in starburst_experiment_tables(42) {
+            c.register(t, &CollectOptions::default()).unwrap();
+        }
+        c
+    }
+
+    const SQL: &str =
+        "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100";
+
+    #[test]
+    fn presets_have_labels_and_options() {
+        for p in EstimatorPreset::all() {
+            assert!(!p.label().is_empty());
+        }
+        assert!(!EstimatorPreset::SmNoPtc.els_options().apply_closure);
+        assert!(EstimatorPreset::Els.els_options().apply_closure);
+    }
+
+    #[test]
+    fn every_preset_produces_a_correct_executable_plan() {
+        // Whatever the estimator believes, the chosen plan must compute the
+        // true answer (100 rows survive every join).
+        let catalog = section8_catalog();
+        let bound = bind(&parse(SQL).unwrap(), &catalog).unwrap();
+        let tables = bound_query_tables(&bound, &catalog).unwrap();
+        for preset in EstimatorPreset::all() {
+            let optimized =
+                optimize_bound(&bound, &catalog, &OptimizerOptions::preset(preset)).unwrap();
+            let out = execute_plan(&optimized.plan, &tables).unwrap();
+            assert_eq!(out.count, 100, "{} got {}", preset.label(), out.count);
+        }
+    }
+
+    #[test]
+    fn els_estimates_100_and_sm_collapses() {
+        let catalog = section8_catalog();
+        let bound = bind(&parse(SQL).unwrap(), &catalog).unwrap();
+        let els = optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Els))
+            .unwrap();
+        for s in &els.estimated_sizes {
+            assert!((s - 100.0).abs() < 1e-6, "{:?}", els.estimated_sizes);
+        }
+        let sm = optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Sm))
+            .unwrap();
+        assert!(sm.estimated_sizes.last().unwrap() < &1e-3, "{:?}", sm.estimated_sizes);
+    }
+
+    #[test]
+    fn els_plan_is_much_cheaper_at_runtime_than_sm_plan() {
+        // The headline result: the misled plan does at least an order of
+        // magnitude more simulated I/O.
+        let catalog = section8_catalog();
+        let bound = bind(&parse(SQL).unwrap(), &catalog).unwrap();
+        let tables = bound_query_tables(&bound, &catalog).unwrap();
+        let run = |preset| {
+            let optimized =
+                optimize_bound(&bound, &catalog, &OptimizerOptions::preset(preset)).unwrap();
+            execute_plan(&optimized.plan, &tables).unwrap().metrics.pages_read
+        };
+        let sm_pages = run(EstimatorPreset::Sm);
+        let els_pages = run(EstimatorPreset::Els);
+        assert!(
+            sm_pages >= 10 * els_pages,
+            "expected >=10x page gap, got SM={sm_pages} ELS={els_pages}"
+        );
+    }
+
+    #[test]
+    fn ptc_enables_early_selection() {
+        // Row 1 vs row 2 of the paper's table: closure derives the filters
+        // m < 100, b < 100, g < 100, so scans of M, B, G become selective
+        // and join inputs shrink by orders of magnitude. Without PTC the
+        // plan must push full tables through its joins (the paper's row 1
+        // paid 610s for that); with PTC every join input is ~100 tuples.
+        let catalog = section8_catalog();
+        let bound = bind(&parse(SQL).unwrap(), &catalog).unwrap();
+        let tables = bound_query_tables(&bound, &catalog).unwrap();
+        let run = |preset| {
+            let optimized =
+                optimize_bound(&bound, &catalog, &OptimizerOptions::preset(preset)).unwrap();
+            let out = execute_plan(&optimized.plan, &tables).unwrap();
+            assert_eq!(out.count, 100);
+            (optimized, out.metrics)
+        };
+        let (no_ptc_plan, no_ptc) = run(EstimatorPreset::SmNoPtc);
+        let (with_ptc_plan, _) = run(EstimatorPreset::Sm);
+        // Without closure only S carries a filter.
+        let count_filters = |node: &els_exec::PlanNode| {
+            fn rec(n: &els_exec::PlanNode, acc: &mut usize) {
+                match n {
+                    els_exec::PlanNode::Scan { filters, .. } => *acc += filters.len(),
+                    els_exec::PlanNode::Join { left, right, .. } => {
+                        rec(left, acc);
+                        rec(right, acc);
+                    }
+                }
+            }
+            let mut acc = 0;
+            rec(node, &mut acc);
+            acc
+        };
+        assert_eq!(count_filters(&no_ptc_plan.plan.root), 1);
+        assert_eq!(count_filters(&with_ptc_plan.plan.root), 4);
+        // The closure-free plan really does push big tables through joins:
+        // its sort inputs alone dwarf the whole filtered workload.
+        assert!(
+            no_ptc.rows_sorted > 100_000,
+            "expected full-table sort inputs without PTC, got {}",
+            no_ptc.rows_sorted
+        );
+    }
+
+    #[test]
+    fn profile_stats_shape_mismatch_is_rejected() {
+        let catalog = section8_catalog();
+        let bound = bind(&parse(SQL).unwrap(), &catalog).unwrap();
+        let from: Vec<&str> = bound.table_names.iter().map(String::as_str).collect();
+        let stats = catalog.query_statistics(&from).unwrap();
+        let err = optimize(
+            &bound.predicates,
+            &stats,
+            &[TableProfile::synthetic(1.0, 8)],
+            PlanOutput::CountStar,
+            &OptimizerOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptimizerError::Unsupported(_)));
+    }
+
+    #[test]
+    fn hash_join_option_extends_methods() {
+        let o = OptimizerOptions::default().with_hash_join();
+        assert!(o.join_methods.contains(&JoinMethod::Hash));
+        assert_eq!(o.with_hash_join().join_methods.len(), 3);
+    }
+}

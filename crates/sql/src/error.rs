@@ -1,0 +1,65 @@
+//! Error type for the SQL front-end.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, or binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexer hit an unexpected character.
+    Lex {
+        /// Byte offset of the offender.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Parser found an unexpected token.
+    Parse {
+        /// Byte offset of the offending token.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Name resolution failed or a predicate shape is unsupported.
+    Bind(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => write!(f, "lex error at {position}: {message}"),
+            SqlError::Parse { position, message } => {
+                write!(f, "parse error at {position}: {message}")
+            }
+            SqlError::Bind(message) => write!(f, "bind error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<els_catalog::CatalogError> for SqlError {
+    fn from(e: els_catalog::CatalogError) -> Self {
+        SqlError::Bind(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_positions() {
+        let e = SqlError::Parse { position: 17, message: "expected FROM".into() };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("expected FROM"));
+    }
+
+    #[test]
+    fn catalog_errors_convert() {
+        let e: SqlError = els_catalog::CatalogError::UnknownTable("t".into()).into();
+        assert!(matches!(e, SqlError::Bind(_)));
+    }
+}

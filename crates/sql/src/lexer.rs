@@ -1,0 +1,292 @@
+//! Tokenizer for the SPJ subset.
+
+use crate::error::{SqlError, SqlResult};
+
+/// One lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input where the token starts.
+    pub position: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (case preserved; keyword checks are
+    /// case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl TokenKind {
+    /// True when this is the (case-insensitive) keyword `kw`.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `input`.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        position: start,
+                        message: "expected `=` after `!`".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                position: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            // `''` escapes a quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), position: start });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_digit() {
+                        j += 1;
+                    } else if b == '.' && !is_float
+                        && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        is_float = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..j];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad float literal `{text}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?)
+                };
+                tokens.push(Token { kind, position: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[i..j].to_owned()),
+                    position: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: start,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_the_section8_query() {
+        let ks = kinds("SELECT COUNT(*) FROM S, M WHERE s = m AND s < 100");
+        assert_eq!(ks.len(), 17);
+        assert!(ks[0].is_keyword("select"));
+        assert_eq!(ks[2], TokenKind::LParen);
+        assert_eq!(ks[3], TokenKind::Star);
+        assert_eq!(ks[15], TokenKind::Lt);
+        assert_eq!(ks[16], TokenKind::Int(100));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            kinds("42 -7 3.25 'it''s'"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Float(3.25),
+                TokenKind::Str("it's".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names() {
+        assert_eq!(
+            kinds("R1.x"),
+            vec![TokenKind::Ident("R1".into()), TokenKind::Dot, TokenKind::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = tokenize("a ; b").unwrap_err();
+        assert_eq!(err, SqlError::Lex { position: 2, message: "unexpected character `;`".into() });
+        assert!(matches!(tokenize("'open"), Err(SqlError::Lex { .. })));
+        assert!(matches!(tokenize("a ! b"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let ks = kinds("select FROM WhErE");
+        assert!(ks[0].is_keyword("SELECT"));
+        assert!(ks[1].is_keyword("from"));
+        assert!(ks[2].is_keyword("where"));
+    }
+
+    #[test]
+    fn empty_input_gives_no_tokens() {
+        assert!(tokenize("   ").unwrap().is_empty());
+    }
+}

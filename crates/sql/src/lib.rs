@@ -1,0 +1,44 @@
+//! # els-sql
+//!
+//! A small SQL front-end for the conjunctive select-project-join queries the
+//! paper studies (Section 2: "we focus on *conjunctive* queries where the
+//! selection condition in the WHERE clause is a conjunction of
+//! predicates").
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! query       := SELECT projection FROM table [, table]* [WHERE conjunct [AND conjunct]*]
+//! projection  := COUNT ( * ) | * | colref [, colref]*
+//! table       := ident [AS? ident]
+//! conjunct    := operand cmp operand
+//! operand     := colref | literal
+//! colref      := [ident .] ident
+//! cmp         := = | <> | != | < | <= | > | >=
+//! ```
+//!
+//! The pipeline is [`lexer`] → [`parser`] (producing an [`ast::Query`]) →
+//! [`bind`] (resolving names against an `els-catalog` [`els_catalog::Catalog`]
+//! into positional [`els_core::Predicate`]s).
+//!
+//! # Example
+//!
+//! ```
+//! use els_sql::parse;
+//!
+//! let q = parse("SELECT COUNT(*) FROM S, M WHERE S.s = M.m AND S.s < 100").unwrap();
+//! assert_eq!(q.from.len(), 2);
+//! assert_eq!(q.predicates.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod bind;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod unparse;
+
+pub use ast::{ColRefAst, Operand, PredicateAst, Projection, Query, TableRefAst};
+pub use bind::{bind, BoundProjection, BoundQuery};
+pub use error::{SqlError, SqlResult};
+pub use parser::parse;

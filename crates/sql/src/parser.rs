@@ -1,0 +1,466 @@
+//! Recursive-descent parser for the SPJ subset.
+
+use els_core::predicate::CmpOp;
+use els_storage::Value;
+
+use crate::ast::{ColRefAst, Operand, OrderItemAst, PredicateAst, Projection, Query, TableRefAst};
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse one query.
+pub fn parse(input: &str) -> SqlResult<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let q = p.query()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.input_len, |t| t.position)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> SqlResult<T> {
+        Err(SqlError::Parse { position: self.position(), message: message.into() })
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> SqlResult<()> {
+        match self.peek() {
+            Some(k) if k.is_keyword(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => self.err(format!("expected `{kw}`")),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> SqlResult<()> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> SqlResult<String> {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => self.err(format!("expected {what}")),
+        }
+    }
+
+    fn query(&mut self) -> SqlResult<Query> {
+        self.expect_keyword("SELECT")?;
+        let projection = self.projection()?;
+        self.expect_keyword("FROM")?;
+        let from = self.table_list()?;
+        let predicates = if self.peek().is_some_and(|k| k.is_keyword("WHERE")) {
+            self.pos += 1;
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        let group_by = if self.peek().is_some_and(|k| k.is_keyword("GROUP")) {
+            self.pos += 1;
+            self.expect_keyword("BY")?;
+            let mut cols = vec![self.colref()?];
+            while self.peek() == Some(&TokenKind::Comma) {
+                self.pos += 1;
+                cols.push(self.colref()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        let order_by = if self.peek().is_some_and(|k| k.is_keyword("ORDER")) {
+            self.pos += 1;
+            self.expect_keyword("BY")?;
+            let mut items = vec![self.order_item()?];
+            while self.peek() == Some(&TokenKind::Comma) {
+                self.pos += 1;
+                items.push(self.order_item()?);
+            }
+            items
+        } else {
+            Vec::new()
+        };
+        let limit = if self.peek().is_some_and(|k| k.is_keyword("LIMIT")) {
+            self.pos += 1;
+            match self.peek() {
+                Some(TokenKind::Int(n)) if *n >= 0 => {
+                    let n = *n as u64;
+                    self.pos += 1;
+                    Some(n)
+                }
+                _ => return self.err("expected a non-negative integer after LIMIT"),
+            }
+        } else {
+            None
+        };
+        Ok(Query { projection, from, predicates, group_by, order_by, limit })
+    }
+
+    fn order_item(&mut self) -> SqlResult<OrderItemAst> {
+        let column = self.colref()?;
+        let descending = if self.peek().is_some_and(|k| k.is_keyword("DESC")) {
+            self.pos += 1;
+            true
+        } else {
+            if self.peek().is_some_and(|k| k.is_keyword("ASC")) {
+                self.pos += 1;
+            }
+            false
+        };
+        Ok(OrderItemAst { column, descending })
+    }
+
+    /// Parse `COUNT ( * )` with `COUNT` already consumed.
+    fn count_star_tail(&mut self) -> SqlResult<()> {
+        self.expect(&TokenKind::LParen, "`(` after COUNT")?;
+        self.expect(&TokenKind::Star, "`*` in COUNT(*)")?;
+        self.expect(&TokenKind::RParen, "`)` after COUNT(*")?;
+        Ok(())
+    }
+
+    fn projection(&mut self) -> SqlResult<Projection> {
+        match self.peek() {
+            Some(TokenKind::Star) => {
+                self.pos += 1;
+                Ok(Projection::Star)
+            }
+            Some(k) if k.is_keyword("COUNT") => {
+                self.pos += 1;
+                self.count_star_tail()?;
+                Ok(Projection::CountStar)
+            }
+            _ => {
+                let mut cols = vec![self.colref()?];
+                while self.peek() == Some(&TokenKind::Comma) {
+                    self.pos += 1;
+                    if self.peek().is_some_and(|k| k.is_keyword("COUNT")) {
+                        self.pos += 1;
+                        self.count_star_tail()?;
+                        return Ok(Projection::ColumnsAndCount(cols));
+                    }
+                    cols.push(self.colref()?);
+                }
+                Ok(Projection::Columns(cols))
+            }
+        }
+    }
+
+    fn table_list(&mut self) -> SqlResult<Vec<TableRefAst>> {
+        let mut tables = vec![self.table_ref()?];
+        while self.peek() == Some(&TokenKind::Comma) {
+            self.pos += 1;
+            tables.push(self.table_ref()?);
+        }
+        Ok(tables)
+    }
+
+    fn table_ref(&mut self) -> SqlResult<TableRefAst> {
+        let name = self.ident("table name")?;
+        // Optional alias, with optional AS, but not before a keyword that
+        // continues the query.
+        let alias = match self.peek() {
+            Some(k) if k.is_keyword("AS") => {
+                self.pos += 1;
+                Some(self.ident("alias after AS")?)
+            }
+            Some(TokenKind::Ident(s))
+                if !s.eq_ignore_ascii_case("WHERE")
+                    && !s.eq_ignore_ascii_case("GROUP")
+                    && !s.eq_ignore_ascii_case("ORDER")
+                    && !s.eq_ignore_ascii_case("LIMIT") =>
+            {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        };
+        Ok(TableRefAst { name, alias })
+    }
+
+    fn conjunction(&mut self) -> SqlResult<Vec<PredicateAst>> {
+        let mut preds = self.predicate()?;
+        while self.peek().is_some_and(|k| k.is_keyword("AND")) {
+            self.pos += 1;
+            preds.extend(self.predicate()?);
+        }
+        Ok(preds)
+    }
+
+    /// Parse one textual predicate; `BETWEEN a AND b` desugars into the two
+    /// range conjuncts `>= a` and `<= b`.
+    fn predicate(&mut self) -> SqlResult<Vec<PredicateAst>> {
+        let left = self.operand()?;
+        // `x IS [NOT] NULL`.
+        if self.peek().is_some_and(|k| k.is_keyword("IS")) {
+            self.pos += 1;
+            let negated = if self.peek().is_some_and(|k| k.is_keyword("NOT")) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            };
+            if !self.peek().is_some_and(|k| k.is_keyword("NULL")) {
+                return self.err("expected NULL after IS [NOT]");
+            }
+            self.pos += 1;
+            return Ok(vec![PredicateAst::IsNull { operand: left, negated }]);
+        }
+        // `x BETWEEN a AND b`.
+        if self.peek().is_some_and(|k| k.is_keyword("BETWEEN")) {
+            self.pos += 1;
+            let low = self.operand()?;
+            if !self.peek().is_some_and(|k| k.is_keyword("AND")) {
+                return self.err("expected AND in BETWEEN");
+            }
+            self.pos += 1;
+            let high = self.operand()?;
+            return Ok(vec![
+                PredicateAst::Cmp { left: left.clone(), op: CmpOp::Ge, right: low },
+                PredicateAst::Cmp { left, op: CmpOp::Le, right: high },
+            ]);
+        }
+        let op = self.cmp_op()?;
+        let right = self.operand()?;
+        Ok(vec![PredicateAst::Cmp { left, op, right }])
+    }
+
+    fn cmp_op(&mut self) -> SqlResult<CmpOp> {
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => CmpOp::Eq,
+            Some(TokenKind::Ne) => CmpOp::Ne,
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            _ => return self.err("expected comparison operator"),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    fn operand(&mut self) -> SqlResult<Operand> {
+        match self.peek() {
+            Some(TokenKind::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(Operand::Literal(Value::Int(v)))
+            }
+            Some(TokenKind::Float(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(Operand::Literal(Value::Float(v)))
+            }
+            Some(TokenKind::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Operand::Literal(Value::Str(s)))
+            }
+            Some(TokenKind::Ident(_)) => Ok(Operand::Column(self.colref()?)),
+            _ => self.err("expected column or literal"),
+        }
+    }
+
+    fn colref(&mut self) -> SqlResult<ColRefAst> {
+        let first = self.ident("column reference")?;
+        if self.peek() == Some(&TokenKind::Dot) {
+            self.pos += 1;
+            let column = self.ident("column name after `.`")?;
+            Ok(ColRefAst { table: Some(first), column })
+        } else {
+            Ok(ColRefAst { table: None, column: first })
+        }
+    }
+
+    fn expect_end(&mut self) -> SqlResult<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_experiment_query() {
+        let q = parse(
+            "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100",
+        )
+        .unwrap();
+        assert_eq!(q.projection, Projection::CountStar);
+        assert_eq!(q.from.len(), 4);
+        assert_eq!(q.from[0], TableRefAst { name: "S".into(), alias: None });
+        assert_eq!(q.predicates.len(), 4);
+        assert_eq!(
+            q.predicates[3],
+            PredicateAst::Cmp {
+                left: Operand::Column(ColRefAst { table: None, column: "s".into() }),
+                op: CmpOp::Lt,
+                right: Operand::Literal(Value::Int(100)),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_example_1a() {
+        let q = parse("SELECT R_1.a FROM R_1, R_2, R_3 WHERE R_1.x = R_2.y AND R_2.y = R_3.z")
+            .unwrap();
+        assert_eq!(
+            q.projection,
+            Projection::Columns(vec![ColRefAst { table: Some("R_1".into()), column: "a".into() }])
+        );
+        assert_eq!(q.predicates.len(), 2);
+    }
+
+    #[test]
+    fn parses_star_and_no_where() {
+        let q = parse("SELECT * FROM t").unwrap();
+        assert_eq!(q.projection, Projection::Star);
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn parses_aliases() {
+        let q = parse("SELECT o.id FROM orders AS o, lines l WHERE o.id = l.oid").unwrap();
+        assert_eq!(q.from[0].binding_name(), "o");
+        assert_eq!(q.from[1].binding_name(), "l");
+    }
+
+    #[test]
+    fn parses_string_and_float_literals() {
+        let q = parse("SELECT * FROM t WHERE name = 'bob' AND score >= 1.5").unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert!(matches!(
+            &q.predicates[0],
+            PredicateAst::Cmp { right: Operand::Literal(Value::Str(s)), .. } if s == "bob"
+        ));
+        assert!(matches!(
+            q.predicates[1],
+            PredicateAst::Cmp { right: Operand::Literal(Value::Float(f)), .. } if f == 1.5
+        ));
+    }
+
+    #[test]
+    fn literal_on_the_left_parses() {
+        let q = parse("SELECT * FROM t WHERE 100 > x").unwrap();
+        assert!(matches!(
+            q.predicates[0],
+            PredicateAst::Cmp { left: Operand::Literal(Value::Int(100)), .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(parse("FROM t"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("SELECT * FROM"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("SELECT * FROM t WHERE"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("SELECT * FROM t WHERE x ="), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("SELECT * FROM t extra junk here"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("SELECT COUNT(x) FROM t"), Err(SqlError::Parse { .. })));
+    }
+
+    #[test]
+    fn parses_is_null_and_is_not_null() {
+        let q = parse("SELECT * FROM t WHERE x IS NULL AND y IS NOT NULL").unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert!(matches!(
+            &q.predicates[0],
+            PredicateAst::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            &q.predicates[1],
+            PredicateAst::IsNull { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse("SELECT * FROM t WHERE x IS 5"),
+            Err(SqlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn between_desugars_into_two_ranges() {
+        let q = parse("SELECT * FROM t WHERE x BETWEEN 10 AND 20 AND y = 1").unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert!(matches!(
+            q.predicates[0],
+            PredicateAst::Cmp { op: CmpOp::Ge, right: Operand::Literal(Value::Int(10)), .. }
+        ));
+        assert!(matches!(
+            q.predicates[1],
+            PredicateAst::Cmp { op: CmpOp::Le, right: Operand::Literal(Value::Int(20)), .. }
+        ));
+        assert!(matches!(
+            parse("SELECT * FROM t WHERE x BETWEEN 10 OR 20"),
+            Err(SqlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_group_by() {
+        let q = parse("SELECT v, COUNT(*) FROM t WHERE v > 2 GROUP BY v").unwrap();
+        assert_eq!(
+            q.projection,
+            Projection::ColumnsAndCount(vec![ColRefAst { table: None, column: "v".into() }])
+        );
+        assert_eq!(q.group_by, vec![ColRefAst { table: None, column: "v".into() }]);
+        // Multi-column grouping.
+        let q = parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b").unwrap();
+        assert_eq!(q.group_by.len(), 2);
+        // GROUP without BY is an error.
+        assert!(matches!(
+            parse("SELECT a, COUNT(*) FROM t GROUP a"),
+            Err(SqlError::Parse { .. })
+        ));
+        // `GROUP` is not eaten as a table alias.
+        let q = parse("SELECT a, COUNT(*) FROM t GROUP BY a").unwrap();
+        assert_eq!(q.from[0].alias, None);
+    }
+
+    #[test]
+    fn parses_order_by_and_limit() {
+        let q = parse("SELECT a, b FROM t WHERE a > 1 ORDER BY a DESC, b LIMIT 5").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].descending);
+        assert!(!q.order_by[1].descending);
+        assert_eq!(q.limit, Some(5));
+        // ASC is accepted and means not-descending.
+        let q = parse("SELECT a FROM t ORDER BY a ASC").unwrap();
+        assert!(!q.order_by[0].descending);
+        // LIMIT needs a number; ORDER needs BY; `ORDER` is not an alias.
+        assert!(matches!(parse("SELECT a FROM t LIMIT x"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("SELECT a FROM t ORDER a"), Err(SqlError::Parse { .. })));
+        let q = parse("SELECT a FROM t ORDER BY a").unwrap();
+        assert_eq!(q.from[0].alias, None);
+    }
+
+    #[test]
+    fn keywords_any_case() {
+        let q = parse("select count(*) from t where x = 1 and y = 2").unwrap();
+        assert_eq!(q.projection, Projection::CountStar);
+        assert_eq!(q.predicates.len(), 2);
+    }
+}

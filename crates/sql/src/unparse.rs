@@ -1,0 +1,184 @@
+//! Rendering parsed queries back to SQL text.
+//!
+//! [`Query`] implements `Display` producing canonical SQL that re-parses to
+//! an equivalent AST (property-tested: `parse(q.to_string()) == q` for
+//! every parseable query, up to `BETWEEN` desugaring, which the parser
+//! already normalizes away). Used by tools that rewrite queries (e.g. the
+//! PTC rewrite) and want to show their output as SQL.
+
+use std::fmt;
+
+use els_storage::Value;
+
+use crate::ast::{Operand, PredicateAst, Projection, Query};
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        match &self.projection {
+            Projection::CountStar => write!(f, "COUNT(*)")?,
+            Projection::Star => write!(f, "*")?,
+            Projection::Columns(cols) => {
+                let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                write!(f, "{}", cols.join(", "))?;
+            }
+            Projection::ColumnsAndCount(cols) => {
+                let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                write!(f, "{}, COUNT(*)", cols.join(", "))?;
+            }
+        }
+        write!(f, " FROM ")?;
+        let tables: Vec<String> = self
+            .from
+            .iter()
+            .map(|t| match &t.alias {
+                Some(a) => format!("{} AS {}", t.name, a),
+                None => t.name.clone(),
+            })
+            .collect();
+        write!(f, "{}", tables.join(", "))?;
+        if !self.predicates.is_empty() {
+            let preds: Vec<String> = self.predicates.iter().map(render_predicate).collect();
+            write!(f, " WHERE {}", preds.join(" AND "))?;
+        }
+        if !self.group_by.is_empty() {
+            let cols: Vec<String> = self.group_by.iter().map(|c| c.to_string()).collect();
+            write!(f, " GROUP BY {}", cols.join(", "))?;
+        }
+        if !self.order_by.is_empty() {
+            let items: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|o| {
+                    if o.descending {
+                        format!("{} DESC", o.column)
+                    } else {
+                        o.column.to_string()
+                    }
+                })
+                .collect();
+            write!(f, " ORDER BY {}", items.join(", "))?;
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+fn render_operand(o: &Operand) -> String {
+    match o {
+        Operand::Column(c) => c.to_string(),
+        Operand::Literal(Value::Str(s)) => format!("'{}'", s.replace('\'', "''")),
+        Operand::Literal(Value::Float(v)) => {
+            // Keep a decimal point so the literal re-lexes as a float.
+            let s = v.to_string();
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Operand::Literal(v) => v.to_string(),
+    }
+}
+
+fn render_predicate(p: &PredicateAst) -> String {
+    match p {
+        PredicateAst::Cmp { left, op, right } => {
+            format!("{} {op} {}", render_operand(left), render_operand(right))
+        }
+        PredicateAst::IsNull { operand, negated: false } => {
+            format!("{} IS NULL", render_operand(operand))
+        }
+        PredicateAst::IsNull { operand, negated: true } => {
+            format!("{} IS NOT NULL", render_operand(operand))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    /// Round-trip every clause class.
+    #[test]
+    fn round_trips() {
+        let cases = [
+            "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100",
+            "SELECT * FROM t",
+            "SELECT a, b FROM t WHERE a >= 1.5 AND name = 'it''s' ORDER BY a DESC, b LIMIT 9",
+            "SELECT a, COUNT(*) FROM t WHERE a IS NOT NULL GROUP BY a",
+            "SELECT o.id FROM orders AS o, lines AS l WHERE o.id = l.oid",
+            "SELECT x FROM t WHERE x <> 3 AND y IS NULL",
+        ];
+        for sql in cases {
+            let q = parse(sql).unwrap();
+            let printed = q.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("`{printed}` does not re-parse: {e}"));
+            assert_eq!(q, reparsed, "round trip changed the AST for `{sql}`");
+        }
+    }
+
+    #[test]
+    fn between_normalizes_to_two_ranges() {
+        // The parser desugars BETWEEN, so the printed form uses >=/<= and is
+        // stable under re-parsing.
+        let q = parse("SELECT * FROM t WHERE x BETWEEN 1 AND 5").unwrap();
+        let printed = q.to_string();
+        assert!(printed.contains(">= 1") && printed.contains("<= 5"), "{printed}");
+        assert_eq!(parse(&printed).unwrap(), q);
+    }
+
+    proptest::proptest! {
+        /// Randomized round-trip: assemble a query from random fragments,
+        /// parse, print, re-parse, compare.
+        #[test]
+        fn random_round_trip(seed in 0u64..2000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut sql = String::from("SELECT ");
+            let grouped = rng.gen_bool(0.2);
+            if grouped {
+                sql.push_str("g, COUNT(*)");
+            } else {
+                match rng.gen_range(0..3) {
+                    0 => sql.push_str("COUNT(*)"),
+                    1 => sql.push('*'),
+                    _ => sql.push_str("a, t1.b"),
+                }
+            }
+            sql.push_str(" FROM t1");
+            if rng.gen_bool(0.5) {
+                sql.push_str(", t2 AS u");
+            }
+            let mut conjuncts = Vec::new();
+            for _ in 0..rng.gen_range(0..3) {
+                conjuncts.push(match rng.gen_range(0..4) {
+                    0 => format!("t1.a {} {}", ["=", "<", ">="][rng.gen_range(0..3)], rng.gen_range(-9i64..9)),
+                    1 => "t1.a IS NULL".to_owned(),
+                    2 => format!("t1.a = {}", ["t1.b", "c"][rng.gen_range(0..2)]),
+                    _ => format!("name = '{}'", ["x", "y y", ""][rng.gen_range(0..3)]),
+                });
+            }
+            if !conjuncts.is_empty() {
+                sql.push_str(" WHERE ");
+                sql.push_str(&conjuncts.join(" AND "));
+            }
+            if grouped {
+                sql.push_str(" GROUP BY g");
+            }
+            if rng.gen_bool(0.3) {
+                sql.push_str(" ORDER BY a DESC");
+            }
+            if rng.gen_bool(0.3) {
+                sql.push_str(&format!(" LIMIT {}", rng.gen_range(0..50)));
+            }
+            let Ok(q) = parse(&sql) else { return Ok(()) };
+            let printed = q.to_string();
+            let reparsed = parse(&printed).expect("printed SQL parses");
+            proptest::prop_assert_eq!(q, reparsed, "round trip changed `{}` -> `{}`", sql, printed);
+        }
+    }
+}

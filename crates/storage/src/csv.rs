@@ -1,0 +1,313 @@
+//! CSV import and export.
+//!
+//! A small, dependency-free CSV codec sufficient for moving tables in and
+//! out of the engine: comma-separated, RFC-4180 style quoting (fields
+//! containing commas, quotes or newlines are wrapped in `"` with embedded
+//! quotes doubled), header row with column names, empty unquoted fields as
+//! NULL. Types are inferred on import (Int → Float → Str, NULLs neutral)
+//! unless a schema is supplied.
+
+use std::io::{BufRead, Write};
+
+use crate::column::ColumnVector;
+use crate::error::{StorageError, StorageResult};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// Write `table` as CSV (header + rows).
+pub fn write_csv(table: &Table, out: &mut impl Write) -> std::io::Result<()> {
+    let header: Vec<String> =
+        table.column_names().iter().map(|n| quote_field(n)).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for row in 0..table.num_rows() {
+        let fields: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| {
+                let v = c.get(row).expect("row in range");
+                match v {
+                    Value::Null => String::new(),
+                    Value::Int(x) => x.to_string(),
+                    Value::Float(x) => format_float(x),
+                    Value::Str(s) => quote_field(&s),
+                }
+            })
+            .collect();
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+/// Format a float so it round-trips as a float (always keeps a `.` or
+/// exponent so import does not infer Int).
+fn format_float(x: f64) -> String {
+    let s = x.to_string();
+    if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("NaN") || s.contains("inf") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn quote_field(s: &str) -> String {
+    if s.is_empty() || s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// One parsed field: raw text plus whether it was quoted (a quoted empty
+/// field is an empty string; an unquoted empty field is NULL).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
+/// Split one CSV record (no trailing newline) into fields.
+fn parse_record(line: &str) -> StorageResult<Vec<Field>> {
+    let bytes = line.as_bytes();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let mut text = String::new();
+        let mut quoted = false;
+        if bytes.get(i) == Some(&b'"') {
+            quoted = true;
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(StorageError::Csv("unterminated quoted CSV field".into()))
+                    }
+                    Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                        text.push('"');
+                        i += 2;
+                    }
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        text.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+        } else {
+            while i < bytes.len() && bytes[i] != b',' {
+                text.push(bytes[i] as char);
+                i += 1;
+            }
+        }
+        fields.push(Field { text, quoted });
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            None => break,
+            Some(_) => {
+                return Err(StorageError::Csv("content after closing quote".into()))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn infer_type(fields: &[Vec<Field>], col: usize) -> DataType {
+    let mut ty = DataType::Int;
+    for row in fields {
+        let f = &row[col];
+        if !f.quoted && f.text.is_empty() {
+            continue; // NULL is neutral
+        }
+        if f.quoted {
+            return DataType::Str;
+        }
+        match ty {
+            DataType::Int => {
+                if f.text.parse::<i64>().is_err() {
+                    if f.text.parse::<f64>().is_ok() {
+                        ty = DataType::Float;
+                    } else {
+                        return DataType::Str;
+                    }
+                }
+            }
+            DataType::Float => {
+                if f.text.parse::<f64>().is_err() {
+                    return DataType::Str;
+                }
+            }
+            DataType::Str => return DataType::Str,
+        }
+    }
+    ty
+}
+
+/// Read a CSV (with header) into a table named `name`. When `schema` is
+/// `None`, column types are inferred; otherwise it must list one type per
+/// CSV column.
+pub fn read_csv(
+    name: &str,
+    input: &mut impl BufRead,
+    schema: Option<&[DataType]>,
+) -> StorageResult<Table> {
+    let mut lines = Vec::new();
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        let n = input.read_line(&mut buf).map_err(|e| StorageError::Csv(e.to_string()))?;
+        if n == 0 {
+            break;
+        }
+        let line = buf.trim_end_matches(['\n', '\r']);
+        lines.push(line.to_owned());
+    }
+    let Some(header_line) = lines.first() else {
+        return Err(StorageError::Csv("empty CSV input".into()));
+    };
+    let header = parse_record(header_line)?;
+    let ncols = header.len();
+
+    let mut records: Vec<Vec<Field>> = Vec::with_capacity(lines.len().saturating_sub(1));
+    for (idx, line) in lines[1..].iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let rec = parse_record(line)?;
+        if rec.len() != ncols {
+            return Err(StorageError::Csv(format!(
+                "row {} has {} fields, expected {ncols}",
+                idx + 2,
+                rec.len()
+            )));
+        }
+        records.push(rec);
+    }
+
+    let types: Vec<DataType> = match schema {
+        Some(s) => {
+            if s.len() != ncols {
+                return Err(StorageError::ArityMismatch { expected: ncols, actual: s.len() });
+            }
+            s.to_vec()
+        }
+        None => (0..ncols).map(|c| infer_type(&records, c)).collect(),
+    };
+
+    let mut columns: Vec<ColumnVector> =
+        types.iter().map(|&t| ColumnVector::with_capacity(t, records.len())).collect();
+    for rec in &records {
+        for (c, field) in rec.iter().enumerate() {
+            let value = if !field.quoted && field.text.is_empty() {
+                Value::Null
+            } else {
+                match types[c] {
+                    DataType::Int => Value::Int(field.text.parse::<i64>().map_err(|_| {
+                        StorageError::Csv(format!("`{}` is not an integer (column {c})", field.text))
+                    })?),
+                    DataType::Float => Value::Float(field.text.parse::<f64>().map_err(|_| {
+                        StorageError::Csv(format!("`{}` is not a float (column {c})", field.text))
+                    })?),
+                    DataType::Str => Value::Str(field.text.clone()),
+                }
+            };
+            columns[c].push(value)?;
+        }
+    }
+
+    Table::new(
+        name,
+        header.into_iter().map(|h| h.text).zip(columns).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Table {
+        let mut t = Table::empty(
+            "t",
+            &[("id", DataType::Int), ("score", DataType::Float), ("tag", DataType::Str)],
+        );
+        t.push_row(vec![Value::Int(1), Value::Float(1.5), Value::from("plain")]).unwrap();
+        t.push_row(vec![Value::Int(-2), Value::Null, Value::from("with,comma")]).unwrap();
+        t.push_row(vec![Value::Null, Value::Float(3.0), Value::from("say \"hi\"")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv("t", &mut Cursor::new(&buf), None).unwrap();
+        assert_eq!(back.num_rows(), 3);
+        assert_eq!(back.column_names(), t.column_names());
+        for r in 0..3 {
+            assert_eq!(back.row(r).unwrap(), t.row(r).unwrap(), "row {r}");
+        }
+        // Types survived: the float column did not collapse to Int.
+        assert_eq!(back.column_by_name("score").unwrap().data_type(), DataType::Float);
+    }
+
+    #[test]
+    fn type_inference_promotes_int_to_float_to_str() {
+        let csv = "a,b,c\n1,1,1\n2,2.5,x\n";
+        let t = read_csv("t", &mut Cursor::new(csv), None).unwrap();
+        assert_eq!(t.column_by_name("a").unwrap().data_type(), DataType::Int);
+        assert_eq!(t.column_by_name("b").unwrap().data_type(), DataType::Float);
+        assert_eq!(t.column_by_name("c").unwrap().data_type(), DataType::Str);
+        // The Int 1 in the Float column widened.
+        assert_eq!(t.column_by_name("b").unwrap().get(0).unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn unquoted_empty_is_null_quoted_empty_is_string() {
+        let csv = "a,b\n,\"\"\n5,x\n";
+        let t = read_csv("t", &mut Cursor::new(csv), None).unwrap();
+        assert_eq!(t.column_by_name("a").unwrap().get(0).unwrap(), Value::Null);
+        assert_eq!(t.column_by_name("b").unwrap().get(0).unwrap(), Value::from(""));
+    }
+
+    #[test]
+    fn explicit_schema_overrides_inference() {
+        let csv = "a\n1\n2\n";
+        let t =
+            read_csv("t", &mut Cursor::new(csv), Some(&[DataType::Float])).unwrap();
+        assert_eq!(t.column_by_name("a").unwrap().data_type(), DataType::Float);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(read_csv("t", &mut Cursor::new(""), None).is_err());
+        // Ragged row.
+        assert!(read_csv("t", &mut Cursor::new("a,b\n1\n"), None).is_err());
+        // Unterminated quote.
+        assert!(read_csv("t", &mut Cursor::new("a\n\"open\n"), None).is_err());
+        // Schema arity mismatch.
+        assert!(read_csv("t", &mut Cursor::new("a,b\n1,2\n"), Some(&[DataType::Int])).is_err());
+        // Unparseable under explicit schema.
+        assert!(read_csv("t", &mut Cursor::new("a\nxyz\n"), Some(&[DataType::Int])).is_err());
+    }
+
+    #[test]
+    fn quoting_handles_quotes_and_commas() {
+        assert_eq!(quote_field("plain"), "plain");
+        assert_eq!(quote_field("a,b"), "\"a,b\"");
+        assert_eq!(quote_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let rec = parse_record("\"a,b\",\"say \"\"hi\"\"\",plain").unwrap();
+        assert_eq!(rec[0].text, "a,b");
+        assert_eq!(rec[1].text, "say \"hi\"");
+        assert_eq!(rec[2].text, "plain");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "a\n1\n\n2\n";
+        let t = read_csv("t", &mut Cursor::new(csv), None).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for storage operations.
+
+use std::fmt;
+
+/// Errors raised by table and column operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A value of the wrong [`crate::DataType`] was supplied to a column.
+    TypeMismatch {
+        /// The type the column stores.
+        expected: crate::DataType,
+        /// The type that was supplied.
+        actual: crate::DataType,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of rows actually present.
+        len: usize,
+    },
+    /// A column index was out of bounds.
+    ColumnOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of columns actually present.
+        len: usize,
+    },
+    /// A column name did not resolve.
+    UnknownColumn(String),
+    /// A row was appended whose arity differs from the table schema.
+    ArityMismatch {
+        /// Number of columns in the table.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// CSV import/export failure (malformed input, I/O error).
+    Csv(String),
+    /// Columns of unequal length were assembled into one table.
+    RaggedColumns {
+        /// Length of the first column.
+        first: usize,
+        /// Length of the offending column.
+        offending: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: column stores {expected}, got {actual}")
+            }
+            StorageError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for length {len}")
+            }
+            StorageError::ColumnOutOfBounds { index, len } => {
+                write!(f, "column index {index} out of bounds for {len} columns")
+            }
+            StorageError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            StorageError::Csv(msg) => write!(f, "CSV error: {msg}"),
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity mismatch: table has {expected} columns, row has {actual}")
+            }
+            StorageError::RaggedColumns { first, offending } => {
+                write!(f, "ragged columns: first column has {first} rows, another has {offending}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used throughout the crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::TypeMismatch { expected: DataType::Int, actual: DataType::Str };
+        assert!(e.to_string().contains("type mismatch"));
+        let e = StorageError::RowOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+        let e = StorageError::UnknownColumn("zap".into());
+        assert!(e.to_string().contains("zap"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StorageError::UnknownColumn("x".into()));
+    }
+}

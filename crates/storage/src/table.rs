@@ -1,0 +1,265 @@
+//! Named tables: equal-length columns plus a simple page model.
+
+use crate::column::ColumnVector;
+use crate::error::{StorageError, StorageResult};
+use crate::value::{DataType, Value};
+
+/// Size of one simulated disk page, in bytes. The optimizer's cost model
+/// works in pages; 4 KiB matches the systems the paper targets.
+pub const PAGE_SIZE_BYTES: usize = 4096;
+
+/// A named, schema-ful, in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    column_names: Vec<String>,
+    columns: Vec<ColumnVector>,
+}
+
+impl Table {
+    /// Build a table from parallel `(name, column)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::RaggedColumns`] when columns have unequal
+    /// lengths.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<(String, ColumnVector)>,
+    ) -> StorageResult<Self> {
+        if let Some(first) = columns.first().map(|(_, c)| c.len()) {
+            for (_, c) in &columns {
+                if c.len() != first {
+                    return Err(StorageError::RaggedColumns { first, offending: c.len() });
+                }
+            }
+        }
+        let (column_names, columns) = columns.into_iter().unzip();
+        Ok(Table { name: name.into(), column_names, columns })
+    }
+
+    /// Build an empty table from a schema.
+    pub fn empty(name: impl Into<String>, schema: &[(&str, DataType)]) -> Self {
+        Table {
+            name: name.into(),
+            column_names: schema.iter().map(|(n, _)| (*n).to_owned()).collect(),
+            columns: schema.iter().map(|(_, t)| ColumnVector::new(*t)).collect(),
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows. This is the *table cardinality* ‖R‖ of the paper.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, ColumnVector::len)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// Look up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.column_names.iter().position(|n| n == name)
+    }
+
+    /// Access a column by index.
+    pub fn column(&self, index: usize) -> StorageResult<&ColumnVector> {
+        self.columns
+            .get(index)
+            .ok_or(StorageError::ColumnOutOfBounds { index, len: self.columns.len() })
+    }
+
+    /// Access a column by name.
+    pub fn column_by_name(&self, name: &str) -> StorageResult<&ColumnVector> {
+        let idx = self
+            .column_index(name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_owned()))?;
+        self.column(idx)
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[ColumnVector] {
+        &self.columns
+    }
+
+    /// Append one row of values, in schema order.
+    pub fn push_row(&mut self, row: Vec<Value>) -> StorageResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                actual: row.len(),
+            });
+        }
+        // Validate all values first so a failed push cannot leave ragged
+        // columns behind.
+        for (col, value) in self.columns.iter().zip(&row) {
+            if let Some(t) = value.data_type() {
+                let ok = t == col.data_type()
+                    || (col.data_type() == DataType::Float && t == DataType::Int);
+                if !ok {
+                    return Err(StorageError::TypeMismatch {
+                        expected: col.data_type(),
+                        actual: t,
+                    });
+                }
+            }
+        }
+        for (col, value) in self.columns.iter_mut().zip(row) {
+            col.push(value).expect("row pre-validated");
+        }
+        Ok(())
+    }
+
+    /// Read one row as owned values.
+    pub fn row(&self, index: usize) -> StorageResult<Vec<Value>> {
+        if index >= self.num_rows() {
+            return Err(StorageError::RowOutOfBounds { index, len: self.num_rows() });
+        }
+        self.columns.iter().map(|c| c.get(index)).collect()
+    }
+
+    /// Estimated width of one row in bytes under the page model.
+    pub fn estimated_row_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.data_type().estimated_width()).sum::<usize>().max(1)
+    }
+
+    /// Number of simulated pages this table occupies (at least 1 when
+    /// non-empty). The paper's cost discussion is in terms of page accesses;
+    /// the executor charges one page read per `tuples_per_page` tuples
+    /// scanned.
+    pub fn num_pages(&self) -> usize {
+        if self.num_rows() == 0 {
+            return 0;
+        }
+        let per_page = self.tuples_per_page();
+        self.num_rows().div_ceil(per_page)
+    }
+
+    /// How many tuples fit in one simulated page.
+    pub fn tuples_per_page(&self) -> usize {
+        (PAGE_SIZE_BYTES / self.estimated_row_bytes()).max(1)
+    }
+
+    /// Materialize a new table containing the rows at `indices`.
+    pub fn gather(&self, name: impl Into<String>, indices: &[usize]) -> StorageResult<Table> {
+        let columns = self
+            .column_names
+            .iter()
+            .zip(&self.columns)
+            .map(|(n, c)| Ok((n.clone(), c.gather(indices)?)))
+            .collect::<StorageResult<Vec<_>>>()?;
+        Table::new(name, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::empty("t", &[("a", DataType::Int), ("b", DataType::Str)]);
+        t.push_row(vec![Value::Int(1), Value::from("one")]).unwrap();
+        t.push_row(vec![Value::Int(2), Value::from("two")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn build_and_read_rows() {
+        let t = sample();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.row(1).unwrap(), vec![Value::Int(2), Value::from("two")]);
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let err = Table::new(
+            "bad",
+            vec![
+                ("a".into(), ColumnVector::from_ints([1, 2])),
+                ("b".into(), ColumnVector::from_ints([1])),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, StorageError::RaggedColumns { first: 2, offending: 1 });
+    }
+
+    #[test]
+    fn push_row_arity_checked() {
+        let mut t = sample();
+        let err = t.push_row(vec![Value::Int(3)]).unwrap_err();
+        assert_eq!(err, StorageError::ArityMismatch { expected: 2, actual: 1 });
+        // Table must be unchanged.
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn push_row_type_checked_atomically() {
+        let mut t = sample();
+        // Second value has the wrong type; the first must not be committed.
+        let err = t.push_row(vec![Value::Int(3), Value::Int(9)]).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column_by_name("a").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn nulls_accepted_in_rows() {
+        let mut t = sample();
+        t.push_row(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.row(2).unwrap(), vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = sample();
+        assert_eq!(t.column_index("b"), Some(1));
+        assert!(t.column_by_name("a").is_ok());
+        assert!(matches!(
+            t.column_by_name("zz").unwrap_err(),
+            StorageError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    fn page_model_counts() {
+        let t = sample();
+        // Row width: 8 (int) + 24 (str) = 32 bytes -> 128 tuples/page.
+        assert_eq!(t.estimated_row_bytes(), 32);
+        assert_eq!(t.tuples_per_page(), 128);
+        assert_eq!(t.num_pages(), 1);
+        let big = Table::new(
+            "big",
+            vec![("x".into(), ColumnVector::from_ints(0..1000))],
+        )
+        .unwrap();
+        // 8 bytes/row -> 512 tuples/page -> 1000 rows = 2 pages.
+        assert_eq!(big.num_pages(), 2);
+    }
+
+    #[test]
+    fn empty_table_has_zero_pages() {
+        let t = Table::empty("e", &[("a", DataType::Int)]);
+        assert_eq!(t.num_pages(), 0);
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn gather_builds_subtable() {
+        let t = sample();
+        let g = t.gather("g", &[1]).unwrap();
+        assert_eq!(g.num_rows(), 1);
+        assert_eq!(g.row(0).unwrap(), vec![Value::Int(2), Value::from("two")]);
+        assert_eq!(g.name(), "g");
+    }
+}

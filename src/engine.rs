@@ -1,0 +1,354 @@
+//! A batteries-included facade: register tables, run SQL, inspect plans.
+//!
+//! [`Database`] wires the whole pipeline (catalog → parser → binder →
+//! optimizer → executor) behind three calls:
+//!
+//! ```
+//! use els::engine::Database;
+//! use els::storage::datagen::{TableSpec, ColumnSpec, Distribution};
+//!
+//! let mut db = Database::new();
+//! db.generate(
+//!     TableSpec::new("t", 1000)
+//!         .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+//!     42,
+//! ).unwrap();
+//! let result = db.execute("SELECT COUNT(*) FROM t WHERE k < 100").unwrap();
+//! assert_eq!(result.count, 100);
+//! ```
+//!
+//! The estimation algorithm is configurable per database (default: the
+//! paper's Algorithm ELS) so the same workload can be replayed under the
+//! baselines:
+//!
+//! ```
+//! # use els::engine::Database;
+//! use els::optimizer::EstimatorPreset;
+//! let mut db = Database::new();
+//! db.set_estimator(EstimatorPreset::Sss);
+//! ```
+
+use std::fmt;
+
+use els_catalog::collect::CollectOptions;
+use els_catalog::Catalog;
+use els_exec::{execute_plan, execute_plan_observed, ExecMetrics};
+use els_optimizer::{
+    bound_query_tables, optimize_bound, EstimatorPreset, OptimizedQuery, OptimizerOptions,
+};
+use els_sql::{bind, parse};
+use els_storage::datagen::TableSpec;
+use els_storage::Table;
+
+/// Unified error for the engine facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Lexing/parsing/binding failure.
+    Sql(String),
+    /// Catalog registration/lookup failure.
+    Catalog(String),
+    /// Optimization failure.
+    Optimizer(String),
+    /// Execution failure.
+    Exec(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sql(m) => write!(f, "SQL error: {m}"),
+            EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
+            EngineError::Optimizer(m) => write!(f, "optimizer error: {m}"),
+            EngineError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<els_sql::SqlError> for EngineError {
+    fn from(e: els_sql::SqlError) -> Self {
+        EngineError::Sql(e.to_string())
+    }
+}
+
+impl From<els_catalog::CatalogError> for EngineError {
+    fn from(e: els_catalog::CatalogError) -> Self {
+        EngineError::Catalog(e.to_string())
+    }
+}
+
+impl From<els_optimizer::OptimizerError> for EngineError {
+    fn from(e: els_optimizer::OptimizerError) -> Self {
+        EngineError::Optimizer(e.to_string())
+    }
+}
+
+impl From<els_exec::ExecError> for EngineError {
+    fn from(e: els_exec::ExecError) -> Self {
+        EngineError::Exec(e.to_string())
+    }
+}
+
+/// Result alias for the engine.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// The outcome of one query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result rows (a one-cell table for `COUNT(*)`).
+    pub rows: Table,
+    /// Result row count (the count itself for `COUNT(*)`).
+    pub count: u64,
+    /// Execution metrics.
+    pub metrics: ExecMetrics,
+    /// The join order the optimizer chose.
+    pub join_order: Vec<String>,
+    /// The intermediate sizes the optimizer believed in.
+    pub estimated_sizes: Vec<f64>,
+}
+
+/// An embedded single-user database over in-memory tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    optimizer_options: OptimizerOptions,
+    collect_options: CollectOptions,
+    buffer_pages: Option<usize>,
+}
+
+impl Database {
+    /// An empty database using Algorithm ELS and exact statistics without
+    /// histograms.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Switch the estimation algorithm (SM / SSS / ELS, per the paper's
+    /// experiment presets).
+    pub fn set_estimator(&mut self, preset: EstimatorPreset) {
+        self.optimizer_options = OptimizerOptions::preset(preset);
+    }
+
+    /// Replace the full optimizer configuration.
+    pub fn set_optimizer_options(&mut self, options: OptimizerOptions) {
+        self.optimizer_options = options;
+    }
+
+    /// Configure how statistics are collected for *subsequently* registered
+    /// tables (e.g. [`CollectOptions::full`] for histograms + MCVs).
+    pub fn set_collect_options(&mut self, options: CollectOptions) {
+        self.collect_options = options;
+    }
+
+    /// Execute queries through an LRU buffer pool of `pages` pages (`None`
+    /// = unbuffered; every logical base-table page read is physical).
+    pub fn set_buffer_pages(&mut self, pages: Option<usize>) {
+        self.buffer_pages = pages;
+    }
+
+    /// Register an existing table.
+    pub fn register(&mut self, table: Table) -> EngineResult<()> {
+        self.catalog.register(table, &self.collect_options)?;
+        Ok(())
+    }
+
+    /// Generate and register a table from a spec with a seed.
+    pub fn generate(&mut self, spec: TableSpec, seed: u64) -> EngineResult<()> {
+        self.register(spec.generate(seed))
+    }
+
+    /// The underlying catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parse, bind, and optimize without executing.
+    pub fn prepare(&self, sql: &str) -> EngineResult<OptimizedQuery> {
+        let bound = bind(&parse(sql)?, &self.catalog)?;
+        Ok(optimize_bound(&bound, &self.catalog, &self.optimizer_options)?)
+    }
+
+    /// Run a query end to end.
+    pub fn execute(&self, sql: &str) -> EngineResult<QueryResult> {
+        let bound = bind(&parse(sql)?, &self.catalog)?;
+        let optimized = optimize_bound(&bound, &self.catalog, &self.optimizer_options)?;
+        let tables = bound_query_tables(&bound, &self.catalog)?;
+        let out = match self.buffer_pages {
+            None => execute_plan(&optimized.plan, &tables)?,
+            Some(pages) => {
+                els_exec::executor::execute_plan_buffered(&optimized.plan, &tables, pages)?
+            }
+        };
+        let join_order = optimized
+            .join_order
+            .iter()
+            .map(|&t| bound.binding_names[t].clone())
+            .collect();
+        Ok(QueryResult {
+            rows: out.rows,
+            count: out.count,
+            metrics: out.metrics,
+            join_order,
+            estimated_sizes: optimized.estimated_sizes,
+        })
+    }
+
+    /// EXPLAIN ANALYZE: run the query and report, per join, the
+    /// optimizer's estimated cardinality next to the measured one — the
+    /// estimation-quality view the paper's experiment table is built from.
+    pub fn explain_analyze(&self, sql: &str) -> EngineResult<String> {
+        let bound = bind(&parse(sql)?, &self.catalog)?;
+        let optimized = optimize_bound(&bound, &self.catalog, &self.optimizer_options)?;
+        let tables = bound_query_tables(&bound, &self.catalog)?;
+        let (out, obs) = execute_plan_observed(&optimized.plan, &tables)?;
+        let mut text = String::new();
+        text.push_str(&format!("query: {sql}
+"));
+        text.push_str(&format!("result rows: {}
+", out.count));
+        text.push_str("scans (actual rows out):
+");
+        for (t, rows) in &obs.scan_outputs {
+            text.push_str(&format!("  {}: {rows}
+", bound.binding_names[*t]));
+        }
+        text.push_str("joins (estimated vs actual):
+");
+        for ((covered, actual), estimate) in
+            obs.join_outputs.iter().zip(&optimized.estimated_sizes)
+        {
+            let names: Vec<&str> =
+                covered.iter().map(|&t| bound.binding_names[t].as_str()).collect();
+            let ratio = if *actual > 0 { estimate / *actual as f64 } else { f64::INFINITY };
+            text.push_str(&format!(
+                "  {{{}}}: est {:.1} vs actual {} (x{:.3})
+",
+                names.join(", "),
+                estimate,
+                actual,
+                ratio
+            ));
+        }
+        text.push_str(&format!("metrics: {}
+", out.metrics));
+        Ok(text)
+    }
+
+    /// An EXPLAIN-style report: the rewritten predicates, equivalence
+    /// classes, effective statistics, estimated sizes, and the plan tree.
+    pub fn explain(&self, sql: &str) -> EngineResult<String> {
+        let bound = bind(&parse(sql)?, &self.catalog)?;
+        let optimized = optimize_bound(&bound, &self.catalog, &self.optimizer_options)?;
+        let els = &optimized.els;
+        let mut out = String::new();
+        out.push_str(&format!("query: {sql}\n"));
+        out.push_str("predicates (after Step 1-2):\n");
+        for p in els.predicates() {
+            out.push_str(&format!("  {p}\n"));
+        }
+        if !els.classes().is_empty() {
+            out.push_str("equivalence classes:\n");
+            for (id, members) in els.classes().iter() {
+                let names: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+                out.push_str(&format!("  {id}: {{{}}}\n", names.join(", ")));
+            }
+        }
+        out.push_str("effective statistics:\n");
+        for (t, table) in els.effective_stats().tables.iter().enumerate() {
+            out.push_str(&format!(
+                "  {} (R{t}): ||R|| {} -> {:.1}\n",
+                bound.binding_names[t], table.original_cardinality, table.cardinality
+            ));
+        }
+        let order: Vec<&str> =
+            optimized.join_order.iter().map(|&t| bound.binding_names[t].as_str()).collect();
+        out.push_str(&format!(
+            "join order: {} | estimated sizes: {:?} | cost: {:.1}\n",
+            order.join(" ⋈ "),
+            optimized.estimated_sizes,
+            optimized.estimated_cost
+        ));
+        out.push_str("plan:\n");
+        out.push_str(&optimized.plan.root.explain());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els_storage::datagen::{ColumnSpec, Distribution};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.generate(
+            TableSpec::new("a", 1000)
+                .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+            1,
+        )
+        .unwrap();
+        db.generate(
+            TableSpec::new("b", 500)
+                .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+            2,
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn count_star_round_trip() {
+        let db = db();
+        let r = db.execute("SELECT COUNT(*) FROM a WHERE k < 100").unwrap();
+        assert_eq!(r.count, 100);
+        assert_eq!(r.join_order, vec!["a"]);
+    }
+
+    #[test]
+    fn join_round_trip_with_estimates() {
+        let db = db();
+        let r = db.execute("SELECT COUNT(*) FROM a, b WHERE a.k = b.k").unwrap();
+        assert_eq!(r.count, 500);
+        assert_eq!(r.estimated_sizes, vec![500.0]);
+        assert_eq!(r.join_order.len(), 2);
+    }
+
+    #[test]
+    fn estimator_is_switchable() {
+        let mut db = db();
+        db.set_estimator(EstimatorPreset::Sm);
+        let r = db.execute("SELECT COUNT(*) FROM a, b WHERE a.k = b.k AND a.k < 10").unwrap();
+        assert_eq!(r.count, 10);
+    }
+
+    #[test]
+    fn explain_contains_the_key_sections() {
+        let db = db();
+        let text = db.explain("SELECT COUNT(*) FROM a, b WHERE a.k = b.k AND a.k < 10").unwrap();
+        assert!(text.contains("equivalence classes"));
+        assert!(text.contains("join order"));
+        assert!(text.contains("Scan"));
+        assert!(text.contains("effective statistics"));
+    }
+
+    #[test]
+    fn errors_are_classified() {
+        let db = db();
+        assert!(matches!(db.execute("NOT SQL"), Err(EngineError::Sql(_))));
+        assert!(matches!(db.execute("SELECT COUNT(*) FROM nope"), Err(EngineError::Sql(_))));
+        let mut db2 = db.clone();
+        let dup = TableSpec::new("a", 1)
+            .column(ColumnSpec::new("k", Distribution::ConstInt { value: 0 }))
+            .generate(9);
+        assert!(matches!(db2.register(dup), Err(EngineError::Catalog(_))));
+    }
+
+    #[test]
+    fn projection_queries_return_rows() {
+        let db = db();
+        let r = db.execute("SELECT a.k FROM a, b WHERE a.k = b.k AND a.k < 3").unwrap();
+        assert_eq!(r.count, 3);
+        assert_eq!(r.rows.num_columns(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # els — Estimation of Join Result Sizes (EDBT 1994), reproduced
+//!
+//! Umbrella crate for the reproduction of *On the Estimation of Join Result
+//! Sizes* (Arun Swami & K. Bernhard Schiefer, EDBT 1994). It re-exports the
+//! workspace crates so examples and downstream users need a single
+//! dependency:
+//!
+//! * [`core`] — Algorithm **ELS** and the estimation rules (the paper's
+//!   contribution).
+//! * [`storage`] — in-memory column store and data generators.
+//! * [`catalog`] — schema and statistics (cardinalities, histograms).
+//! * [`sql`] — conjunctive SPJ SQL front-end.
+//! * [`exec`] — physical operators and the executor.
+//! * [`optimizer`] — predicate transitive closure rewrite, cost model, and
+//!   System-R dynamic-programming join enumeration.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction of
+//! the paper's experiment.
+
+pub mod engine;
+
+pub use els_catalog as catalog;
+pub use els_core as core;
+pub use els_exec as exec;
+pub use els_optimizer as optimizer;
+pub use els_sql as sql;
+pub use els_storage as storage;

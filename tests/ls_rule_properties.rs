@@ -1,0 +1,167 @@
+//! Property tests for the paper's central claim: under the model
+//! assumptions, incremental estimation with Rule LS agrees with the closed
+//! form of Equation 3 — for any statistics and any join order — while
+//! Rules M and SS only ever underestimate (paper, Sections 3 and 7).
+
+use els::core::prelude::*;
+use els::core::exact;
+use proptest::prelude::*;
+
+/// Build a single-equivalence-class chain query over `dims` tables, where
+/// `dims[i] = (cardinality, join-column distinct)`.
+fn chain_query(dims: &[(f64, f64)], rule: SelectivityRule) -> Els {
+    let stats = QueryStatistics::new(
+        dims.iter()
+            .map(|&(rows, d)| TableStatistics::new(rows, vec![ColumnStatistics::with_distinct(d)]))
+            .collect(),
+    );
+    let predicates: Vec<Predicate> = (1..dims.len())
+        .map(|i| Predicate::join_eq(ColumnRef::new(i - 1, 0), ColumnRef::new(i, 0)))
+        .collect();
+    Els::prepare(&predicates, &stats, &ElsOptions::default().with_rule(rule)).unwrap()
+}
+
+/// Random table dimensions: distinct count <= cardinality.
+fn dims_strategy(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((1u64..5000, 1u64..5000), n..=n).prop_map(|v| {
+        v.into_iter()
+            .map(|(rows, d)| {
+                let rows = rows.max(d) as f64;
+                (rows, d as f64)
+            })
+            .collect()
+    })
+}
+
+/// All permutations of 0..n (n small).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for p in permutations(n - 1) {
+        for i in 0..=p.len() {
+            let mut q = p.clone();
+            q.insert(i, n - 1);
+            out.push(q);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The paper's Section 7 proof, checked numerically: Rule LS's
+    /// incremental estimate equals Equation 3 for every join order.
+    #[test]
+    fn ls_matches_equation_3_for_every_order(dims in dims_strategy(4)) {
+        let els = chain_query(&dims, SelectivityRule::LargestSelectivity);
+        let truth = exact::n_way(&dims);
+        for order in permutations(dims.len()) {
+            let estimate = els.estimate_final(&order).unwrap();
+            let rel = (estimate - truth).abs() / truth.max(1e-12);
+            prop_assert!(rel < 1e-9,
+                "order {order:?}: LS {estimate} != Eq3 {truth} for dims {dims:?}");
+        }
+    }
+
+    /// Consequently Rule LS is join-order independent.
+    #[test]
+    fn ls_is_order_independent(dims in dims_strategy(5)) {
+        let els = chain_query(&dims, SelectivityRule::LargestSelectivity);
+        let reference = els.estimate_final(&[0, 1, 2, 3, 4]).unwrap();
+        for order in [[4usize, 3, 2, 1, 0], [2, 0, 4, 1, 3], [1, 4, 0, 3, 2]] {
+            let estimate = els.estimate_final(&order).unwrap();
+            let rel = (estimate - reference).abs() / reference.max(1e-12);
+            prop_assert!(rel < 1e-9, "order {order:?}: {estimate} != {reference}");
+        }
+    }
+
+    /// Rules M and SS never exceed LS (they underestimate within a class).
+    #[test]
+    fn m_and_ss_never_exceed_ls(dims in dims_strategy(4)) {
+        let ls = chain_query(&dims, SelectivityRule::LargestSelectivity);
+        let ss = chain_query(&dims, SelectivityRule::SmallestSelectivity);
+        let m = chain_query(&dims, SelectivityRule::Multiplicative);
+        for order in permutations(dims.len()) {
+            let e_ls = ls.estimate_final(&order).unwrap();
+            let e_ss = ss.estimate_final(&order).unwrap();
+            let e_m = m.estimate_final(&order).unwrap();
+            prop_assert!(e_m <= e_ss * (1.0 + 1e-9), "M {e_m} > SS {e_ss} for {order:?}");
+            prop_assert!(e_ss <= e_ls * (1.0 + 1e-9), "SS {e_ss} > LS {e_ls} for {order:?}");
+        }
+    }
+
+    /// Two independent equivalence classes multiply (Section 7): the
+    /// estimate of a query with two disjoint join-column classes equals the
+    /// product of the per-class reductions.
+    #[test]
+    fn independent_classes_compose_multiplicatively(
+        a in dims_strategy(3),
+        b in dims_strategy(3),
+    ) {
+        // Three tables, each with two join columns; class A links column 0
+        // across tables, class B links column 1.
+        let stats = QueryStatistics::new(
+            (0..3)
+                .map(|i| {
+                    let rows = a[i].0.max(b[i].0);
+                    TableStatistics::new(
+                        rows,
+                        vec![
+                            ColumnStatistics::with_distinct(a[i].1),
+                            ColumnStatistics::with_distinct(b[i].1),
+                        ],
+                    )
+                })
+                .collect(),
+        );
+        let rows: Vec<f64> = (0..3).map(|i| a[i].0.max(b[i].0)).collect();
+        let predicates = vec![
+            Predicate::join_eq(ColumnRef::new(0, 0), ColumnRef::new(1, 0)),
+            Predicate::join_eq(ColumnRef::new(1, 0), ColumnRef::new(2, 0)),
+            Predicate::join_eq(ColumnRef::new(0, 1), ColumnRef::new(1, 1)),
+            Predicate::join_eq(ColumnRef::new(1, 1), ColumnRef::new(2, 1)),
+        ];
+        let els = Els::prepare(&predicates, &stats, &ElsOptions::default()).unwrap();
+        let estimate = els.estimate_final(&[0, 1, 2]).unwrap();
+
+        // Expected: prod(rows) / (prod d_a except min) / (prod d_b except min).
+        let da: Vec<f64> = a.iter().map(|x| x.1).collect();
+        let db: Vec<f64> = b.iter().map(|x| x.1).collect();
+        let prod_except_min = |d: &[f64]| {
+            let min = d.iter().copied().fold(f64::INFINITY, f64::min);
+            d.iter().product::<f64>() / min
+        };
+        let expected: f64 =
+            rows.iter().product::<f64>() / prod_except_min(&da) / prod_except_min(&db);
+        let rel = (estimate - expected).abs() / expected.max(1e-12);
+        prop_assert!(rel < 1e-9, "estimate {estimate} != expected {expected}");
+    }
+}
+
+#[test]
+fn ls_handles_equal_distinct_counts() {
+    // Degenerate ties: all d equal; any order, estimate = prod rows / d^(n-1).
+    let dims = vec![(100.0, 10.0); 4];
+    let els = chain_query(&dims, SelectivityRule::LargestSelectivity);
+    let expected = 100.0f64.powi(4) / 10.0f64.powi(3);
+    for order in permutations(4) {
+        assert_eq!(els.estimate_final(&order).unwrap(), expected);
+    }
+}
+
+#[test]
+fn single_join_all_rules_agree() {
+    // With one eligible predicate there is nothing to choose: M = SS = LS.
+    let dims = vec![(100.0, 10.0), (200.0, 50.0)];
+    for rule in [
+        SelectivityRule::Multiplicative,
+        SelectivityRule::SmallestSelectivity,
+        SelectivityRule::LargestSelectivity,
+    ] {
+        let els = chain_query(&dims, rule);
+        assert_eq!(els.estimate_final(&[0, 1]).unwrap(), 100.0 * 200.0 / 50.0);
+    }
+}
