@@ -18,8 +18,7 @@ fn bench_prepare(c: &mut Criterion) {
         let preds = chain_predicates(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                Els::prepare(black_box(&preds), black_box(&stats), &ElsOptions::default())
-                    .unwrap()
+                Els::prepare(black_box(&preds), black_box(&stats), &ElsOptions::default()).unwrap()
             })
         });
     }

@@ -1,0 +1,133 @@
+//! Engine throughput: single-shot serial baseline vs the concurrent
+//! cache-fronted engine, on the mixed-depth Section 8 workload.
+//!
+//! Three measured phases, all over identical queries and data:
+//!
+//! 1. **serial uncached** — one thread, plan cache disabled: every query
+//!    pays parse + bind + optimize + execute. This is the engine the seed
+//!    shipped (and the "serial" of the headline speedup).
+//! 2. **serial cached** — one thread, warm plan cache: the second replay of
+//!    the identical workload; used to verify the ≥90% hit-rate target and
+//!    that cache hits skip `enumerate()` entirely.
+//! 3. **parallel cached** — 8 scoped threads sharing one engine and its
+//!    cache.
+//!
+//! Writes `BENCH_engine_throughput.json` and prints a summary. Run with
+//! `cargo run --release -p els-bench --bin bench_engine_throughput`.
+
+use std::fmt::Write as _;
+
+use els_bench::driver::{
+    replay_parallel, replay_serial, section8_engine, section8_throughput_workload, Replay,
+};
+use els_exec::metrics::enumerations;
+
+const THREADS: usize = 8;
+const REPEATS: usize = 2;
+
+fn json_phase(out: &mut String, key: &str, replay: &Replay) {
+    let _ = write!(
+        out,
+        "  \"{key}\": {{ \"queries\": {}, \"seconds\": {:.4}, \"qps\": {:.2} }},\n",
+        replay.queries,
+        replay.elapsed.as_secs_f64(),
+        replay.qps()
+    );
+}
+
+fn main() {
+    let queries = section8_throughput_workload();
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "engine throughput: {} distinct queries, {THREADS} threads, {REPEATS} repeats, {cpus} cpu(s)",
+        queries.len()
+    );
+
+    // Phase 1: the pre-cache engine — serial, no plan reuse.
+    let uncached_engine = section8_engine(42, 0);
+    let enums_before = enumerations();
+    let serial_uncached = replay_serial(&uncached_engine, &queries, REPEATS);
+    let serial_uncached_enums = enumerations() - enums_before;
+
+    // Phases 2 and 3 share one cache-fronted engine.
+    let engine = section8_engine(42, 256);
+    let enums_before = enumerations();
+    let cold = replay_serial(&engine, &queries, 1);
+    let cold_enums = enumerations() - enums_before;
+    assert_eq!(cold.counts, serial_uncached.counts, "cache must not change results");
+
+    let stats_before = engine.cache_stats();
+    let enums_before = enumerations();
+    let serial_cached = replay_serial(&engine, &queries, 1);
+    let second_replay_enums = enumerations() - enums_before;
+    let stats_after = engine.cache_stats();
+    let second_replay_hits = stats_after.hits - stats_before.hits;
+    let second_replay_lookups = second_replay_hits + (stats_after.misses - stats_before.misses);
+    let second_replay_hit_rate = second_replay_hits as f64 / second_replay_lookups as f64;
+    assert_eq!(serial_cached.counts, serial_uncached.counts);
+
+    let stats_before = engine.cache_stats();
+    let enums_before = enumerations();
+    let parallel = replay_parallel(&engine, &queries, THREADS, REPEATS);
+    let parallel_enums = enumerations() - enums_before;
+    let stats_after = engine.cache_stats();
+    let parallel_hits = stats_after.hits - stats_before.hits;
+    let parallel_lookups = parallel_hits + (stats_after.misses - stats_before.misses);
+    let parallel_hit_rate = parallel_hits as f64 / parallel_lookups as f64;
+    assert_eq!(parallel.counts, serial_uncached.counts);
+
+    let speedup_parallel = parallel.qps() / serial_uncached.qps();
+    let speedup_serial_cached = serial_cached.qps() / serial_uncached.qps();
+
+    let mut json = String::from("{\n  \"bench\": \"engine_throughput\",\n");
+    let _ = write!(
+        json,
+        "  \"workload\": \"section8 mixed-depth chains\", \"distinct_queries\": {}, \
+         \"threads\": {THREADS}, \"repeats\": {REPEATS}, \"cpus\": {cpus},\n",
+        queries.len()
+    );
+    json_phase(&mut json, "serial_uncached", &serial_uncached);
+    json_phase(&mut json, "serial_cached_second_replay", &serial_cached);
+    json_phase(&mut json, "parallel_8_threads_cached", &parallel);
+    let _ = write!(
+        json,
+        "  \"speedup_parallel_cached_vs_serial_uncached\": {speedup_parallel:.2},\n  \
+         \"speedup_serial_cached_vs_serial_uncached\": {speedup_serial_cached:.2},\n  \
+         \"second_replay_hit_rate\": {second_replay_hit_rate:.4},\n  \
+         \"parallel_hit_rate\": {parallel_hit_rate:.4},\n  \
+         \"enumerations\": {{ \"serial_uncached\": {serial_uncached_enums}, \
+         \"cold_replay\": {cold_enums}, \"second_replay\": {second_replay_enums}, \
+         \"parallel\": {parallel_enums} }}\n}}\n"
+    );
+    std::fs::write("BENCH_engine_throughput.json", &json)
+        .expect("write BENCH_engine_throughput.json");
+
+    println!(
+        "serial uncached: {:.1} qps ({} enumerations)",
+        serial_uncached.qps(),
+        serial_uncached_enums
+    );
+    println!(
+        "serial cached  : {:.1} qps ({} enumerations, hit rate {:.1}%)",
+        serial_cached.qps(),
+        second_replay_enums,
+        second_replay_hit_rate * 100.0
+    );
+    println!(
+        "parallel x{THREADS}    : {:.1} qps ({} enumerations, hit rate {:.1}%)",
+        parallel.qps(),
+        parallel_enums,
+        parallel_hit_rate * 100.0
+    );
+    println!("speedup parallel-cached vs serial-uncached: {speedup_parallel:.2}x");
+    let ok_speedup = speedup_parallel >= 2.0;
+    let ok_hits = second_replay_hit_rate >= 0.9;
+    let ok_enums = second_replay_enums == 0;
+    println!(
+        "targets: speedup>=2x {} | second-replay hit rate>=90% {} | hits skip enumerate() {}",
+        if ok_speedup { "PASS" } else { "FAIL" },
+        if ok_hits { "PASS" } else { "FAIL" },
+        if ok_enums { "PASS" } else { "FAIL" },
+    );
+    println!("wrote BENCH_engine_throughput.json");
+}

@@ -39,7 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "| {:<13} | {:<11} | {:<28} | {:>9} | {:>10} | {:>9} |",
         "algorithm", "join order", "estimated sizes", "pages", "tuples", "time(ms)"
     );
-    println!("|{}|{}|{}|{}|{}|{}|", "-".repeat(15), "-".repeat(13), "-".repeat(30), "-".repeat(11), "-".repeat(12), "-".repeat(11));
+    println!(
+        "|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(15),
+        "-".repeat(13),
+        "-".repeat(30),
+        "-".repeat(11),
+        "-".repeat(12),
+        "-".repeat(11)
+    );
 
     let mut measured: Vec<(EstimatorPreset, u64, f64)> = Vec::new();
     for preset in EstimatorPreset::all() {

@@ -51,24 +51,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert_eq!(out.count, 100, "{} must compute the true answer", preset.label());
             row.push(out.metrics.pages_read);
         }
-        println!(
-            "| {:<14} | {:>14} | {:>14} | {:>14} |",
-            preset.label(),
-            row[0],
-            row[1],
-            row[2]
-        );
+        println!("| {:<14} | {:>14} | {:>14} | {:>14} |", preset.label(), row[0], row[1], row[2]);
         table.push((preset.label().to_owned(), row));
     }
 
     let els = table.last().expect("ELS row present").1.clone();
     println!("\nslowdown vs ELS within each repertoire:");
     for (label, row) in &table {
-        let ratios: Vec<String> = row
-            .iter()
-            .zip(&els)
-            .map(|(r, e)| format!("{:.1}x", *r as f64 / *e as f64))
-            .collect();
+        let ratios: Vec<String> =
+            row.iter().zip(&els).map(|(r, e)| format!("{:.1}x", *r as f64 / *e as f64)).collect();
         println!("  {:<14} {}", label, ratios.join("  "));
     }
     Ok(())

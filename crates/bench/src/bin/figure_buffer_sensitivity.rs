@@ -15,8 +15,8 @@
 //! between these two regimes.
 
 use els_bench::{section8_catalog, SECTION8_SQL};
-use els_exec::executor::execute_plan_buffered;
 use els_exec::execute_plan;
+use els_exec::executor::execute_plan_buffered;
 use els_optimizer::{bound_query_tables, optimize_bound, EstimatorPreset, OptimizerOptions};
 use els_sql::{bind, parse};
 
@@ -41,7 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!();
-    println!("|{}|{}|{}|{}|{}|{}|", "-".repeat(16), "-".repeat(12), "-".repeat(12), "-".repeat(12), "-".repeat(12), "-".repeat(12));
+    println!(
+        "|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(16),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12)
+    );
 
     let mut rows = Vec::new();
     for preset in presets {

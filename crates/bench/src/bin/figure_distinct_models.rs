@@ -43,20 +43,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("# F5 — join estimate quality under urn vs proportional d' reduction");
-    println!("(R: {rows} rows, d_b = {d_b}; S: {s_rows} rows; query: R ⋈ S on b = id, filter a < c)\n");
+    println!(
+        "(R: {rows} rows, d_b = {d_b}; S: {s_rows} rows; query: R ⋈ S on b = id, filter a < c)\n"
+    );
     println!(
         "| {:>9} | {:>10} | {:>12} | {:>12} | {:>9} | {:>9} |",
         "filter", "truth", "urn est", "prop est", "urn/true", "prop/true"
     );
     println!(
         "|{}|{}|{}|{}|{}|{}|",
-        "-".repeat(11), "-".repeat(12), "-".repeat(14), "-".repeat(14), "-".repeat(11), "-".repeat(11)
+        "-".repeat(11),
+        "-".repeat(12),
+        "-".repeat(14),
+        "-".repeat(14),
+        "-".repeat(11),
+        "-".repeat(11)
     );
 
     for frac in [0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 0.9] {
         let cut = (rows as f64 * frac) as i64;
-        let sql =
-            format!("SELECT COUNT(*) FROM R, S WHERE R.b = S.id AND R.a < {cut}");
+        let sql = format!("SELECT COUNT(*) FROM R, S WHERE R.b = S.id AND R.a < {cut}");
         let bound = bind(&parse(&sql)?, &catalog)?;
         let tables = bound_query_tables(&bound, &catalog)?;
         let mut estimates = Vec::new();

@@ -14,10 +14,10 @@
 //! which is why the paper insists on an algorithm that at least adds no
 //! error of its own.
 
+use els_bench::workload::q_error;
 use els_bench::{chain_predicates, chain_statistics, workload::quantile};
 use els_core::error_model::{perturb_statistics, worst_case_amplification};
 use els_core::{exact, Els, ElsOptions};
-use els_bench::workload::q_error;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,7 +33,12 @@ fn main() {
     );
     println!(
         "|{}|{}|{}|{}|{}|{}|",
-        "-".repeat(4), "-".repeat(6), "-".repeat(11), "-".repeat(11), "-".repeat(11), "-".repeat(13)
+        "-".repeat(4),
+        "-".repeat(6),
+        "-".repeat(11),
+        "-".repeat(11),
+        "-".repeat(11),
+        "-".repeat(13)
     );
 
     for n in [2usize, 4, 6, 8, 10] {
@@ -52,8 +57,7 @@ fn main() {
                 let stats = chain_statistics(&dims);
                 let preds = chain_predicates(n);
                 let perturbed = perturb_statistics(&stats, eps, trial * 1000 + n as u64);
-                let els =
-                    Els::prepare(&preds, &perturbed, &ElsOptions::default()).unwrap();
+                let els = Els::prepare(&preds, &perturbed, &ElsOptions::default()).unwrap();
                 let order: Vec<usize> = (0..n).collect();
                 let est = els.estimate_final(&order).unwrap();
                 qs.push(q_error(est, truth));

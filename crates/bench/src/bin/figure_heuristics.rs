@@ -33,8 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "|{}|{}|{}|{}|{}|{}|{}|",
-        "-".repeat(5), "-".repeat(14), "-".repeat(14), "-".repeat(14),
-        "-".repeat(11), "-".repeat(11), "-".repeat(11)
+        "-".repeat(5),
+        "-".repeat(14),
+        "-".repeat(14),
+        "-".repeat(14),
+        "-".repeat(11),
+        "-".repeat(11),
+        "-".repeat(11)
     );
 
     for n in [4usize, 6, 8, 10, 12, 14, 16, 20, 24] {
@@ -73,9 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (greedy_cost, greedy_ms) =
             time(&mut || greedy_order(&els, &profiles, &methods, &params).unwrap().estimated_cost);
         let (ii_cost, ii_ms) = time(&mut || {
-            iterative_improvement(&els, &profiles, &methods, &params, 4, 42)
-                .unwrap()
-                .estimated_cost
+            iterative_improvement(&els, &profiles, &methods, &params, 4, 42).unwrap().estimated_cost
         });
 
         let rel = |c: f64| if dp_cost.is_nan() { f64::NAN } else { c / dp_cost };

@@ -65,8 +65,7 @@ const QUERIES: [(&str, &str); 6] = [
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = catalog(99);
-    let presets =
-        [EstimatorPreset::Sm, EstimatorPreset::Sss, EstimatorPreset::Els];
+    let presets = [EstimatorPreset::Sm, EstimatorPreset::Sss, EstimatorPreset::Els];
 
     println!("# F4 — measured plan work (simulated page reads) by estimator");
     println!("(all plans verified to produce identical counts)\n");
@@ -76,7 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "|{}|{}|{}|{}|{}|{}|",
-        "-".repeat(26), "-".repeat(14), "-".repeat(14), "-".repeat(14), "-".repeat(10), "-".repeat(10)
+        "-".repeat(26),
+        "-".repeat(14),
+        "-".repeat(14),
+        "-".repeat(14),
+        "-".repeat(10),
+        "-".repeat(10)
     );
 
     let mut sm_ratios = Vec::new();
@@ -98,7 +102,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sss_ratios.push(sss / els);
         println!(
             "| {:<24} | {:>12.0} | {:>12.0} | {:>12.0} | {:>7.1}x | {:>7.1}x |",
-            label, sm, sss, els, sm / els, sss / els
+            label,
+            sm,
+            sss,
+            els,
+            sm / els,
+            sss / els
         );
     }
     println!(

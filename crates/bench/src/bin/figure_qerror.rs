@@ -58,24 +58,21 @@ fn main() {
     );
     println!(
         "|{}|{}|{}|{}|{}|{}|",
-        "-".repeat(24), "-".repeat(15), "-".repeat(11), "-".repeat(11), "-".repeat(13), "-".repeat(13)
+        "-".repeat(24),
+        "-".repeat(15),
+        "-".repeat(11),
+        "-".repeat(11),
+        "-".repeat(13),
+        "-".repeat(13)
     );
     family("chain-3 uniform", &WorkloadSpec::default(), TRIALS);
-    family(
-        "chain-5 uniform",
-        &WorkloadSpec { tables: 5, ..Default::default() },
-        TRIALS,
-    );
+    family("chain-5 uniform", &WorkloadSpec { tables: 5, ..Default::default() }, TRIALS);
     family(
         "star-4 uniform",
         &WorkloadSpec { tables: 4, shape: Shape::Star, ..Default::default() },
         TRIALS,
     );
-    family(
-        "chain-3 zipf(1.0)",
-        &WorkloadSpec { theta: 1.0, ..Default::default() },
-        TRIALS,
-    );
+    family("chain-3 zipf(1.0)", &WorkloadSpec { theta: 1.0, ..Default::default() }, TRIALS);
     family(
         "star-4 zipf(1.0)",
         &WorkloadSpec { tables: 4, shape: Shape::Star, theta: 1.0, ..Default::default() },

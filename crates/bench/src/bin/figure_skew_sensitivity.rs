@@ -69,7 +69,10 @@ fn run_zipf_zipf(theta: f64) -> (f64, f64) {
         catalog
             .register(
                 TableSpec::new(name, rows)
-                    .column(ColumnSpec::new("key", Distribution::ZipfInt { n: domain, theta, start: 0 }))
+                    .column(ColumnSpec::new(
+                        "key",
+                        Distribution::ZipfInt { n: domain, theta, start: 0 },
+                    ))
                     .generate(seed),
                 &CollectOptions::full(),
             )
@@ -95,7 +98,14 @@ fn main() {
         "| {:>4} | {:<26} | {:>10} | {:>10} | {:>9} |",
         "θ", "query", "estimate", "truth", "est/true"
     );
-    println!("|{}|{}|{}|{}|{}|", "-".repeat(6), "-".repeat(28), "-".repeat(12), "-".repeat(12), "-".repeat(11));
+    println!(
+        "|{}|{}|{}|{}|{}|",
+        "-".repeat(6),
+        "-".repeat(28),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(11)
+    );
     for theta in [0.0, 0.5, 1.0, 1.5] {
         for with_filter in [false, true] {
             let (estimate, truth) = run_case(theta, with_filter);

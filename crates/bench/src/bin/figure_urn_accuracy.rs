@@ -44,7 +44,20 @@ fn main() {
         "| {:>6} | {:>8} | {:>5} | {:>10} | {:>10} | {:>10} | {:>8} | {:>8} |",
         "d", "rows", "frac", "simulated", "urn", "prop", "urn err", "prop err"
     );
-    println!("|{}|", ["-".repeat(8), "-".repeat(10), "-".repeat(7), "-".repeat(12), "-".repeat(12), "-".repeat(12), "-".repeat(10), "-".repeat(10)].join("|"));
+    println!(
+        "|{}|",
+        [
+            "-".repeat(8),
+            "-".repeat(10),
+            "-".repeat(7),
+            "-".repeat(12),
+            "-".repeat(12),
+            "-".repeat(12),
+            "-".repeat(10),
+            "-".repeat(10)
+        ]
+        .join("|")
+    );
 
     for (d, per_value) in [(100u64, 10u64), (1000, 10), (10_000, 10), (10_000, 2), (1000, 100)] {
         let n = d * per_value;

@@ -1,0 +1,205 @@
+//! Parallel workload driver for the cache-fronted engine.
+//!
+//! Replays a fixed, mixed-depth Section 8 workload against an
+//! [`els::engine::Engine`] — serially or across N threads with
+//! [`std::thread::scope`] — and reports throughput. The workload extends
+//! the paper's 4-table chain with deeper self-join variants (the repo's
+//! extended-experiment idiom): those are cheap to *execute* once the
+//! transitive closure has made every scan selective, but expensive to
+//! *optimize* in the full bushy plan space, which is exactly the regime a
+//! plan cache serves.
+//!
+//! Used by the `bench_engine_throughput` binary (which writes
+//! `BENCH_engine_throughput.json`) and by the concurrency tests.
+
+use std::time::{Duration, Instant};
+
+use els::engine::Engine;
+use els_optimizer::OptimizerOptions;
+
+use crate::section8_catalog;
+
+/// The optimizer configuration the throughput workload runs under: the
+/// paper's default estimator (ELS) in the richest plan space this engine
+/// has (bushy trees, all four join methods).
+pub fn throughput_options() -> OptimizerOptions {
+    OptimizerOptions::default().with_bushy_trees().with_hash_join().with_index_nested_loop()
+}
+
+/// A `tables`-way self-join chain over the Section 8 schema: aliases cycle
+/// S, M, B, G, adjacent aliases join on their key columns, and the filter
+/// `t0.s < cut` seeds the transitive closure.
+pub fn chain_sql(tables: usize, cut: i64) -> String {
+    assert!(tables >= 2, "a chain needs at least two tables");
+    let base = [("S", "s"), ("M", "m"), ("B", "b"), ("G", "g")];
+    let mut from = Vec::new();
+    let mut conjuncts = Vec::new();
+    for i in 0..tables {
+        let (name, _) = base[i % base.len()];
+        from.push(format!("{name} AS t{i}"));
+    }
+    for i in 1..tables {
+        let (_, prev) = base[(i - 1) % base.len()];
+        let (_, this) = base[i % base.len()];
+        conjuncts.push(format!("t{}.{prev} = t{i}.{this}", i - 1));
+    }
+    conjuncts.push(format!("t0.s < {cut}"));
+    format!("SELECT COUNT(*) FROM {} WHERE {}", from.join(", "), conjuncts.join(" AND "))
+}
+
+/// The mixed throughput workload: the Section 8 query itself plus chain
+/// variants of increasing depth. Depth 10 in the bushy space costs tens of
+/// milliseconds to optimize — the cache's bread and butter — while the
+/// 4-table queries keep execution honest.
+pub fn section8_throughput_workload() -> Vec<String> {
+    let mut queries = vec![crate::SECTION8_SQL.to_owned()];
+    for cut in [50, 200, 400] {
+        queries.push(chain_sql(4, cut));
+    }
+    for cut in [100, 300] {
+        queries.push(chain_sql(6, cut));
+    }
+    for cut in [100, 300] {
+        queries.push(chain_sql(8, cut));
+    }
+    for cut in [100, 200, 300] {
+        queries.push(chain_sql(10, cut));
+    }
+    queries
+}
+
+/// Build an engine over the Section 8 catalog with the throughput options
+/// and the given plan-cache capacity (0 = the pre-cache single-shot
+/// behaviour).
+pub fn section8_engine(seed: u64, cache_capacity: usize) -> Engine {
+    let engine = Engine::with_options(throughput_options()).cache_capacity(cache_capacity);
+    for table in els_storage::datagen::starburst_experiment_tables(seed) {
+        engine.register(table).expect("fresh engine accepts the experiment tables");
+    }
+    // Sanity-check against the long-standing catalog constructor.
+    debug_assert_eq!(engine.snapshot().len(), section8_catalog(seed).len());
+    engine
+}
+
+/// One replay measurement.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Total queries executed.
+    pub queries: usize,
+    /// Wall-clock time for the whole replay.
+    pub elapsed: Duration,
+    /// Per-query result counts of one workload pass (every thread and
+    /// every repeat must produce these same counts).
+    pub counts: Vec<u64>,
+}
+
+impl Replay {
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Replay the workload `repeats` times on the calling thread.
+pub fn replay_serial(engine: &Engine, queries: &[String], repeats: usize) -> Replay {
+    let start = Instant::now();
+    let mut counts = Vec::new();
+    for repeat in 0..repeats {
+        for sql in queries {
+            let out = engine.execute(sql).expect("workload queries execute");
+            if repeat == 0 {
+                counts.push(out.count);
+            }
+        }
+    }
+    Replay { queries: queries.len() * repeats, elapsed: start.elapsed(), counts }
+}
+
+/// Replay the workload `repeats` times on each of `threads` scoped threads
+/// sharing one engine. Each thread walks the workload at a different
+/// rotation so cold plans are optimized by whichever thread gets there
+/// first. Panics if any two threads disagree on any query's result.
+pub fn replay_parallel(
+    engine: &Engine,
+    queries: &[String],
+    threads: usize,
+    repeats: usize,
+) -> Replay {
+    assert!(threads >= 1);
+    let start = Instant::now();
+    let mut per_thread: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let n = queries.len();
+                    let mut counts = vec![0u64; n];
+                    for repeat in 0..repeats {
+                        for i in 0..n {
+                            let q = (i + t) % n; // rotated start per thread
+                            let out =
+                                engine.execute(&queries[q]).expect("workload queries execute");
+                            if repeat == 0 {
+                                counts[q] = out.count;
+                            }
+                        }
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker threads do not panic")).collect()
+    });
+    let elapsed = start.elapsed();
+    let counts = per_thread.pop().expect("at least one thread");
+    for other in &per_thread {
+        assert_eq!(other, &counts, "threads must agree on every query result");
+    }
+    Replay { queries: queries.len() * threads * repeats, elapsed, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_sql_shapes() {
+        let q = chain_sql(4, 100);
+        assert!(q.contains("S AS t0"));
+        assert!(q.contains("G AS t3"));
+        assert!(q.contains("t0.s = t1.m"));
+        assert!(q.contains("t2.b = t3.g"));
+        assert!(q.ends_with("t0.s < 100"));
+        // Depth 6 wraps around the schema.
+        let q6 = chain_sql(6, 10);
+        assert!(q6.contains("S AS t4"));
+        assert!(q6.contains("t3.g = t4.s"));
+    }
+
+    #[test]
+    fn workload_is_distinct_and_executable() {
+        let queries = section8_throughput_workload();
+        let mut unique: Vec<_> = queries.iter().map(|q| els_sql::fingerprint(q).unwrap()).collect();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), queries.len(), "workload queries must not collide");
+    }
+
+    #[test]
+    fn serial_and_parallel_replays_agree() {
+        // A trimmed workload keeps this test fast: correctness of the
+        // full-depth workload is the throughput binary's job.
+        let engine = section8_engine(42, 64);
+        let queries: Vec<String> = section8_throughput_workload()
+            .into_iter()
+            .filter(|q| q.matches(" AS ").count() <= 4)
+            .collect();
+        assert!(queries.len() >= 4);
+        let serial = replay_serial(&engine, &queries, 1);
+        // The paper's ground truth for the Section 8 query.
+        assert_eq!(serial.counts[0], 100);
+        let parallel = replay_parallel(&engine, &queries, 4, 2);
+        assert_eq!(parallel.counts, serial.counts);
+        assert_eq!(parallel.queries, queries.len() * 8);
+        assert!(engine.cache_stats().hit_rate() > 0.5);
+    }
+}

@@ -85,10 +85,7 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> WorkloadInstance {
             .register(
                 TableSpec::new(&name, rows)
                     .column(ColumnSpec::new("k", key_dist))
-                    .column(ColumnSpec::new(
-                        "f",
-                        Distribution::UniformInt { lo: 0, hi: 99 },
-                    ))
+                    .column(ColumnSpec::new("f", Distribution::UniformInt { lo: 0, hi: 99 }))
                     .generate(seed.wrapping_mul(31).wrapping_add(i as u64)),
                 &CollectOptions::default(),
             )
@@ -115,7 +112,8 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> WorkloadInstance {
             conjuncts.push(format!("{name}.f < {cut}"));
         }
     }
-    let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", names.join(", "), conjuncts.join(" AND "));
+    let sql =
+        format!("SELECT COUNT(*) FROM {} WHERE {}", names.join(", "), conjuncts.join(" AND "));
     let bound = bind(&parse(&sql).expect("generator emits valid SQL"), &catalog)
         .expect("generator emits bindable SQL");
     WorkloadInstance { catalog, sql, bound }
@@ -158,10 +156,8 @@ mod tests {
         let chain = generate(&WorkloadSpec { tables: 4, ..Default::default() }, 1);
         assert!(chain.sql.contains("w0.k = w1.k"));
         assert!(chain.sql.contains("w2.k = w3.k"));
-        let star = generate(
-            &WorkloadSpec { tables: 4, shape: Shape::Star, ..Default::default() },
-            1,
-        );
+        let star =
+            generate(&WorkloadSpec { tables: 4, shape: Shape::Star, ..Default::default() }, 1);
         assert!(star.sql.contains("w0.k = w1.k"));
         assert!(star.sql.contains("w0.k = w3.k"));
         assert!(!star.sql.contains("w1.k = w2.k"));
@@ -171,8 +167,7 @@ mod tests {
     fn instances_execute_end_to_end() {
         for seed in 0..5 {
             let inst = generate(&WorkloadSpec::default(), seed);
-            let tables =
-                els_optimizer::bound_query_tables(&inst.bound, &inst.catalog).unwrap();
+            let tables = els_optimizer::bound_query_tables(&inst.bound, &inst.catalog).unwrap();
             let optimized = els_optimizer::optimize_bound(
                 &inst.bound,
                 &inst.catalog,

@@ -120,7 +120,9 @@ impl Catalog {
     pub fn oracle(&self, from: &[&str]) -> CatalogResult<QueryOracle<'_>> {
         let tables = from
             .iter()
-            .map(|name| self.find(name).ok_or_else(|| CatalogError::UnknownTable((*name).to_owned())))
+            .map(|name| {
+                self.find(name).ok_or_else(|| CatalogError::UnknownTable((*name).to_owned()))
+            })
             .collect::<CatalogResult<Vec<_>>>()?;
         Ok(QueryOracle { catalog: self, tables })
     }
@@ -236,9 +238,7 @@ mod tests {
         // String constants miss too.
         let c2 = sample_catalog(&CollectOptions::full());
         let o2 = c2.oracle(&["A"]).unwrap();
-        assert!(o2
-            .local_selectivity(ColumnRef::new(0, 0), CmpOp::Eq, &Value::from("s"))
-            .is_none());
+        assert!(o2.local_selectivity(ColumnRef::new(0, 0), CmpOp::Eq, &Value::from("s")).is_none());
     }
 
     #[test]
@@ -254,9 +254,8 @@ mod tests {
             col.iter().filter(|v| v.as_int() == Some(0)).count() as f64 / 5000.0
         };
         let oracle = c.oracle(&["Z"]).unwrap();
-        let est = oracle
-            .local_selectivity(ColumnRef::new(0, 0), CmpOp::Eq, &Value::Int(0))
-            .unwrap();
+        let est =
+            oracle.local_selectivity(ColumnRef::new(0, 0), CmpOp::Eq, &Value::Int(0)).unwrap();
         assert!((est - truth).abs() < 1e-9, "MCV estimate {est} != truth {truth}");
     }
 
@@ -269,8 +268,7 @@ mod tests {
             c.resolve_column(&["A", "B"], "A", "x").unwrap(),
             c.resolve_column(&["A", "B"], "B", "y").unwrap(),
         )];
-        let els =
-            els_core::Els::prepare(&preds, &stats, &els_core::ElsOptions::default()).unwrap();
+        let els = els_core::Els::prepare(&preds, &stats, &els_core::ElsOptions::default()).unwrap();
         // ||A ⋈ B|| = 1000·500/max(1000,50) = 500.
         let s = els.join(&els.initial_state(0).unwrap(), 1).unwrap();
         assert_eq!(s.cardinality(), 500.0);

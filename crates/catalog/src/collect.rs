@@ -127,10 +127,9 @@ pub fn collect_table_stats(table: &Table, options: &CollectOptions) -> TableStat
             // Materialize the values under consideration (all, or sample).
             let values: Vec<_> = match &sampled_rows {
                 None => col.iter().collect(),
-                Some(rows) => rows
-                    .iter()
-                    .map(|&r| col.get(r).expect("sampled row in range"))
-                    .collect(),
+                Some(rows) => {
+                    rows.iter().map(|&r| col.get(r).expect("sampled row in range")).collect()
+                }
             };
             let rows = values.len();
             let nulls = values.iter().filter(|v| v.is_null()).count();
@@ -257,20 +256,13 @@ mod tests {
         for (d_true, per_value) in [(100u64, 100u64), (1000, 20), (5000, 4)] {
             let n = d_true * per_value;
             let t = TableSpec::new("t", n as usize)
-                .column(ColumnSpec::new(
-                    "v",
-                    Distribution::CycleInt { modulus: d_true, start: 0 },
-                ))
+                .column(ColumnSpec::new("v", Distribution::CycleInt { modulus: d_true, start: 0 }))
                 .generate(1);
             let opts = CollectOptions::default().with_sampling(0.2, 7);
             let stats = collect_table_stats(&t, &opts);
             let est = stats.columns[0].distinct;
             let rel = (est - d_true as f64).abs() / d_true as f64;
-            assert!(
-                rel < 0.15,
-                "d_true {d_true}: estimated {est} ({:.1}% off)",
-                rel * 100.0
-            );
+            assert!(rel < 0.15, "d_true {d_true}: estimated {est} ({:.1}% off)", rel * 100.0);
             // Row count stays exact.
             assert_eq!(stats.row_count, n as usize);
         }
@@ -287,8 +279,7 @@ mod tests {
                 },
             ))
             .generate(3);
-        let stats =
-            collect_table_stats(&t, &CollectOptions::default().with_sampling(0.25, 11));
+        let stats = collect_table_stats(&t, &CollectOptions::default().with_sampling(0.25, 11));
         assert!((stats.columns[0].null_fraction - 0.3).abs() < 0.05);
     }
 

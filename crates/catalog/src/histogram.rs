@@ -224,10 +224,7 @@ impl MostCommonValues {
 
     /// Exact selectivity of `= v` when `v` is in the list.
     pub fn eq_selectivity(&self, v: f64) -> Option<f64> {
-        self.entries
-            .iter()
-            .find(|(val, _)| *val == v)
-            .map(|(_, n)| *n as f64 / self.total as f64)
+        self.entries.iter().find(|(val, _)| *val == v).map(|(_, n)| *n as f64 / self.total as f64)
     }
 
     /// The tracked entries.

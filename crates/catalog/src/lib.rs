@@ -15,6 +15,9 @@
 //!   data), and the bridge into `els-core`: positional
 //!   [`els_core::QueryStatistics`] for a `FROM` list and a
 //!   [`els_core::selectivity::SelectivityOracle`] backed by histograms.
+//! * [`shared`] — concurrent serving: [`SharedCatalog`] publishes immutable
+//!   [`CatalogSnapshot`]s under a monotonically increasing *epoch*, the
+//!   invalidation token for cached plans.
 //!
 //! # Example
 //!
@@ -37,10 +40,12 @@ pub mod collect;
 pub mod error;
 pub mod histogram;
 pub mod schema;
+pub mod shared;
 pub mod stats;
 
 pub use catalog::{Catalog, QueryOracle};
 pub use error::{CatalogError, CatalogResult};
 pub use histogram::{EquiDepthHistogram, EquiWidthHistogram, Histogram, MostCommonValues};
 pub use schema::{ColumnDef, TableDef};
+pub use shared::{CatalogSnapshot, SharedCatalog};
 pub use stats::{ColumnStats, TableStats};

@@ -190,12 +190,12 @@ impl Els {
 
         // Step 5: join selectivities from the appropriate cardinalities.
         let infos = match options.preprocessing {
-            Preprocessing::Els => annotate_join_predicates(&predicates, &classes, |c| {
-                effective.distinct(c)
-            })?,
-            Preprocessing::Standard => annotate_join_predicates(&predicates, &classes, |c| {
-                effective.original_distinct(c)
-            })?,
+            Preprocessing::Els => {
+                annotate_join_predicates(&predicates, &classes, |c| effective.distinct(c))?
+            }
+            Preprocessing::Standard => {
+                annotate_join_predicates(&predicates, &classes, |c| effective.original_distinct(c))?
+            }
         };
 
         // Fixed representative per class (only used by Rule REP).
@@ -203,10 +203,8 @@ impl Els {
         for i in &infos {
             class_sels.entry(i.class).or_default().push(i.selectivity);
         }
-        let reps: HashMap<ClassId, f64> = class_sels
-            .into_iter()
-            .map(|(k, v)| (k, options.representative.derive(&v)))
-            .collect();
+        let reps: HashMap<ClassId, f64> =
+            class_sels.into_iter().map(|(k, v)| (k, options.representative.derive(&v))).collect();
 
         let table_cardinality = effective.tables.iter().map(|t| t.cardinality).collect();
         let prepared = PreparedQuery::from_parts(table_cardinality, infos, reps, options.rule);
@@ -282,13 +280,9 @@ impl Els {
     /// Convenience: the final estimated size of joining all tables in the
     /// given order.
     pub fn estimate_final(&self, order: &[TableId]) -> ElsResult<f64> {
-        Ok(self
-            .estimate_order(order)?
-            .last()
-            .copied()
-            .unwrap_or_else(|| {
-                order.first().map_or(0.0, |&t| self.prepared.base_cardinality(t).unwrap_or(0.0))
-            }))
+        Ok(self.estimate_order(order)?.last().copied().unwrap_or_else(|| {
+            order.first().map_or(0.0, |&t| self.prepared.base_cardinality(t).unwrap_or(0.0))
+        }))
     }
 }
 
@@ -310,9 +304,9 @@ mod tests {
         let stats =
             QueryStatistics::new(vec![mk(1000.0), mk(10_000.0), mk(50_000.0), mk(100_000.0)]);
         let preds = vec![
-            Predicate::col_eq(c(0, 0), c(1, 0)), // s = m
-            Predicate::col_eq(c(1, 0), c(2, 0)), // m = b
-            Predicate::col_eq(c(2, 0), c(3, 0)), // b = g
+            Predicate::col_eq(c(0, 0), c(1, 0)),              // s = m
+            Predicate::col_eq(c(1, 0), c(2, 0)),              // m = b
+            Predicate::col_eq(c(2, 0), c(3, 0)),              // b = g
             Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64), // s < 100
         ];
         (stats, preds)
@@ -392,16 +386,10 @@ mod tests {
             TableStatistics::new(100.0, vec![ColumnStatistics::with_distinct(100.0)]),
             TableStatistics::new(
                 1000.0,
-                vec![
-                    ColumnStatistics::with_distinct(10.0),
-                    ColumnStatistics::with_distinct(50.0),
-                ],
+                vec![ColumnStatistics::with_distinct(10.0), ColumnStatistics::with_distinct(50.0)],
             ),
         ]);
-        let preds = vec![
-            Predicate::col_eq(c(0, 0), c(1, 0)),
-            Predicate::col_eq(c(0, 0), c(1, 1)),
-        ];
+        let preds = vec![Predicate::col_eq(c(0, 0), c(1, 0)), Predicate::col_eq(c(0, 0), c(1, 1))];
         let els = Els::prepare(&preds, &stats, &ElsOptions::default()).unwrap();
         assert_eq!(els.same_table_adjustments().len(), 1);
         assert_eq!(els.effective_cardinality(1).unwrap(), 20.0);

@@ -59,7 +59,11 @@ pub fn transitive_closure(predicates: &[Predicate]) -> Vec<Predicate> {
             if let Some(class) = classes.class_of(column) {
                 for &other in classes.members(class) {
                     if other != column {
-                        implied.push(Predicate::LocalCmp { column: other, op, value: value.clone() });
+                        implied.push(Predicate::LocalCmp {
+                            column: other,
+                            op,
+                            value: value.clone(),
+                        });
                     }
                 }
             }
@@ -102,12 +106,9 @@ fn imply(p: &Predicate, q: &Predicate) -> Option<Predicate> {
     // Column-equality + column-equality sharing a column (rules a, b, c, d):
     // the shared column links the other two ends.
     if let (Some((a1, a2)), Some((b1, b2))) = (eq_sides(p), eq_sides(q)) {
-        for (shared, x, y) in [
-            (a1 == b1, a2, b2),
-            (a1 == b2, a2, b1),
-            (a2 == b1, a1, b2),
-            (a2 == b2, a1, b1),
-        ] {
+        for (shared, x, y) in
+            [(a1 == b1, a2, b2), (a1 == b2, a2, b1), (a2 == b1, a1, b2), (a2 == b2, a1, b1)]
+        {
             if shared && x != y {
                 return Some(Predicate::col_eq(x, y));
             }
@@ -160,10 +161,7 @@ mod tests {
     #[test]
     fn rule_a_join_join_implies_join() {
         // Example 1a: (R0.x = R1.y) ∧ (R1.y = R2.z) ⇒ (R0.x = R2.z).
-        let input = vec![
-            Predicate::col_eq(c(0, 0), c(1, 0)),
-            Predicate::col_eq(c(1, 0), c(2, 0)),
-        ];
+        let input = vec![Predicate::col_eq(c(0, 0), c(1, 0)), Predicate::col_eq(c(1, 0), c(2, 0))];
         let out = transitive_closure(&input);
         assert!(out.contains(&Predicate::col_eq(c(0, 0), c(2, 0))));
         assert_eq!(out.len(), 3);
@@ -172,20 +170,14 @@ mod tests {
     #[test]
     fn rule_b_join_join_implies_local() {
         // (R0.x = R1.y) ∧ (R0.x = R1.w) ⇒ (R1.y = R1.w).
-        let input = vec![
-            Predicate::col_eq(c(0, 0), c(1, 0)),
-            Predicate::col_eq(c(0, 0), c(1, 1)),
-        ];
+        let input = vec![Predicate::col_eq(c(0, 0), c(1, 0)), Predicate::col_eq(c(0, 0), c(1, 1))];
         let out = transitive_closure(&input);
         assert!(out.contains(&Predicate::col_eq(c(1, 0), c(1, 1))));
     }
 
     #[test]
     fn rule_c_local_local_implies_local() {
-        let input = vec![
-            Predicate::col_eq(c(0, 0), c(0, 1)),
-            Predicate::col_eq(c(0, 1), c(0, 2)),
-        ];
+        let input = vec![Predicate::col_eq(c(0, 0), c(0, 1)), Predicate::col_eq(c(0, 1), c(0, 2))];
         let out = transitive_closure(&input);
         assert!(out.contains(&Predicate::col_eq(c(0, 0), c(0, 2))));
     }
@@ -193,10 +185,7 @@ mod tests {
     #[test]
     fn rule_d_join_local_implies_join() {
         // (R0.x = R1.y) ∧ (R0.x = R0.v) ⇒ (R1.y = R0.v).
-        let input = vec![
-            Predicate::col_eq(c(0, 0), c(1, 0)),
-            Predicate::col_eq(c(0, 0), c(0, 1)),
-        ];
+        let input = vec![Predicate::col_eq(c(0, 0), c(1, 0)), Predicate::col_eq(c(0, 0), c(0, 1))];
         let out = transitive_closure(&input);
         assert!(out.contains(&Predicate::col_eq(c(0, 1), c(1, 0))));
     }
@@ -292,7 +281,7 @@ mod tests {
                 if rng.gen_bool(0.3) {
                     preds.push(Predicate::local_cmp(
                         a,
-                        *[CmpOp::Eq, CmpOp::Lt, CmpOp::Gt].get(rng.gen_range(0..3)).unwrap(),
+                        *[CmpOp::Eq, CmpOp::Lt, CmpOp::Gt].get(rng.gen_range(0..3usize)).unwrap(),
                         rng.gen_range(0i64..100),
                     ));
                 } else {

@@ -210,10 +210,7 @@ mod tests {
     #[test]
     fn classes_from_example_1a() {
         // J1: R0.x = R1.y, J2: R1.y = R2.z  =>  {x, y, z} one class.
-        let preds = vec![
-            Predicate::col_eq(c(0, 0), c(1, 0)),
-            Predicate::col_eq(c(1, 0), c(2, 0)),
-        ];
+        let preds = vec![Predicate::col_eq(c(0, 0), c(1, 0)), Predicate::col_eq(c(1, 0), c(2, 0))];
         let ec = EquivalenceClasses::from_predicates(&preds);
         assert_eq!(ec.len(), 1);
         assert_eq!(ec.members(ClassId(0)), &[c(0, 0), c(1, 0), c(2, 0)]);
@@ -222,10 +219,7 @@ mod tests {
 
     #[test]
     fn separate_classes_stay_separate() {
-        let preds = vec![
-            Predicate::col_eq(c(0, 0), c(1, 0)),
-            Predicate::col_eq(c(0, 1), c(2, 0)),
-        ];
+        let preds = vec![Predicate::col_eq(c(0, 0), c(1, 0)), Predicate::col_eq(c(0, 1), c(2, 0))];
         let ec = EquivalenceClasses::from_predicates(&preds);
         assert_eq!(ec.len(), 2);
         assert!(!ec.equivalent(c(1, 0), c(2, 0)));
@@ -237,10 +231,7 @@ mod tests {
     #[test]
     fn local_column_equality_merges_within_table() {
         // R1.y = R1.w plus R0.x = R1.y puts all three together.
-        let preds = vec![
-            Predicate::col_eq(c(1, 0), c(1, 1)),
-            Predicate::col_eq(c(0, 0), c(1, 0)),
-        ];
+        let preds = vec![Predicate::col_eq(c(1, 0), c(1, 1)), Predicate::col_eq(c(0, 0), c(1, 0))];
         let ec = EquivalenceClasses::from_predicates(&preds);
         assert_eq!(ec.len(), 1);
         assert_eq!(ec.members_in_table(ClassId(0), 1), vec![c(1, 0), c(1, 1)]);
@@ -266,10 +257,7 @@ mod tests {
 
     #[test]
     fn iter_visits_all_classes() {
-        let preds = vec![
-            Predicate::col_eq(c(0, 0), c(1, 0)),
-            Predicate::col_eq(c(2, 0), c(3, 0)),
-        ];
+        let preds = vec![Predicate::col_eq(c(0, 0), c(1, 0)), Predicate::col_eq(c(2, 0), c(3, 0))];
         let ec = EquivalenceClasses::from_predicates(&preds);
         let sizes: Vec<usize> = ec.iter().map(|(_, m)| m.len()).collect();
         assert_eq!(sizes, vec![2, 2]);

@@ -125,10 +125,7 @@ impl PreparedQuery {
     /// Effective cardinality of a base table (after local predicates and the
     /// Section 6 adjustment).
     pub fn base_cardinality(&self, table: TableId) -> ElsResult<f64> {
-        self.table_cardinality
-            .get(table)
-            .copied()
-            .ok_or(ElsError::UnknownTable(table))
+        self.table_cardinality.get(table).copied().ok_or(ElsError::UnknownTable(table))
     }
 
     /// The annotated join predicates.
@@ -191,14 +188,17 @@ impl PreparedQuery {
     /// value each class contributed under the configured rule, and the
     /// resulting cardinality. Pure diagnostics — [`PreparedQuery::join`]
     /// computes the same numbers.
-    pub fn explain_join(&self, state: &JoinState, table: TableId) -> ElsResult<JoinStepExplanation> {
+    pub fn explain_join(
+        &self,
+        state: &JoinState,
+        table: TableId,
+    ) -> ElsResult<JoinStepExplanation> {
         let new_state = self.join(state, table)?;
         let mut classes: Vec<ClassChoice> = self
             .eligible_by_class(state, table)
             .into_iter()
             .map(|(class, eligible)| {
-                let representative =
-                    self.class_representative.get(&class).copied().unwrap_or(1.0);
+                let representative = self.class_representative.get(&class).copied().unwrap_or(1.0);
                 let chosen = self.rule.combine(&eligible, representative);
                 ClassChoice { class, eligible, chosen }
             })
@@ -341,11 +341,7 @@ mod tests {
         let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
         for order in [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
             let sizes = q.estimate_order(&order).unwrap();
-            assert_eq!(
-                *sizes.last().unwrap(),
-                1000.0,
-                "final size differs for order {order:?}"
-            );
+            assert_eq!(*sizes.last().unwrap(), 1000.0, "final size differs for order {order:?}");
         }
     }
 
@@ -436,9 +432,7 @@ mod tests {
             HashMap::new(),
             SelectivityRule::LargestSelectivity,
         );
-        let s = q
-            .join_sets(&q.initial_state(0).unwrap(), &q.initial_state(1).unwrap())
-            .unwrap();
+        let s = q.join_sets(&q.initial_state(0).unwrap(), &q.initial_state(1).unwrap()).unwrap();
         assert_eq!(s.cardinality(), 200.0);
     }
 

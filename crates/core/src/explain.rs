@@ -120,8 +120,7 @@ impl fmt::Display for EstimationReport {
                 "  R{}: ||R|| {} -> {:.1} (S_local {:.4}); d: ",
                 t.table, t.original_cardinality, t.effective_cardinality, t.local_selectivity
             )?;
-            let cols: Vec<String> =
-                t.columns.iter().map(|(o, e)| format!("{o}->{e}")).collect();
+            let cols: Vec<String> = t.columns.iter().map(|(o, e)| format!("{o}->{e}")).collect();
             writeln!(f, "[{}]", cols.join(", "))?;
         }
         if !self.steps.is_empty() {

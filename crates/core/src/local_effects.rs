@@ -165,9 +165,7 @@ pub fn compute_effective_stats(
             match resolved.shape {
                 ResolvedShape::Contradiction => contradiction = true,
                 ResolvedShape::Equality(_) => own_bound[c] = Some(1.0),
-                ResolvedShape::Range => {
-                    own_bound[c] = Some(cstats.distinct * resolved.selectivity)
-                }
+                ResolvedShape::Range => own_bound[c] = Some(cstats.distinct * resolved.selectivity),
                 ResolvedShape::Unconstrained => {}
             }
         }
@@ -223,7 +221,6 @@ mod tests {
     use crate::predicate::CmpOp;
     use crate::selectivity::NoOracle;
     use crate::stats::{ColumnStatistics, TableStatistics};
-    
 
     fn c(t: usize, col: usize) -> ColumnRef {
         ColumnRef::new(t, col)
@@ -390,10 +387,9 @@ mod tests {
     fn is_null_conflicts_with_comparisons_and_not_null() {
         let mut stats = one_table(1000.0, &[100.0]);
         stats.tables[0].columns[0].null_fraction = 0.2;
-        for extra in [
-            Predicate::local_cmp(c(0, 0), CmpOp::Lt, 10i64),
-            Predicate::is_not_null(c(0, 0)),
-        ] {
+        for extra in
+            [Predicate::local_cmp(c(0, 0), CmpOp::Lt, 10i64), Predicate::is_not_null(c(0, 0))]
+        {
             let preds = vec![Predicate::is_null(c(0, 0)), extra];
             let eff =
                 compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
@@ -416,14 +412,12 @@ mod tests {
         let mut stats = one_table(1000.0, &[1000.0]);
         stats.tables[0].columns[0].null_fraction = 0.5;
         let cmp_only = vec![Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64)];
-        let both = vec![
-            Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64),
-            Predicate::is_not_null(c(0, 0)),
-        ];
+        let both =
+            vec![Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64), Predicate::is_not_null(c(0, 0))];
         let a = compute_effective_stats(&cmp_only, &stats, &NoOracle, DistinctReduction::UrnModel)
             .unwrap();
-        let b = compute_effective_stats(&both, &stats, &NoOracle, DistinctReduction::UrnModel)
-            .unwrap();
+        let b =
+            compute_effective_stats(&both, &stats, &NoOracle, DistinctReduction::UrnModel).unwrap();
         assert_eq!(a.cardinality(0), b.cardinality(0));
     }
 

@@ -67,6 +67,11 @@ impl CmpOp {
     pub fn is_range(self) -> bool {
         matches!(self, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
     }
+
+    /// True for `=` and `<>`, where `a op b ≡ b op a`.
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, CmpOp::Eq | CmpOp::Ne)
+    }
 }
 
 impl fmt::Display for CmpOp {
@@ -193,18 +198,15 @@ impl Predicate {
     /// tables.
     pub fn validate(&self, num_columns_per_table: &[usize]) -> ElsResult<()> {
         let check = |c: ColumnRef| -> ElsResult<()> {
-            let ncols = *num_columns_per_table
-                .get(c.table)
-                .ok_or(ElsError::UnknownTable(c.table))?;
+            let ncols =
+                *num_columns_per_table.get(c.table).ok_or(ElsError::UnknownTable(c.table))?;
             if c.column >= ncols {
                 return Err(ElsError::UnknownColumn(c));
             }
             Ok(())
         };
         match self {
-            Predicate::LocalCmp { column, .. } | Predicate::IsNull { column, .. } => {
-                check(*column)
-            }
+            Predicate::LocalCmp { column, .. } | Predicate::IsNull { column, .. } => check(*column),
             Predicate::LocalColEq { left, right } => {
                 check(*left)?;
                 check(*right)?;

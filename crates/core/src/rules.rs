@@ -44,8 +44,15 @@ impl SelectivityRule {
     }
 
     /// Combine the eligible selectivities of ONE class at one join step.
-    /// `eligible` must be non-empty; `representative` is the class's fixed
-    /// value (used only by [`SelectivityRule::Representative`]).
+    /// `representative` is the class's fixed value (used only by
+    /// [`SelectivityRule::Representative`]).
+    ///
+    /// **Contract:** an empty `eligible` slice means "no eligible join
+    /// predicate applies at this step", and every order-based rule returns
+    /// the neutral selectivity `1.0` (the estimate is left unchanged).
+    /// Earlier revisions only `debug_assert!`ed here, so release builds
+    /// silently produced `±inf` from the min/max folds and poisoned every
+    /// downstream estimate.
     ///
     /// # Examples
     ///
@@ -56,9 +63,12 @@ impl SelectivityRule {
     /// let eligible = [0.01, 0.001];
     /// assert_eq!(SelectivityRule::LargestSelectivity.combine(&eligible, 0.0), 0.01);
     /// assert_eq!(SelectivityRule::SmallestSelectivity.combine(&eligible, 0.0), 0.001);
+    /// assert_eq!(SelectivityRule::SmallestSelectivity.combine(&[], 0.0), 1.0);
     /// ```
     pub fn combine(self, eligible: &[f64], representative: f64) -> f64 {
-        debug_assert!(!eligible.is_empty(), "combine called with no eligible selectivities");
+        if eligible.is_empty() && self != SelectivityRule::Representative {
+            return 1.0;
+        }
         match self {
             SelectivityRule::Multiplicative => eligible.iter().product(),
             SelectivityRule::SmallestSelectivity => {
@@ -89,9 +99,16 @@ pub enum RepresentativeStrategy {
 
 impl RepresentativeStrategy {
     /// Derive the class representative from all of that class's predicate
-    /// selectivities (non-empty).
+    /// selectivities.
+    ///
+    /// **Contract:** an empty slice yields the neutral selectivity `1.0`
+    /// (a class with no join predicates filters nothing). This used to be
+    /// a `debug_assert!` only, letting release builds return `±inf` from
+    /// the min/max folds.
     pub fn derive(self, class_selectivities: &[f64]) -> f64 {
-        debug_assert!(!class_selectivities.is_empty());
+        if class_selectivities.is_empty() {
+            return 1.0;
+        }
         match self {
             RepresentativeStrategy::SmallestInClass => {
                 class_selectivities.iter().copied().fold(f64::INFINITY, f64::min)
@@ -154,6 +171,40 @@ mod tests {
         let gm = RepresentativeStrategy::GeometricMean.derive(&sels);
         let expected = (0.01f64 * 0.001 * 0.001).powf(1.0 / 3.0);
         assert!((gm - expected).abs() < 1e-12);
+    }
+
+    /// Regression: before the empty-slice contract, release builds (where
+    /// `debug_assert!` compiles out) returned `+inf`/`-inf` from the
+    /// min/max folds and `NaN`-free garbage from the product, poisoning
+    /// every downstream cardinality. Empty input must be the neutral 1.0
+    /// in every build profile.
+    #[test]
+    fn empty_eligible_is_neutral_not_infinite() {
+        for rule in [
+            SelectivityRule::Multiplicative,
+            SelectivityRule::SmallestSelectivity,
+            SelectivityRule::LargestSelectivity,
+        ] {
+            let s = rule.combine(&[], 0.42);
+            assert!(s.is_finite(), "{rule:?} returned {s}");
+            assert_eq!(s, 1.0, "{rule:?}");
+        }
+        // Representative still answers with its fixed per-class value.
+        assert_eq!(SelectivityRule::Representative.combine(&[], 0.42), 0.42);
+    }
+
+    /// Regression companion for [`RepresentativeStrategy::derive`].
+    #[test]
+    fn empty_class_derives_neutral_representative() {
+        for strategy in [
+            RepresentativeStrategy::SmallestInClass,
+            RepresentativeStrategy::LargestInClass,
+            RepresentativeStrategy::GeometricMean,
+        ] {
+            let s = strategy.derive(&[]);
+            assert!(s.is_finite(), "{strategy:?} returned {s}");
+            assert_eq!(s, 1.0, "{strategy:?}");
+        }
     }
 
     #[test]

@@ -127,10 +127,7 @@ mod tests {
             TableStatistics::new(100.0, vec![ColumnStatistics::with_distinct(100.0)]),
             TableStatistics::new(
                 1000.0,
-                vec![
-                    ColumnStatistics::with_distinct(10.0),
-                    ColumnStatistics::with_distinct(50.0),
-                ],
+                vec![ColumnStatistics::with_distinct(10.0), ColumnStatistics::with_distinct(50.0)],
             ),
         ]);
         let preds = crate::closure::transitive_closure(&[

@@ -153,7 +153,13 @@ fn fraction_satisfying(stats: &ColumnStatistics, value: &Value, side: RangeSide)
     if d <= 0.0 {
         return DEFAULT_RANGE_SELECTIVITY;
     }
-    let below = grid_points_below(c, lo, hi, d, matches!(side, RangeSide::Below { strict: true } | RangeSide::Above { strict: false }));
+    let below = grid_points_below(
+        c,
+        lo,
+        hi,
+        d,
+        matches!(side, RangeSide::Below { strict: true } | RangeSide::Above { strict: false }),
+    );
     match side {
         // `x < c` counts strictly-below points; `x <= c` counts
         // non-strictly-below (grid_points_below's flag selects which).
@@ -213,10 +219,8 @@ pub fn resolve_column_predicates(
 
     // Phase 1: equalities. All must agree on one constant; the constant must
     // satisfy every other predicate on the column.
-    let equalities: Vec<&Value> = preds
-        .iter()
-        .filter_map(|(op, v)| (*op == CmpOp::Eq).then_some(v))
-        .collect();
+    let equalities: Vec<&Value> =
+        preds.iter().filter_map(|(op, v)| (*op == CmpOp::Eq).then_some(v)).collect();
     if let Some(first) = equalities.first() {
         if equalities.iter().any(|v| !v.sql_eq(first)) {
             return ResolvedColumn { selectivity: 0.0, shape: ResolvedShape::Contradiction };
@@ -354,10 +358,7 @@ mod tests {
     #[test]
     fn range_without_domain_uses_default() {
         let stats = ColumnStatistics::with_distinct(100.0);
-        assert_eq!(
-            model_selectivity(&stats, CmpOp::Lt, &Value::Int(5)),
-            DEFAULT_RANGE_SELECTIVITY
-        );
+        assert_eq!(model_selectivity(&stats, CmpOp::Lt, &Value::Int(5)), DEFAULT_RANGE_SELECTIVITY);
     }
 
     #[test]

@@ -57,9 +57,7 @@ impl ColumnStatistics {
         }
         if let (Some(lo), Some(hi)) = (self.min, self.max) {
             if lo > hi {
-                return Err(ElsError::InvalidStatistics(format!(
-                    "min {lo} exceeds max {hi}"
-                )));
+                return Err(ElsError::InvalidStatistics(format!("min {lo} exceeds max {hi}")));
             }
         }
         Ok(())
@@ -133,10 +131,7 @@ impl QueryStatistics {
 
     /// Statistics of a column.
     pub fn column(&self, c: ColumnRef) -> ElsResult<&ColumnStatistics> {
-        self.table(c.table)?
-            .columns
-            .get(c.column)
-            .ok_or(ElsError::UnknownColumn(c))
+        self.table(c.table)?.columns.get(c.column).ok_or(ElsError::UnknownColumn(c))
     }
 
     /// Validate every table.

@@ -77,10 +77,7 @@ impl Chunk {
         let mut provenance = Vec::new();
         for &c in columns {
             let pos = self.require(c)?;
-            cols.push((
-                format!("t{}_c{}", c.table, c.column),
-                self.data.column(pos)?.clone(),
-            ));
+            cols.push((format!("t{}_c{}", c.table, c.column), self.data.column(pos)?.clone()));
             provenance.push(c);
         }
         Ok(Chunk { data: Table::new("project", cols)?, provenance })

@@ -49,8 +49,6 @@ mod tests {
     #[test]
     fn display_mentions_details() {
         assert!(ExecError::UnknownTable(2).to_string().contains('2'));
-        assert!(ExecError::ColumnNotInSchema(ColumnRef::new(0, 1))
-            .to_string()
-            .contains("R0.c1"));
+        assert!(ExecError::ColumnNotInSchema(ColumnRef::new(0, 1)).to_string().contains("R0.c1"));
     }
 }

@@ -64,12 +64,8 @@ pub fn execute_plan_observed(
     tables: &[Arc<Table>],
 ) -> ExecResult<(ExecOutput, Observations)> {
     let mut obs = Observations::default();
-    let out = execute_plan_io_observed(
-        plan,
-        tables,
-        &mut crate::buffer::PageIo::unbuffered(),
-        &mut obs,
-    )?;
+    let out =
+        execute_plan_io_observed(plan, tables, &mut crate::buffer::PageIo::unbuffered(), &mut obs)?;
     Ok((out, obs))
 }
 
@@ -136,20 +132,27 @@ fn sort_output(
     order_by: &[(els_core::ColumnRef, bool)],
     metrics: &mut ExecMetrics,
 ) -> ExecResult<Table> {
-    let positions: Vec<(usize, bool)> = order_by
+    // Resolve every key column up front so the comparator below is
+    // infallible (a malformed plan degrades to an error, never a panic
+    // inside `sort_by`).
+    let keys: Vec<(&els_storage::ColumnVector, bool)> = order_by
         .iter()
         .map(|&(c, desc)| {
-            rows.column_index(&format!("t{}_c{}", c.table, c.column))
-                .map(|p| (p, desc))
-                .ok_or(ExecError::ColumnNotInSchema(c))
+            let p = rows
+                .column_index(&format!("t{}_c{}", c.table, c.column))
+                .ok_or(ExecError::ColumnNotInSchema(c))?;
+            let column = rows.column(p).map_err(|_| ExecError::ColumnNotInSchema(c))?;
+            Ok((column, desc))
         })
         .collect::<ExecResult<Vec<_>>>()?;
     let mut indices: Vec<usize> = (0..rows.num_rows()).collect();
     metrics.rows_sorted += rows.num_rows() as u64;
     indices.sort_by(|&a, &b| {
-        for &(p, desc) in &positions {
-            let va = rows.column(p).expect("position checked").get(a).expect("row in range");
-            let vb = rows.column(p).expect("position checked").get(b).expect("row in range");
+        for &(column, desc) in &keys {
+            // Indices come from `0..num_rows`, so both lookups succeed;
+            // treat the unreachable error arm as NULL rather than panic.
+            let va = column.get(a).unwrap_or(els_storage::Value::Null);
+            let vb = column.get(b).unwrap_or(els_storage::Value::Null);
             let ord = va.total_cmp(&vb);
             if ord != std::cmp::Ordering::Equal {
                 return if desc { ord.reverse() } else { ord };
@@ -168,10 +171,8 @@ pub fn group_count(
     columns: &[els_core::ColumnRef],
     metrics: &mut ExecMetrics,
 ) -> ExecResult<Table> {
-    let positions: Vec<usize> = columns
-        .iter()
-        .map(|&c| chunk.require(c))
-        .collect::<ExecResult<Vec<_>>>()?;
+    let positions: Vec<usize> =
+        columns.iter().map(|&c| chunk.require(c)).collect::<ExecResult<Vec<_>>>()?;
     // Group by the rendered total-order key (values of one column share a
     // type, so rendering is collision-free) and remember one witness row.
     let mut groups: std::collections::BTreeMap<Vec<String>, (usize, u64)> =
@@ -198,10 +199,8 @@ pub fn group_count(
             ))
         })
         .collect::<ExecResult<Vec<_>>>()?;
-    let mut counts = els_storage::ColumnVector::with_capacity(
-        els_storage::DataType::Int,
-        groups.len(),
-    );
+    let mut counts =
+        els_storage::ColumnVector::with_capacity(els_storage::DataType::Int, groups.len());
     for (witness, n) in groups.values() {
         for (slot, &p) in positions.iter().enumerate() {
             let v = chunk.data.column(p)?.get(*witness)?;
@@ -253,9 +252,7 @@ fn execute_node_inner(
 ) -> ExecResult<Chunk> {
     match node {
         PlanNode::Scan { table_id, filters } => {
-            let data = tables
-                .get(*table_id)
-                .ok_or(ExecError::UnknownTable(*table_id))?;
+            let data = tables.get(*table_id).ok_or(ExecError::UnknownTable(*table_id))?;
             metrics.tuples_scanned += data.num_rows() as u64;
             io.scan_table(*table_id, data.num_pages() as u64, metrics);
             let chunk = Chunk::from_base_table(*table_id, (**data).clone());
@@ -271,9 +268,7 @@ fn execute_node_inner(
             if let (JoinMethod::NestedLoop, PlanNode::Scan { table_id, filters }) =
                 (method, right.as_ref())
             {
-                let inner = tables
-                    .get(*table_id)
-                    .ok_or(ExecError::UnknownTable(*table_id))?;
+                let inner = tables.get(*table_id).ok_or(ExecError::UnknownTable(*table_id))?;
                 let out = crate::join::nested_loop_rescan_join(
                     &l, *table_id, inner, filters, keys, metrics, io,
                 )?;
@@ -289,9 +284,7 @@ fn execute_node_inner(
                         "index nested loops requires a base-table inner".into(),
                     ));
                 };
-                let inner = tables
-                    .get(*table_id)
-                    .ok_or(ExecError::UnknownTable(*table_id))?;
+                let inner = tables.get(*table_id).ok_or(ExecError::UnknownTable(*table_id))?;
                 let Some(&(_, first_right)) = keys.first() else {
                     return Err(ExecError::InvalidPlan(
                         "index nested loops requires at least one join key".into(),
@@ -450,10 +443,7 @@ mod tests {
             },
             output: PlanOutput::CountStar,
         };
-        assert!(matches!(
-            execute_plan(&plan, &tables()),
-            Err(ExecError::InvalidPlan(_))
-        ));
+        assert!(matches!(execute_plan(&plan, &tables()), Err(ExecError::InvalidPlan(_))));
     }
 
     #[test]
@@ -477,10 +467,7 @@ mod tests {
         assert_eq!(unbuffered.count, buffered.count);
         // Logical reads identical; physical reads collapse.
         assert_eq!(unbuffered.metrics.pages_read, buffered.metrics.pages_read);
-        assert_eq!(
-            unbuffered.metrics.physical_pages_read,
-            unbuffered.metrics.pages_read
-        );
+        assert_eq!(unbuffered.metrics.physical_pages_read, unbuffered.metrics.pages_read);
         let t0_pages = ts[0].num_pages() as u64;
         let t1_pages = ts[1].num_pages() as u64;
         assert_eq!(buffered.metrics.physical_pages_read, t0_pages + t1_pages);

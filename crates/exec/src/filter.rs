@@ -41,11 +41,9 @@ impl CompiledFilter {
     /// Compile a local [`Predicate`]; join predicates are rejected.
     pub fn from_predicate(p: &Predicate) -> ExecResult<CompiledFilter> {
         match p {
-            Predicate::LocalCmp { column, op, value } => Ok(CompiledFilter::Cmp {
-                column: *column,
-                op: *op,
-                value: value.clone(),
-            }),
+            Predicate::LocalCmp { column, op, value } => {
+                Ok(CompiledFilter::Cmp { column: *column, op: *op, value: value.clone() })
+            }
             Predicate::LocalColEq { left, right } => {
                 Ok(CompiledFilter::ColEq { left: *left, right: *right })
             }
@@ -195,19 +193,13 @@ mod tests {
         t.push_row(vec![Value::Null]).unwrap();
         let ch = Chunk::from_base_table(0, t);
         let mut m = ExecMetrics::default();
-        let nulls = apply_filters(
-            &ch,
-            &[CompiledFilter::IsNull { column: c(0), negated: false }],
-            &mut m,
-        )
-        .unwrap();
+        let nulls =
+            apply_filters(&ch, &[CompiledFilter::IsNull { column: c(0), negated: false }], &mut m)
+                .unwrap();
         assert_eq!(nulls.num_rows(), 2);
-        let non_nulls = apply_filters(
-            &ch,
-            &[CompiledFilter::IsNull { column: c(0), negated: true }],
-            &mut m,
-        )
-        .unwrap();
+        let non_nulls =
+            apply_filters(&ch, &[CompiledFilter::IsNull { column: c(0), negated: true }], &mut m)
+                .unwrap();
         assert_eq!(non_nulls.num_rows(), 1);
     }
 

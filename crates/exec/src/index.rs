@@ -56,13 +56,9 @@ impl SortedIndex {
     /// Rows whose key equals `key`, in row order. Binary search; O(log n +
     /// matches).
     pub fn lookup<'a>(&'a self, key: &'a Value) -> impl Iterator<Item = usize> + 'a {
-        let lo = self.entries.partition_point(|(k, _)| {
-            k.total_cmp(key) == std::cmp::Ordering::Less
-        });
-        self.entries[lo..]
-            .iter()
-            .take_while(move |(k, _)| k.sql_eq(key))
-            .map(|(_, r)| *r as usize)
+        let lo =
+            self.entries.partition_point(|(k, _)| k.total_cmp(key) == std::cmp::Ordering::Less);
+        self.entries[lo..].iter().take_while(move |(k, _)| k.sql_eq(key)).map(|(_, r)| *r as usize)
     }
 }
 
@@ -92,12 +88,7 @@ pub fn index_nested_loop_join(
     // Residual keys beyond the indexed first.
     let residual: Vec<(usize, usize)> = keys[1..]
         .iter()
-        .map(|&(l, r)| {
-            Ok((
-                left.require(l)?,
-                inner_chunk.require(r)?,
-            ))
-        })
+        .map(|&(l, r)| Ok((left.require(l)?, inner_chunk.require(r)?)))
         .collect::<ExecResult<Vec<_>>>()?;
 
     let tuples_per_page = inner.tuples_per_page() as u64;
@@ -204,9 +195,8 @@ mod tests {
         }];
         let mut m = ExecMetrics::default();
         let mut io = crate::buffer::PageIo::unbuffered();
-        let out =
-            index_nested_loop_join(&outer, 1, &inner, &idx, &filters, &keys, &mut m, &mut io)
-                .unwrap();
+        let out = index_nested_loop_join(&outer, 1, &inner, &idx, &filters, &keys, &mut m, &mut io)
+            .unwrap();
         assert_eq!(out.num_rows(), 0);
     }
 

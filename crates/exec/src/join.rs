@@ -24,12 +24,8 @@ fn key_positions(
 ) -> ExecResult<Vec<(usize, usize)>> {
     keys.iter()
         .map(|&(l, r)| {
-            let lp = left
-                .position_of(l)
-                .ok_or(ExecError::ColumnNotInSchema(l))?;
-            let rp = right
-                .position_of(r)
-                .ok_or(ExecError::ColumnNotInSchema(r))?;
+            let lp = left.position_of(l).ok_or(ExecError::ColumnNotInSchema(l))?;
+            let rp = right.position_of(r).ok_or(ExecError::ColumnNotInSchema(r))?;
             Ok((lp, rp))
         })
         .collect()
@@ -466,8 +462,7 @@ mod tests {
 
         let inner_chunk = Chunk::from_base_table(1, inner_t.clone());
         let mut m2 = ExecMetrics::default();
-        let filtered =
-            crate::filter::apply_filters(&inner_chunk, &filters, &mut m2).unwrap();
+        let filtered = crate::filter::apply_filters(&inner_chunk, &filters, &mut m2).unwrap();
         let reference = nested_loop_join(&outer, &filtered, &keys(), &mut m2).unwrap();
         assert_eq!(result_pairs(&rescan), result_pairs(&reference));
         assert_eq!(rescan.num_rows(), 10);

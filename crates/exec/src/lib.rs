@@ -30,9 +30,11 @@ pub mod join;
 pub mod metrics;
 pub mod plan;
 
+pub use buffer::{BufferPool, PageIo};
 pub use chunk::Chunk;
 pub use error::{ExecError, ExecResult};
-pub use buffer::{BufferPool, PageIo};
-pub use executor::{execute_plan, execute_plan_buffered, execute_plan_observed, ExecOutput, Observations};
-pub use metrics::ExecMetrics;
+pub use executor::{
+    execute_plan, execute_plan_buffered, execute_plan_observed, ExecOutput, Observations,
+};
+pub use metrics::{EngineCounters, EngineCountersSnapshot, ExecMetrics};
 pub use plan::{JoinMethod, PlanNode, QueryPlan};

@@ -9,6 +9,7 @@
 //! experiment demonstrates.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Counters accumulated while executing one plan.
@@ -67,6 +68,103 @@ impl fmt::Display for ExecMetrics {
     }
 }
 
+/// Thread-safe counters for the cache-fronted engine: plan-cache traffic
+/// plus how often the optimizer's join enumeration actually ran. The
+/// per-query [`ExecMetrics`] above stays a plain value; these are the
+/// *shared* counters many serving threads bump concurrently, so they are
+/// atomics behind `&self`.
+///
+/// The cache counters are per-cache instances (each
+/// `els-optimizer` plan cache owns one); the enumeration counter is
+/// process-wide (see [`record_enumeration`]) because enumeration happens
+/// far below any engine object.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Plan-cache lookups answered from the cache.
+    pub hits: AtomicU64,
+    /// Plan-cache lookups that had to optimize.
+    pub misses: AtomicU64,
+    /// Entries evicted by the capacity bound (LRU).
+    pub evictions: AtomicU64,
+    /// Entries dropped because their catalog epoch went stale.
+    pub invalidations: AtomicU64,
+}
+
+impl EngineCounters {
+    /// A zeroed counter set.
+    pub fn new() -> EngineCounters {
+        EngineCounters::default()
+    }
+
+    /// A consistent-enough point-in-time copy (each counter is read
+    /// atomically; the set is not a single snapshot, which is fine for
+    /// monitoring).
+    pub fn snapshot(&self) -> EngineCountersSnapshot {
+        EngineCountersSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`EngineCounters`] for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCountersSnapshot {
+    /// Plan-cache hits.
+    pub hits: u64,
+    /// Plan-cache misses.
+    pub misses: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// Stale-epoch invalidations.
+    pub invalidations: u64,
+}
+
+impl EngineCountersSnapshot {
+    /// Hit fraction of all lookups (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineCountersSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} invalidations={} hit_rate={:.1}%",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.invalidations,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// Process-wide count of join-enumeration runs. The benchmark acceptance
+/// check "cache hits skip `enumerate()`" needs an observable signal from
+/// inside the optimizer; `els-optimizer` depends on this crate, so the
+/// counter lives here next to the other metrics.
+static ENUMERATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one join-enumeration run (called by `els-optimizer`).
+pub fn record_enumeration() {
+    ENUMERATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total join-enumeration runs in this process so far. Compare before/after
+/// deltas rather than absolute values: any thread may optimize concurrently.
+pub fn enumerations() -> u64 {
+    ENUMERATIONS.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +195,29 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("pages=0"));
         assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn counters_snapshot_and_hit_rate() {
+        let c = EngineCounters::new();
+        c.hits.fetch_add(3, Ordering::Relaxed);
+        c.misses.fetch_add(1, Ordering::Relaxed);
+        c.evictions.fetch_add(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.invalidations, 0);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(EngineCountersSnapshot::default().hit_rate(), 0.0);
+        assert!(s.to_string().contains("hit_rate=75.0%"));
+    }
+
+    #[test]
+    fn enumeration_counter_is_monotonic() {
+        let before = enumerations();
+        record_enumeration();
+        record_enumeration();
+        assert!(enumerations() >= before + 2);
     }
 }

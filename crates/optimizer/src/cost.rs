@@ -33,7 +33,12 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> Self {
-        CostParams { page_cost: 1.0, cpu_tuple_cost: 0.01, cpu_cmp_cost: 0.002, cpu_hash_cost: 0.015 }
+        CostParams {
+            page_cost: 1.0,
+            cpu_tuple_cost: 0.01,
+            cpu_cmp_cost: 0.002,
+            cpu_hash_cost: 0.015,
+        }
     }
 }
 

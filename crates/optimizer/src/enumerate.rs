@@ -64,7 +64,10 @@ struct Entry {
 
 /// Scan filters for one table: every local predicate of the (possibly
 /// closed) predicate set that touches only this table.
-pub fn scan_filters(predicates: &[Predicate], table: usize) -> OptimizerResult<Vec<CompiledFilter>> {
+pub fn scan_filters(
+    predicates: &[Predicate],
+    table: usize,
+) -> OptimizerResult<Vec<CompiledFilter>> {
     predicates
         .iter()
         .filter(|p| p.is_local() && p.columns().iter().all(|c| c.table == table))
@@ -74,11 +77,7 @@ pub fn scan_filters(predicates: &[Predicate], table: usize) -> OptimizerResult<V
 
 /// Join keys linking the tables of `mask` to `table`: `(left, right)` pairs
 /// with `left` inside the mask and `right` on the new table.
-pub fn join_keys(
-    predicates: &[Predicate],
-    mask: u64,
-    table: usize,
-) -> Vec<(ColumnRef, ColumnRef)> {
+pub fn join_keys(predicates: &[Predicate], mask: u64, table: usize) -> Vec<(ColumnRef, ColumnRef)> {
     join_keys_between(predicates, mask, 1u64 << table)
 }
 
@@ -118,7 +117,11 @@ pub fn enumerate_left_deep(
 /// Post-order estimated sizes of every join node in a plan tree (for a
 /// left-deep tree this equals the step-by-step sizes of
 /// [`Els::estimate_order`]).
-fn node_sizes(els: &Els, node: &PlanNode, sizes: &mut Vec<f64>) -> OptimizerResult<els_core::estimator::JoinState> {
+fn node_sizes(
+    els: &Els,
+    node: &PlanNode,
+    sizes: &mut Vec<f64>,
+) -> OptimizerResult<els_core::estimator::JoinState> {
     match node {
         PlanNode::Scan { table_id, .. } => Ok(els.initial_state(*table_id)?),
         PlanNode::Join { left, right, .. } => {
@@ -139,6 +142,9 @@ pub fn enumerate(
     params: &CostParams,
     shape: TreeShape,
 ) -> OptimizerResult<EnumerationResult> {
+    // Observable from the outside so cache effectiveness ("hits skip
+    // enumeration") can be asserted; see `els_exec::metrics::enumerations`.
+    els_exec::metrics::record_enumeration();
     let n = profiles.len();
     if n == 0 {
         return Err(OptimizerError::Unsupported("query with no tables".into()));
@@ -157,12 +163,8 @@ pub fn enumerate(
     for (t, profile) in profiles.iter().enumerate() {
         let state = els.initial_state(t)?;
         let node = PlanNode::Scan { table_id: t, filters: scan_filters(predicates, t)? };
-        best[1usize << t] = Some(Entry {
-            cost: params.scan(profile),
-            state,
-            node,
-            width: profile.row_bytes,
-        });
+        best[1usize << t] =
+            Some(Entry { cost: params.scan(profile), state, node, width: profile.row_bytes });
     }
 
     // Extend subsets in increasing mask order (all proper submasks of m are
@@ -258,9 +260,9 @@ pub fn enumerate(
                                     inner_rows,
                                     partner.width,
                                 ),
-                                JoinMethod::SortMerge => params.sort_merge_intermediate(
-                                    outer_rows, inner_rows, out_rows,
-                                ),
+                                JoinMethod::SortMerge => {
+                                    params.sort_merge_intermediate(outer_rows, inner_rows, out_rows)
+                                }
                                 JoinMethod::Hash => {
                                     params.hash_intermediate(outer_rows, inner_rows, out_rows)
                                 }
@@ -270,7 +272,13 @@ pub fn enumerate(
                                 best_method = Some((m, join_cost));
                             }
                         }
-                        let (method, join_cost) = best_method.expect("methods non-empty");
+                        // All enabled methods may have been skipped (e.g.
+                        // IndexNestedLoop-only configurations): no bushy
+                        // candidate for this pair, not a panic.
+                        let Some((method, join_cost)) = best_method else {
+                            sub = (sub - 1) & rest;
+                            continue;
+                        };
                         let total = entry.cost + partner.cost + join_cost;
                         let new_mask = mask | sub;
                         if best[new_mask].as_ref().is_none_or(|e| total < e.cost) {
@@ -295,7 +303,14 @@ pub fn enumerate(
     }
 
     let full = (1usize << n) - 1;
-    let winner = best[full].clone().expect("every subset reachable");
+    // Every subset should be reachable (left-deep transitions alone connect
+    // any mask), but a serving thread must degrade to an error — never
+    // panic — if that invariant is ever broken by a bad configuration.
+    let winner = best[full].clone().ok_or_else(|| {
+        OptimizerError::Internal(format!(
+            "join enumeration built no plan for the full table set ({n} tables)"
+        ))
+    })?;
     let join_order = winner.node.join_order();
     let mut estimated_sizes = Vec::new();
     node_sizes(els, &winner.node, &mut estimated_sizes)?;
@@ -389,11 +404,7 @@ mod tests {
         let (els, profiles) = section8(&ElsOptions::algorithm_sm());
         let r = enumerate_left_deep(&els, &profiles, &NL_SM, &CostParams::default()).unwrap();
         // The final intermediate estimates collapse toward zero...
-        assert!(
-            r.estimated_sizes.last().copied().unwrap() < 1e-3,
-            "sizes {:?}",
-            r.estimated_sizes
-        );
+        assert!(r.estimated_sizes.last().copied().unwrap() < 1e-3, "sizes {:?}", r.estimated_sizes);
         // ...so some nested-loops rescan of a big table looks free. G (or at
         // least B) must appear as an NL inner.
         let text = r.root.explain();
@@ -457,9 +468,8 @@ mod tests {
     #[test]
     fn bushy_space_never_costs_more_than_left_deep() {
         let (els, profiles) = section8(&ElsOptions::algorithm_els());
-        let ld =
-            enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
-                .unwrap();
+        let ld = enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
+            .unwrap();
         let bushy =
             enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::Bushy).unwrap();
         assert!(
@@ -492,9 +502,8 @@ mod tests {
         let els = Els::prepare(&preds, &stats, &ElsOptions::algorithm_els()).unwrap();
         let profiles: Vec<TableProfile> =
             (0..4).map(|_| TableProfile::synthetic(1000.0, 16)).collect();
-        let ld =
-            enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
-                .unwrap();
+        let ld = enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
+            .unwrap();
         let bushy =
             enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::Bushy).unwrap();
         assert!(bushy.estimated_cost <= ld.estimated_cost + 1e-9);
@@ -522,9 +531,8 @@ mod tests {
             enumerate_left_deep(&els, &[], &NL_SM, &CostParams::default()),
             Err(OptimizerError::Unsupported(_))
         ));
-        let stats = QueryStatistics::new(
-            (0..20).map(|_| TableStatistics::new(1.0, vec![])).collect(),
-        );
+        let stats =
+            QueryStatistics::new((0..20).map(|_| TableStatistics::new(1.0, vec![])).collect());
         let els = Els::prepare(&[], &stats, &ElsOptions::default()).unwrap();
         let profiles: Vec<TableProfile> =
             (0..20).map(|_| TableProfile::synthetic(1.0, 8)).collect();

@@ -13,6 +13,9 @@ pub enum OptimizerError {
     Catalog(String),
     /// The query shape is unsupported (no tables, too many tables, …).
     Unsupported(String),
+    /// An internal invariant did not hold (a bug, reported instead of
+    /// panicking so a serving thread degrades to an error response).
+    Internal(String),
 }
 
 impl fmt::Display for OptimizerError {
@@ -22,6 +25,7 @@ impl fmt::Display for OptimizerError {
             OptimizerError::Exec(e) => write!(f, "plan error: {e}"),
             OptimizerError::Catalog(m) => write!(f, "catalog error: {m}"),
             OptimizerError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            OptimizerError::Internal(m) => write!(f, "internal optimizer invariant violated: {m}"),
         }
     }
 }

@@ -134,7 +134,9 @@ pub fn greedy_order(
             best = Some(full);
         }
     }
-    Ok(best.expect("n > 0"))
+    best.ok_or_else(|| {
+        OptimizerError::Internal("greedy ordering produced no candidate order".into())
+    })
 }
 
 /// Randomized iterative improvement: random restart orders, each improved
@@ -182,7 +184,9 @@ pub fn iterative_improvement(
             global = Some(current);
         }
     }
-    Ok(global.expect("restarts >= 1"))
+    global.ok_or_else(|| {
+        OptimizerError::Internal("iterative improvement produced no candidate order".into())
+    })
 }
 
 #[cfg(test)]
@@ -226,8 +230,8 @@ mod tests {
         let (els, profiles) = chain(5);
         let dp = enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
             .unwrap();
-        let re = cost_order(&dp.join_order, &els, &profiles, &NL_SM, &CostParams::default())
-            .unwrap();
+        let re =
+            cost_order(&dp.join_order, &els, &profiles, &NL_SM, &CostParams::default()).unwrap();
         assert!((re.estimated_cost - dp.estimated_cost).abs() < 1e-9);
         assert_eq!(re.join_order, dp.join_order);
         assert_eq!(re.estimated_sizes, dp.estimated_sizes);
@@ -260,8 +264,8 @@ mod tests {
         let (els, profiles) = chain(5);
         let dp = enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
             .unwrap();
-        let ii = iterative_improvement(&els, &profiles, &NL_SM, &CostParams::default(), 6, 7)
-            .unwrap();
+        let ii =
+            iterative_improvement(&els, &profiles, &NL_SM, &CostParams::default(), 6, 7).unwrap();
         // Left-deep local optimum over swaps on a 5-chain reaches the DP
         // optimum with a handful of restarts.
         assert!(
@@ -276,18 +280,12 @@ mod tests {
     fn heuristics_scale_past_the_dp_limit() {
         // 18 tables: the DP refuses, the heuristics deliver.
         let (els, profiles) = chain(18);
-        assert!(enumerate(
-            &els,
-            &profiles,
-            &NL_SM,
-            &CostParams::default(),
-            TreeShape::LeftDeep
-        )
-        .is_err());
+        assert!(enumerate(&els, &profiles, &NL_SM, &CostParams::default(), TreeShape::LeftDeep)
+            .is_err());
         let greedy = greedy_order(&els, &profiles, &NL_SM, &CostParams::default()).unwrap();
         assert_eq!(greedy.join_order.len(), 18);
-        let ii = iterative_improvement(&els, &profiles, &NL_SM, &CostParams::default(), 2, 3)
-            .unwrap();
+        let ii =
+            iterative_improvement(&els, &profiles, &NL_SM, &CostParams::default(), 2, 3).unwrap();
         assert_eq!(ii.join_order.len(), 18);
         assert!(greedy.estimated_cost.is_finite() && ii.estimated_cost.is_finite());
     }
@@ -295,10 +293,10 @@ mod tests {
     #[test]
     fn iterative_improvement_is_deterministic_per_seed() {
         let (els, profiles) = chain(6);
-        let a = iterative_improvement(&els, &profiles, &NL_SM, &CostParams::default(), 3, 42)
-            .unwrap();
-        let b = iterative_improvement(&els, &profiles, &NL_SM, &CostParams::default(), 3, 42)
-            .unwrap();
+        let a =
+            iterative_improvement(&els, &profiles, &NL_SM, &CostParams::default(), 3, 42).unwrap();
+        let b =
+            iterative_improvement(&els, &profiles, &NL_SM, &CostParams::default(), 3, 42).unwrap();
         assert_eq!(a.join_order, b.join_order);
         assert_eq!(a.estimated_cost, b.estimated_cost);
     }
@@ -308,9 +306,7 @@ mod tests {
         let stats = QueryStatistics::new(vec![]);
         let els = Els::prepare(&[], &stats, &ElsOptions::default()).unwrap();
         assert!(greedy_order(&els, &[], &NL_SM, &CostParams::default()).is_err());
-        assert!(
-            iterative_improvement(&els, &[], &NL_SM, &CostParams::default(), 1, 1).is_err()
-        );
+        assert!(iterative_improvement(&els, &[], &NL_SM, &CostParams::default(), 1, 1).is_err());
         let (els, profiles) = chain(3);
         assert!(cost_order(&[], &els, &profiles, &NL_SM, &CostParams::default()).is_err());
     }

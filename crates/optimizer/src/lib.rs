@@ -14,6 +14,9 @@
 //! * [`enumerate`] — dynamic-programming enumeration of left-deep join
 //!   trees, choosing join order *and* join method per step from estimated
 //!   cardinalities.
+//! * [`plan_cache`] — a concurrent LRU plan cache keyed by canonical query
+//!   fingerprint + catalog epoch, so repeated queries skip enumeration
+//!   entirely (counters in [`els_exec::EngineCounters`]).
 //! * [`optimizer`] — the front door: configure an estimation algorithm
 //!   (the paper's **SM**, **SSS**, or **ELS**), optimize a bound query, and
 //!   get back an executable [`els_exec::QueryPlan`] plus the estimated
@@ -29,6 +32,7 @@ pub mod enumerate;
 pub mod error;
 pub mod heuristic;
 pub mod optimizer;
+pub mod plan_cache;
 pub mod profile;
 pub mod rewrite;
 
@@ -40,5 +44,6 @@ pub use optimizer::{
     bound_query_tables, optimize, optimize_bound, optimize_with_oracle, EstimatorPreset,
     OptimizedQuery, OptimizerOptions,
 };
+pub use plan_cache::{CachedPlan, PlanCache};
 pub use profile::TableProfile;
 pub use rewrite::apply_predicate_transitive_closure;

@@ -139,7 +139,14 @@ pub fn optimize(
     output: PlanOutput,
     options: &OptimizerOptions,
 ) -> OptimizerResult<OptimizedQuery> {
-    optimize_with_oracle(predicates, stats, profiles, output, options, &els_core::selectivity::NoOracle)
+    optimize_with_oracle(
+        predicates,
+        stats,
+        profiles,
+        output,
+        options,
+        &els_core::selectivity::NoOracle,
+    )
 }
 
 /// Output decorations (final sort + limit) applied to a plan after
@@ -235,8 +242,7 @@ mod tests {
         c
     }
 
-    const SQL: &str =
-        "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100";
+    const SQL: &str = "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100";
 
     #[test]
     fn presets_have_labels_and_options() {

@@ -1,0 +1,284 @@
+//! A concurrent plan cache keyed by canonical query fingerprint + catalog
+//! epoch.
+//!
+//! Caching optimized plans is semantically safe here because optimization
+//! is a pure function of (query, catalog statistics, optimizer options):
+//! the estimators are deterministic and consult only the statistics frozen
+//! in a catalog snapshot. The cache key therefore needs exactly two parts:
+//!
+//! * the **canonical fingerprint** of the SQL (`els-sql`'s
+//!   [`els_sql::fingerprint`] — whitespace, conjunct order and symmetric
+//!   operand order do not fragment the cache), and
+//! * the **catalog epoch** the plan was optimized against
+//!   ([`els_catalog::SharedCatalog::epoch`]) — any catalog mutation bumps
+//!   it, so stale plans can never be served.
+//!
+//! Optimizer options are *not* part of the key: a cache belongs to one
+//! engine whose options are fixed at construction (see `els::Engine`). A
+//! second configuration wants a second cache.
+//!
+//! Eviction is LRU by a logical access clock under a capacity bound.
+//! Hit/miss/eviction/invalidation counters live in
+//! [`els_exec::EngineCounters`] so monitoring sits next to the execution
+//! metrics.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use els_exec::{EngineCounters, EngineCountersSnapshot};
+
+use crate::optimizer::OptimizedQuery;
+
+/// Everything needed to execute a cached plan without re-binding: the
+/// optimized plan plus the name resolution the binder produced.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The optimization result (plan, join order, estimates).
+    pub optimized: OptimizedQuery,
+    /// Base-table names of the `FROM` list, in positional order — resolve
+    /// these against the *same-epoch* snapshot to get the input tables.
+    pub table_names: Vec<String>,
+    /// Binding names (aliases) of the `FROM` list, for display.
+    pub binding_names: Vec<String>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    epoch: u64,
+    plan: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    entries: HashMap<String, Entry>,
+    clock: u64,
+}
+
+/// A bounded, thread-safe map from query fingerprint to optimized plan.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    counters: EngineCounters,
+    state: Mutex<State>,
+}
+
+impl PlanCache {
+    /// Default capacity used by [`PlanCache::default`] and the engine.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A cache holding at most `capacity` plans (0 disables caching: every
+    /// lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache { capacity, counters: EngineCounters::new(), state: Mutex::new(State::default()) }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up a plan optimized at exactly `epoch`. A present entry from an
+    /// older epoch is dropped (counted as an invalidation) and reported as
+    /// a miss.
+    pub fn get(&self, fingerprint: &str, epoch: u64) -> Option<Arc<CachedPlan>> {
+        let mut state = self.state.lock().expect("plan cache lock never poisoned");
+        state.clock += 1;
+        let clock = state.clock;
+        match state.entries.get_mut(fingerprint) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.last_used = clock;
+                let plan = Arc::clone(&entry.plan);
+                drop(state);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            Some(_) => {
+                state.entries.remove(fingerprint);
+                drop(state);
+                self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(state);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a plan optimized at `epoch`, evicting least-recently-used
+    /// entries to stay within capacity. Two threads racing to insert the
+    /// same fingerprint is benign — last writer wins, both plans are
+    /// equivalent.
+    pub fn insert(&self, fingerprint: String, epoch: u64, plan: Arc<CachedPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("plan cache lock never poisoned");
+        state.clock += 1;
+        let clock = state.clock;
+        let replaced =
+            state.entries.insert(fingerprint, Entry { epoch, plan, last_used: clock }).is_some();
+        let mut evicted = 0u64;
+        while !replaced && state.entries.len() > self.capacity {
+            let lru = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity cache is non-empty");
+            state.entries.remove(&lru);
+            evicted += 1;
+        }
+        drop(state);
+        if evicted > 0 {
+            self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every entry (configuration changed, tests).
+    pub fn clear(&self) {
+        self.state.lock().expect("plan cache lock never poisoned").entries.clear();
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("plan cache lock never poisoned").entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The live counters (shared with anyone monitoring this cache).
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn stats(&self) -> EngineCountersSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new(PlanCache::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els_core::Els;
+    use els_exec::plan::PlanOutput;
+    use els_exec::{PlanNode, QueryPlan};
+
+    fn dummy_plan() -> Arc<CachedPlan> {
+        let els = Els::prepare(
+            &[],
+            &els_core::QueryStatistics::new(vec![els_core::TableStatistics::new(
+                10.0,
+                vec![els_core::ColumnStatistics::with_distinct(10.0)],
+            )]),
+            &els_core::ElsOptions::default(),
+        )
+        .unwrap();
+        Arc::new(CachedPlan {
+            optimized: OptimizedQuery {
+                plan: QueryPlan::new(
+                    PlanNode::Scan { table_id: 0, filters: vec![] },
+                    PlanOutput::CountStar,
+                ),
+                join_order: vec![0],
+                estimated_sizes: vec![],
+                estimated_cost: 0.0,
+                els,
+            },
+            table_names: vec!["t".into()],
+            binding_names: vec!["t".into()],
+        })
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let cache = PlanCache::new(4);
+        assert!(cache.get("q", 0).is_none());
+        cache.insert("q".into(), 0, dummy_plan());
+        assert!(cache.get("q", 0).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn stale_epoch_invalidates() {
+        let cache = PlanCache::new(4);
+        cache.insert("q".into(), 0, dummy_plan());
+        assert!(cache.get("q", 1).is_none(), "epoch moved on");
+        assert_eq!(cache.len(), 0, "stale entry dropped eagerly");
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        // Re-optimized plans at the new epoch cache normally again.
+        cache.insert("q".into(), 1, dummy_plan());
+        assert!(cache.get("q", 1).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), 0, dummy_plan());
+        cache.insert("b".into(), 0, dummy_plan());
+        assert!(cache.get("a", 0).is_some()); // touch a → b is LRU
+        cache.insert("c".into(), 0, dummy_plan());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b", 0).is_none(), "b was evicted");
+        assert!(cache.get("a", 0).is_some());
+        assert!(cache.get("c", 0).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        cache.insert("q".into(), 0, dummy_plan());
+        assert!(cache.get("q", 0).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn replacing_same_fingerprint_does_not_evict_others() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), 0, dummy_plan());
+        cache.insert("b".into(), 0, dummy_plan());
+        cache.insert("a".into(), 1, dummy_plan());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.get("a", 1).is_some());
+        assert!(cache.get("b", 0).is_some());
+    }
+
+    #[test]
+    fn concurrent_mixed_traffic_is_safe() {
+        let cache = PlanCache::new(8);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = format!("q{}", (t + i) % 12);
+                        if cache.get(&key, 0).is_none() {
+                            cache.insert(key, 0, dummy_plan());
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 800);
+        assert!(cache.len() <= 8);
+    }
+}

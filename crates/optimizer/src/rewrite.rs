@@ -46,10 +46,9 @@ mod tests {
 
     #[test]
     fn rewrites_the_section8_query() {
-        let q = parse(
-            "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100")
+                .unwrap();
         let bound = bind(&q, &catalog()).unwrap();
         assert_eq!(bound.predicates.len(), 4);
         let closed = apply_predicate_transitive_closure(&bound);

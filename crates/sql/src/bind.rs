@@ -102,13 +102,8 @@ pub fn bind(query: &Query, catalog: &Catalog) -> SqlResult<BoundQuery> {
         Projection::ColumnsAndCount(cols) => {
             // Minimal GROUP BY semantics: the grouped columns must be
             // exactly the projected ones.
-            let projected =
-                cols.iter().map(&resolve).collect::<SqlResult<Vec<_>>>()?;
-            let grouped = query
-                .group_by
-                .iter()
-                .map(&resolve)
-                .collect::<SqlResult<Vec<_>>>()?;
+            let projected = cols.iter().map(&resolve).collect::<SqlResult<Vec<_>>>()?;
+            let grouped = query.group_by.iter().map(&resolve).collect::<SqlResult<Vec<_>>>()?;
             if grouped.is_empty() {
                 return Err(SqlError::Bind(
                     "`col, COUNT(*)` projections require a GROUP BY clause".into(),
@@ -198,7 +193,14 @@ pub fn bind(query: &Query, catalog: &Catalog) -> SqlResult<BoundQuery> {
         order_by.push((col, item.descending));
     }
 
-    Ok(BoundQuery { table_names, binding_names, projection, predicates, order_by, limit: query.limit })
+    Ok(BoundQuery {
+        table_names,
+        binding_names,
+        projection,
+        predicates,
+        order_by,
+        limit: query.limit,
+    })
 }
 
 #[cfg(test)]
@@ -227,27 +229,23 @@ mod tests {
 
     #[test]
     fn binds_the_section8_query() {
-        let b = bound(
-            "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100",
-        )
-        .unwrap();
+        let b =
+            bound("SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100")
+                .unwrap();
         assert_eq!(b.table_names, vec!["S", "M", "B", "G"]);
         assert_eq!(b.projection, BoundProjection::CountStar);
         assert_eq!(b.predicates.len(), 4);
-        assert_eq!(
-            b.predicates[0],
-            Predicate::col_eq(ColumnRef::new(0, 0), ColumnRef::new(1, 0))
-        );
-        assert_eq!(
-            b.predicates[3],
-            Predicate::local_cmp(ColumnRef::new(0, 0), CmpOp::Lt, 100i64)
-        );
+        assert_eq!(b.predicates[0], Predicate::col_eq(ColumnRef::new(0, 0), ColumnRef::new(1, 0)));
+        assert_eq!(b.predicates[3], Predicate::local_cmp(ColumnRef::new(0, 0), CmpOp::Lt, 100i64));
     }
 
     #[test]
     fn unqualified_names_resolve_across_tables() {
         let b = bound("SELECT * FROM S, M WHERE s = m").unwrap();
-        assert_eq!(b.predicates, vec![Predicate::col_eq(ColumnRef::new(0, 0), ColumnRef::new(1, 0))]);
+        assert_eq!(
+            b.predicates,
+            vec![Predicate::col_eq(ColumnRef::new(0, 0), ColumnRef::new(1, 0))]
+        );
     }
 
     #[test]
@@ -276,10 +274,7 @@ mod tests {
     fn errors_unknown_table_column_ambiguity() {
         assert!(matches!(bound("SELECT * FROM Q"), Err(SqlError::Bind(_))));
         assert!(matches!(bound("SELECT * FROM S WHERE nope = 1"), Err(SqlError::Bind(_))));
-        assert!(matches!(
-            bound("SELECT * FROM S WHERE M.m = 1"),
-            Err(SqlError::Bind(_))
-        ));
+        assert!(matches!(bound("SELECT * FROM S WHERE M.m = 1"), Err(SqlError::Bind(_))));
         // Same table twice without aliases: duplicate binding.
         assert!(matches!(bound("SELECT * FROM S, S"), Err(SqlError::Bind(_))));
         // With aliases a self-join binds fine.
@@ -296,18 +291,12 @@ mod tests {
 
     #[test]
     fn non_equality_between_columns_rejected() {
-        assert!(matches!(
-            bound("SELECT * FROM S, M WHERE s < m"),
-            Err(SqlError::Bind(_))
-        ));
+        assert!(matches!(bound("SELECT * FROM S, M WHERE s < m"), Err(SqlError::Bind(_))));
     }
 
     #[test]
     fn literal_literal_rejected() {
-        assert!(matches!(
-            bound("SELECT * FROM S WHERE 1 = 1"),
-            Err(SqlError::Bind(_))
-        ));
+        assert!(matches!(bound("SELECT * FROM S WHERE 1 = 1"), Err(SqlError::Bind(_))));
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Canonical query fingerprints for plan caching.
+//!
+//! Two SQL strings that denote the same conjunctive query should map to the
+//! same cache key even when they differ in formatting or in the order of
+//! their `WHERE` conjuncts (conjunction is commutative; the optimizer's
+//! transitive-closure step makes conjunct order irrelevant anyway). The
+//! fingerprint is the [`Query`]'s canonical unparse after:
+//!
+//! * whitespace/case-of-keyword normalization (free: the AST has neither),
+//! * flipping symmetric comparisons (`=`, `<>`) so the lexically smaller
+//!   operand is on the left,
+//! * sorting the conjuncts of the `WHERE` clause.
+//!
+//! Identifiers are *not* case-folded — the binder resolves names exactly,
+//! so `t.A` and `t.a` may be different columns. `FROM` order is also kept:
+//! table positions are visible in the bound query (and a different `FROM`
+//! permutation is a different binding even when the result is the same).
+
+use crate::ast::{Operand, PredicateAst, Query};
+use crate::error::SqlResult;
+use crate::parser::parse;
+use crate::unparse::render_predicate;
+
+/// Canonical text of an already-parsed query (see module docs). The result
+/// re-parses to a query with the same meaning and the same fingerprint.
+pub fn canonical_sql(query: &Query) -> String {
+    let mut canonical = query.clone();
+    for p in &mut canonical.predicates {
+        orient_symmetric(p);
+    }
+    canonical.predicates.sort_by_key(render_predicate);
+    canonical.to_string()
+}
+
+/// Parse `sql` and return its canonical fingerprint.
+pub fn fingerprint(sql: &str) -> SqlResult<String> {
+    Ok(canonical_sql(&parse(sql)?))
+}
+
+/// Put the lexically smaller operand first for symmetric operators.
+fn orient_symmetric(p: &mut PredicateAst) {
+    let PredicateAst::Cmp { left, op, right } = p else { return };
+    if !op.is_symmetric() {
+        return;
+    }
+    // Literal-vs-column order is normalized too; compare rendered forms so
+    // the orientation agrees with the sort that follows.
+    if operand_key(left) > operand_key(right) {
+        std::mem::swap(left, right);
+    }
+}
+
+fn operand_key(o: &Operand) -> String {
+    match o {
+        Operand::Column(c) => c.to_string(),
+        Operand::Literal(v) => v.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_and_conjunct_order_do_not_matter() {
+        let a = fingerprint("SELECT COUNT(*) FROM S, M WHERE s = m AND s < 100").unwrap();
+        let b = fingerprint("select   count(*) from S, M where s < 100 and s = m").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_comparisons_are_oriented() {
+        let a = fingerprint("SELECT COUNT(*) FROM S, M WHERE s = m").unwrap();
+        let b = fingerprint("SELECT COUNT(*) FROM S, M WHERE m = s").unwrap();
+        assert_eq!(a, b);
+        let c = fingerprint("SELECT COUNT(*) FROM S, M WHERE m <> s").unwrap();
+        let d = fingerprint("SELECT COUNT(*) FROM S, M WHERE s != m").unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn asymmetric_comparisons_are_left_alone() {
+        let a = fingerprint("SELECT COUNT(*) FROM S WHERE s < 100").unwrap();
+        assert!(a.contains("s < 100"), "{a}");
+    }
+
+    #[test]
+    fn different_queries_differ() {
+        let a = fingerprint("SELECT COUNT(*) FROM S WHERE s < 100").unwrap();
+        let b = fingerprint("SELECT COUNT(*) FROM S WHERE s < 101").unwrap();
+        assert_ne!(a, b);
+        // FROM order is binding-relevant and therefore preserved.
+        let c = fingerprint("SELECT COUNT(*) FROM S, M WHERE s = m").unwrap();
+        let d = fingerprint("SELECT COUNT(*) FROM M, S WHERE s = m").unwrap();
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn fingerprint_is_idempotent_and_reparses() {
+        let sql = "SELECT a, COUNT(*) FROM t WHERE b = a AND a IS NOT NULL \
+                   GROUP BY a ORDER BY a DESC LIMIT 5";
+        let fp = fingerprint(sql).unwrap();
+        assert_eq!(fingerprint(&fp).unwrap(), fp);
+    }
+}

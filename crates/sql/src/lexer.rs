@@ -162,7 +162,8 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                     let b = bytes[j] as char;
                     if b.is_ascii_digit() {
                         j += 1;
-                    } else if b == '.' && !is_float
+                    } else if b == '.'
+                        && !is_float
                         && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit())
                     {
                         is_float = true;

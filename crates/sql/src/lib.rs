@@ -34,6 +34,7 @@
 pub mod ast;
 pub mod bind;
 pub mod error;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod unparse;
@@ -41,4 +42,5 @@ pub mod unparse;
 pub use ast::{ColRefAst, Operand, PredicateAst, Projection, Query, TableRefAst};
 pub use bind::{bind, BoundProjection, BoundQuery};
 pub use error::{SqlError, SqlResult};
+pub use fingerprint::{canonical_sql, fingerprint};
 pub use parser::parse;

@@ -307,10 +307,9 @@ mod tests {
 
     #[test]
     fn parses_the_paper_experiment_query() {
-        let q = parse(
-            "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100")
+                .unwrap();
         assert_eq!(q.projection, Projection::CountStar);
         assert_eq!(q.from.len(), 4);
         assert_eq!(q.from[0], TableRefAst { name: "S".into(), alias: None });
@@ -327,8 +326,8 @@ mod tests {
 
     #[test]
     fn parses_example_1a() {
-        let q = parse("SELECT R_1.a FROM R_1, R_2, R_3 WHERE R_1.x = R_2.y AND R_2.y = R_3.z")
-            .unwrap();
+        let q =
+            parse("SELECT R_1.a FROM R_1, R_2, R_3 WHERE R_1.x = R_2.y AND R_2.y = R_3.z").unwrap();
         assert_eq!(
             q.projection,
             Projection::Columns(vec![ColRefAst { table: Some("R_1".into()), column: "a".into() }])
@@ -387,18 +386,9 @@ mod tests {
     fn parses_is_null_and_is_not_null() {
         let q = parse("SELECT * FROM t WHERE x IS NULL AND y IS NOT NULL").unwrap();
         assert_eq!(q.predicates.len(), 2);
-        assert!(matches!(
-            &q.predicates[0],
-            PredicateAst::IsNull { negated: false, .. }
-        ));
-        assert!(matches!(
-            &q.predicates[1],
-            PredicateAst::IsNull { negated: true, .. }
-        ));
-        assert!(matches!(
-            parse("SELECT * FROM t WHERE x IS 5"),
-            Err(SqlError::Parse { .. })
-        ));
+        assert!(matches!(&q.predicates[0], PredicateAst::IsNull { negated: false, .. }));
+        assert!(matches!(&q.predicates[1], PredicateAst::IsNull { negated: true, .. }));
+        assert!(matches!(parse("SELECT * FROM t WHERE x IS 5"), Err(SqlError::Parse { .. })));
     }
 
     #[test]
@@ -431,10 +421,7 @@ mod tests {
         let q = parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b").unwrap();
         assert_eq!(q.group_by.len(), 2);
         // GROUP without BY is an error.
-        assert!(matches!(
-            parse("SELECT a, COUNT(*) FROM t GROUP a"),
-            Err(SqlError::Parse { .. })
-        ));
+        assert!(matches!(parse("SELECT a, COUNT(*) FROM t GROUP a"), Err(SqlError::Parse { .. })));
         // `GROUP` is not eaten as a table alias.
         let q = parse("SELECT a, COUNT(*) FROM t GROUP BY a").unwrap();
         assert_eq!(q.from[0].alias, None);

@@ -46,17 +46,17 @@ impl fmt::Display for Query {
             write!(f, " GROUP BY {}", cols.join(", "))?;
         }
         if !self.order_by.is_empty() {
-            let items: Vec<String> = self
-                .order_by
-                .iter()
-                .map(|o| {
-                    if o.descending {
-                        format!("{} DESC", o.column)
-                    } else {
-                        o.column.to_string()
-                    }
-                })
-                .collect();
+            let items: Vec<String> =
+                self.order_by
+                    .iter()
+                    .map(|o| {
+                        if o.descending {
+                            format!("{} DESC", o.column)
+                        } else {
+                            o.column.to_string()
+                        }
+                    })
+                    .collect();
             write!(f, " ORDER BY {}", items.join(", "))?;
         }
         if let Some(limit) = self.limit {
@@ -83,7 +83,7 @@ fn render_operand(o: &Operand) -> String {
     }
 }
 
-fn render_predicate(p: &PredicateAst) -> String {
+pub(crate) fn render_predicate(p: &PredicateAst) -> String {
     match p {
         PredicateAst::Cmp { left, op, right } => {
             format!("{} {op} {}", render_operand(left), render_operand(right))
@@ -115,8 +115,8 @@ mod tests {
         for sql in cases {
             let q = parse(sql).unwrap();
             let printed = q.to_string();
-            let reparsed = parse(&printed)
-                .unwrap_or_else(|e| panic!("`{printed}` does not re-parse: {e}"));
+            let reparsed =
+                parse(&printed).unwrap_or_else(|e| panic!("`{printed}` does not re-parse: {e}"));
             assert_eq!(q, reparsed, "round trip changed the AST for `{sql}`");
         }
     }
@@ -156,10 +156,10 @@ mod tests {
             let mut conjuncts = Vec::new();
             for _ in 0..rng.gen_range(0..3) {
                 conjuncts.push(match rng.gen_range(0..4) {
-                    0 => format!("t1.a {} {}", ["=", "<", ">="][rng.gen_range(0..3)], rng.gen_range(-9i64..9)),
+                    0 => format!("t1.a {} {}", ["=", "<", ">="][rng.gen_range(0..3usize)], rng.gen_range(-9i64..9)),
                     1 => "t1.a IS NULL".to_owned(),
-                    2 => format!("t1.a = {}", ["t1.b", "c"][rng.gen_range(0..2)]),
-                    _ => format!("name = '{}'", ["x", "y y", ""][rng.gen_range(0..3)]),
+                    2 => format!("t1.a = {}", ["t1.b", "c"][rng.gen_range(0..2usize)]),
+                    _ => format!("name = '{}'", ["x", "y y", ""][rng.gen_range(0..3usize)]),
                 });
             }
             if !conjuncts.is_empty() {

@@ -16,8 +16,7 @@ use crate::value::{DataType, Value};
 
 /// Write `table` as CSV (header + rows).
 pub fn write_csv(table: &Table, out: &mut impl Write) -> std::io::Result<()> {
-    let header: Vec<String> =
-        table.column_names().iter().map(|n| quote_field(n)).collect();
+    let header: Vec<String> = table.column_names().iter().map(|n| quote_field(n)).collect();
     writeln!(out, "{}", header.join(","))?;
     for row in 0..table.num_rows() {
         let fields: Vec<String> = table
@@ -42,7 +41,12 @@ pub fn write_csv(table: &Table, out: &mut impl Write) -> std::io::Result<()> {
 /// exponent so import does not infer Int).
 fn format_float(x: f64) -> String {
     let s = x.to_string();
-    if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("NaN") || s.contains("inf") {
+    if s.contains('.')
+        || s.contains('e')
+        || s.contains('E')
+        || s.contains("NaN")
+        || s.contains("inf")
+    {
         s
     } else {
         format!("{s}.0")
@@ -78,9 +82,7 @@ fn parse_record(line: &str) -> StorageResult<Vec<Field>> {
             i += 1;
             loop {
                 match bytes.get(i) {
-                    None => {
-                        return Err(StorageError::Csv("unterminated quoted CSV field".into()))
-                    }
+                    None => return Err(StorageError::Csv("unterminated quoted CSV field".into())),
                     Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
                         text.push('"');
                         i += 2;
@@ -105,9 +107,7 @@ fn parse_record(line: &str) -> StorageResult<Vec<Field>> {
         match bytes.get(i) {
             Some(b',') => i += 1,
             None => break,
-            Some(_) => {
-                return Err(StorageError::Csv("content after closing quote".into()))
-            }
+            Some(_) => return Err(StorageError::Csv("content after closing quote".into())),
         }
     }
     Ok(fields)
@@ -204,7 +204,10 @@ pub fn read_csv(
             } else {
                 match types[c] {
                     DataType::Int => Value::Int(field.text.parse::<i64>().map_err(|_| {
-                        StorageError::Csv(format!("`{}` is not an integer (column {c})", field.text))
+                        StorageError::Csv(format!(
+                            "`{}` is not an integer (column {c})",
+                            field.text
+                        ))
                     })?),
                     DataType::Float => Value::Float(field.text.parse::<f64>().map_err(|_| {
                         StorageError::Csv(format!("`{}` is not a float (column {c})", field.text))
@@ -216,10 +219,7 @@ pub fn read_csv(
         }
     }
 
-    Table::new(
-        name,
-        header.into_iter().map(|h| h.text).zip(columns).collect(),
-    )
+    Table::new(name, header.into_iter().map(|h| h.text).zip(columns).collect())
 }
 
 #[cfg(test)]
@@ -275,8 +275,7 @@ mod tests {
     #[test]
     fn explicit_schema_overrides_inference() {
         let csv = "a\n1\n2\n";
-        let t =
-            read_csv("t", &mut Cursor::new(csv), Some(&[DataType::Float])).unwrap();
+        let t = read_csv("t", &mut Cursor::new(csv), Some(&[DataType::Float])).unwrap();
         assert_eq!(t.column_by_name("a").unwrap().data_type(), DataType::Float);
     }
 

@@ -156,9 +156,7 @@ impl TableSpec {
             .map(|(ci, spec)| {
                 // Derive a per-column seed so adding a column never perturbs
                 // the data of its neighbours.
-                let col_seed = seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(ci as u64 + 1);
+                let col_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(ci as u64 + 1);
                 let col = generate_column(&spec.distribution, self.rows, col_seed);
                 (spec.name.clone(), col)
             })
@@ -189,12 +187,7 @@ pub fn generate_column(dist: &Distribution, rows: usize, seed: u64) -> ColumnVec
     col
 }
 
-fn sample(
-    dist: &Distribution,
-    row: usize,
-    rng: &mut StdRng,
-    zipf: Option<&ZipfSampler>,
-) -> Value {
+fn sample(dist: &Distribution, row: usize, rng: &mut StdRng, zipf: Option<&ZipfSampler>) -> Value {
     match dist {
         Distribution::SequentialInt { start } => Value::Int(start + row as i64),
         Distribution::CycleInt { modulus, start } => {
@@ -270,12 +263,8 @@ impl ZipfSampler {
 /// values of `g`, and the true size of any join combination filtered by
 /// `s < 100` is exactly 100 — the ground truth quoted in the paper.
 pub fn starburst_experiment_tables(seed: u64) -> Vec<Table> {
-    let specs = [
-        ("S", "s", 1_000usize),
-        ("M", "m", 10_000),
-        ("B", "b", 50_000),
-        ("G", "g", 100_000),
-    ];
+    let specs =
+        [("S", "s", 1_000usize), ("M", "m", 10_000), ("B", "b", 50_000), ("G", "g", 100_000)];
     specs
         .iter()
         .map(|(table, col, rows)| {
@@ -337,9 +326,8 @@ mod tests {
     fn adding_a_column_does_not_perturb_existing_ones() {
         let base = TableSpec::new("t", 50)
             .column(ColumnSpec::new("u", Distribution::UniformInt { lo: 0, hi: 99 }));
-        let extended = base
-            .clone()
-            .column(ColumnSpec::new("v", Distribution::UniformInt { lo: 0, hi: 99 }));
+        let extended =
+            base.clone().column(ColumnSpec::new("v", Distribution::UniformInt { lo: 0, hi: 99 }));
         let a = base.generate(3);
         let b = extended.generate(3);
         let col = |t: &Table| t.column_by_name("u").unwrap().iter().collect::<Vec<_>>();
@@ -357,11 +345,7 @@ mod tests {
 
     #[test]
     fn zipf_theta_zero_is_roughly_uniform() {
-        let c = generate_column(
-            &Distribution::ZipfInt { n: 10, theta: 0.0, start: 0 },
-            10_000,
-            11,
-        );
+        let c = generate_column(&Distribution::ZipfInt { n: 10, theta: 0.0, start: 0 }, 10_000, 11);
         let mut counts = [0usize; 10];
         for v in c.iter() {
             counts[v.as_int().unwrap() as usize] += 1;
@@ -374,11 +358,8 @@ mod tests {
 
     #[test]
     fn zipf_high_theta_is_skewed_toward_rank_zero() {
-        let c = generate_column(
-            &Distribution::ZipfInt { n: 100, theta: 1.5, start: 0 },
-            10_000,
-            13,
-        );
+        let c =
+            generate_column(&Distribution::ZipfInt { n: 100, theta: 1.5, start: 0 }, 10_000, 13);
         let zero = c.iter().filter(|v| v.as_int() == Some(0)).count();
         let tail = c.iter().filter(|v| v.as_int().unwrap_or(0) >= 50).count();
         assert!(zero > 2_000, "rank 0 should dominate, got {zero}");
@@ -401,11 +382,7 @@ mod tests {
 
     #[test]
     fn str_tag_cycles() {
-        let c = generate_column(
-            &Distribution::StrTag { prefix: "cat".into(), modulus: 3 },
-            9,
-            1,
-        );
+        let c = generate_column(&Distribution::StrTag { prefix: "cat".into(), modulus: 3 }, 9, 1);
         assert_eq!(c.get(0).unwrap(), Value::from("cat0"));
         assert_eq!(c.get(4).unwrap(), Value::from("cat1"));
         assert_eq!(c.distinct_count(), 3);
@@ -414,7 +391,8 @@ mod tests {
     #[test]
     fn starburst_tables_match_paper_statistics() {
         let tables = starburst_experiment_tables(42);
-        let expect = [("S", "s", 1_000usize), ("M", "m", 10_000), ("B", "b", 50_000), ("G", "g", 100_000)];
+        let expect =
+            [("S", "s", 1_000usize), ("M", "m", 10_000), ("B", "b", 50_000), ("G", "g", 100_000)];
         for (t, (name, col, rows)) in tables.iter().zip(expect) {
             assert_eq!(t.name(), name);
             assert_eq!(t.num_rows(), rows);
@@ -428,12 +406,8 @@ mod tests {
         // with key 0..100 survive every join — the paper's ground truth.
         let tables = starburst_experiment_tables(42);
         let s = &tables[0];
-        let survivors = s
-            .column_by_name("s")
-            .unwrap()
-            .iter()
-            .filter(|v| v.as_int().unwrap() < 100)
-            .count();
+        let survivors =
+            s.column_by_name("s").unwrap().iter().filter(|v| v.as_int().unwrap() < 100).count();
         assert_eq!(survivors, 100);
     }
 

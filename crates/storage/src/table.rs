@@ -80,9 +80,8 @@ impl Table {
 
     /// Access a column by name.
     pub fn column_by_name(&self, name: &str) -> StorageResult<&ColumnVector> {
-        let idx = self
-            .column_index(name)
-            .ok_or_else(|| StorageError::UnknownColumn(name.to_owned()))?;
+        let idx =
+            self.column_index(name).ok_or_else(|| StorageError::UnknownColumn(name.to_owned()))?;
         self.column(idx)
     }
 
@@ -225,10 +224,7 @@ mod tests {
         let t = sample();
         assert_eq!(t.column_index("b"), Some(1));
         assert!(t.column_by_name("a").is_ok());
-        assert!(matches!(
-            t.column_by_name("zz").unwrap_err(),
-            StorageError::UnknownColumn(_)
-        ));
+        assert!(matches!(t.column_by_name("zz").unwrap_err(), StorageError::UnknownColumn(_)));
     }
 
     #[test]
@@ -238,11 +234,7 @@ mod tests {
         assert_eq!(t.estimated_row_bytes(), 32);
         assert_eq!(t.tuples_per_page(), 128);
         assert_eq!(t.num_pages(), 1);
-        let big = Table::new(
-            "big",
-            vec![("x".into(), ColumnVector::from_ints(0..1000))],
-        )
-        .unwrap();
+        let big = Table::new("big", vec![("x".into(), ColumnVector::from_ints(0..1000))]).unwrap();
         // 8 bytes/row -> 512 tuples/page -> 1000 rows = 2 pages.
         assert_eq!(big.num_pages(), 2);
     }

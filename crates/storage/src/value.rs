@@ -103,12 +103,8 @@ impl Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
-            (Value::Int(a), Value::Float(b)) => {
-                (*a as f64).total_cmp(b).then(Ordering::Less)
-            }
-            (Value::Float(a), Value::Int(b)) => {
-                a.total_cmp(&(*b as f64)).then(Ordering::Greater)
-            }
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (a, b) => rank(a).cmp(&rank(b)),
         }
@@ -208,10 +204,7 @@ mod tests {
 
     #[test]
     fn string_comparison_is_lexicographic() {
-        assert_eq!(
-            Value::from("apple").sql_cmp(&Value::from("banana")),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::from("apple").sql_cmp(&Value::from("banana")), Some(Ordering::Less));
         assert!(Value::from("x").sql_eq(&Value::from("x")));
     }
 
@@ -223,23 +216,12 @@ mod tests {
 
     #[test]
     fn total_order_sorts_null_first_then_numbers_then_strings() {
-        let mut vals = vec![
-            Value::from("a"),
-            Value::Int(3),
-            Value::Null,
-            Value::Float(1.5),
-            Value::Int(1),
-        ];
+        let mut vals =
+            vec![Value::from("a"), Value::Int(3), Value::Null, Value::Float(1.5), Value::Int(1)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(
             vals,
-            vec![
-                Value::Null,
-                Value::Int(1),
-                Value::Float(1.5),
-                Value::Int(3),
-                Value::from("a"),
-            ]
+            vec![Value::Null, Value::Int(1), Value::Float(1.5), Value::Int(3), Value::from("a"),]
         );
     }
 

@@ -48,9 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  join order: {}   estimates: {:?}", r.join_order.join(" ⋈ "), r.estimated_sizes);
 
     // A grouped count.
-    let r = db.execute(
-        "SELECT customer, COUNT(*) FROM orders WHERE amount > 10 GROUP BY customer",
-    )?;
+    let r =
+        db.execute("SELECT customer, COUNT(*) FROM orders WHERE amount > 10 GROUP BY customer")?;
     println!("\norders over 10 by customer:");
     for row in 0..r.rows.num_rows() {
         let vals = r.rows.row(row)?;
@@ -61,16 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nEXPLAIN under ELS:");
     println!(
         "{}",
-        db.explain(
-            "SELECT COUNT(*) FROM orders, customers WHERE orders.customer = customers.id"
-        )?
+        db.explain("SELECT COUNT(*) FROM orders, customers WHERE orders.customer = customers.id")?
     );
 
     // The same query under the misestimating baseline, for contrast.
     db.set_estimator(EstimatorPreset::Sm);
-    let r = db.execute(
-        "SELECT COUNT(*) FROM orders, customers WHERE orders.customer = customers.id",
-    )?;
+    let r =
+        db.execute("SELECT COUNT(*) FROM orders, customers WHERE orders.customer = customers.id")?;
     println!("same answer under Algorithm SM (the plan may differ): {}", r.count);
     Ok(())
 }

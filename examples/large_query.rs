@@ -15,11 +15,9 @@ use std::sync::Arc;
 use els::catalog::collect::CollectOptions;
 use els::catalog::Catalog;
 use els::core::{Els, ElsOptions};
-use els::exec::{execute_plan, JoinMethod, QueryPlan};
 use els::exec::plan::PlanOutput;
-use els::optimizer::{
-    greedy_order, iterative_improvement, CostParams, TableProfile,
-};
+use els::exec::{execute_plan, JoinMethod, QueryPlan};
+use els::optimizer::{greedy_order, iterative_improvement, CostParams, TableProfile};
 use els::sql::{bind, parse};
 use els::storage::datagen::{ColumnSpec, Distribution, TableSpec};
 
@@ -44,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut sql = format!("SELECT COUNT(*) FROM {}", from.join(", "));
     sql.push_str(" WHERE ");
-    let joins: Vec<String> =
-        (1..N).map(|i| format!("t{}.k = t{}.k", i - 1, i)).collect();
+    let joins: Vec<String> = (1..N).map(|i| format!("t{}.k = t{}.k", i - 1, i)).collect();
     sql.push_str(&joins.join(" AND "));
     sql.push_str(" AND t0.k = 7"); // a point filter keeps the result finite
 
@@ -67,16 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         greedy.estimated_cost, greedy.join_order
     );
     let ii = iterative_improvement(&els, &profiles, &methods, &params, 3, 42)?;
-    println!(
-        "iterative improvement:  cost {:>10.1}, order {:?}",
-        ii.estimated_cost, ii.join_order
-    );
+    println!("iterative improvement:  cost {:>10.1}, order {:?}", ii.estimated_cost, ii.join_order);
 
     // Execute the greedy plan.
-    let tables: Vec<Arc<_>> = from_refs
-        .iter()
-        .map(|n| catalog.table_data(n).unwrap())
-        .collect();
+    let tables: Vec<Arc<_>> = from_refs.iter().map(|n| catalog.table_data(n).unwrap()).collect();
     let plan = QueryPlan::new(greedy.root, PlanOutput::CountStar);
     let out = execute_plan(&plan, &tables)?;
     println!("\nexecuted greedy plan: COUNT(*) = {}", out.count);
@@ -88,11 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|n| {
             let t = catalog.table_data(n).unwrap();
-            t.column_by_name("k")
-                .unwrap()
-                .iter()
-                .filter(|v| v.as_int() == Some(7))
-                .count() as u64
+            t.column_by_name("k").unwrap().iter().filter(|v| v.as_int() == Some(7)).count() as u64
         })
         .product();
     assert_eq!(out.count, expected, "executed count must match the closed form");

@@ -33,11 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Ground truth for the hot-key filter `key = 0`.
     let data = catalog.table_data("FACT")?;
-    let truth = data
-        .column_by_name("key")?
-        .iter()
-        .filter(|v| v.as_int() == Some(0))
-        .count() as f64
+    let truth = data.column_by_name("key")?.iter().filter(|v| v.as_int() == Some(0)).count() as f64
         / rows as f64;
 
     let stats = catalog.query_statistics(&["FACT", "DIM"])?;
@@ -60,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Predicate::local_cmp(ColumnRef::new(0, 0), CmpOp::Eq, 0i64),
     ];
     let plain = Els::prepare(&predicates, &stats, &ElsOptions::default())?;
-    let informed =
-        Els::prepare_with_oracle(&predicates, &stats, &ElsOptions::default(), &oracle)?;
+    let informed = Els::prepare_with_oracle(&predicates, &stats, &ElsOptions::default(), &oracle)?;
     let plain_est = plain.estimate_final(&[0, 1])?;
     let informed_est = informed.estimate_final(&[0, 1])?;
     let true_join = truth * rows as f64; // each FACT row matches exactly one DIM row.

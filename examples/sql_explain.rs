@@ -48,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {p}");
     }
 
-    let optimized = optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Els))?;
+    let optimized =
+        optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Els))?;
 
     println!("\nEquivalence classes:");
     for (id, members) in optimized.els.classes().iter() {

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it ships.
+# Run from the repository root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check
+
+echo "check.sh: all gates passed"

@@ -1,7 +1,17 @@
 //! A batteries-included facade: register tables, run SQL, inspect plans.
 //!
-//! [`Database`] wires the whole pipeline (catalog → parser → binder →
-//! optimizer → executor) behind three calls:
+//! Two entry points share the pipeline (catalog → parser → binder →
+//! optimizer → executor):
+//!
+//! * [`Database`] — a single-user, `&mut self` facade for scripts and
+//!   tests.
+//! * [`Engine`] — a concurrent, cache-fronted service: all query methods
+//!   take `&self`, readers run against immutable catalog snapshots
+//!   ([`els_catalog::SharedCatalog`]), and optimized plans are reused
+//!   across threads through a fingerprint+epoch keyed
+//!   [`els_optimizer::PlanCache`].
+//!
+//! [`Database`] wires the whole pipeline behind three calls:
 //!
 //! ```
 //! use els::engine::Database;
@@ -29,14 +39,16 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use els_catalog::collect::CollectOptions;
-use els_catalog::Catalog;
-use els_exec::{execute_plan, execute_plan_observed, ExecMetrics};
+use els_catalog::{Catalog, CatalogSnapshot, SharedCatalog};
+use els_exec::{execute_plan, execute_plan_observed, EngineCountersSnapshot, ExecMetrics};
 use els_optimizer::{
-    bound_query_tables, optimize_bound, EstimatorPreset, OptimizedQuery, OptimizerOptions,
+    bound_query_tables, optimize_bound, CachedPlan, EstimatorPreset, OptimizedQuery,
+    OptimizerOptions, PlanCache,
 };
-use els_sql::{bind, parse};
+use els_sql::{bind, canonical_sql, parse};
 use els_storage::datagen::TableSpec;
 use els_storage::Table;
 
@@ -106,6 +118,9 @@ pub struct QueryResult {
     pub join_order: Vec<String>,
     /// The intermediate sizes the optimizer believed in.
     pub estimated_sizes: Vec<f64>,
+    /// True when the plan came from the [`Engine`]'s plan cache (always
+    /// false for [`Database`], which optimizes every query).
+    pub cache_hit: bool,
 }
 
 /// An embedded single-user database over in-memory tables.
@@ -180,17 +195,15 @@ impl Database {
                 els_exec::executor::execute_plan_buffered(&optimized.plan, &tables, pages)?
             }
         };
-        let join_order = optimized
-            .join_order
-            .iter()
-            .map(|&t| bound.binding_names[t].clone())
-            .collect();
+        let join_order =
+            optimized.join_order.iter().map(|&t| bound.binding_names[t].clone()).collect();
         Ok(QueryResult {
             rows: out.rows,
             count: out.count,
             metrics: out.metrics,
             join_order,
             estimated_sizes: optimized.estimated_sizes,
+            cache_hit: false,
         })
     }
 
@@ -203,20 +216,31 @@ impl Database {
         let tables = bound_query_tables(&bound, &self.catalog)?;
         let (out, obs) = execute_plan_observed(&optimized.plan, &tables)?;
         let mut text = String::new();
-        text.push_str(&format!("query: {sql}
-"));
-        text.push_str(&format!("result rows: {}
-", out.count));
-        text.push_str("scans (actual rows out):
-");
+        text.push_str(&format!(
+            "query: {sql}
+"
+        ));
+        text.push_str(&format!(
+            "result rows: {}
+",
+            out.count
+        ));
+        text.push_str(
+            "scans (actual rows out):
+",
+        );
         for (t, rows) in &obs.scan_outputs {
-            text.push_str(&format!("  {}: {rows}
-", bound.binding_names[*t]));
+            text.push_str(&format!(
+                "  {}: {rows}
+",
+                bound.binding_names[*t]
+            ));
         }
-        text.push_str("joins (estimated vs actual):
-");
-        for ((covered, actual), estimate) in
-            obs.join_outputs.iter().zip(&optimized.estimated_sizes)
+        text.push_str(
+            "joins (estimated vs actual):
+",
+        );
+        for ((covered, actual), estimate) in obs.join_outputs.iter().zip(&optimized.estimated_sizes)
         {
             let names: Vec<&str> =
                 covered.iter().map(|&t| bound.binding_names[t].as_str()).collect();
@@ -230,8 +254,11 @@ impl Database {
                 ratio
             ));
         }
-        text.push_str(&format!("metrics: {}
-", out.metrics));
+        text.push_str(&format!(
+            "metrics: {}
+",
+            out.metrics
+        ));
         Ok(text)
     }
 
@@ -240,39 +267,228 @@ impl Database {
     pub fn explain(&self, sql: &str) -> EngineResult<String> {
         let bound = bind(&parse(sql)?, &self.catalog)?;
         let optimized = optimize_bound(&bound, &self.catalog, &self.optimizer_options)?;
-        let els = &optimized.els;
-        let mut out = String::new();
-        out.push_str(&format!("query: {sql}\n"));
-        out.push_str("predicates (after Step 1-2):\n");
-        for p in els.predicates() {
-            out.push_str(&format!("  {p}\n"));
-        }
-        if !els.classes().is_empty() {
-            out.push_str("equivalence classes:\n");
-            for (id, members) in els.classes().iter() {
-                let names: Vec<String> = members.iter().map(|m| m.to_string()).collect();
-                out.push_str(&format!("  {id}: {{{}}}\n", names.join(", ")));
-            }
-        }
-        out.push_str("effective statistics:\n");
-        for (t, table) in els.effective_stats().tables.iter().enumerate() {
-            out.push_str(&format!(
-                "  {} (R{t}): ||R|| {} -> {:.1}\n",
-                bound.binding_names[t], table.original_cardinality, table.cardinality
-            ));
-        }
-        let order: Vec<&str> =
-            optimized.join_order.iter().map(|&t| bound.binding_names[t].as_str()).collect();
-        out.push_str(&format!(
-            "join order: {} | estimated sizes: {:?} | cost: {:.1}\n",
-            order.join(" ⋈ "),
-            optimized.estimated_sizes,
-            optimized.estimated_cost
-        ));
-        out.push_str("plan:\n");
-        out.push_str(&optimized.plan.root.explain());
-        Ok(out)
+        Ok(explain_report(sql, &bound.binding_names, &optimized))
     }
+}
+
+/// A concurrent, cache-fronted query engine.
+///
+/// Where [`Database`] is single-user (`&mut self`, one caller),
+/// `Engine` is built to be shared: every query method takes `&self`, so an
+/// `Engine` behind an `Arc` (or borrowed into [`std::thread::scope`])
+/// serves many threads at once.
+///
+/// * **Reads never lock.** A query takes a [`CatalogSnapshot`] — an
+///   `Arc`'d immutable catalog plus the epoch it was published at — and
+///   binds, optimizes and executes entirely against it.
+/// * **Writes publish.** [`Engine::register`] copies the catalog, applies
+///   the change, swaps the `Arc` and bumps the epoch.
+/// * **Plans are cached.** Optimized plans are keyed by the query's
+///   canonical fingerprint ([`els_sql::fingerprint`]) and the snapshot
+///   epoch; a hit skips binding, estimation and join enumeration. Any
+///   catalog change bumps the epoch, so stale plans can never be served.
+///
+/// Optimizer configuration is fixed at construction (it is part of what a
+/// cached plan means); build a second engine for a second configuration.
+///
+/// ```
+/// use els::engine::Engine;
+/// use els::storage::datagen::{TableSpec, ColumnSpec, Distribution};
+///
+/// let engine = Engine::new();
+/// engine.generate(
+///     TableSpec::new("t", 1000)
+///         .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+///     42,
+/// ).unwrap();
+/// let cold = engine.execute("SELECT COUNT(*) FROM t WHERE k < 100").unwrap();
+/// let warm = engine.execute("SELECT COUNT(*) FROM t WHERE k < 100").unwrap();
+/// assert_eq!((cold.count, warm.count), (100, 100));
+/// assert!(!cold.cache_hit && warm.cache_hit);
+/// ```
+#[derive(Debug, Default)]
+pub struct Engine {
+    catalog: SharedCatalog,
+    cache: PlanCache,
+    options: OptimizerOptions,
+    collect_options: CollectOptions,
+    buffer_pages: Option<usize>,
+}
+
+impl Engine {
+    /// An empty engine with default options and a default-capacity plan
+    /// cache.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// An empty engine with the given optimizer configuration.
+    pub fn with_options(options: OptimizerOptions) -> Engine {
+        Engine { options, ..Engine::default() }
+    }
+
+    /// Set the plan-cache capacity (0 disables caching — every query
+    /// re-optimizes, the pre-cache behaviour). Consumes `self`: capacity is
+    /// fixed before the engine is shared.
+    #[must_use]
+    pub fn cache_capacity(self, capacity: usize) -> Engine {
+        Engine { cache: PlanCache::new(capacity), ..self }
+    }
+
+    /// Set statistics collection for subsequently registered tables.
+    #[must_use]
+    pub fn collect_options(self, collect_options: CollectOptions) -> Engine {
+        Engine { collect_options, ..self }
+    }
+
+    /// Route execution through an LRU buffer pool of `pages` pages.
+    #[must_use]
+    pub fn buffer_pages(self, pages: Option<usize>) -> Engine {
+        Engine { buffer_pages: pages, ..self }
+    }
+
+    /// Register an existing table (publishes a new catalog snapshot and
+    /// bumps the epoch, invalidating cached plans).
+    pub fn register(&self, table: Table) -> EngineResult<()> {
+        self.catalog.register(table, &self.collect_options)?;
+        Ok(())
+    }
+
+    /// Generate and register a table from a spec with a seed.
+    pub fn generate(&self, spec: TableSpec, seed: u64) -> EngineResult<()> {
+        self.register(spec.generate(seed))
+    }
+
+    /// The current catalog snapshot (immutable; cheap to take and hold).
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        self.catalog.snapshot()
+    }
+
+    /// The current catalog epoch.
+    pub fn epoch(&self) -> u64 {
+        self.catalog.epoch()
+    }
+
+    /// Force cached-plan invalidation without changing catalog contents.
+    pub fn invalidate_plans(&self) {
+        self.catalog.invalidate();
+    }
+
+    /// The optimizer configuration this engine serves with.
+    pub fn options(&self) -> &OptimizerOptions {
+        &self.options
+    }
+
+    /// The plan cache (for inspection; counters live on it).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Point-in-time plan-cache counters (hits, misses, evictions,
+    /// invalidations).
+    pub fn cache_stats(&self) -> EngineCountersSnapshot {
+        self.cache.stats()
+    }
+
+    /// Parse → fingerprint → cache lookup, optimizing on a miss. Returns
+    /// the ready-to-execute plan, the snapshot it is valid against, and
+    /// whether it was a hit.
+    fn prepare_at(&self, sql: &str) -> EngineResult<(Arc<CachedPlan>, CatalogSnapshot, bool)> {
+        let ast = parse(sql)?;
+        let fingerprint = canonical_sql(&ast);
+        // Epoch and contents come from the same snapshot, so a plan stamped
+        // with this epoch is exactly a plan over these statistics.
+        let snapshot = self.catalog.snapshot();
+        if let Some(plan) = self.cache.get(&fingerprint, snapshot.epoch()) {
+            return Ok((plan, snapshot, true));
+        }
+        let bound = bind(&ast, snapshot.catalog())?;
+        let optimized = optimize_bound(&bound, snapshot.catalog(), &self.options)?;
+        let plan = Arc::new(CachedPlan {
+            optimized,
+            table_names: bound.table_names,
+            binding_names: bound.binding_names,
+        });
+        self.cache.insert(fingerprint, snapshot.epoch(), Arc::clone(&plan));
+        Ok((plan, snapshot, false))
+    }
+
+    /// Parse, bind and optimize (through the cache) without executing.
+    pub fn prepare(&self, sql: &str) -> EngineResult<Arc<CachedPlan>> {
+        Ok(self.prepare_at(sql)?.0)
+    }
+
+    /// Run a query end to end. Repeated queries reuse the cached plan;
+    /// execution always runs against the snapshot the plan was optimized
+    /// for.
+    pub fn execute(&self, sql: &str) -> EngineResult<QueryResult> {
+        let (plan, snapshot, cache_hit) = self.prepare_at(sql)?;
+        let tables = plan
+            .table_names
+            .iter()
+            .map(|name| snapshot.table_data(name))
+            .collect::<Result<Vec<_>, _>>()?;
+        let out = match self.buffer_pages {
+            None => execute_plan(&plan.optimized.plan, &tables)?,
+            Some(pages) => {
+                els_exec::executor::execute_plan_buffered(&plan.optimized.plan, &tables, pages)?
+            }
+        };
+        let join_order =
+            plan.optimized.join_order.iter().map(|&t| plan.binding_names[t].clone()).collect();
+        Ok(QueryResult {
+            rows: out.rows,
+            count: out.count,
+            metrics: out.metrics,
+            join_order,
+            estimated_sizes: plan.optimized.estimated_sizes.clone(),
+            cache_hit,
+        })
+    }
+
+    /// An EXPLAIN-style report (see [`Database::explain`]); goes through
+    /// the plan cache like [`Engine::execute`].
+    pub fn explain(&self, sql: &str) -> EngineResult<String> {
+        let (plan, _, _) = self.prepare_at(sql)?;
+        Ok(explain_report(sql, &plan.binding_names, &plan.optimized))
+    }
+}
+
+/// Render the EXPLAIN report for an optimized query (shared by
+/// [`Database::explain`] and [`Engine::explain`]).
+fn explain_report(sql: &str, binding_names: &[String], optimized: &OptimizedQuery) -> String {
+    let els = &optimized.els;
+    let mut out = String::new();
+    out.push_str(&format!("query: {sql}\n"));
+    out.push_str("predicates (after Step 1-2):\n");
+    for p in els.predicates() {
+        out.push_str(&format!("  {p}\n"));
+    }
+    if !els.classes().is_empty() {
+        out.push_str("equivalence classes:\n");
+        for (id, members) in els.classes().iter() {
+            let names: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+            out.push_str(&format!("  {id}: {{{}}}\n", names.join(", ")));
+        }
+    }
+    out.push_str("effective statistics:\n");
+    for (t, table) in els.effective_stats().tables.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} (R{t}): ||R|| {} -> {:.1}\n",
+            binding_names[t], table.original_cardinality, table.cardinality
+        ));
+    }
+    let order: Vec<&str> =
+        optimized.join_order.iter().map(|&t| binding_names[t].as_str()).collect();
+    out.push_str(&format!(
+        "join order: {} | estimated sizes: {:?} | cost: {:.1}\n",
+        order.join(" ⋈ "),
+        optimized.estimated_sizes,
+        optimized.estimated_cost
+    ));
+    out.push_str("plan:\n");
+    out.push_str(&optimized.plan.root.explain());
+    out
 }
 
 #[cfg(test)]
@@ -350,5 +566,93 @@ mod tests {
         let r = db.execute("SELECT a.k FROM a, b WHERE a.k = b.k AND a.k < 3").unwrap();
         assert_eq!(r.count, 3);
         assert_eq!(r.rows.num_columns(), 1);
+    }
+
+    fn engine() -> Engine {
+        let engine = Engine::new();
+        engine
+            .generate(
+                TableSpec::new("a", 1000)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                1,
+            )
+            .unwrap();
+        engine
+            .generate(
+                TableSpec::new("b", 500)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                2,
+            )
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn engine_matches_database_and_reports_hits() {
+        let engine = engine();
+        let sql = "SELECT COUNT(*) FROM a, b WHERE a.k = b.k";
+        let cold = engine.execute(sql).unwrap();
+        assert_eq!(cold.count, 500);
+        assert!(!cold.cache_hit);
+        // Same semantics, different formatting → same cache entry.
+        let warm = engine.execute("select count(*)  from a, b where b.k = a.k").unwrap();
+        assert_eq!(warm.count, 500);
+        assert!(warm.cache_hit);
+        assert_eq!(warm.join_order, cold.join_order);
+        assert_eq!(warm.estimated_sizes, cold.estimated_sizes);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn engine_register_bumps_epoch_and_invalidates() {
+        let engine = engine();
+        let sql = "SELECT COUNT(*) FROM a WHERE k < 100";
+        assert!(!engine.execute(sql).unwrap().cache_hit);
+        assert!(engine.execute(sql).unwrap().cache_hit);
+        let epoch = engine.epoch();
+        engine
+            .generate(
+                TableSpec::new("c", 10)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                3,
+            )
+            .unwrap();
+        assert_eq!(engine.epoch(), epoch + 1);
+        let after = engine.execute(sql).unwrap();
+        assert!(!after.cache_hit, "stale-epoch plan must not be served");
+        assert_eq!(after.count, 100);
+        assert_eq!(engine.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn engine_explain_matches_database_explain() {
+        let engine = engine();
+        let db = db();
+        let sql = "SELECT COUNT(*) FROM a, b WHERE a.k = b.k AND a.k < 10";
+        assert_eq!(engine.explain(sql).unwrap(), db.explain(sql).unwrap());
+    }
+
+    #[test]
+    fn engine_zero_capacity_never_hits() {
+        let engine = Engine::new().cache_capacity(0);
+        engine
+            .generate(
+                TableSpec::new("t", 100)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                1,
+            )
+            .unwrap();
+        for _ in 0..3 {
+            assert!(!engine.execute("SELECT COUNT(*) FROM t").unwrap().cache_hit);
+        }
+        assert_eq!(engine.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn engine_errors_are_classified_like_database() {
+        let engine = engine();
+        assert!(matches!(engine.execute("NOT SQL"), Err(EngineError::Sql(_))));
+        assert!(matches!(engine.execute("SELECT COUNT(*) FROM nope"), Err(EngineError::Sql(_))));
     }
 }

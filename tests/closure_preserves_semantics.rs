@@ -61,17 +61,12 @@ fn closure_never_removes_rows_and_never_adds_them() {
     // A deterministic spot check with hand-built data, including NULLs in
     // the filter column (closure rule e must not propagate across NULL
     // semantics incorrectly).
-    let inst = generate(
-        &WorkloadSpec { tables: 3, filter_probability: 1.0, ..Default::default() },
-        1234,
-    );
+    let inst =
+        generate(&WorkloadSpec { tables: 3, filter_probability: 1.0, ..Default::default() }, 1234);
     let tables = bound_query_tables(&inst.bound, &inst.catalog).unwrap();
-    let with_ptc = optimize_bound(
-        &inst.bound,
-        &inst.catalog,
-        &OptimizerOptions::preset(EstimatorPreset::Els),
-    )
-    .unwrap();
+    let with_ptc =
+        optimize_bound(&inst.bound, &inst.catalog, &OptimizerOptions::preset(EstimatorPreset::Els))
+            .unwrap();
     let without_ptc = optimize_bound(
         &inst.bound,
         &inst.catalog,

@@ -181,7 +181,9 @@ fn empty_result_query() {
 
 #[test]
 fn duplicate_predicates_query() {
-    check_query("SELECT COUNT(*) FROM A, Bt WHERE A.k = Bt.k AND A.k = Bt.k AND A.k < 12 AND A.k < 12");
+    check_query(
+        "SELECT COUNT(*) FROM A, Bt WHERE A.k = Bt.k AND A.k = Bt.k AND A.k < 12 AND A.k < 12",
+    );
 }
 
 #[test]

@@ -89,13 +89,10 @@ fn group_by_with_filters_and_joins() {
         .unwrap();
     assert!(r.count <= 10);
     // Counts must sum to the non-null join size.
-    let total: i64 = (0..r.rows.num_rows())
-        .map(|i| r.rows.row(i).unwrap()[1].as_int().unwrap())
-        .sum();
+    let total: i64 =
+        (0..r.rows.num_rows()).map(|i| r.rows.row(i).unwrap()[1].as_int().unwrap()).sum();
     let expect = db
-        .execute(
-            "SELECT COUNT(*) FROM fact, dim WHERE fact.key = dim.id AND fact.v IS NOT NULL",
-        )
+        .execute("SELECT COUNT(*) FROM fact, dim WHERE fact.key = dim.id AND fact.v IS NOT NULL")
         .unwrap()
         .count;
     assert_eq!(total as u64, expect);
@@ -104,9 +101,9 @@ fn group_by_with_filters_and_joins() {
 #[test]
 fn explain_shows_steps_and_estimates() {
     let db = db();
-    let text =
-        db.explain("SELECT COUNT(*) FROM fact, dim WHERE fact.key = dim.id AND fact.key < 5")
-            .unwrap();
+    let text = db
+        .explain("SELECT COUNT(*) FROM fact, dim WHERE fact.key = dim.id AND fact.key < 5")
+        .unwrap();
     assert!(text.contains("fact"));
     assert!(text.contains("join order"));
     assert!(text.contains("estimated sizes"));
@@ -153,7 +150,9 @@ fn values_surface_in_result_rows() {
 fn order_by_and_limit_through_the_engine() {
     let db = db();
     let r = db
-        .execute("SELECT fact.key FROM fact, dim WHERE fact.key = dim.id ORDER BY fact.key DESC LIMIT 7")
+        .execute(
+            "SELECT fact.key FROM fact, dim WHERE fact.key = dim.id ORDER BY fact.key DESC LIMIT 7",
+        )
         .unwrap();
     assert_eq!(r.count, 7);
     // Rows are sorted descending by key.
@@ -173,9 +172,7 @@ fn order_by_and_limit_through_the_engine() {
 fn explain_analyze_reports_estimates_vs_actuals() {
     let db = db();
     let text = db
-        .explain_analyze(
-            "SELECT COUNT(*) FROM fact, dim WHERE fact.key = dim.id AND fact.key < 5",
-        )
+        .explain_analyze("SELECT COUNT(*) FROM fact, dim WHERE fact.key = dim.id AND fact.key < 5")
         .unwrap();
     assert!(text.contains("estimated vs actual"), "{text}");
     assert!(text.contains("fact"), "{text}");

@@ -1,0 +1,201 @@
+//! Concurrency and plan-cache semantics of the shared [`els::engine::Engine`]:
+//! many threads over one engine must produce exactly the serial results, the
+//! catalog epoch must fence off stale plans, and cache hits must skip join
+//! enumeration.
+//!
+//! The enumeration counter (`els_exec::metrics::enumerations`) is
+//! process-wide, so every test here serializes on [`GUARD`] — otherwise a
+//! concurrently running test's optimizations would pollute the deltas.
+
+use std::sync::Mutex;
+
+use els::engine::Engine;
+use els::exec::metrics::enumerations;
+use els::storage::datagen::{ColumnSpec, Distribution, TableSpec};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// A small three-table engine: joins take microseconds, so the stress test
+/// stays fast even in debug builds.
+fn small_engine() -> Engine {
+    let engine = Engine::new();
+    engine
+        .generate(
+            TableSpec::new("a", 1000)
+                .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 }))
+                .column(ColumnSpec::new("f", Distribution::UniformInt { lo: 0, hi: 99 })),
+            1,
+        )
+        .unwrap();
+    engine
+        .generate(
+            TableSpec::new("b", 500)
+                .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+            2,
+        )
+        .unwrap();
+    engine
+        .generate(
+            TableSpec::new("c", 200)
+                .column(ColumnSpec::new("k", Distribution::CycleInt { modulus: 50, start: 0 })),
+            3,
+        )
+        .unwrap();
+    engine
+}
+
+/// The mixed query set: joins, filters, projections, formatting variants.
+fn mixed_queries() -> Vec<String> {
+    let mut queries = vec![
+        "SELECT COUNT(*) FROM a".to_owned(),
+        "SELECT COUNT(*) FROM a WHERE k < 100".to_owned(),
+        "SELECT COUNT(*) FROM a, b WHERE a.k = b.k".to_owned(),
+        // Same query as above up to canonicalization.
+        "select count(*) from a, b where b.k = a.k".to_owned(),
+        "SELECT COUNT(*) FROM a, b WHERE a.k = b.k AND a.k < 10".to_owned(),
+        "SELECT COUNT(*) FROM b, c WHERE b.k = c.k".to_owned(),
+        "SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k".to_owned(),
+        "SELECT a.k FROM a, b WHERE a.k = b.k AND a.k < 5".to_owned(),
+    ];
+    for cut in [20, 40, 60, 80] {
+        queries.push(format!("SELECT COUNT(*) FROM a, b WHERE a.k = b.k AND a.f < {cut}"));
+    }
+    queries
+}
+
+#[test]
+fn eight_threads_of_mixed_queries_match_serial_results() {
+    let _guard = GUARD.lock().unwrap();
+    let engine = small_engine();
+    let queries = mixed_queries();
+
+    // Serial ground truth from an identical but separate engine.
+    let reference = small_engine();
+    let expected: Vec<u64> = queries.iter().map(|q| reference.execute(q).unwrap().count).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let engine = &engine;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                // 100 queries per thread, each thread in a different order.
+                for i in 0..100usize {
+                    let q = (i + t) % queries.len();
+                    let out = engine.execute(&queries[q]).unwrap();
+                    assert_eq!(
+                        out.count, expected[q],
+                        "thread {t} iteration {i} diverged on `{}`",
+                        queries[q]
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 800, "every execution consults the cache");
+    // 12 query texts, 11 distinct fingerprints (two differ only in
+    // formatting); everything after the cold pass should hit.
+    assert!(stats.hit_rate() > 0.9, "{stats:?}");
+    assert_eq!(stats.invalidations, 0);
+}
+
+#[test]
+fn cache_hits_skip_enumeration() {
+    let _guard = GUARD.lock().unwrap();
+    let engine = small_engine();
+    let sql = "SELECT COUNT(*) FROM a, b WHERE a.k = b.k AND a.k < 10";
+
+    let before = enumerations();
+    let cold = engine.execute(sql).unwrap();
+    let after_cold = enumerations();
+    assert!(!cold.cache_hit);
+    assert!(after_cold > before, "a miss must run join enumeration");
+
+    let warm = engine.execute(sql).unwrap();
+    assert!(warm.cache_hit);
+    assert_eq!(enumerations(), after_cold, "a hit must not re-enumerate");
+    assert_eq!(warm.count, cold.count);
+    assert_eq!(warm.join_order, cold.join_order);
+
+    // A canonically equal spelling also skips enumeration.
+    let respelled = engine.execute("select count(*) from a, b where b.k = a.k and a.k < 10");
+    assert!(respelled.unwrap().cache_hit);
+    assert_eq!(enumerations(), after_cold);
+}
+
+#[test]
+fn epoch_bump_invalidates_cached_plans() {
+    let _guard = GUARD.lock().unwrap();
+    let engine = small_engine();
+    let sql = "SELECT COUNT(*) FROM a, b WHERE a.k = b.k";
+    assert!(!engine.execute(sql).unwrap().cache_hit);
+    assert!(engine.execute(sql).unwrap().cache_hit);
+
+    // Any catalog mutation bumps the epoch...
+    let epoch = engine.epoch();
+    engine
+        .generate(
+            TableSpec::new("d", 10)
+                .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+            4,
+        )
+        .unwrap();
+    assert_eq!(engine.epoch(), epoch + 1);
+
+    // ...so the next execution re-optimizes (counted as an invalidation)
+    // and re-caches at the new epoch.
+    let before = enumerations();
+    let replanned = engine.execute(sql).unwrap();
+    assert!(!replanned.cache_hit, "stale-epoch plan must not be served");
+    assert!(enumerations() > before);
+    assert_eq!(engine.cache_stats().invalidations, 1);
+    assert!(engine.execute(sql).unwrap().cache_hit, "new-epoch plan caches normally");
+
+    // Explicit invalidation works without any content change.
+    engine.invalidate_plans();
+    assert!(!engine.execute(sql).unwrap().cache_hit);
+}
+
+#[test]
+fn snapshot_isolation_under_concurrent_registration() {
+    let _guard = GUARD.lock().unwrap();
+    let engine = small_engine();
+    let queries = mixed_queries();
+    let reference = small_engine();
+    let expected: Vec<u64> = queries.iter().map(|q| reference.execute(q).unwrap().count).collect();
+
+    // Readers keep getting correct answers while a writer registers new
+    // tables (bumping the epoch under them).
+    let engine = &engine;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for i in 0..6u64 {
+                engine
+                    .generate(
+                        TableSpec::new(format!("extra{i}"), 50)
+                            .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                        10 + i,
+                    )
+                    .unwrap();
+            }
+        });
+        for t in 0..4usize {
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                for i in 0..50usize {
+                    let q = (i + t) % queries.len();
+                    assert_eq!(engine.execute(&queries[q]).unwrap().count, expected[q]);
+                }
+            });
+        }
+    });
+    // All six registrations landed despite the read traffic.
+    assert_eq!(engine.snapshot().len(), 3 + 6);
+    // Readers raced epoch bumps, so *some* lookups were invalidated or
+    // missed, but the final counters must balance.
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 200);
+}

@@ -66,23 +66,23 @@ fn paper_join_order_reproduces_rows_2_and_3_exactly() {
     let bound = bind(&parse(SECTION8_SQL).unwrap(), &catalog).unwrap();
     let order = [1usize, 2, 0, 3];
 
-    let sm = optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Sm))
-        .unwrap();
+    let sm =
+        optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Sm)).unwrap();
     let sizes = sm.els.estimate_order(&order).unwrap();
     assert!((sizes[0] - 0.2).abs() < 1e-12, "{sizes:?}");
     assert!((sizes[1] - 4e-8).abs() < 1e-20, "{sizes:?}");
     assert!((sizes[2] - 4e-21).abs() < 1e-33, "{sizes:?}");
 
-    let sss = optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Sss))
-        .unwrap();
+    let sss =
+        optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Sss)).unwrap();
     let sizes = sss.els.estimate_order(&order).unwrap();
     assert!((sizes[0] - 0.2).abs() < 1e-12, "{sizes:?}");
     assert!((sizes[1] - 4e-4).abs() < 1e-16, "{sizes:?}");
     assert!((sizes[2] - 4e-7).abs() < 1e-19, "{sizes:?}");
 
     // ELS: the paper's chosen order B ⋈ G ⋈ M ⋈ S gives (100, 100, 100).
-    let els = optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Els))
-        .unwrap();
+    let els =
+        optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Els)).unwrap();
     let sizes = els.els.estimate_order(&[2, 3, 1, 0]).unwrap();
     assert_eq!(sizes, vec![100.0, 100.0, 100.0]);
 }

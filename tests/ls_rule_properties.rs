@@ -3,8 +3,8 @@
 //! form of Equation 3 — for any statistics and any join order — while
 //! Rules M and SS only ever underestimate (paper, Sections 3 and 7).
 
-use els::core::prelude::*;
 use els::core::exact;
+use els::core::prelude::*;
 use proptest::prelude::*;
 
 /// Build a single-equivalence-class chain query over `dims` tables, where

@@ -25,15 +25,13 @@ fn example_1b(rule: SelectivityRule) -> Els {
 fn example_1b_selectivities_and_sizes() {
     // S_J1 = 0.01, S_J2 = 0.001, S_J3 = 0.001.
     let els = example_1b(SelectivityRule::LargestSelectivity);
-    let mut sels: Vec<f64> = els.prepared().join_predicates().iter().map(|p| p.selectivity).collect();
+    let mut sels: Vec<f64> =
+        els.prepared().join_predicates().iter().map(|p| p.selectivity).collect();
     sels.sort_by(f64::total_cmp);
     assert_eq!(sels, vec![0.001, 0.001, 0.01]);
     // ||R2 ⋈ R3|| = 1000; ||R1 ⋈ R2 ⋈ R3|| = 1000.
     assert_eq!(els.estimate_order(&[1, 2]).unwrap(), vec![1000.0]);
-    assert_eq!(
-        exact::n_way(&[(100.0, 10.0), (1000.0, 100.0), (1000.0, 1000.0)]),
-        1000.0
-    );
+    assert_eq!(exact::n_way(&[(100.0, 10.0), (1000.0, 100.0), (1000.0, 1000.0)]), 1000.0);
 }
 
 #[test]
@@ -161,9 +159,6 @@ fn section_4_step1_duplicate_predicates_are_dropped() {
     let p = Predicate::local_cmp(ColumnRef::new(0, 0), CmpOp::Gt, 500i64);
     let once = Els::prepare(std::slice::from_ref(&p), &stats, &ElsOptions::default()).unwrap();
     let twice = Els::prepare(&[p.clone(), p], &stats, &ElsOptions::default()).unwrap();
-    assert_eq!(
-        once.effective_cardinality(0).unwrap(),
-        twice.effective_cardinality(0).unwrap()
-    );
+    assert_eq!(once.effective_cardinality(0).unwrap(), twice.effective_cardinality(0).unwrap());
     assert_eq!(twice.predicates().len(), 1);
 }

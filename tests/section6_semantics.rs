@@ -42,9 +42,7 @@ fn truth(catalog: &Catalog) -> u64 {
     let r2 = catalog.table_data("R2").unwrap();
     let y = r2.column_by_name("y").unwrap();
     let w = r2.column_by_name("w").unwrap();
-    (0..r2.num_rows())
-        .filter(|&r| y.get(r).unwrap().sql_eq(&w.get(r).unwrap()))
-        .count() as u64
+    (0..r2.num_rows()).filter(|&r| y.get(r).unwrap().sql_eq(&w.get(r).unwrap())).count() as u64
 }
 
 #[test]

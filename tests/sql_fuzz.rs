@@ -81,19 +81,19 @@ fn random_query(seed: u64) -> String {
     let mut conjuncts: Vec<String> = Vec::new();
     for _ in 0..rng.gen_range(0..5usize) {
         let t1 = rng.gen_range(0..ntables);
-        let c1 = cols[rng.gen_range(0..2)];
+        let c1 = cols[rng.gen_range(0..2usize)];
         match rng.gen_range(0..4) {
             // Join / column equality.
             0 if ntables > 1 => {
                 let t2 = rng.gen_range(0..ntables);
-                let c2 = cols[rng.gen_range(0..2)];
+                let c2 = cols[rng.gen_range(0..2usize)];
                 if t1 != t2 || c1 != c2 {
                     conjuncts.push(format!("{}.{c1} = {}.{c2}", from[t1], from[t2]));
                 }
             }
             // Constant comparison.
             1 => {
-                let op = ["=", "<", "<=", ">", ">=", "<>"][rng.gen_range(0..6)];
+                let op = ["=", "<", "<=", ">", ">=", "<>"][rng.gen_range(0..6usize)];
                 let v = rng.gen_range(-2i64..14);
                 conjuncts.push(format!("{}.{c1} {op} {v}", from[t1]));
             }
