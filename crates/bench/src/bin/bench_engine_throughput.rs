@@ -28,10 +28,13 @@ const REPEATS: usize = 2;
 fn json_phase(out: &mut String, key: &str, replay: &Replay) {
     let _ = write!(
         out,
-        "  \"{key}\": {{ \"queries\": {}, \"seconds\": {:.4}, \"qps\": {:.2} }},\n",
+        "  \"{key}\": {{ \"queries\": {}, \"seconds\": {:.4}, \"qps\": {:.2}, \
+         \"latency_p50_ms\": {:.3}, \"latency_p95_ms\": {:.3} }},\n",
         replay.queries,
         replay.elapsed.as_secs_f64(),
-        replay.qps()
+        replay.qps(),
+        replay.latency_percentile(50.0).as_secs_f64() * 1e3,
+        replay.latency_percentile(95.0).as_secs_f64() * 1e3,
     );
 }
 
@@ -120,6 +123,13 @@ fn main() {
         parallel_hit_rate * 100.0
     );
     println!("speedup parallel-cached vs serial-uncached: {speedup_parallel:.2}x");
+    println!(
+        "per-query latency p50/p95: uncached {:.2}/{:.2} ms, parallel {:.2}/{:.2} ms",
+        serial_uncached.latency_percentile(50.0).as_secs_f64() * 1e3,
+        serial_uncached.latency_percentile(95.0).as_secs_f64() * 1e3,
+        parallel.latency_percentile(50.0).as_secs_f64() * 1e3,
+        parallel.latency_percentile(95.0).as_secs_f64() * 1e3,
+    );
     let ok_speedup = speedup_parallel >= 2.0;
     let ok_hits = second_replay_hit_rate >= 0.9;
     let ok_enums = second_replay_enums == 0;

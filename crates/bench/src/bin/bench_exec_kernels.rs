@@ -1,0 +1,236 @@
+//! Execution-kernel microbenchmark: row-at-a-time oracle vs vectorized
+//! kernels vs morsel-parallel probing, on identical plans over the
+//! Section 8 tables.
+//!
+//! Each workload query is optimized once, then the *same physical plan* is
+//! interpreted under three [`ExecMode`]s:
+//!
+//! 1. **row** — the tuple-at-a-time reference oracle (the seed's executor).
+//! 2. **vectorized** — typed whole-column kernels, selection vectors, late
+//!    materialization, one worker.
+//! 3. **vectorized_parallel** — same, with the hash-join probe split into
+//!    morsels across `available_parallelism()` workers.
+//!
+//! Any disagreement in result counts between modes prints a `REGRESSION`
+//! line and exits non-zero — `scripts/check.sh` greps for that marker in
+//! its smoke run (`--smoke`: scaled-down tables, no JSON written). The
+//! full run writes `BENCH_exec_kernels.json`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use els_catalog::collect::CollectOptions;
+use els_catalog::Catalog;
+use els_exec::{execute_plan_with, ExecMode, JoinMethod, PlanNode, QueryPlan};
+use els_sql::{bind, parse};
+use els_storage::datagen::{starburst_experiment_tables, ColumnSpec, Distribution, TableSpec};
+use els_storage::Table;
+
+const SEED: u64 = 42;
+
+/// The Section 8 schema at a reduced scale for the smoke gate (the full
+/// tables are S/M/B/G at 1k/10k/50k/100k rows).
+fn smoke_tables(seed: u64) -> Vec<Table> {
+    [("S", "s", 50usize), ("M", "m", 500), ("B", "b", 2_000), ("G", "g", 4_000)]
+        .iter()
+        .map(|&(name, key, rows)| {
+            TableSpec::new(name, rows)
+                .column(ColumnSpec::new(key, Distribution::SequentialInt { start: 0 }))
+                .column(ColumnSpec::new(
+                    "payload",
+                    Distribution::UniformInt { lo: 0, hi: 1_000_000 },
+                ))
+                .generate(seed)
+        })
+        .collect()
+}
+
+/// Force every join in the tree to one method, keeping shape and keys.
+fn force_method(node: &mut PlanNode, m: JoinMethod) {
+    if let PlanNode::Join { method, left, right, .. } = node {
+        *method = m;
+        force_method(left, m);
+        force_method(right, m);
+    }
+}
+
+/// Optimize `sql` against the catalog, then pin the join method so the
+/// benchmark compares executors, not plan choices. Returns the plan with
+/// its tables in FROM-list order (the coordinate system plans use).
+fn plan_for(
+    sql: &str,
+    catalog: &Catalog,
+    method: Option<JoinMethod>,
+) -> (QueryPlan, Vec<std::sync::Arc<Table>>) {
+    let bound = bind(&parse(sql).expect("bench SQL parses"), catalog).expect("bench SQL binds");
+    let tables = els_optimizer::bound_query_tables(&bound, catalog).expect("bench tables resolve");
+    let optimized =
+        els_optimizer::optimize_bound(&bound, catalog, &els_optimizer::OptimizerOptions::default())
+            .expect("bench SQL optimizes");
+    let mut plan = optimized.plan;
+    if let Some(m) = method {
+        force_method(&mut plan.root, m);
+    }
+    (plan, tables)
+}
+
+struct Measurement {
+    count: u64,
+    best: Duration,
+    kernel_rows: u64,
+    morsels: u64,
+}
+
+/// Best-of-`repeats` wall time for one plan under one mode.
+fn measure(
+    plan: &QueryPlan,
+    tables: &[std::sync::Arc<Table>],
+    mode: ExecMode,
+    repeats: usize,
+) -> Measurement {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let o = execute_plan_with(plan, tables, mode).expect("bench plans execute");
+        best = best.min(t0.elapsed());
+        out = Some(o);
+    }
+    let out = out.expect("at least one repeat");
+    Measurement {
+        count: out.count,
+        best,
+        kernel_rows: out.metrics.kernel_rows,
+        morsels: out.metrics.morsels,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = cpus.max(2); // exercise the morsel path even on 1 CPU
+    let repeats = if smoke { 2 } else { 5 };
+
+    let base_tables = if smoke { smoke_tables(SEED) } else { starburst_experiment_tables(SEED) };
+    let mut catalog = Catalog::new();
+    for t in base_tables {
+        catalog
+            .register(t, &CollectOptions::default())
+            .expect("fresh catalog accepts the bench tables");
+    }
+
+    // The workload: the Section 8 chain under both vectorizable join
+    // methods, a wide-output variant (exercises late materialization), and
+    // a selective single-table scan (pure filter kernels).
+    let chain_where = "s = m AND m = b AND b = g AND s < 100";
+    let queries: Vec<(&str, String, Option<JoinMethod>)> = vec![
+        (
+            "hash_chain_count",
+            format!("SELECT COUNT(*) FROM S, M, B, G WHERE {chain_where}"),
+            Some(JoinMethod::Hash),
+        ),
+        (
+            "sort_merge_chain_count",
+            format!("SELECT COUNT(*) FROM S, M, B, G WHERE {chain_where}"),
+            Some(JoinMethod::SortMerge),
+        ),
+        (
+            "hash_chain_star",
+            format!("SELECT * FROM S, M, B, G WHERE {chain_where}"),
+            Some(JoinMethod::Hash),
+        ),
+        // No local filter: the closure can't shrink the probe side, so the
+        // 100k-row probe of G actually splits into morsels.
+        (
+            "hash_big_probe_count",
+            "SELECT COUNT(*) FROM M, G WHERE m = g".to_owned(),
+            Some(JoinMethod::Hash),
+        ),
+        ("filter_scan", "SELECT * FROM G WHERE g < 500000 AND payload < 500000".to_owned(), None),
+    ];
+
+    let modes = [
+        ("row", ExecMode::RowAtATime),
+        ("vectorized", ExecMode::Vectorized { workers: 1 }),
+        ("vectorized_parallel", ExecMode::Vectorized { workers }),
+    ];
+    println!(
+        "exec kernels: {} queries x {} modes, {repeats} repeats, {cpus} cpu(s), {workers} workers{}",
+        queries.len(),
+        modes.len(),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"exec_kernels\",\n");
+    let _ = write!(
+        json,
+        "  \"workload\": \"section8 kernels\", \"smoke\": {smoke}, \"repeats\": {repeats}, \
+         \"cpus\": {cpus}, \"workers\": {workers},\n  \"queries\": {{\n"
+    );
+
+    let mut regression = false;
+    let mut join_totals = [0.0f64; 3]; // per-mode seconds over join queries
+    let mut all_totals = [0.0f64; 3];
+    for (qi, (name, sql, method)) in queries.iter().enumerate() {
+        let (plan, tables) = plan_for(sql, &catalog, *method);
+        let runs: Vec<Measurement> =
+            modes.iter().map(|&(_, mode)| measure(&plan, &tables, mode, repeats)).collect();
+        for (i, run) in runs.iter().enumerate() {
+            all_totals[i] += run.best.as_secs_f64();
+            if method.is_some() {
+                join_totals[i] += run.best.as_secs_f64();
+            }
+            if run.count != runs[0].count {
+                regression = true;
+                println!(
+                    "REGRESSION: {name} under {} returned {} rows, row oracle returned {}",
+                    modes[i].0, run.count, runs[0].count
+                );
+            }
+        }
+        let speedup = runs[0].best.as_secs_f64() / runs[1].best.as_secs_f64().max(1e-9);
+        println!(
+            "{name:<24} rows {:>8}  row {:>9.3}ms  vec {:>9.3}ms  vec-par {:>9.3}ms  ({speedup:.2}x)",
+            runs[0].count,
+            runs[0].best.as_secs_f64() * 1e3,
+            runs[1].best.as_secs_f64() * 1e3,
+            runs[2].best.as_secs_f64() * 1e3,
+        );
+        let _ = write!(json, "    \"{name}\": {{ \"rows\": {}, ", runs[0].count);
+        for (i, (mode_name, _)) in modes.iter().enumerate() {
+            let _ = write!(json, "\"{mode_name}_ms\": {:.4}, ", runs[i].best.as_secs_f64() * 1e3);
+        }
+        let _ = write!(
+            json,
+            "\"kernel_rows\": {}, \"morsels\": {}, \"speedup_vectorized\": {:.2} }}{}\n",
+            runs[1].kernel_rows,
+            runs[2].morsels,
+            speedup,
+            if qi + 1 == queries.len() { "" } else { "," }
+        );
+    }
+
+    let join_speedup = join_totals[0] / join_totals[1].max(1e-9);
+    let parallel_speedup = join_totals[1] / join_totals[2].max(1e-9);
+    let overall_speedup = all_totals[0] / all_totals[1].max(1e-9);
+    let _ = write!(
+        json,
+        "  }},\n  \"join_speedup_vectorized_vs_row\": {join_speedup:.2},\n  \
+         \"join_speedup_parallel_vs_vectorized\": {parallel_speedup:.2},\n  \
+         \"overall_speedup_vectorized_vs_row\": {overall_speedup:.2}\n}}\n"
+    );
+
+    println!("join workload: vectorized {join_speedup:.2}x over row-at-a-time");
+    println!("join workload: parallel(x{workers}) {parallel_speedup:.2}x over vectorized");
+    println!("overall      : vectorized {overall_speedup:.2}x over row-at-a-time");
+    if !smoke {
+        let ok = join_speedup >= 3.0;
+        println!("target: join vectorized speedup >= 3x {}", if ok { "PASS" } else { "FAIL" });
+        std::fs::write("BENCH_exec_kernels.json", &json).expect("write BENCH_exec_kernels.json");
+        println!("wrote BENCH_exec_kernels.json");
+    }
+    if regression {
+        println!("REGRESSION: vectorized results diverge from the row oracle");
+        std::process::exit(1);
+    }
+}

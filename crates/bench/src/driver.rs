@@ -91,6 +91,9 @@ pub struct Replay {
     /// Per-query result counts of one workload pass (every thread and
     /// every repeat must produce these same counts).
     pub counts: Vec<u64>,
+    /// Wall-clock latency of every individual query execution, in
+    /// submission order (concatenated across threads for parallel replays).
+    pub latencies: Vec<Duration>,
 }
 
 impl Replay {
@@ -98,21 +101,36 @@ impl Replay {
     pub fn qps(&self) -> f64 {
         self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
+
+    /// Nearest-rank percentile of the per-query latencies (`p` in 0..=100).
+    /// Returns zero for an empty replay.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = (p.clamp(0.0, 100.0) / 100.0 * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
 }
 
 /// Replay the workload `repeats` times on the calling thread.
 pub fn replay_serial(engine: &Engine, queries: &[String], repeats: usize) -> Replay {
     let start = Instant::now();
     let mut counts = Vec::new();
+    let mut latencies = Vec::with_capacity(queries.len() * repeats);
     for repeat in 0..repeats {
         for sql in queries {
+            let t0 = Instant::now();
             let out = engine.execute(sql).expect("workload queries execute");
+            latencies.push(t0.elapsed());
             if repeat == 0 {
                 counts.push(out.count);
             }
         }
     }
-    Replay { queries: queries.len() * repeats, elapsed: start.elapsed(), counts }
+    Replay { queries: queries.len() * repeats, elapsed: start.elapsed(), counts, latencies }
 }
 
 /// Replay the workload `repeats` times on each of `threads` scoped threads
@@ -127,34 +145,38 @@ pub fn replay_parallel(
 ) -> Replay {
     assert!(threads >= 1);
     let start = Instant::now();
-    let mut per_thread: Vec<Vec<u64>> = std::thread::scope(|scope| {
+    let mut per_thread: Vec<(Vec<u64>, Vec<Duration>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
                     let n = queries.len();
                     let mut counts = vec![0u64; n];
+                    let mut latencies = Vec::with_capacity(n * repeats);
                     for repeat in 0..repeats {
                         for i in 0..n {
                             let q = (i + t) % n; // rotated start per thread
+                            let t0 = Instant::now();
                             let out =
                                 engine.execute(&queries[q]).expect("workload queries execute");
+                            latencies.push(t0.elapsed());
                             if repeat == 0 {
                                 counts[q] = out.count;
                             }
                         }
                     }
-                    counts
+                    (counts, latencies)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker threads do not panic")).collect()
     });
     let elapsed = start.elapsed();
-    let counts = per_thread.pop().expect("at least one thread");
-    for other in &per_thread {
+    let (counts, mut latencies) = per_thread.pop().expect("at least one thread");
+    for (other, other_lat) in &per_thread {
         assert_eq!(other, &counts, "threads must agree on every query result");
+        latencies.extend_from_slice(other_lat);
     }
-    Replay { queries: queries.len() * threads * repeats, elapsed, counts }
+    Replay { queries: queries.len() * threads * repeats, elapsed, counts, latencies }
 }
 
 #[cfg(test)]
@@ -197,9 +219,28 @@ mod tests {
         let serial = replay_serial(&engine, &queries, 1);
         // The paper's ground truth for the Section 8 query.
         assert_eq!(serial.counts[0], 100);
+        assert_eq!(serial.latencies.len(), serial.queries);
         let parallel = replay_parallel(&engine, &queries, 4, 2);
         assert_eq!(parallel.counts, serial.counts);
         assert_eq!(parallel.queries, queries.len() * 8);
+        assert_eq!(parallel.latencies.len(), parallel.queries);
         assert!(engine.cache_stats().hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let replay = Replay {
+            queries: 4,
+            elapsed: Duration::from_millis(10),
+            counts: vec![],
+            latencies: [4, 1, 3, 2].into_iter().map(Duration::from_millis).collect(),
+        };
+        assert_eq!(replay.latency_percentile(50.0), Duration::from_millis(2));
+        assert_eq!(replay.latency_percentile(95.0), Duration::from_millis(4));
+        assert_eq!(replay.latency_percentile(0.0), Duration::from_millis(1));
+        assert_eq!(replay.latency_percentile(100.0), Duration::from_millis(4));
+        let empty =
+            Replay { queries: 0, elapsed: Duration::ZERO, counts: vec![], latencies: vec![] };
+        assert_eq!(empty.latency_percentile(50.0), Duration::ZERO);
     }
 }

@@ -11,6 +11,10 @@ pub enum ExecError {
     UnknownTable(usize),
     /// A column reference did not resolve in an intermediate schema.
     ColumnNotInSchema(ColumnRef),
+    /// Several column references did not resolve when binding an operator's
+    /// filters; lists *every* missing column so a malformed plan is
+    /// diagnosable in one pass.
+    ColumnsNotInSchema(Vec<ColumnRef>),
     /// Underlying storage failure.
     Storage(String),
     /// A plan was structurally invalid (e.g. join key columns on the wrong
@@ -24,6 +28,10 @@ impl fmt::Display for ExecError {
             ExecError::UnknownTable(t) => write!(f, "no data registered for table {t}"),
             ExecError::ColumnNotInSchema(c) => {
                 write!(f, "column {c} not present in intermediate schema")
+            }
+            ExecError::ColumnsNotInSchema(cs) => {
+                let list: Vec<String> = cs.iter().map(ToString::to_string).collect();
+                write!(f, "columns [{}] not present in intermediate schema", list.join(", "))
             }
             ExecError::Storage(m) => write!(f, "storage error: {m}"),
             ExecError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
@@ -50,5 +58,8 @@ mod tests {
     fn display_mentions_details() {
         assert!(ExecError::UnknownTable(2).to_string().contains('2'));
         assert!(ExecError::ColumnNotInSchema(ColumnRef::new(0, 1)).to_string().contains("R0.c1"));
+        let multi = ExecError::ColumnsNotInSchema(vec![ColumnRef::new(0, 1), ColumnRef::new(2, 3)]);
+        let text = multi.to_string();
+        assert!(text.contains("R0.c1") && text.contains("R2.c3"), "{text}");
     }
 }

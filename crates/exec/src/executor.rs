@@ -24,11 +24,89 @@ pub struct ExecOutput {
     pub metrics: ExecMetrics,
 }
 
+/// How a plan tree is evaluated. Both modes produce identical rows, in
+/// identical order, with identical logical-work counters (a property the
+/// differential tests assert); they differ only in wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The original tuple-at-a-time interpreter, kept as the reference
+    /// oracle: whole-table clones at scans, per-row `Value` extraction,
+    /// full materialization at every operator.
+    RowAtATime,
+    /// Typed whole-column kernels with selection vectors and late
+    /// materialization (see [`crate::vectorized`]). Hash-join probes split
+    /// into morsels across `workers` threads when the probe side is large
+    /// enough; `workers == 1` (the default) stays serial.
+    Vectorized {
+        /// Probe-side worker threads (values below 1 are treated as 1).
+        workers: usize,
+    },
+}
+
+impl Default for ExecMode {
+    fn default() -> ExecMode {
+        ExecMode::Vectorized { workers: 1 }
+    }
+}
+
+/// A named evaluation strategy over the same plan/tables interface — lets
+/// benches and differential tests iterate over evaluators.
+pub trait PlanEvaluator {
+    /// Short display name (for bench reports and test diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// The mode this evaluator runs plans under.
+    fn mode(&self) -> ExecMode;
+
+    /// Evaluate a plan, unbuffered.
+    fn run(&self, plan: &QueryPlan, tables: &[Arc<Table>]) -> ExecResult<ExecOutput> {
+        execute_plan_with(plan, tables, self.mode())
+    }
+}
+
+/// The tuple-at-a-time reference oracle.
+pub struct RowOracle;
+
+impl PlanEvaluator for RowOracle {
+    fn name(&self) -> &'static str {
+        "row"
+    }
+
+    fn mode(&self) -> ExecMode {
+        ExecMode::RowAtATime
+    }
+}
+
+/// The vectorized engine with a configurable probe worker count.
+pub struct VectorizedEvaluator {
+    /// Probe-side worker threads.
+    pub workers: usize,
+}
+
+impl PlanEvaluator for VectorizedEvaluator {
+    fn name(&self) -> &'static str {
+        "vectorized"
+    }
+
+    fn mode(&self) -> ExecMode {
+        ExecMode::Vectorized { workers: self.workers }
+    }
+}
+
 /// Execute `plan` against `tables`, where `tables[i]` is the data of query
 /// table `i` (the `FROM`-list position). No buffering: every logical base
-/// page read is physical.
+/// page read is physical. Runs in the default [`ExecMode`].
 pub fn execute_plan(plan: &QueryPlan, tables: &[Arc<Table>]) -> ExecResult<ExecOutput> {
-    execute_plan_io(plan, tables, &mut crate::buffer::PageIo::unbuffered())
+    execute_plan_with(plan, tables, ExecMode::default())
+}
+
+/// [`execute_plan`] under an explicit execution mode.
+pub fn execute_plan_with(
+    plan: &QueryPlan,
+    tables: &[Arc<Table>],
+    mode: ExecMode,
+) -> ExecResult<ExecOutput> {
+    execute_plan_io(plan, tables, &mut crate::buffer::PageIo::unbuffered(), mode)
 }
 
 /// [`execute_plan`] with an LRU buffer pool of `buffer_pages` pages: base
@@ -39,7 +117,17 @@ pub fn execute_plan_buffered(
     tables: &[Arc<Table>],
     buffer_pages: usize,
 ) -> ExecResult<ExecOutput> {
-    execute_plan_io(plan, tables, &mut crate::buffer::PageIo::with_pool(buffer_pages))
+    execute_plan_buffered_with(plan, tables, buffer_pages, ExecMode::default())
+}
+
+/// [`execute_plan_buffered`] under an explicit execution mode.
+pub fn execute_plan_buffered_with(
+    plan: &QueryPlan,
+    tables: &[Arc<Table>],
+    buffer_pages: usize,
+    mode: ExecMode,
+) -> ExecResult<ExecOutput> {
+    execute_plan_io(plan, tables, &mut crate::buffer::PageIo::with_pool(buffer_pages), mode)
 }
 
 /// Per-operator output sizes observed during execution, in post-order —
@@ -63,18 +151,41 @@ pub fn execute_plan_observed(
     plan: &QueryPlan,
     tables: &[Arc<Table>],
 ) -> ExecResult<(ExecOutput, Observations)> {
+    execute_plan_observed_with(plan, tables, ExecMode::default())
+}
+
+/// [`execute_plan_observed`] under an explicit execution mode.
+pub fn execute_plan_observed_with(
+    plan: &QueryPlan,
+    tables: &[Arc<Table>],
+    mode: ExecMode,
+) -> ExecResult<(ExecOutput, Observations)> {
     let mut obs = Observations::default();
-    let out =
-        execute_plan_io_observed(plan, tables, &mut crate::buffer::PageIo::unbuffered(), &mut obs)?;
+    let out = execute_plan_io_observed(
+        plan,
+        tables,
+        &mut crate::buffer::PageIo::unbuffered(),
+        &mut obs,
+        mode,
+    )?;
     Ok((out, obs))
+}
+
+/// Mutable execution state threaded through every operator: counters,
+/// simulated page I/O, and observed cardinalities.
+pub(crate) struct ExecState<'a> {
+    pub(crate) metrics: &'a mut ExecMetrics,
+    pub(crate) io: &'a mut crate::buffer::PageIo,
+    pub(crate) obs: &'a mut Observations,
 }
 
 fn execute_plan_io(
     plan: &QueryPlan,
     tables: &[Arc<Table>],
     io: &mut crate::buffer::PageIo,
+    mode: ExecMode,
 ) -> ExecResult<ExecOutput> {
-    execute_plan_io_observed(plan, tables, io, &mut Observations::default())
+    execute_plan_io_observed(plan, tables, io, &mut Observations::default(), mode)
 }
 
 fn execute_plan_io_observed(
@@ -82,31 +193,26 @@ fn execute_plan_io_observed(
     tables: &[Arc<Table>],
     io: &mut crate::buffer::PageIo,
     obs: &mut Observations,
+    mode: ExecMode,
 ) -> ExecResult<ExecOutput> {
     let start = Instant::now();
     let mut metrics = ExecMetrics::default();
-    let chunk = execute_node_observed(&plan.root, tables, &mut metrics, io, obs)?;
-    #[allow(unused_mut)]
-    let (mut rows, count): (Table, u64) = match &plan.output {
-        PlanOutput::CountStar => {
-            let n = chunk.num_rows() as u64;
-            let mut t = Table::empty("count", &[("count", els_storage::DataType::Int)]);
-            t.push_row(vec![els_storage::Value::Int(n as i64)])?;
-            (t, n)
+    let (mut rows, count): (Table, u64) = match mode {
+        ExecMode::RowAtATime => {
+            let chunk = execute_node_observed(&plan.root, tables, &mut metrics, io, obs)?;
+            shape_output(chunk, &plan.output, &mut metrics)?
         }
-        PlanOutput::Star => {
-            let n = chunk.num_rows() as u64;
-            (chunk.data, n)
-        }
-        PlanOutput::Columns(cols) => {
-            let projected = chunk.project(cols)?;
-            let n = projected.num_rows() as u64;
-            (projected.data, n)
-        }
-        PlanOutput::GroupCount(cols) => {
-            let grouped = group_count(&chunk, cols, &mut metrics)?;
-            let n = grouped.num_rows() as u64;
-            (grouped, n)
+        ExecMode::Vectorized { workers } => {
+            let mut st = ExecState { metrics: &mut metrics, io, obs };
+            let v = crate::vectorized::execute_root(&plan.root, tables, workers.max(1), &mut st)?;
+            if matches!(plan.output, PlanOutput::CountStar) {
+                // COUNT(*) never materializes the join result — the point
+                // of carrying row ids to the top of the plan.
+                let n = v.len() as u64;
+                (count_table(n)?, n)
+            } else {
+                shape_output(v.materialize()?, &plan.output, &mut metrics)?
+            }
         }
     };
     if !plan.order_by.is_empty() {
@@ -123,6 +229,42 @@ fn execute_plan_io_observed(
     }
     metrics.elapsed = start.elapsed();
     Ok(ExecOutput { rows, count, metrics })
+}
+
+/// Shape a materialized root chunk into the client-facing table per the
+/// plan's output clause (shared by both execution modes).
+fn shape_output(
+    chunk: Chunk,
+    output: &PlanOutput,
+    metrics: &mut ExecMetrics,
+) -> ExecResult<(Table, u64)> {
+    Ok(match output {
+        PlanOutput::CountStar => {
+            let n = chunk.num_rows() as u64;
+            (count_table(n)?, n)
+        }
+        PlanOutput::Star => {
+            let n = chunk.num_rows() as u64;
+            (chunk.data, n)
+        }
+        PlanOutput::Columns(cols) => {
+            let projected = chunk.project(cols)?;
+            let n = projected.num_rows() as u64;
+            (projected.data, n)
+        }
+        PlanOutput::GroupCount(cols) => {
+            let grouped = group_count(&chunk, cols, metrics)?;
+            let n = grouped.num_rows() as u64;
+            (grouped, n)
+        }
+    })
+}
+
+/// The single-row `COUNT(*)` result table.
+fn count_table(n: u64) -> ExecResult<Table> {
+    let mut t = Table::empty("count", &[("count", els_storage::DataType::Int)]);
+    t.push_row(vec![els_storage::Value::Int(n as i64)])?;
+    Ok(t)
 }
 
 /// Stable-sort an output table by `(column, descending)` keys; the columns
@@ -268,37 +410,12 @@ fn execute_node_inner(
             if let (JoinMethod::NestedLoop, PlanNode::Scan { table_id, filters }) =
                 (method, right.as_ref())
             {
-                let inner = tables.get(*table_id).ok_or(ExecError::UnknownTable(*table_id))?;
-                let out = crate::join::nested_loop_rescan_join(
-                    &l, *table_id, inner, filters, keys, metrics, io,
-                )?;
-                obs.scan_outputs.push((*table_id, inner.num_rows() as u64));
-                return Ok(out);
+                let mut st = ExecState { metrics, io, obs };
+                return rescan_nested_loop(&l, *table_id, filters, keys, tables, &mut st);
             }
-            // Indexed nested loops: build a sorted index on the inner's
-            // first key column (charged as a scan plus a sort), then probe
-            // per outer tuple.
             if *method == JoinMethod::IndexNestedLoop {
-                let PlanNode::Scan { table_id, filters } = right.as_ref() else {
-                    return Err(ExecError::InvalidPlan(
-                        "index nested loops requires a base-table inner".into(),
-                    ));
-                };
-                let inner = tables.get(*table_id).ok_or(ExecError::UnknownTable(*table_id))?;
-                let Some(&(_, first_right)) = keys.first() else {
-                    return Err(ExecError::InvalidPlan(
-                        "index nested loops requires at least one join key".into(),
-                    ));
-                };
-                let index = crate::index::SortedIndex::build(inner, first_right.column)?;
-                metrics.tuples_scanned += inner.num_rows() as u64;
-                io.scan_table(*table_id, inner.num_pages() as u64, metrics);
-                metrics.rows_sorted += inner.num_rows() as u64;
-                let out = crate::index::index_nested_loop_join(
-                    &l, *table_id, inner, &index, filters, keys, metrics, io,
-                )?;
-                obs.scan_outputs.push((*table_id, inner.num_rows() as u64));
-                return Ok(out);
+                let mut st = ExecState { metrics, io, obs };
+                return indexed_nested_loop(&l, right, keys, tables, &mut st);
             }
             let r = execute_node_observed(right, tables, metrics, io, obs)?;
             match method {
@@ -309,6 +426,64 @@ fn execute_node_inner(
             }
         }
     }
+}
+
+/// Nested loops over a stored inner (System-R rescan access pattern),
+/// recording the inner's scan observation. Shared by the row and vectorized
+/// paths — the operator's cost is the simulated rescans, so the vectorized
+/// path delegates here rather than reimplementing it.
+pub(crate) fn rescan_nested_loop(
+    l: &Chunk,
+    inner_table_id: usize,
+    inner_filters: &[crate::filter::CompiledFilter],
+    keys: &[(els_core::ColumnRef, els_core::ColumnRef)],
+    tables: &[Arc<Table>],
+    st: &mut ExecState<'_>,
+) -> ExecResult<Chunk> {
+    let inner = tables.get(inner_table_id).ok_or(ExecError::UnknownTable(inner_table_id))?;
+    let out = crate::join::nested_loop_rescan_join(
+        l,
+        inner_table_id,
+        inner,
+        inner_filters,
+        keys,
+        st.metrics,
+        st.io,
+    )?;
+    st.obs.scan_outputs.push((inner_table_id, inner.num_rows() as u64));
+    Ok(out)
+}
+
+/// Indexed nested loops: build a sorted index on the inner's first key
+/// column (charged as a scan plus a sort), then probe per outer tuple.
+/// `right` must be a base-table scan. Shared by both execution paths.
+pub(crate) fn indexed_nested_loop(
+    l: &Chunk,
+    right: &PlanNode,
+    keys: &[(els_core::ColumnRef, els_core::ColumnRef)],
+    tables: &[Arc<Table>],
+    st: &mut ExecState<'_>,
+) -> ExecResult<Chunk> {
+    let PlanNode::Scan { table_id, filters } = right else {
+        return Err(ExecError::InvalidPlan(
+            "index nested loops requires a base-table inner".into(),
+        ));
+    };
+    let inner = tables.get(*table_id).ok_or(ExecError::UnknownTable(*table_id))?;
+    let Some(&(_, first_right)) = keys.first() else {
+        return Err(ExecError::InvalidPlan(
+            "index nested loops requires at least one join key".into(),
+        ));
+    };
+    let index = crate::index::SortedIndex::build(inner, first_right.column)?;
+    st.metrics.tuples_scanned += inner.num_rows() as u64;
+    st.io.scan_table(*table_id, inner.num_pages() as u64, st.metrics);
+    st.metrics.rows_sorted += inner.num_rows() as u64;
+    let out = crate::index::index_nested_loop_join(
+        l, *table_id, inner, &index, filters, keys, st.metrics, st.io,
+    )?;
+    st.obs.scan_outputs.push((*table_id, inner.num_rows() as u64));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -563,6 +738,79 @@ mod tests {
         };
         let out = execute_plan(&plan, &tables()).unwrap();
         assert_eq!(out.count, 100);
+    }
+
+    /// Old counters with the vectorized-only fields and wall time zeroed,
+    /// for cross-mode equality checks.
+    fn comparable(mut m: ExecMetrics) -> ExecMetrics {
+        m.kernel_rows = 0;
+        m.sel_reuses = 0;
+        m.morsels = 0;
+        m.elapsed = std::time::Duration::ZERO;
+        m
+    }
+
+    #[test]
+    fn vectorized_mode_matches_row_mode_on_every_method() {
+        let f = CompiledFilter::Cmp {
+            column: ColumnRef::new(0, 0),
+            op: CmpOp::Lt,
+            value: Value::Int(50),
+        };
+        for method in [
+            JoinMethod::NestedLoop,
+            JoinMethod::SortMerge,
+            JoinMethod::Hash,
+            JoinMethod::IndexNestedLoop,
+        ] {
+            for output in [PlanOutput::CountStar, PlanOutput::Star] {
+                let mut plan = join_plan(method, vec![f.clone()]);
+                plan.output = output;
+                let (row, row_obs) =
+                    execute_plan_observed_with(&plan, &tables(), ExecMode::RowAtATime).unwrap();
+                let (vec, vec_obs) = execute_plan_observed_with(
+                    &plan,
+                    &tables(),
+                    ExecMode::Vectorized { workers: 1 },
+                )
+                .unwrap();
+                assert_eq!(vec.count, row.count, "{method:?}");
+                assert_eq!(vec.rows.num_rows(), row.rows.num_rows(), "{method:?}");
+                assert_eq!(vec.rows.column_names(), row.rows.column_names(), "{method:?}");
+                for r in 0..row.rows.num_rows() {
+                    assert_eq!(vec.rows.row(r).unwrap(), row.rows.row(r).unwrap(), "{method:?}");
+                }
+                assert_eq!(comparable(vec.metrics), comparable(row.metrics), "{method:?}");
+                assert_eq!(vec_obs, row_obs, "{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluators_expose_modes_and_run() {
+        assert_eq!(RowOracle.mode(), ExecMode::RowAtATime);
+        assert_eq!(RowOracle.name(), "row");
+        let v = VectorizedEvaluator { workers: 2 };
+        assert_eq!(v.mode(), ExecMode::Vectorized { workers: 2 });
+        assert_eq!(v.name(), "vectorized");
+        assert_eq!(ExecMode::default(), ExecMode::Vectorized { workers: 1 });
+        let plan = join_plan(JoinMethod::Hash, Vec::new());
+        let a = RowOracle.run(&plan, &tables()).unwrap();
+        let b = v.run(&plan, &tables()).unwrap();
+        assert_eq!(a.count, b.count);
+    }
+
+    #[test]
+    fn vectorized_count_star_skips_materialization() {
+        // Counts agree with Star row counts even though no gather happens.
+        let plan = join_plan(JoinMethod::Hash, Vec::new());
+        let count =
+            execute_plan_with(&plan, &tables(), ExecMode::Vectorized { workers: 1 }).unwrap();
+        let mut star = join_plan(JoinMethod::Hash, Vec::new());
+        star.output = PlanOutput::Star;
+        let rows =
+            execute_plan_with(&star, &tables(), ExecMode::Vectorized { workers: 1 }).unwrap();
+        assert_eq!(count.count, rows.rows.num_rows() as u64);
     }
 
     #[test]

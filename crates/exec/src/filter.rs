@@ -1,8 +1,21 @@
 //! Local predicate evaluation during scans.
+//!
+//! Two evaluation strategies share the [`CompiledFilter`] representation:
+//!
+//! * the original tuple-at-a-time path ([`apply_filters`]), kept as the
+//!   reference oracle, and
+//! * whole-column kernels ([`filter_selection`]) that specialize each
+//!   predicate to its column types once and produce a selection vector of
+//!   surviving row ids — no per-row [`Value`] allocation, no per-row
+//!   `position_of` lookup.
+//!
+//! Both resolve column positions once per operator via [`bind_filters`]
+//! (satellite of the vectorization PR: `Chunk::position_of` is an
+//! O(columns) scan and used to run per row per predicate).
 
 use els_core::predicate::{CmpOp, Predicate};
 use els_core::ColumnRef;
-use els_storage::Value;
+use els_storage::{Table, Value};
 
 use crate::chunk::Chunk;
 use crate::error::{ExecError, ExecResult};
@@ -81,6 +94,101 @@ impl CompiledFilter {
     }
 }
 
+/// A filter whose column references have been resolved to physical column
+/// positions, once, at operator-bind time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundFilter {
+    /// `column op value` with the column position resolved.
+    Cmp {
+        /// Position of the restricted column.
+        pos: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Constant.
+        value: Value,
+    },
+    /// `left = right`, both positions resolved.
+    ColEq {
+        /// Position of the first column.
+        left: usize,
+        /// Position of the second column.
+        right: usize,
+    },
+    /// `column IS [NOT] NULL`, position resolved.
+    IsNull {
+        /// Position of the tested column.
+        pos: usize,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl BoundFilter {
+    /// Evaluate against one row (SQL semantics: NULL comparisons are
+    /// false). The tuple-at-a-time reference path.
+    pub fn matches(&self, table: &Table, row: usize) -> ExecResult<bool> {
+        match self {
+            BoundFilter::Cmp { pos, op, value } => {
+                let v = table.column(*pos)?.get(row)?;
+                Ok(v.sql_cmp(value).map(|ord| op.eval(ord)).unwrap_or(false))
+            }
+            BoundFilter::ColEq { left, right } => {
+                let lv = table.column(*left)?.value_ref(row);
+                let rv = table.column(*right)?.value_ref(row);
+                Ok(lv.sql_eq(rv))
+            }
+            BoundFilter::IsNull { pos, negated } => {
+                let is_null = !table.column(*pos)?.validity()[row];
+                Ok(is_null != *negated)
+            }
+        }
+    }
+}
+
+/// Resolve every filter's columns through `resolve`, collecting **all**
+/// unresolvable references into one [`ExecError::ColumnsNotInSchema`].
+pub fn bind_filters<F>(filters: &[CompiledFilter], mut resolve: F) -> ExecResult<Vec<BoundFilter>>
+where
+    F: FnMut(ColumnRef) -> Option<usize>,
+{
+    let mut bound = Vec::with_capacity(filters.len());
+    let mut missing: Vec<ColumnRef> = Vec::new();
+    for f in filters {
+        let mut need = |c: ColumnRef| {
+            resolve(c).unwrap_or_else(|| {
+                if !missing.contains(&c) {
+                    missing.push(c);
+                }
+                usize::MAX
+            })
+        };
+        bound.push(match f {
+            CompiledFilter::Cmp { column, op, value } => {
+                BoundFilter::Cmp { pos: need(*column), op: *op, value: value.clone() }
+            }
+            CompiledFilter::ColEq { left, right } => {
+                BoundFilter::ColEq { left: need(*left), right: need(*right) }
+            }
+            CompiledFilter::IsNull { column, negated } => {
+                BoundFilter::IsNull { pos: need(*column), negated: *negated }
+            }
+        });
+    }
+    if missing.is_empty() {
+        Ok(bound)
+    } else {
+        Err(ExecError::ColumnsNotInSchema(missing))
+    }
+}
+
+/// [`bind_filters`] against a chunk's provenance.
+pub fn bind_filters_to_chunk(
+    filters: &[CompiledFilter],
+    chunk: &Chunk,
+) -> ExecResult<Vec<BoundFilter>> {
+    bind_filters(filters, |c| chunk.position_of(c))
+}
+
 /// Apply a conjunction of filters to a chunk, counting comparisons.
 pub fn apply_filters(
     chunk: &Chunk,
@@ -90,12 +198,13 @@ pub fn apply_filters(
     if filters.is_empty() {
         return Ok(chunk.clone());
     }
+    let bound = bind_filters_to_chunk(filters, chunk)?;
     let mut keep = Vec::new();
     for row in 0..chunk.num_rows() {
         let mut ok = true;
-        for f in filters {
+        for f in &bound {
             metrics.comparisons += 1;
-            if !f.matches(chunk, row)? {
+            if !f.matches(&chunk.data, row)? {
                 ok = false;
                 break;
             }
@@ -105,6 +214,100 @@ pub fn apply_filters(
         }
     }
     chunk.filter_rows(&keep)
+}
+
+/// One filter's per-row predicate, specialized to its column types once.
+type RowPred<'a> = Box<dyn Fn(usize) -> bool + Sync + 'a>;
+
+/// Specialize one bound filter against a table's concrete column types.
+/// The returned closure captures borrowed payload slices — evaluating it
+/// allocates nothing and performs no type dispatch.
+fn compile_kernel<'a>(f: &'a BoundFilter, table: &'a Table) -> ExecResult<RowPred<'a>> {
+    Ok(match f {
+        BoundFilter::Cmp { pos, op, value } => {
+            let col = table.column(*pos)?;
+            let valid = col.validity();
+            let op = *op;
+            match (col.as_int_slice(), col.as_float_slice(), col.as_str_slice(), value) {
+                (Some(data), _, _, Value::Int(c)) => {
+                    let c = *c;
+                    Box::new(move |i| valid[i] && op.eval(data[i].cmp(&c)))
+                }
+                (Some(data), _, _, Value::Float(c)) => {
+                    let c = *c;
+                    Box::new(move |i| valid[i] && op.eval((data[i] as f64).total_cmp(&c)))
+                }
+                (_, Some(data), _, Value::Int(c)) => {
+                    let c = *c as f64;
+                    Box::new(move |i| valid[i] && op.eval(data[i].total_cmp(&c)))
+                }
+                (_, Some(data), _, Value::Float(c)) => {
+                    let c = *c;
+                    Box::new(move |i| valid[i] && op.eval(data[i].total_cmp(&c)))
+                }
+                (_, _, Some(data), Value::Str(c)) => {
+                    Box::new(move |i| valid[i] && op.eval(data[i].as_str().cmp(c.as_str())))
+                }
+                // NULL constant or incomparable types: SQL comparison is
+                // unknown / false for every row.
+                _ => Box::new(|_| false),
+            }
+        }
+        BoundFilter::ColEq { left, right } => {
+            let lc = table.column(*left)?;
+            let rc = table.column(*right)?;
+            let (lv, rv) = (lc.validity(), rc.validity());
+            match (lc.as_int_slice(), rc.as_int_slice()) {
+                (Some(a), Some(b)) => Box::new(move |i| lv[i] && rv[i] && a[i] == b[i]),
+                _ => Box::new(move |i| lc.value_ref(i).sql_eq(rc.value_ref(i))),
+            }
+        }
+        BoundFilter::IsNull { pos, negated } => {
+            let valid = table.column(*pos)?.validity();
+            let negated = *negated;
+            Box::new(move |i| valid[i] == negated)
+        }
+    })
+}
+
+/// Evaluate a conjunction of bound filters over whole columns, producing
+/// the selection vector of surviving row ids (ascending) in `sel`. The
+/// first conjunct fills `sel`; every later conjunct compacts it in place
+/// (counted by [`ExecMetrics::sel_reuses`]), so one scan allocates at most
+/// one selection vector regardless of the number of predicates.
+///
+/// Charges exactly the comparisons the tuple-at-a-time path would: a row
+/// is a candidate for conjunct `k` iff it survived conjuncts `1..k`, which
+/// is precisely the set of filters the short-circuiting row loop evaluates.
+pub fn filter_selection(
+    table: &Table,
+    bound: &[BoundFilter],
+    sel: &mut Vec<u32>,
+    metrics: &mut ExecMetrics,
+) -> ExecResult<()> {
+    sel.clear();
+    let n = table.num_rows();
+    debug_assert!(n <= u32::MAX as usize, "selection vectors index rows with u32");
+    if bound.is_empty() {
+        sel.extend(0..n as u32);
+        return Ok(());
+    }
+    let mut first = true;
+    for f in bound {
+        let pred = compile_kernel(f, table)?;
+        if first {
+            metrics.comparisons += n as u64;
+            metrics.kernel_rows += n as u64;
+            sel.extend((0..n as u32).filter(|&i| pred(i as usize)));
+            first = false;
+        } else {
+            metrics.comparisons += sel.len() as u64;
+            metrics.kernel_rows += sel.len() as u64;
+            metrics.sel_reuses += 1;
+            sel.retain(|&i| pred(i as usize));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -223,5 +426,116 @@ mod tests {
         let mut m = ExecMetrics::default();
         let out = apply_filters(&ch, &[f], &mut m).unwrap();
         assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn binding_reports_every_missing_column() {
+        let ch = chunk();
+        let filters = vec![
+            CompiledFilter::Cmp {
+                column: ColumnRef::new(7, 0),
+                op: CmpOp::Eq,
+                value: Value::Int(1),
+            },
+            CompiledFilter::ColEq { left: c(0), right: ColumnRef::new(8, 2) },
+        ];
+        let err = bind_filters_to_chunk(&filters, &ch).unwrap_err();
+        match err {
+            ExecError::ColumnsNotInSchema(missing) => {
+                assert_eq!(missing, vec![ColumnRef::new(7, 0), ColumnRef::new(8, 2)]);
+            }
+            other => panic!("expected ColumnsNotInSchema, got {other:?}"),
+        }
+    }
+
+    /// The kernels and the row-at-a-time loop must select identical rows
+    /// and charge identical comparison counts.
+    fn assert_kernel_parity(ch: &Chunk, filters: &[CompiledFilter]) {
+        let mut row_m = ExecMetrics::default();
+        let row_out = apply_filters(ch, filters, &mut row_m).unwrap();
+        let bound = bind_filters_to_chunk(filters, ch).unwrap();
+        let mut vec_m = ExecMetrics::default();
+        let mut sel = Vec::new();
+        filter_selection(&ch.data, &bound, &mut sel, &mut vec_m).unwrap();
+        let keep: Vec<usize> = sel.iter().map(|&i| i as usize).collect();
+        let vec_out = ch.filter_rows(&keep).unwrap();
+        assert_eq!(vec_out.num_rows(), row_out.num_rows());
+        for r in 0..row_out.num_rows() {
+            assert_eq!(vec_out.data.row(r).unwrap(), row_out.data.row(r).unwrap(), "row {r}");
+        }
+        assert_eq!(vec_m.comparisons, row_m.comparisons, "comparison parity");
+    }
+
+    #[test]
+    fn kernels_match_row_path_on_every_filter_shape() {
+        let ch = chunk();
+        let shapes: Vec<Vec<CompiledFilter>> = vec![
+            vec![CompiledFilter::Cmp { column: c(0), op: CmpOp::Ge, value: Value::Int(3) }],
+            vec![CompiledFilter::Cmp { column: c(1), op: CmpOp::Lt, value: Value::Float(3.5) }],
+            vec![CompiledFilter::ColEq { left: c(0), right: c(1) }],
+            vec![CompiledFilter::IsNull { column: c(0), negated: true }],
+            // Conjunction exercises short-circuit/compaction parity.
+            vec![
+                CompiledFilter::Cmp { column: c(0), op: CmpOp::Gt, value: Value::Int(1) },
+                CompiledFilter::Cmp { column: c(1), op: CmpOp::Le, value: Value::Int(3) },
+            ],
+            // NULL constant: nothing matches, everything still counted.
+            vec![CompiledFilter::Cmp { column: c(0), op: CmpOp::Eq, value: Value::Null }],
+            // Incomparable types: Int column vs Str constant.
+            vec![CompiledFilter::Cmp { column: c(0), op: CmpOp::Eq, value: Value::from("x") }],
+        ];
+        for filters in &shapes {
+            assert_kernel_parity(&ch, filters);
+        }
+    }
+
+    #[test]
+    fn kernels_match_row_path_with_nulls_and_floats() {
+        let mut t = Table::empty("t", &[("f", DataType::Float), ("s", DataType::Str)]);
+        t.push_row(vec![Value::Float(1.5), Value::from("a")]).unwrap();
+        t.push_row(vec![Value::Null, Value::from("b")]).unwrap();
+        t.push_row(vec![Value::Float(-2.0), Value::Null]).unwrap();
+        t.push_row(vec![Value::Float(2.0), Value::from("c")]).unwrap();
+        let ch = Chunk::from_base_table(0, t);
+        let shapes: Vec<Vec<CompiledFilter>> = vec![
+            vec![CompiledFilter::Cmp { column: c(0), op: CmpOp::Gt, value: Value::Int(0) }],
+            vec![CompiledFilter::Cmp { column: c(0), op: CmpOp::Ne, value: Value::Float(2.0) }],
+            vec![CompiledFilter::Cmp { column: c(1), op: CmpOp::Ge, value: Value::from("b") }],
+            vec![CompiledFilter::IsNull { column: c(1), negated: false }],
+            vec![
+                CompiledFilter::IsNull { column: c(0), negated: true },
+                CompiledFilter::Cmp { column: c(1), op: CmpOp::Lt, value: Value::from("z") },
+            ],
+        ];
+        for filters in &shapes {
+            assert_kernel_parity(&ch, filters);
+        }
+    }
+
+    #[test]
+    fn selection_vector_is_reused_across_conjuncts() {
+        let ch = chunk();
+        let filters = vec![
+            CompiledFilter::Cmp { column: c(0), op: CmpOp::Gt, value: Value::Int(1) },
+            CompiledFilter::Cmp { column: c(1), op: CmpOp::Gt, value: Value::Int(0) },
+            CompiledFilter::Cmp { column: c(0), op: CmpOp::Lt, value: Value::Int(4) },
+        ];
+        let bound = bind_filters_to_chunk(&filters, &ch).unwrap();
+        let mut m = ExecMetrics::default();
+        let mut sel = Vec::new();
+        filter_selection(&ch.data, &bound, &mut sel, &mut m).unwrap();
+        assert_eq!(m.sel_reuses, 2);
+        assert_eq!(m.kernel_rows, m.comparisons);
+        assert_eq!(sel, vec![1, 2]); // rows (2,5) and (3,3)
+    }
+
+    #[test]
+    fn empty_bound_filter_list_selects_everything() {
+        let ch = chunk();
+        let mut m = ExecMetrics::default();
+        let mut sel = vec![9, 9]; // stale contents must be cleared
+        filter_selection(&ch.data, &[], &mut sel, &mut m).unwrap();
+        assert_eq!(sel, vec![0, 1, 2, 3]);
+        assert_eq!(m.comparisons, 0);
     }
 }

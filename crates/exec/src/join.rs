@@ -17,7 +17,7 @@ use crate::metrics::ExecMetrics;
 
 /// Resolve key columns: `keys` are `(left column, right column)` pairs in
 /// query coordinates; returns their positions in the two chunks.
-fn key_positions(
+pub(crate) fn key_positions(
     left: &Chunk,
     right: &Chunk,
     keys: &[(ColumnRef, ColumnRef)],
@@ -32,7 +32,11 @@ fn key_positions(
 }
 
 /// Extract one row's key values; `None` when any component is NULL.
-fn key_values(chunk: &Chunk, positions: &[usize], row: usize) -> ExecResult<Option<Vec<Value>>> {
+pub(crate) fn key_values(
+    chunk: &Chunk,
+    positions: &[usize],
+    row: usize,
+) -> ExecResult<Option<Vec<Value>>> {
     let mut vals = Vec::with_capacity(positions.len());
     for &p in positions {
         let v = chunk.data.column(p)?.get(row)?;
@@ -44,22 +48,70 @@ fn key_values(chunk: &Chunk, positions: &[usize], row: usize) -> ExecResult<Opti
     Ok(Some(vals))
 }
 
-/// A hashable normalization of a key value: numerics collapse to their
-/// `f64` image (so `Int(2)` and `Float(2.0)` hash alike, matching
-/// [`Value::sql_eq`]; integers beyond 2⁵³ would collide lossily, which the
-/// data generators never produce).
+/// A hashable normalization of a key value.
+///
+/// Integers hash **exactly** as `i64` — the earlier encoding collapsed
+/// `Int` to its `f64` image, which collides distinct integers beyond 2⁵³
+/// (e.g. `i64::MAX` and `i64::MAX - 1`). To keep `Int(2)` and `Float(2.0)`
+/// in the same bucket (they are equal under [`Value::sql_eq`]), a float
+/// whose value is *bit-exactly* the image of some `i64` normalizes to that
+/// integer; every other float keeps its own bit pattern. `-0.0` stays a
+/// float: `sql_eq` compares floats with `total_cmp`, under which `-0.0`
+/// equals neither `0.0` nor `Int(0)`.
+///
+/// Mixed-type equality beyond 2⁵³ inherits `sql_eq`'s non-transitivity
+/// (`Float(2⁵³)` matches only the one `i64` it is the exact image of),
+/// which is also how the sort-merge comparator behaves — Int/Int exactness
+/// is the property that matters.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum HashKey {
-    Num(u64),
+pub(crate) enum HashKey {
+    Int(i64),
+    Float(u64),
     Str(String),
 }
 
-fn hash_key(v: &Value) -> Option<HashKey> {
+pub(crate) fn hash_key(v: &Value) -> Option<HashKey> {
     match v {
         Value::Null => None,
-        Value::Int(x) => Some(HashKey::Num((*x as f64).to_bits())),
-        Value::Float(x) => Some(HashKey::Num(x.to_bits())),
+        Value::Int(x) => Some(HashKey::Int(*x)),
+        Value::Float(x) => Some(normalize_float_key(*x)),
         Value::Str(s) => Some(HashKey::Str(s.clone())),
+    }
+}
+
+/// Lexicographic total order on composite keys (shared by the row-path and
+/// vectorized sort-merge implementations, which must sort identically).
+pub(crate) fn cmp_key_slices(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Comparisons charged for sorting `n` keys: `n log₂ n`. The real sort
+/// performs them; counting inside the comparator would double-count with
+/// the merge phase.
+pub(crate) fn sort_charge(n: usize) -> u64 {
+    if n > 1 {
+        (n as f64 * (n as f64).log2()) as u64
+    } else {
+        0
+    }
+}
+
+/// Map a float to the integer key it would `sql_eq`, when one exists.
+fn normalize_float_key(x: f64) -> HashKey {
+    // `x as i64` saturates; the round-trip check rejects saturated values,
+    // NaN/inf (fract fails), fractional floats, and -0.0 (sign bit differs
+    // from `0_i64 as f64`).
+    let candidate = x as i64;
+    if (candidate as f64).to_bits() == x.to_bits() {
+        HashKey::Int(candidate)
+    } else {
+        HashKey::Float(x.to_bits())
     }
 }
 
@@ -131,6 +183,8 @@ pub fn nested_loop_rescan_join(
     let inner_chunk = Chunk::from_base_table(inner_table_id, inner.clone());
     let pos = key_positions(left, &inner_chunk, keys)?;
     let lpos: Vec<usize> = pos.iter().map(|p| p.0).collect();
+    // Resolve filter columns once for the whole rescan loop, not per row.
+    let bound_filters = crate::filter::bind_filters_to_chunk(inner_filters, &inner_chunk)?;
     let inner_pages = inner.num_pages() as u64;
     let mut rows: Vec<(usize, usize)> = Vec::new();
     for l in 0..left.num_rows() {
@@ -141,9 +195,9 @@ pub fn nested_loop_rescan_join(
         let lkey = key_values(left, &lpos, l)?;
         'inner: for r in 0..inner.num_rows() {
             // Local filters are evaluated during the rescan.
-            for f in inner_filters {
+            for f in &bound_filters {
                 metrics.comparisons += 1;
-                if !f.matches(&inner_chunk, r)? {
+                if !f.matches(&inner_chunk.data, r)? {
                     continue 'inner;
                 }
             }
@@ -201,21 +255,10 @@ pub fn sort_merge_join(
         }
     }
     metrics.rows_sorted += (lrows.len() + rrows.len()) as u64;
-    let cmp_keys = |a: &[Value], b: &[Value]| -> std::cmp::Ordering {
-        for (x, y) in a.iter().zip(b) {
-            let ord = x.total_cmp(y);
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    };
+    let cmp_keys = cmp_key_slices;
     lrows.sort_by(|a, b| cmp_keys(&a.0, &b.0));
     rrows.sort_by(|a, b| cmp_keys(&a.0, &b.0));
-    // Charge n log n comparisons for the sorts (the real sort uses them;
-    // counting inside the comparator would double-count with the merge).
-    let nlogn = |n: usize| if n > 1 { (n as f64 * (n as f64).log2()) as u64 } else { 0 };
-    metrics.comparisons += nlogn(lrows.len()) + nlogn(rrows.len());
+    metrics.comparisons += sort_charge(lrows.len()) + sort_charge(rrows.len());
 
     let mut rows: Vec<(usize, usize)> = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
@@ -425,6 +468,47 @@ mod tests {
         let mut m = ExecMetrics::default();
         nested_loop_join(&l, &r, &keys(), &mut m).unwrap();
         assert_eq!(m.pages_read, 3 * inner_pages);
+    }
+
+    #[test]
+    fn hash_keys_are_exact_near_i64_max() {
+        // Regression: the old `(*x as f64).to_bits()` encoding collapsed
+        // i64::MAX and i64::MAX - 1 (and every pair beyond 2^53 sharing an
+        // f64 image) into one bucket, producing phantom matches.
+        let l = chunk(0, &[Some(i64::MAX), Some(i64::MAX - 1), Some(i64::MIN + 1)]);
+        let r = chunk(1, &[Some(i64::MAX - 1)]);
+        let mut m = ExecMetrics::default();
+        let out = hash_join(&l, &r, &keys(), &mut m).unwrap();
+        assert_eq!(out.num_rows(), 1, "exactly one exact match");
+        assert_eq!(
+            out.data.row(0).unwrap(),
+            vec![Value::Int(i64::MAX - 1), Value::Int(i64::MAX - 1)]
+        );
+        // And the same result as the other methods.
+        for (name, other) in all_methods(&l, &r, &keys()) {
+            assert_eq!(other.num_rows(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn hash_keys_keep_int_float_cross_type_equality() {
+        // Int(2) and Float(2.0) are sql_eq and must share a hash bucket;
+        // Float(2.5) and Float(-0.0) match nothing integral.
+        let mut lt = Table::empty("l", &[("k", DataType::Float)]);
+        for v in [2.0, 2.5, -0.0] {
+            lt.push_row(vec![Value::Float(v)]).unwrap();
+        }
+        let l = Chunk::from_base_table(0, lt);
+        let r = chunk(1, &[Some(2), Some(0)]);
+        let mut m = ExecMetrics::default();
+        let out = hash_join(&l, &r, &keys(), &mut m).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.data.row(0).unwrap(), vec![Value::Float(2.0), Value::Int(2)]);
+        // The normalization agrees with sql_eq on the awkward cases.
+        assert_eq!(hash_key(&Value::Float(2.0)), hash_key(&Value::Int(2)));
+        assert_ne!(hash_key(&Value::Float(-0.0)), hash_key(&Value::Int(0)));
+        assert_ne!(hash_key(&Value::Float(2.5)), hash_key(&Value::Int(2)));
+        assert_ne!(hash_key(&Value::Float(f64::NAN)), hash_key(&Value::Int(0)));
     }
 
     #[test]

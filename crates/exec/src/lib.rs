@@ -12,7 +12,11 @@
 //!   included for the extended plan-quality studies).
 //! * [`plan`] — physical plan trees built by the optimizer.
 //! * [`executor`] — plan interpretation with [`metrics`] collection
-//!   (tuples, simulated page reads, comparisons, wall time).
+//!   (tuples, simulated page reads, comparisons, wall time), in one of two
+//!   [`ExecMode`]s: the tuple-at-a-time reference oracle, or
+//! * [`vectorized`] — typed whole-column kernels over selection vectors
+//!   with late materialization and an optional morsel-parallel hash-join
+//!   probe (the default mode; bit-identical results and counters).
 //!
 //! The engine executes *exactly* the predicate set it is given: join
 //! predicates become join keys as soon as both sides are available, local
@@ -29,12 +33,16 @@ pub mod index;
 pub mod join;
 pub mod metrics;
 pub mod plan;
+pub mod vectorized;
 
 pub use buffer::{BufferPool, PageIo};
 pub use chunk::Chunk;
 pub use error::{ExecError, ExecResult};
 pub use executor::{
-    execute_plan, execute_plan_buffered, execute_plan_observed, ExecOutput, Observations,
+    execute_plan, execute_plan_buffered, execute_plan_buffered_with, execute_plan_observed,
+    execute_plan_observed_with, execute_plan_with, ExecMode, ExecOutput, Observations,
+    PlanEvaluator, RowOracle, VectorizedEvaluator,
 };
 pub use metrics::{EngineCounters, EngineCountersSnapshot, ExecMetrics};
 pub use plan::{JoinMethod, PlanNode, QueryPlan};
+pub use vectorized::MORSEL_ROWS;

@@ -33,6 +33,14 @@ pub struct ExecMetrics {
     pub rows_sorted: u64,
     /// Hash-table probes.
     pub hash_probes: u64,
+    /// Rows examined by vectorized filter kernels (candidate rows per
+    /// kernel invocation; equals `comparisons` charged by the kernels).
+    pub kernel_rows: u64,
+    /// In-place selection-vector compactions: each conjunct after the first
+    /// reuses the scan's selection vector instead of materializing rows.
+    pub sel_reuses: u64,
+    /// Probe-side morsels dispatched to parallel join workers.
+    pub morsels: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -47,6 +55,9 @@ impl ExecMetrics {
         self.comparisons += other.comparisons;
         self.rows_sorted += other.rows_sorted;
         self.hash_probes += other.hash_probes;
+        self.kernel_rows += other.kernel_rows;
+        self.sel_reuses += other.sel_reuses;
+        self.morsels += other.morsels;
         self.elapsed += other.elapsed;
     }
 }
@@ -55,7 +66,8 @@ impl fmt::Display for ExecMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} pages={} phys={} emitted={} cmps={} sorted={} probes={} elapsed={:?}",
+            "scanned={} pages={} phys={} emitted={} cmps={} sorted={} probes={} kernel={} \
+             selreuse={} morsels={} elapsed={:?}",
             self.tuples_scanned,
             self.pages_read,
             self.physical_pages_read,
@@ -63,6 +75,9 @@ impl fmt::Display for ExecMetrics {
             self.comparisons,
             self.rows_sorted,
             self.hash_probes,
+            self.kernel_rows,
+            self.sel_reuses,
+            self.morsels,
             self.elapsed
         )
     }
@@ -179,6 +194,9 @@ mod tests {
             comparisons: 4,
             rows_sorted: 5,
             hash_probes: 6,
+            kernel_rows: 7,
+            sel_reuses: 8,
+            morsels: 9,
             elapsed: Duration::from_millis(10),
         };
         let b = a;
@@ -186,6 +204,9 @@ mod tests {
         assert_eq!(a.tuples_scanned, 2);
         assert_eq!(a.pages_read, 4);
         assert_eq!(a.comparisons, 8);
+        assert_eq!(a.kernel_rows, 14);
+        assert_eq!(a.sel_reuses, 16);
+        assert_eq!(a.morsels, 18);
         assert_eq!(a.elapsed, Duration::from_millis(20));
     }
 

@@ -1,0 +1,677 @@
+//! Late-materializing vectorized plan evaluation.
+//!
+//! The tentpole of the vectorization PR. Instead of materializing a full
+//! [`Chunk`] at every operator (the row-at-a-time path clones whole tables
+//! at scans and gathers every column at every join), this evaluator carries
+//! **row-id selections over shared sources**:
+//!
+//! * a scan produces a selection vector over the stored table (built by the
+//!   typed filter kernels in [`crate::filter::filter_selection`]) — no data
+//!   is copied;
+//! * hash and sort-merge joins work on **typed key columns** and produce a
+//!   pair list of logical row ids, which is *composed* with the inputs'
+//!   selections — still no data copied;
+//! * only the plan root gathers each surviving column once
+//!   ([`VChunk::materialize`]), or never, for `COUNT(*)` outputs.
+//!
+//! Single-column `Int` equi-joins take fast paths over raw `i64` slices
+//! (exact — see `HashKey` in [`crate::join`] for the 2⁵³ story); the hash
+//! probe additionally splits into fixed-size **morsels** dispatched to
+//! scoped worker threads when a probe side is large enough and more than
+//! one worker is configured. Results are deterministic regardless of
+//! worker count: morsels are merged in morsel order and the pair list gets
+//! the same left-major sort the serial path applies.
+//!
+//! Nested-loops shapes (rescan, indexed, and keyless joins) delegate to the
+//! row-path operators on materialized inputs: their cost is dominated by
+//! the simulated rescan charges, and sharing the implementation keeps the
+//! two paths' metrics identical by construction. Every operator charges
+//! exactly the counters the row-at-a-time oracle charges (a property the
+//! differential tests assert), so plan-quality experiments are unaffected
+//! by the execution mode.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use els_core::ColumnRef;
+use els_storage::{ColumnVector, Table, Value};
+
+use crate::chunk::Chunk;
+use crate::error::{ExecError, ExecResult};
+use crate::executor::ExecState;
+use crate::filter::{bind_filters, filter_selection};
+use crate::join::{
+    cmp_key_slices, hash_join, hash_key, nested_loop_join, sort_charge, sort_merge_join, HashKey,
+};
+use crate::metrics::ExecMetrics;
+use crate::plan::{JoinMethod, PlanNode};
+
+/// Probe rows per morsel handed to one parallel worker.
+pub const MORSEL_ROWS: usize = 2048;
+
+/// Minimum probe rows before the parallel path engages; below this the
+/// thread-spawn overhead dominates any probe speedup.
+const PARALLEL_MIN_ROWS: usize = 4 * MORSEL_ROWS;
+
+/// One input a selection can point into: either a stored base table
+/// (shared, never copied) or a materialized intermediate produced by a
+/// delegated row-path operator.
+enum VSource {
+    /// A base table behind its query `table_id`.
+    Base { table_id: usize, data: Arc<Table> },
+    /// A materialized intermediate with provenance.
+    Mat(Box<Chunk>),
+}
+
+/// A late-materialized intermediate result: parallel `(source, row ids)`
+/// pairs. Logical row `j` of the chunk is row `rowids[s][j]` of source `s`,
+/// for every source — all rowid vectors share the same length.
+pub(crate) struct VChunk {
+    sources: Vec<VSource>,
+    rowids: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl VChunk {
+    /// A filtered scan: the stored table plus its selection vector.
+    fn scan(table_id: usize, data: Arc<Table>, sel: Vec<u32>) -> VChunk {
+        let len = sel.len();
+        VChunk { sources: vec![VSource::Base { table_id, data }], rowids: vec![sel], len }
+    }
+
+    /// Wrap a materialized chunk (identity selection).
+    fn from_chunk(c: Chunk) -> VChunk {
+        let len = c.num_rows();
+        VChunk {
+            sources: vec![VSource::Mat(Box::new(c))],
+            rowids: vec![(0..len as u32).collect()],
+            len,
+        }
+    }
+
+    /// Number of logical rows.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Resolve a query column to `(source index, column position)`,
+    /// searching sources left to right — the same order the row path's
+    /// `Chunk::position_of` searches the concatenated join schema.
+    fn resolve(&self, c: ColumnRef) -> Option<(usize, usize)> {
+        for (si, src) in self.sources.iter().enumerate() {
+            match src {
+                VSource::Base { table_id, data } => {
+                    if c.table == *table_id && c.column < data.num_columns() {
+                        return Some((si, c.column));
+                    }
+                }
+                VSource::Mat(ch) => {
+                    if let Some(pos) = ch.position_of(c) {
+                        return Some((si, pos));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The physical column behind `(source index, column position)`.
+    fn source_column(&self, si: usize, pos: usize) -> ExecResult<&ColumnVector> {
+        match &self.sources[si] {
+            VSource::Base { data, .. } => Ok(data.column(pos)?),
+            VSource::Mat(ch) => Ok(ch.data.column(pos)?),
+        }
+    }
+
+    /// Compose a join's pair list with both inputs' selections: source `s`
+    /// of the result selects `left.rowids[s][l]` for every pair `(l, r)`.
+    /// No column data moves; this is the late-materialization step.
+    fn compose(left: VChunk, right: VChunk, pairs: &[(u32, u32)]) -> VChunk {
+        let mut sources = Vec::with_capacity(left.sources.len() + right.sources.len());
+        let mut rowids: Vec<Vec<u32>> = Vec::with_capacity(sources.capacity());
+        for (src, ids) in left.sources.into_iter().zip(left.rowids) {
+            rowids.push(pairs.iter().map(|&(lj, _)| ids[lj as usize]).collect());
+            sources.push(src);
+        }
+        for (src, ids) in right.sources.into_iter().zip(right.rowids) {
+            rowids.push(pairs.iter().map(|&(_, rj)| ids[rj as usize]).collect());
+            sources.push(src);
+        }
+        VChunk { sources, rowids, len: pairs.len() }
+    }
+
+    /// Gather every column once, reproducing exactly the chunk the
+    /// row-at-a-time path would have built: base-table names for a single
+    /// scanned source, the source's own names for a single materialized
+    /// intermediate, synthesized `t{T}_c{C}` names under table `join` for
+    /// multi-source join results.
+    pub(crate) fn materialize(&self) -> ExecResult<Chunk> {
+        if let [VSource::Base { table_id, data }] = self.sources.as_slice() {
+            let ids = &self.rowids[0];
+            let columns = data
+                .column_names()
+                .iter()
+                .zip(data.columns())
+                .map(|(n, col)| Ok((n.clone(), col.gather_u32(ids)?)))
+                .collect::<ExecResult<Vec<_>>>()?;
+            let provenance =
+                (0..data.num_columns()).map(|i| ColumnRef::new(*table_id, i)).collect();
+            return Ok(Chunk { data: Table::new(data.name().to_owned(), columns)?, provenance });
+        }
+        if let [VSource::Mat(ch)] = self.sources.as_slice() {
+            let ids = &self.rowids[0];
+            if ids.len() == ch.num_rows() && ids.iter().enumerate().all(|(i, &v)| v as usize == i) {
+                return Ok((**ch).clone());
+            }
+            let columns = ch
+                .data
+                .column_names()
+                .iter()
+                .zip(ch.data.columns())
+                .map(|(n, col)| Ok((n.clone(), col.gather_u32(ids)?)))
+                .collect::<ExecResult<Vec<_>>>()?;
+            return Ok(Chunk {
+                data: Table::new(ch.data.name().to_owned(), columns)?,
+                provenance: ch.provenance.clone(),
+            });
+        }
+        let mut columns: Vec<(String, ColumnVector)> = Vec::new();
+        let mut provenance: Vec<ColumnRef> = Vec::new();
+        for (src, ids) in self.sources.iter().zip(&self.rowids) {
+            match src {
+                VSource::Base { table_id, data } => {
+                    for (ci, col) in data.columns().iter().enumerate() {
+                        let p = ColumnRef::new(*table_id, ci);
+                        columns.push((format!("t{}_c{}", p.table, p.column), col.gather_u32(ids)?));
+                        provenance.push(p);
+                    }
+                }
+                VSource::Mat(ch) => {
+                    for (ci, col) in ch.data.columns().iter().enumerate() {
+                        let p = ch.provenance[ci];
+                        columns.push((format!("t{}_c{}", p.table, p.column), col.gather_u32(ids)?));
+                        provenance.push(p);
+                    }
+                }
+            }
+        }
+        Ok(Chunk { data: Table::new("join", columns)?, provenance })
+    }
+}
+
+/// Evaluate a plan tree, returning the root's late-materialized result.
+pub(crate) fn execute_root(
+    node: &PlanNode,
+    tables: &[Arc<Table>],
+    workers: usize,
+    st: &mut ExecState<'_>,
+) -> ExecResult<VChunk> {
+    exec_node(node, tables, workers, st)
+}
+
+/// Recursive node evaluation, recording the same per-operator observations
+/// (in the same post-order) as the row path.
+fn exec_node(
+    node: &PlanNode,
+    tables: &[Arc<Table>],
+    workers: usize,
+    st: &mut ExecState<'_>,
+) -> ExecResult<VChunk> {
+    let out = exec_inner(node, tables, workers, st)?;
+    match node {
+        PlanNode::Scan { table_id, .. } => {
+            st.obs.scan_outputs.push((*table_id, out.len() as u64));
+        }
+        PlanNode::Join { .. } => {
+            st.obs.join_outputs.push((node.tables(), out.len() as u64));
+        }
+    }
+    Ok(out)
+}
+
+fn exec_inner(
+    node: &PlanNode,
+    tables: &[Arc<Table>],
+    workers: usize,
+    st: &mut ExecState<'_>,
+) -> ExecResult<VChunk> {
+    match node {
+        PlanNode::Scan { table_id, filters } => {
+            let data = tables.get(*table_id).ok_or(ExecError::UnknownTable(*table_id))?;
+            st.metrics.tuples_scanned += data.num_rows() as u64;
+            st.io.scan_table(*table_id, data.num_pages() as u64, st.metrics);
+            let ncols = data.num_columns();
+            let bound = bind_filters(filters, |c| {
+                (c.table == *table_id && c.column < ncols).then_some(c.column)
+            })?;
+            let mut sel = Vec::new();
+            filter_selection(data, &bound, &mut sel, st.metrics)?;
+            st.metrics.tuples_emitted += sel.len() as u64;
+            Ok(VChunk::scan(*table_id, Arc::clone(data), sel))
+        }
+        PlanNode::Join { method, left, right, keys } => {
+            let l = exec_node(left, tables, workers, st)?;
+            // Rescanning and indexed nested loops share the row-path
+            // operators (see module docs): their cost is the simulated
+            // rescans, not the evaluation loop.
+            if let (JoinMethod::NestedLoop, PlanNode::Scan { table_id, filters }) =
+                (method, right.as_ref())
+            {
+                let lchunk = l.materialize()?;
+                let out = crate::executor::rescan_nested_loop(
+                    &lchunk, *table_id, filters, keys, tables, st,
+                )?;
+                return Ok(VChunk::from_chunk(out));
+            }
+            if *method == JoinMethod::IndexNestedLoop {
+                let lchunk = l.materialize()?;
+                let out = crate::executor::indexed_nested_loop(&lchunk, right, keys, tables, st)?;
+                return Ok(VChunk::from_chunk(out));
+            }
+            let r = exec_node(right, tables, workers, st)?;
+            if keys.is_empty() || *method == JoinMethod::NestedLoop {
+                // Keyless joins degenerate to cartesian nested loops in
+                // every method; NL over a materialized inner is the row
+                // operator by definition.
+                let (lc, rc) = (l.materialize()?, r.materialize()?);
+                let out = match method {
+                    JoinMethod::NestedLoop => nested_loop_join(&lc, &rc, keys, st.metrics)?,
+                    JoinMethod::SortMerge => sort_merge_join(&lc, &rc, keys, st.metrics)?,
+                    JoinMethod::Hash => hash_join(&lc, &rc, keys, st.metrics)?,
+                    JoinMethod::IndexNestedLoop => unreachable!("handled above"),
+                };
+                return Ok(VChunk::from_chunk(out));
+            }
+            let pairs = match method {
+                JoinMethod::SortMerge => vsort_merge(&l, &r, keys, st.metrics)?,
+                JoinMethod::Hash => vhash_join(&l, &r, keys, workers, st.metrics)?,
+                JoinMethod::NestedLoop | JoinMethod::IndexNestedLoop => {
+                    unreachable!("handled above")
+                }
+            };
+            st.metrics.tuples_emitted += pairs.len() as u64;
+            Ok(VChunk::compose(l, r, &pairs))
+        }
+    }
+}
+
+/// One side's key column viewed through its selection: the physical column
+/// plus the logical-row → physical-row mapping.
+struct SideKey<'a> {
+    col: &'a ColumnVector,
+    ids: &'a [u32],
+}
+
+fn side_keys<'a>(
+    v: &'a VChunk,
+    refs: impl Iterator<Item = ColumnRef>,
+) -> ExecResult<Vec<SideKey<'a>>> {
+    refs.map(|c| {
+        let (si, pos) = v.resolve(c).ok_or(ExecError::ColumnNotInSchema(c))?;
+        Ok(SideKey { col: v.source_column(si, pos)?, ids: &v.rowids[si] })
+    })
+    .collect()
+}
+
+/// Per-row composite hash keys for the generic join path; `None` marks a
+/// row with a NULL key component (never matches).
+fn gather_hash_keys(side: &[SideKey<'_>], len: usize) -> ExecResult<Vec<Option<Vec<HashKey>>>> {
+    (0..len)
+        .map(|j| {
+            let mut ks = Vec::with_capacity(side.len());
+            for sk in side {
+                let v = sk.col.get(sk.ids[j] as usize)?;
+                match hash_key(&v) {
+                    None => return Ok(None),
+                    Some(k) => ks.push(k),
+                }
+            }
+            Ok(Some(ks))
+        })
+        .collect()
+}
+
+/// Non-NULL composite sort keys with their logical row ids, in row order
+/// (so the stable sorts below permute exactly like the row path's).
+fn gather_sort_keys(side: &[SideKey<'_>], len: usize) -> ExecResult<Vec<(Vec<Value>, u32)>> {
+    let mut out = Vec::with_capacity(len);
+    'rows: for j in 0..len {
+        let mut ks = Vec::with_capacity(side.len());
+        for sk in side {
+            let v = sk.col.get(sk.ids[j] as usize)?;
+            if v.is_null() {
+                continue 'rows;
+            }
+            ks.push(v);
+        }
+        out.push((ks, j as u32));
+    }
+    Ok(out)
+}
+
+/// A minimal deterministic multiply-mix hasher for `i64` join keys; the
+/// default SipHash is the dominant cost of an integer hash join.
+#[derive(Default, Clone, Copy)]
+struct IntHasher(u64);
+
+impl Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^ (h >> 33)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+}
+
+type IntMap = HashMap<i64, Vec<u32>, BuildHasherDefault<IntHasher>>;
+
+/// One side's single `Int` key column as raw slices.
+struct IntKeys<'a> {
+    data: &'a [i64],
+    valid: &'a [bool],
+    ids: &'a [u32],
+}
+
+/// Vectorized hash join on logical row ids. Charges one `hash_probes` per
+/// probe-side row (NULLs included), like the row path, and returns pairs in
+/// left-major order (the row path's `rows.sort_unstable()`).
+fn vhash_join(
+    left: &VChunk,
+    right: &VChunk,
+    keys: &[(ColumnRef, ColumnRef)],
+    workers: usize,
+    metrics: &mut ExecMetrics,
+) -> ExecResult<Vec<(u32, u32)>> {
+    let lsides = side_keys(left, keys.iter().map(|&(l, _)| l))?;
+    let rsides = side_keys(right, keys.iter().map(|&(_, r)| r))?;
+    if let ([lk], [rk]) = (lsides.as_slice(), rsides.as_slice()) {
+        if let (Some(ld), Some(rd)) = (lk.col.as_int_slice(), rk.col.as_int_slice()) {
+            let build = IntKeys { data: ld, valid: lk.col.validity(), ids: lk.ids };
+            let probe = IntKeys { data: rd, valid: rk.col.validity(), ids: rk.ids };
+            return Ok(int_hash_join(&build, &probe, workers, metrics));
+        }
+        if let (Some(ld), Some(rd)) = (lk.col.as_str_slice(), rk.col.as_str_slice()) {
+            let (lv, rv) = (lk.col.validity(), rk.col.validity());
+            let mut table: HashMap<&str, Vec<u32>> = HashMap::new();
+            for (j, &rid) in lk.ids.iter().enumerate() {
+                if lv[rid as usize] {
+                    table.entry(ld[rid as usize].as_str()).or_default().push(j as u32);
+                }
+            }
+            metrics.hash_probes += rk.ids.len() as u64;
+            let mut pairs = Vec::new();
+            for (j, &rid) in rk.ids.iter().enumerate() {
+                if rv[rid as usize] {
+                    if let Some(ls) = table.get(rd[rid as usize].as_str()) {
+                        for &lj in ls {
+                            pairs.push((lj, j as u32));
+                        }
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            return Ok(pairs);
+        }
+    }
+    // Generic path: composite and/or mixed-type keys through the same
+    // normalized `HashKey` the row path uses.
+    let mut table: HashMap<Vec<HashKey>, Vec<u32>> = HashMap::new();
+    for (j, k) in gather_hash_keys(&lsides, left.len())?.into_iter().enumerate() {
+        if let Some(k) = k {
+            table.entry(k).or_default().push(j as u32);
+        }
+    }
+    metrics.hash_probes += right.len() as u64;
+    let mut pairs = Vec::new();
+    for (j, k) in gather_hash_keys(&rsides, right.len())?.into_iter().enumerate() {
+        if let Some(k) = k {
+            if let Some(ls) = table.get(&k) {
+                for &lj in ls {
+                    pairs.push((lj, j as u32));
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    Ok(pairs)
+}
+
+/// `i64` fast path: build a multiply-mix-hashed table, probe serially or in
+/// morsels across scoped worker threads.
+fn int_hash_join(
+    build: &IntKeys<'_>,
+    probe: &IntKeys<'_>,
+    workers: usize,
+    metrics: &mut ExecMetrics,
+) -> Vec<(u32, u32)> {
+    let mut table = IntMap::default();
+    for (j, &rid) in build.ids.iter().enumerate() {
+        if build.valid[rid as usize] {
+            table.entry(build.data[rid as usize]).or_default().push(j as u32);
+        }
+    }
+    metrics.hash_probes += probe.ids.len() as u64;
+    let mut pairs = if workers > 1 && probe.ids.len() >= PARALLEL_MIN_ROWS {
+        parallel_probe(&table, probe, workers, metrics)
+    } else {
+        probe_morsel(&table, probe, 0, probe.ids.len())
+    };
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Probe rows `lo..hi`, emitting `(build row, probe row)` logical pairs.
+fn probe_morsel(table: &IntMap, probe: &IntKeys<'_>, lo: usize, hi: usize) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for (off, &rid) in probe.ids[lo..hi].iter().enumerate() {
+        if probe.valid[rid as usize] {
+            if let Some(ls) = table.get(&probe.data[rid as usize]) {
+                for &lj in ls {
+                    pairs.push((lj, (lo + off) as u32));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Morsel-driven parallel probe: workers pull morsel indices from a shared
+/// atomic counter and probe the shared read-only build table. Determinism:
+/// results are merged in morsel order (and the caller sorts the pair list),
+/// so worker count and scheduling are invisible in the output.
+fn parallel_probe(
+    table: &IntMap,
+    probe: &IntKeys<'_>,
+    workers: usize,
+    metrics: &mut ExecMetrics,
+) -> Vec<(u32, u32)> {
+    let n_morsels = probe.ids.len().div_ceil(MORSEL_ROWS);
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<(usize, Vec<(u32, u32)>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.min(n_morsels))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, Vec<(u32, u32)>)> = Vec::new();
+                    loop {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= n_morsels {
+                            break;
+                        }
+                        let lo = m * MORSEL_ROWS;
+                        let hi = (lo + MORSEL_ROWS).min(probe.ids.len());
+                        out.push((m, probe_morsel(table, probe, lo, hi)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("probe worker panicked")).collect()
+    });
+    parts.sort_unstable_by_key(|&(m, _)| m);
+    metrics.morsels += n_morsels as u64;
+    parts.into_iter().flat_map(|(_, p)| p).collect()
+}
+
+/// Vectorized sort-merge join on logical row ids; replicates the row
+/// algorithm (stable key sorts, `n log n` sort charge, one comparison per
+/// merge iteration, equal-run cross products) so counters and output order
+/// match exactly.
+fn vsort_merge(
+    left: &VChunk,
+    right: &VChunk,
+    keys: &[(ColumnRef, ColumnRef)],
+    metrics: &mut ExecMetrics,
+) -> ExecResult<Vec<(u32, u32)>> {
+    let lsides = side_keys(left, keys.iter().map(|&(l, _)| l))?;
+    let rsides = side_keys(right, keys.iter().map(|&(_, r)| r))?;
+    if let ([lk], [rk]) = (lsides.as_slice(), rsides.as_slice()) {
+        if let (Some(ld), Some(rd)) = (lk.col.as_int_slice(), rk.col.as_int_slice()) {
+            let l = IntKeys { data: ld, valid: lk.col.validity(), ids: lk.ids };
+            let r = IntKeys { data: rd, valid: rk.col.validity(), ids: rk.ids };
+            return Ok(int_sort_merge(&l, &r, metrics));
+        }
+    }
+    let mut lrows = gather_sort_keys(&lsides, left.len())?;
+    let mut rrows = gather_sort_keys(&rsides, right.len())?;
+    metrics.rows_sorted += (lrows.len() + rrows.len()) as u64;
+    lrows.sort_by(|a, b| cmp_key_slices(&a.0, &b.0));
+    rrows.sort_by(|a, b| cmp_key_slices(&a.0, &b.0));
+    metrics.comparisons += sort_charge(lrows.len()) + sort_charge(rrows.len());
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lrows.len() && j < rrows.len() {
+        metrics.comparisons += 1;
+        match cmp_key_slices(&lrows[i].0, &rrows[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let mut ie = i + 1;
+                while ie < lrows.len() && cmp_key_slices(&lrows[ie].0, &lrows[i].0).is_eq() {
+                    ie += 1;
+                }
+                let mut je = j + 1;
+                while je < rrows.len() && cmp_key_slices(&rrows[je].0, &rrows[j].0).is_eq() {
+                    je += 1;
+                }
+                for lrow in &lrows[i..ie] {
+                    for rrow in &rrows[j..je] {
+                        pairs.push((lrow.1, rrow.1));
+                    }
+                }
+                i = ie;
+                j = je;
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+/// `i64` fast path of [`vsort_merge`]: sorts `(key, row)` pairs instead of
+/// allocating `Vec<Value>` per row. `i64::cmp` orders identically to
+/// `Value::total_cmp` on `Int`s, so the permutation (and every counter)
+/// matches the generic algorithm.
+fn int_sort_merge(l: &IntKeys<'_>, r: &IntKeys<'_>, metrics: &mut ExecMetrics) -> Vec<(u32, u32)> {
+    let collect = |k: &IntKeys<'_>| -> Vec<(i64, u32)> {
+        k.ids
+            .iter()
+            .enumerate()
+            .filter(|&(_, &rid)| k.valid[rid as usize])
+            .map(|(j, &rid)| (k.data[rid as usize], j as u32))
+            .collect()
+    };
+    let mut lrows = collect(l);
+    let mut rrows = collect(r);
+    metrics.rows_sorted += (lrows.len() + rrows.len()) as u64;
+    lrows.sort_by_key(|e| e.0);
+    rrows.sort_by_key(|e| e.0);
+    metrics.comparisons += sort_charge(lrows.len()) + sort_charge(rrows.len());
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lrows.len() && j < rrows.len() {
+        metrics.comparisons += 1;
+        match lrows[i].0.cmp(&rrows[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let mut ie = i + 1;
+                while ie < lrows.len() && lrows[ie].0 == lrows[i].0 {
+                    ie += 1;
+                }
+                let mut je = j + 1;
+                while je < rrows.len() && rrows[je].0 == rrows[j].0 {
+                    je += 1;
+                }
+                for &(_, lj) in &lrows[i..ie] {
+                    for &(_, rj) in &rrows[j..je] {
+                        pairs.push((lj, rj));
+                    }
+                }
+                i = ie;
+                j = je;
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els_storage::datagen::{ColumnSpec, Distribution, TableSpec};
+
+    fn int_keys_table(name: &str, rows: usize, modulo: i64) -> Arc<Table> {
+        let t = TableSpec::new(name, rows)
+            .column(ColumnSpec::new("k", Distribution::UniformInt { lo: 0, hi: modulo }))
+            .generate(rows as u64);
+        Arc::new(t)
+    }
+
+    #[test]
+    fn parallel_probe_matches_serial_and_counts_morsels() {
+        let build = int_keys_table("b", 500, 400);
+        let probe = int_keys_table("p", 3 * PARALLEL_MIN_ROWS, 400);
+        let bids: Vec<u32> = (0..build.num_rows() as u32).collect();
+        let pids: Vec<u32> = (0..probe.num_rows() as u32).collect();
+        let bcol = build.column(0).unwrap();
+        let pcol = probe.column(0).unwrap();
+        let bk = IntKeys { data: bcol.as_int_slice().unwrap(), valid: bcol.validity(), ids: &bids };
+        let pk = IntKeys { data: pcol.as_int_slice().unwrap(), valid: pcol.validity(), ids: &pids };
+        let mut serial_m = ExecMetrics::default();
+        let serial = int_hash_join(&bk, &pk, 1, &mut serial_m);
+        for workers in [2, 3, 8] {
+            let mut par_m = ExecMetrics::default();
+            let parallel = int_hash_join(&bk, &pk, workers, &mut par_m);
+            assert_eq!(parallel, serial, "workers={workers}");
+            assert_eq!(par_m.morsels, (pids.len().div_ceil(MORSEL_ROWS)) as u64);
+            assert_eq!(par_m.hash_probes, serial_m.hash_probes);
+        }
+        assert_eq!(serial_m.morsels, 0, "serial probe dispatches no morsels");
+    }
+
+    #[test]
+    fn int_hasher_spreads_sequential_keys() {
+        let mut buckets = std::collections::HashSet::new();
+        for k in 0..1000i64 {
+            let mut h = IntHasher::default();
+            h.write_i64(k);
+            buckets.insert(h.finish() % 64);
+        }
+        assert_eq!(buckets.len(), 64, "sequential keys must not cluster");
+    }
+}

@@ -29,6 +29,12 @@ pub struct CostParams {
     pub cpu_cmp_cost: f64,
     /// CPU cost of one hash-table insert or probe.
     pub cpu_hash_cost: f64,
+    /// Effective parallelism of the hash-join probe phase (≥ 1). The
+    /// vectorized executor probes in morsels across worker threads, so the
+    /// probe-side CPU term is divided by this factor; build, scan, and
+    /// output costs stay serial. 1.0 (the default) models the serial
+    /// executor exactly.
+    pub probe_parallelism: f64,
 }
 
 impl Default for CostParams {
@@ -38,11 +44,23 @@ impl Default for CostParams {
             cpu_tuple_cost: 0.01,
             cpu_cmp_cost: 0.002,
             cpu_hash_cost: 0.015,
+            probe_parallelism: 1.0,
         }
     }
 }
 
 impl CostParams {
+    /// Defaults with the hash-probe term divided by `workers` (clamped to
+    /// ≥ 1) — the cost-model hook for the morsel-parallel executor.
+    pub fn with_probe_parallelism(workers: usize) -> CostParams {
+        CostParams { probe_parallelism: (workers.max(1)) as f64, ..CostParams::default() }
+    }
+
+    /// The probe divisor, defensively clamped (a zero or negative setting
+    /// would flip cost comparisons).
+    fn probe_div(&self) -> f64 {
+        self.probe_parallelism.max(1.0)
+    }
     /// Cost of a filtered scan of a stored table.
     pub fn scan(&self, profile: &TableProfile) -> f64 {
         profile.pages * self.page_cost + profile.rows * self.cpu_tuple_cost
@@ -83,7 +101,8 @@ impl CostParams {
         output_rows_est: f64,
     ) -> f64 {
         self.scan(inner_profile)
-            + (outer_rows_est + inner_rows_eff) * self.cpu_hash_cost
+            + outer_rows_est * self.cpu_hash_cost
+            + inner_rows_eff * self.cpu_hash_cost / self.probe_div()
             + output_rows_est.max(0.0) * self.cpu_tuple_cost
     }
 
@@ -136,7 +155,8 @@ impl CostParams {
         inner_rows: f64,
         output_rows_est: f64,
     ) -> f64 {
-        (outer_rows_est + inner_rows) * self.cpu_hash_cost
+        outer_rows_est * self.cpu_hash_cost
+            + inner_rows * self.cpu_hash_cost / self.probe_div()
             + output_rows_est.max(0.0) * self.cpu_tuple_cost
     }
 }
@@ -192,6 +212,26 @@ mod tests {
         let h = p.hash(10_000.0, &giant(), 100_000.0, 10_000.0);
         let sm = p.sort_merge(10_000.0, &giant(), 100_000.0, 10_000.0);
         assert!(h < sm, "hash {h} should beat sm {sm} at scale");
+    }
+
+    #[test]
+    fn probe_parallelism_discounts_only_the_probe_side() {
+        let serial = CostParams::default();
+        let par = CostParams::with_probe_parallelism(4);
+        assert_eq!(par.probe_parallelism, 4.0);
+        // Probe side (inner) shrinks; a probe-free plan costs the same.
+        let h_serial = serial.hash(1000.0, &giant(), 100_000.0, 10.0);
+        let h_par = par.hash(1000.0, &giant(), 100_000.0, 10.0);
+        assert!(h_par < h_serial, "parallel probe must be cheaper: {h_par} vs {h_serial}");
+        let probe_cpu = 100_000.0 * serial.cpu_hash_cost;
+        assert!((h_serial - h_par - probe_cpu * 0.75).abs() < 1e-9);
+        assert_eq!(serial.nested_loop(10.0, &giant()), par.nested_loop(10.0, &giant()));
+        // Degenerate settings clamp instead of flipping comparisons.
+        let broken = CostParams { probe_parallelism: 0.0, ..CostParams::default() };
+        assert_eq!(
+            broken.hash_intermediate(10.0, 10.0, 1.0),
+            serial.hash_intermediate(10.0, 10.0, 1.0)
+        );
     }
 
     #[test]

@@ -221,13 +221,67 @@ impl ColumnVector {
         min.zip(max)
     }
 
+    /// Borrowed payload slice of an `Int` column (`None` for other types).
+    /// Slots whose validity bit is `false` are NULL and hold an arbitrary
+    /// default — always consult [`ColumnVector::validity`] alongside.
+    pub fn as_int_slice(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrowed payload slice of a `Float` column (`None` for other types).
+    pub fn as_float_slice(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrowed payload slice of a `Str` column (`None` for other types).
+    pub fn as_str_slice(&self) -> Option<&[String]> {
+        match &self.data {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The validity bitmap: `validity()[i]` is true iff row `i` is non-NULL.
+    pub fn validity(&self) -> &[bool] {
+        &self.validity
+    }
+
     /// Gather the rows at `indices` into a new column (used by joins).
     pub fn gather(&self, indices: &[usize]) -> StorageResult<Self> {
-        let mut out = ColumnVector::with_capacity(self.data_type(), indices.len());
-        for &i in indices {
-            out.push(self.get(i)?)?;
+        self.gather_by(indices.iter().copied(), indices.len())
+    }
+
+    /// [`ColumnVector::gather`] over `u32` row ids — the executor's
+    /// selection-vector representation.
+    pub fn gather_u32(&self, indices: &[u32]) -> StorageResult<Self> {
+        self.gather_by(indices.iter().map(|&i| i as usize), indices.len())
+    }
+
+    /// Typed gather: copies payload slots directly instead of round-tripping
+    /// each cell through an owned [`Value`].
+    fn gather_by(
+        &self,
+        indices: impl Iterator<Item = usize> + Clone,
+        n: usize,
+    ) -> StorageResult<Self> {
+        let len = self.len();
+        if let Some(bad) = indices.clone().find(|&i| i >= len) {
+            return Err(StorageError::RowOutOfBounds { index: bad, len });
         }
-        Ok(out)
+        let mut validity = Vec::with_capacity(n);
+        validity.extend(indices.clone().map(|i| self.validity[i]));
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(indices.map(|i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.map(|i| v[i]).collect()),
+            ColumnData::Str(v) => ColumnData::Str(indices.map(|i| v[i].clone()).collect()),
+        };
+        Ok(ColumnVector { data, validity })
     }
 }
 
@@ -348,6 +402,36 @@ mod tests {
         assert_eq!(g.get(0).unwrap(), Value::Int(30));
         assert_eq!(g.get(1).unwrap(), Value::Int(10));
         assert_eq!(g.get(2).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn slice_accessors_expose_payload_and_validity() {
+        let mut c = ColumnVector::new(DataType::Int);
+        c.push(Value::Int(7)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.as_int_slice().unwrap().len(), 2);
+        assert_eq!(c.as_int_slice().unwrap()[0], 7);
+        assert_eq!(c.validity(), &[true, false]);
+        assert!(c.as_float_slice().is_none());
+        assert!(c.as_str_slice().is_none());
+        let f = ColumnVector::from_floats([1.5]);
+        assert_eq!(f.as_float_slice().unwrap(), &[1.5]);
+        let s = ColumnVector::from_strs(["x"]);
+        assert_eq!(s.as_str_slice().unwrap(), &["x".to_owned()]);
+    }
+
+    #[test]
+    fn gather_u32_matches_gather_and_keeps_nulls() {
+        let mut c = ColumnVector::new(DataType::Str);
+        c.push(Value::from("a")).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::from("c")).unwrap();
+        let a = c.gather(&[2, 1, 0]).unwrap();
+        let b = c.gather_u32(&[2, 1, 0]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.get(1).unwrap(), Value::Null);
+        assert_eq!(a.get(0).unwrap(), Value::from("c"));
+        assert!(c.gather_u32(&[3]).is_err());
     }
 
     #[test]

@@ -9,4 +9,14 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
+# Bench smoke: the kernel bench on a scaled-down workload. It exits
+# non-zero and prints REGRESSION if any vectorized result diverges from
+# the row-at-a-time oracle.
+smoke_out=$(cargo run --release -q -p els-bench --bin bench_exec_kernels -- --smoke)
+echo "$smoke_out"
+if grep -q "REGRESSION" <<<"$smoke_out"; then
+  echo "check.sh: bench smoke found a regression" >&2
+  exit 1
+fi
+
 echo "check.sh: all gates passed"

@@ -43,7 +43,10 @@ use std::sync::Arc;
 
 use els_catalog::collect::CollectOptions;
 use els_catalog::{Catalog, CatalogSnapshot, SharedCatalog};
-use els_exec::{execute_plan, execute_plan_observed, EngineCountersSnapshot, ExecMetrics};
+use els_exec::{
+    execute_plan_buffered_with, execute_plan_observed_with, execute_plan_with,
+    EngineCountersSnapshot, ExecMetrics, ExecMode,
+};
 use els_optimizer::{
     bound_query_tables, optimize_bound, CachedPlan, EstimatorPreset, OptimizedQuery,
     OptimizerOptions, PlanCache,
@@ -130,6 +133,7 @@ pub struct Database {
     optimizer_options: OptimizerOptions,
     collect_options: CollectOptions,
     buffer_pages: Option<usize>,
+    exec_mode: ExecMode,
 }
 
 impl Database {
@@ -162,6 +166,14 @@ impl Database {
         self.buffer_pages = pages;
     }
 
+    /// Choose the execution mode (default: vectorized, one worker). Both
+    /// modes produce identical rows and counters; `RowAtATime` is the
+    /// reference oracle, `Vectorized { workers: n > 1 }` adds
+    /// morsel-parallel hash-join probes.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
     /// Register an existing table.
     pub fn register(&mut self, table: Table) -> EngineResult<()> {
         self.catalog.register(table, &self.collect_options)?;
@@ -190,9 +202,9 @@ impl Database {
         let optimized = optimize_bound(&bound, &self.catalog, &self.optimizer_options)?;
         let tables = bound_query_tables(&bound, &self.catalog)?;
         let out = match self.buffer_pages {
-            None => execute_plan(&optimized.plan, &tables)?,
+            None => execute_plan_with(&optimized.plan, &tables, self.exec_mode)?,
             Some(pages) => {
-                els_exec::executor::execute_plan_buffered(&optimized.plan, &tables, pages)?
+                execute_plan_buffered_with(&optimized.plan, &tables, pages, self.exec_mode)?
             }
         };
         let join_order =
@@ -214,7 +226,7 @@ impl Database {
         let bound = bind(&parse(sql)?, &self.catalog)?;
         let optimized = optimize_bound(&bound, &self.catalog, &self.optimizer_options)?;
         let tables = bound_query_tables(&bound, &self.catalog)?;
-        let (out, obs) = execute_plan_observed(&optimized.plan, &tables)?;
+        let (out, obs) = execute_plan_observed_with(&optimized.plan, &tables, self.exec_mode)?;
         let mut text = String::new();
         text.push_str(&format!(
             "query: {sql}
@@ -313,6 +325,7 @@ pub struct Engine {
     options: OptimizerOptions,
     collect_options: CollectOptions,
     buffer_pages: Option<usize>,
+    exec_mode: ExecMode,
 }
 
 impl Engine {
@@ -345,6 +358,25 @@ impl Engine {
     #[must_use]
     pub fn buffer_pages(self, pages: Option<usize>) -> Engine {
         Engine { buffer_pages: pages, ..self }
+    }
+
+    /// Set the execution mode directly (see [`ExecMode`]).
+    #[must_use]
+    pub fn exec_mode(self, mode: ExecMode) -> Engine {
+        Engine { exec_mode: mode, ..self }
+    }
+
+    /// Run vectorized with `workers` probe threads AND tell the cost model
+    /// about it: the optimizer's hash-join probe term is divided by the
+    /// worker count (`CostParams::probe_parallelism`), so plan choice and
+    /// runtime stay consistent. Consumes `self`: like the optimizer
+    /// configuration, the mode is part of what a cached plan means.
+    #[must_use]
+    pub fn exec_workers(self, workers: usize) -> Engine {
+        let workers = workers.max(1);
+        let mut options = self.options;
+        options.cost.probe_parallelism = workers as f64;
+        Engine { exec_mode: ExecMode::Vectorized { workers }, options, ..self }
     }
 
     /// Register an existing table (publishes a new catalog snapshot and
@@ -429,9 +461,9 @@ impl Engine {
             .map(|name| snapshot.table_data(name))
             .collect::<Result<Vec<_>, _>>()?;
         let out = match self.buffer_pages {
-            None => execute_plan(&plan.optimized.plan, &tables)?,
+            None => execute_plan_with(&plan.optimized.plan, &tables, self.exec_mode)?,
             Some(pages) => {
-                els_exec::executor::execute_plan_buffered(&plan.optimized.plan, &tables, pages)?
+                execute_plan_buffered_with(&plan.optimized.plan, &tables, pages, self.exec_mode)?
             }
         };
         let join_order =
@@ -654,5 +686,30 @@ mod tests {
         let engine = engine();
         assert!(matches!(engine.execute("NOT SQL"), Err(EngineError::Sql(_))));
         assert!(matches!(engine.execute("SELECT COUNT(*) FROM nope"), Err(EngineError::Sql(_))));
+    }
+
+    #[test]
+    fn engine_exec_workers_sets_mode_and_cost_hook() {
+        let engine = engine().exec_workers(4);
+        assert_eq!(engine.exec_mode, ExecMode::Vectorized { workers: 4 });
+        assert_eq!(engine.options.cost.probe_parallelism, 4.0);
+        // Parallel execution returns the same answers as the default engine.
+        let sql = "SELECT COUNT(*) FROM a, b WHERE a.k = b.k";
+        assert_eq!(engine.execute(sql).unwrap().count, 500);
+        // Degenerate worker counts clamp to serial rather than breaking costs.
+        let clamped = Engine::new().exec_workers(0);
+        assert_eq!(clamped.exec_mode, ExecMode::Vectorized { workers: 1 });
+        assert_eq!(clamped.options.cost.probe_parallelism, 1.0);
+    }
+
+    #[test]
+    fn database_exec_mode_is_switchable() {
+        let mut db = db();
+        let sql = "SELECT a.k FROM a, b WHERE a.k = b.k AND a.k < 5";
+        let vectorized = db.execute(sql).unwrap();
+        db.set_exec_mode(ExecMode::RowAtATime);
+        let row = db.execute(sql).unwrap();
+        assert_eq!(vectorized.count, row.count);
+        assert_eq!(vectorized.rows.num_rows(), row.rows.num_rows());
     }
 }
