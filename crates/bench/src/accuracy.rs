@@ -1,0 +1,143 @@
+//! Estimation-accuracy measurement for the throughput/kernels benches.
+//!
+//! Runs a workload through [`Database::explain_analyze`] under each of the
+//! paper's four estimator presets and summarizes the per-join q-errors —
+//! the same estimated-vs-actual comparison as the paper's Section 8 table,
+//! but folded to median/p95/max so the BENCH JSONs can carry an `accuracy`
+//! section and the smoke gate can pin a regression threshold on it.
+
+use els::engine::Database;
+use els_optimizer::{EstimatorPreset, OptimizerOptions};
+use els_storage::Table;
+
+use crate::workload::quantile;
+
+/// The per-preset q-error summary over one workload.
+#[derive(Debug, Clone)]
+pub struct AccuracySummary {
+    /// The paper's preset label, e.g. `Orig. ELS`.
+    pub label: String,
+    /// The selectivity rule's short name ("M", "SS", "LS", …).
+    pub rule: String,
+    /// Number of join-operator q-error samples.
+    pub samples: usize,
+    /// Median q-error (nearest-rank).
+    pub median_q: f64,
+    /// 95th-percentile q-error.
+    pub p95_q: f64,
+    /// Worst q-error.
+    pub max_q: f64,
+}
+
+/// All four of the paper's estimator presets, in table order.
+pub const PRESETS: [EstimatorPreset; 4] =
+    [EstimatorPreset::SmNoPtc, EstimatorPreset::Sm, EstimatorPreset::Sss, EstimatorPreset::Els];
+
+/// Measure estimation accuracy: for each preset, build a database over
+/// `tables`, `explain_analyze` every query, and pool the join-operator
+/// q-errors. Panics if a workload query fails — these are benchmark
+/// fixtures, not user input.
+pub fn preset_accuracy(tables: &[Table], queries: &[String]) -> Vec<AccuracySummary> {
+    PRESETS
+        .iter()
+        .map(|&preset| {
+            let mut db = Database::new();
+            // Same plan space as the throughput engine so the analyzed
+            // plans match the ones the benches execute.
+            db.set_optimizer_options(
+                OptimizerOptions::preset(preset).with_bushy_trees().with_hash_join(),
+            );
+            for table in tables {
+                db.register(table.clone()).expect("accuracy fixture tables register");
+            }
+            let mut qerrs: Vec<f64> = Vec::new();
+            let mut rule = String::new();
+            for sql in queries {
+                let report = db.explain_analyze(sql).expect("accuracy workload queries execute");
+                rule = report.rule.clone();
+                qerrs.extend(report.join_operators().map(|op| op.q_error()));
+            }
+            qerrs.sort_by(f64::total_cmp);
+            let (median_q, p95_q, max_q) = if qerrs.is_empty() {
+                (1.0, 1.0, 1.0)
+            } else {
+                (quantile(&qerrs, 0.5), quantile(&qerrs, 0.95), *qerrs.last().unwrap())
+            };
+            AccuracySummary {
+                label: preset.label().to_owned(),
+                rule,
+                samples: qerrs.len(),
+                median_q,
+                p95_q,
+                max_q,
+            }
+        })
+        .collect()
+}
+
+/// Render the accuracy summaries as a JSON array (hand-rolled; infinities
+/// become the string `"inf"` to stay valid JSON).
+pub fn accuracy_json(summaries: &[AccuracySummary]) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.4}")
+        } else {
+            "\"inf\"".to_owned()
+        }
+    }
+    let rows: Vec<String> = summaries
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"label\": \"{}\", \"rule\": \"{}\", \"samples\": {}, \
+                 \"median_q\": {}, \"p95_q\": {}, \"max_q\": {}}}",
+                s.label,
+                s.rule,
+                s.samples,
+                num(s.median_q),
+                num(s.p95_q),
+                num(s.max_q)
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els_storage::datagen::starburst_experiment_tables_sized;
+
+    #[test]
+    fn accuracy_ranks_els_at_or_above_the_baselines() {
+        let tables = starburst_experiment_tables_sized(7, &[50, 500, 2_000, 4_000usize]);
+        let queries = vec![crate::SECTION8_SQL.to_owned()];
+        let summaries = preset_accuracy(&tables, &queries);
+        assert_eq!(summaries.len(), 4);
+        let els = summaries.iter().find(|s| s.label == "Orig. ELS").unwrap();
+        let sm = summaries.iter().find(|s| s.label == "Orig. SM").unwrap();
+        assert_eq!(els.samples, 3, "three joins in the 4-table chain");
+        // The paper's headline: ELS estimates the chain well; plain SM
+        // without closure is far off.
+        assert!(els.median_q <= sm.median_q, "ELS {} vs SM {}", els.median_q, sm.median_q);
+        assert!(els.median_q < 2.0, "ELS median q-error degraded: {}", els.median_q);
+    }
+
+    #[test]
+    fn accuracy_json_is_stable_and_inf_safe() {
+        let summaries = vec![AccuracySummary {
+            label: "Orig. ELS".to_owned(),
+            rule: "LS".to_owned(),
+            samples: 3,
+            median_q: 1.0,
+            p95_q: 2.5,
+            max_q: f64::INFINITY,
+        }];
+        let json = accuracy_json(&summaries);
+        assert_eq!(
+            json,
+            "[{\"label\": \"Orig. ELS\", \"rule\": \"LS\", \"samples\": 3, \
+             \"median_q\": 1.0000, \"p95_q\": 2.5000, \"max_q\": \"inf\"}]"
+        );
+    }
+}

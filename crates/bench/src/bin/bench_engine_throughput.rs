@@ -17,10 +17,12 @@
 
 use std::fmt::Write as _;
 
+use els_bench::accuracy::{accuracy_json, preset_accuracy};
 use els_bench::driver::{
     replay_parallel, replay_serial, section8_engine, section8_throughput_workload, Replay,
 };
 use els_exec::metrics::enumerations;
+use els_storage::datagen::starburst_experiment_tables;
 
 const THREADS: usize = 8;
 const REPEATS: usize = 2;
@@ -82,6 +84,18 @@ fn main() {
     let speedup_parallel = parallel.qps() / serial_uncached.qps();
     let speedup_serial_cached = serial_cached.qps() / serial_uncached.qps();
 
+    // Accuracy section: estimated-vs-actual q-errors for the paper's four
+    // presets on the 4-table Section 8 queries of this workload (the deep
+    // self-join chains are an optimizer stress, not an estimation fixture).
+    let accuracy_queries: Vec<String> = queries.iter().take(4).cloned().collect();
+    let summaries = preset_accuracy(&starburst_experiment_tables(42), &accuracy_queries);
+    for s in &summaries {
+        println!(
+            "accuracy {:<14} rule {:<3} samples {:>2}  median q {:>7.2}  p95 q {:>7.2}  max q {:>7.2}",
+            s.label, s.rule, s.samples, s.median_q, s.p95_q, s.max_q
+        );
+    }
+
     let mut json = String::from("{\n  \"bench\": \"engine_throughput\",\n");
     let _ = write!(
         json,
@@ -92,6 +106,7 @@ fn main() {
     json_phase(&mut json, "serial_uncached", &serial_uncached);
     json_phase(&mut json, "serial_cached_second_replay", &serial_cached);
     json_phase(&mut json, "parallel_8_threads_cached", &parallel);
+    let _ = write!(json, "  \"accuracy\": {},\n", accuracy_json(&summaries));
     let _ = write!(
         json,
         "  \"speedup_parallel_cached_vs_serial_uncached\": {speedup_parallel:.2},\n  \

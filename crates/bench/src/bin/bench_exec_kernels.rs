@@ -19,30 +19,25 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use els_bench::accuracy::{accuracy_json, preset_accuracy};
 use els_catalog::collect::CollectOptions;
 use els_catalog::Catalog;
 use els_exec::{execute_plan_with, ExecMode, JoinMethod, PlanNode, QueryPlan};
 use els_sql::{bind, parse};
-use els_storage::datagen::{starburst_experiment_tables, ColumnSpec, Distribution, TableSpec};
+use els_storage::datagen::{starburst_experiment_tables, starburst_experiment_tables_sized};
 use els_storage::Table;
 
 const SEED: u64 = 42;
 
+/// The pinned smoke-gate threshold for the ELS median q-error on the
+/// Section 8 chain: the model assumptions hold by construction there, so
+/// anything above this means an estimator regression, not noise.
+const ELS_MEDIAN_Q_LIMIT: f64 = 2.0;
+
 /// The Section 8 schema at a reduced scale for the smoke gate (the full
 /// tables are S/M/B/G at 1k/10k/50k/100k rows).
 fn smoke_tables(seed: u64) -> Vec<Table> {
-    [("S", "s", 50usize), ("M", "m", 500), ("B", "b", 2_000), ("G", "g", 4_000)]
-        .iter()
-        .map(|&(name, key, rows)| {
-            TableSpec::new(name, rows)
-                .column(ColumnSpec::new(key, Distribution::SequentialInt { start: 0 }))
-                .column(ColumnSpec::new(
-                    "payload",
-                    Distribution::UniformInt { lo: 0, hi: 1_000_000 },
-                ))
-                .generate(seed)
-        })
-        .collect()
+    starburst_experiment_tables_sized(seed, &[50, 500, 2_000, 4_000])
 }
 
 /// Force every join in the tree to one method, keeping shape and keys.
@@ -113,9 +108,9 @@ fn main() {
 
     let base_tables = if smoke { smoke_tables(SEED) } else { starburst_experiment_tables(SEED) };
     let mut catalog = Catalog::new();
-    for t in base_tables {
+    for t in &base_tables {
         catalog
-            .register(t, &CollectOptions::default())
+            .register(t.clone(), &CollectOptions::default())
             .expect("fresh catalog accepts the bench tables");
     }
 
@@ -210,14 +205,35 @@ fn main() {
         );
     }
 
+    // Accuracy pass: the same Section 8 chain analyzed under the paper's
+    // four estimator presets, summarized as join q-errors. In smoke mode
+    // this doubles as the estimator-regression gate for scripts/check.sh.
+    let accuracy_queries = vec![els_bench::SECTION8_SQL.to_owned()];
+    let summaries = preset_accuracy(&base_tables, &accuracy_queries);
+    for s in &summaries {
+        println!(
+            "accuracy {:<14} rule {:<3} samples {:>2}  median q {:>7.2}  p95 q {:>7.2}  max q {:>7.2}",
+            s.label, s.rule, s.samples, s.median_q, s.p95_q, s.max_q
+        );
+    }
+    let els = summaries.iter().find(|s| s.label == "Orig. ELS").expect("ELS preset measured");
+    if !(els.median_q <= ELS_MEDIAN_Q_LIMIT) {
+        regression = true;
+        println!(
+            "ACCURACY REGRESSION: ELS median q-error {:.2} exceeds the pinned limit {:.1}",
+            els.median_q, ELS_MEDIAN_Q_LIMIT
+        );
+    }
+
     let join_speedup = join_totals[0] / join_totals[1].max(1e-9);
     let parallel_speedup = join_totals[1] / join_totals[2].max(1e-9);
     let overall_speedup = all_totals[0] / all_totals[1].max(1e-9);
     let _ = write!(
         json,
-        "  }},\n  \"join_speedup_vectorized_vs_row\": {join_speedup:.2},\n  \
+        "  }},\n  \"accuracy\": {},\n  \"join_speedup_vectorized_vs_row\": {join_speedup:.2},\n  \
          \"join_speedup_parallel_vs_vectorized\": {parallel_speedup:.2},\n  \
-         \"overall_speedup_vectorized_vs_row\": {overall_speedup:.2}\n}}\n"
+         \"overall_speedup_vectorized_vs_row\": {overall_speedup:.2}\n}}\n",
+        accuracy_json(&summaries)
     );
 
     println!("join workload: vectorized {join_speedup:.2}x over row-at-a-time");
@@ -230,7 +246,7 @@ fn main() {
         println!("wrote BENCH_exec_kernels.json");
     }
     if regression {
-        println!("REGRESSION: vectorized results diverge from the row oracle");
+        println!("REGRESSION: results diverged from the row oracle or accuracy gate");
         std::process::exit(1);
     }
 }

@@ -55,13 +55,17 @@ fn main() {
     check("Representative 0.001 final", rep_lo.estimate_final(&[1, 2, 0]).unwrap(), 100.0);
 
     println!("== E4: Section 5 urn example ==");
-    check("urn(10000, 50000)", urn::expected_distinct_rounded(10_000.0, 50_000.0), 9933.0);
+    check("urn(10000, 50000)", urn::expected_distinct_rounded(10_000.0, 50_000.0).unwrap(), 9933.0);
     check(
         "proportional(10000, 50000/100000)",
-        urn::proportional_distinct(10_000.0, 50_000.0, 100_000.0),
+        urn::proportional_distinct(10_000.0, 50_000.0, 100_000.0).unwrap(),
         5000.0,
     );
-    check("urn at full selection", urn::expected_distinct_rounded(10_000.0, 100_000.0), 10_000.0);
+    check(
+        "urn at full selection",
+        urn::expected_distinct_rounded(10_000.0, 100_000.0).unwrap(),
+        10_000.0,
+    );
 
     println!("== E5: Section 6 example ==");
     let stats6 = QueryStatistics::new(vec![

@@ -64,8 +64,8 @@ fn main() {
         for frac in [0.1, 0.25, 0.5, 0.75, 0.9] {
             let k = n as f64 * frac;
             let sim = simulate(d, n, frac, 20, &mut rng);
-            let urn_est = urn::expected_distinct(d as f64, k);
-            let prop_est = urn::proportional_distinct(d as f64, k, n as f64);
+            let urn_est = urn::expected_distinct(d as f64, k).unwrap();
+            let prop_est = urn::proportional_distinct(d as f64, k, n as f64).unwrap();
             let err = |est: f64| (est - sim).abs() / sim.max(1.0);
             println!(
                 "| {:>6} | {:>8} | {:>5.2} | {:>10.1} | {:>10.1} | {:>10.1} | {:>7.2}% | {:>7.2}% |",
@@ -84,7 +84,7 @@ fn main() {
     println!("\n# the paper's Section 5 numeric example");
     println!(
         "d=10000, ||R||=100000, ||R||'=50000: urn = {} (paper: 9933), proportional = {} (paper: 5000)",
-        urn::expected_distinct_rounded(10_000.0, 50_000.0),
-        urn::proportional_distinct(10_000.0, 50_000.0, 100_000.0),
+        urn::expected_distinct_rounded(10_000.0, 50_000.0).unwrap(),
+        urn::proportional_distinct(10_000.0, 50_000.0, 100_000.0).unwrap(),
     );
 }

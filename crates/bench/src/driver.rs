@@ -102,10 +102,13 @@ impl Replay {
         self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    /// Nearest-rank percentile of the per-query latencies (`p` in 0..=100).
-    /// Returns zero for an empty replay.
+    /// Nearest-rank percentile of the per-query latencies. `p` is clamped
+    /// into `0..=100` (so `-5.0` reads as the minimum and `200.0` as the
+    /// maximum); a NaN `p` returns zero rather than silently reading as
+    /// the minimum (`NaN as usize` is 0). Returns zero for an empty
+    /// replay.
     pub fn latency_percentile(&self, p: f64) -> Duration {
-        if self.latencies.is_empty() {
+        if self.latencies.is_empty() || p.is_nan() {
             return Duration::ZERO;
         }
         let mut sorted = self.latencies.clone();
@@ -242,5 +245,30 @@ mod tests {
         let empty =
             Replay { queries: 0, elapsed: Duration::ZERO, counts: vec![], latencies: vec![] };
         assert_eq!(empty.latency_percentile(50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_percentile_edge_inputs_are_tamed() {
+        let replay = Replay {
+            queries: 4,
+            elapsed: Duration::from_millis(10),
+            counts: vec![],
+            latencies: [4, 1, 3, 2].into_iter().map(Duration::from_millis).collect(),
+        };
+        // Out-of-range p clamps to the min/max rather than panicking.
+        assert_eq!(replay.latency_percentile(-5.0), Duration::from_millis(1));
+        assert_eq!(replay.latency_percentile(200.0), Duration::from_millis(4));
+        // A NaN p is a caller bug, not "the minimum": report zero.
+        assert_eq!(replay.latency_percentile(f64::NAN), Duration::ZERO);
+        // A single sample is every percentile.
+        let one = Replay {
+            queries: 1,
+            elapsed: Duration::from_millis(1),
+            counts: vec![],
+            latencies: vec![Duration::from_millis(7)],
+        };
+        assert_eq!(one.latency_percentile(0.0), Duration::from_millis(7));
+        assert_eq!(one.latency_percentile(50.0), Duration::from_millis(7));
+        assert_eq!(one.latency_percentile(100.0), Duration::from_millis(7));
     }
 }

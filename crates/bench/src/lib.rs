@@ -4,6 +4,7 @@
 //! Each binary under `src/bin/` regenerates one table or figure of
 //! `EXPERIMENTS.md`; see `DESIGN.md` for the experiment index.
 
+pub mod accuracy;
 pub mod driver;
 pub mod workload;
 

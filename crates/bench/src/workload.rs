@@ -123,9 +123,9 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> WorkloadInstance {
 /// with both sides floored at 1 tuple so empty results stay finite. q = 1
 /// is perfect; q grows symmetrically for over- and under-estimation.
 pub fn q_error(estimate: f64, truth: f64) -> f64 {
-    let e = estimate.max(1.0);
-    let t = truth.max(1.0);
-    (e / t).max(t / e)
+    // Canonical definition lives in the core crate (shared with
+    // `explain_analyze` and the metrics registry).
+    els_core::q_error(estimate, truth)
 }
 
 /// Quantiles of a sample (p in `[0, 1]`, nearest-rank).

@@ -184,7 +184,7 @@ impl Els {
 
         // Step 5 special case (Section 6), ELS pre-processing only.
         let adjustments = match options.preprocessing {
-            Preprocessing::Els => apply_same_table_equivalences(&mut effective, &classes),
+            Preprocessing::Els => apply_same_table_equivalences(&mut effective, &classes)?,
             Preprocessing::Standard => Vec::new(),
         };
 

@@ -26,6 +26,11 @@ pub enum ElsError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A quantity fed to the distinct-value models (urn, proportional) was
+    /// NaN, infinite or negative. The math is meaningless there, and the old
+    /// behaviour — silently returning `0.0` — let a degenerate input
+    /// propagate as a confident zero estimate with no signal.
+    DegenerateStats(String),
 }
 
 impl fmt::Display for ElsError {
@@ -38,6 +43,7 @@ impl fmt::Display for ElsError {
             ElsError::InvalidJoinStep { table, reason } => {
                 write!(f, "invalid join step with R{table}: {reason}")
             }
+            ElsError::DegenerateStats(msg) => write!(f, "degenerate statistics: {msg}"),
         }
     }
 }
@@ -58,5 +64,8 @@ mod tests {
         assert!(ElsError::InvalidJoinStep { table: 0, reason: "already joined" }
             .to_string()
             .contains("already joined"));
+        assert!(ElsError::DegenerateStats("urn count is NaN".into())
+            .to_string()
+            .contains("urn count is NaN"));
     }
 }

@@ -90,6 +90,7 @@ pub mod urn;
 
 pub use algorithm::{Els, ElsOptions, Preprocessing};
 pub use error::{ElsError, ElsResult};
+pub use error_model::q_error;
 pub use estimator::{JoinState, PreparedQuery};
 pub use explain::EstimationReport;
 pub use ids::{ClassId, ColumnRef, TableId};

@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use crate::error::ElsResult;
+use crate::error::{ElsError, ElsResult};
 use crate::ids::ColumnRef;
 use crate::predicate::Predicate;
 use crate::selectivity::{resolve_column_predicates, ResolvedShape, SelectivityOracle};
@@ -172,6 +172,16 @@ pub fn compute_effective_stats(
 
         let original = tstats.cardinality;
         let cardinality = if contradiction { 0.0 } else { original * table_sel };
+        // `stats.validate()` vetted the base statistics, but a misbehaving
+        // oracle can still return a NaN or negative selectivity; catch the
+        // poison here rather than letting it flow into the urn model (which
+        // used to swallow it as a silent 0.0 estimate).
+        if !cardinality.is_finite() || cardinality < 0.0 {
+            return Err(ElsError::DegenerateStats(format!(
+                "effective cardinality of table R{t} is {cardinality} \
+                 (selectivity {table_sel} on {original} rows)"
+            )));
+        }
 
         let mut column_distinct = Vec::with_capacity(ncols);
         for (c, cstats) in tstats.columns.iter().enumerate() {
@@ -193,9 +203,9 @@ pub fn compute_effective_stats(
                 // final ||R||' captures their effect; own predicates give an
                 // independent upper bound. Both hold, so take the minimum.
                 let indirect = match reduction {
-                    DistinctReduction::UrnModel => urn::expected_distinct_rounded(d, cardinality),
+                    DistinctReduction::UrnModel => urn::expected_distinct_rounded(d, cardinality)?,
                     DistinctReduction::Proportional => {
-                        urn::proportional_distinct(d, cardinality, original)
+                        urn::proportional_distinct(d, cardinality, original)?
                     }
                 };
                 own_bound[c].unwrap_or(f64::INFINITY).min(indirect)
@@ -419,6 +429,59 @@ mod tests {
         let b =
             compute_effective_stats(&both, &stats, &NoOracle, DistinctReduction::UrnModel).unwrap();
         assert_eq!(a.cardinality(0), b.cardinality(0));
+    }
+
+    #[test]
+    fn nan_oracle_selectivity_is_a_typed_error_not_a_zero_estimate() {
+        // A custom oracle returning NaN used to flow through table_sel into
+        // the urn model, which silently emitted 0.0 — a confident "empty
+        // table" estimate from garbage input. It must now surface as
+        // DegenerateStats.
+        struct NanOracle;
+        impl crate::selectivity::SelectivityOracle for NanOracle {
+            fn local_selectivity(
+                &self,
+                _column: ColumnRef,
+                _op: CmpOp,
+                _value: &els_storage::Value,
+            ) -> Option<f64> {
+                Some(f64::NAN)
+            }
+        }
+        let stats = one_table(1000.0, &[100.0, 500.0]);
+        let preds = vec![Predicate::local_cmp(c(0, 0), CmpOp::Lt, 10i64)];
+        let err = compute_effective_stats(&preds, &stats, &NanOracle, DistinctReduction::UrnModel)
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::error::ElsError::DegenerateStats(_)),
+            "expected DegenerateStats, got {err:?}"
+        );
+        assert!(err.to_string().contains("R0"), "error must name the table: {err}");
+    }
+
+    #[test]
+    fn negative_oracle_selectivity_clamps_to_empty_not_garbage() {
+        // Out-of-range (but finite) oracle answers are clamped into [0, 1]
+        // at resolution time, so a negative selectivity degrades to "no rows
+        // survive" — a defensible answer — rather than a negative
+        // cardinality or an error.
+        struct NegOracle;
+        impl crate::selectivity::SelectivityOracle for NegOracle {
+            fn local_selectivity(
+                &self,
+                _column: ColumnRef,
+                _op: CmpOp,
+                _value: &els_storage::Value,
+            ) -> Option<f64> {
+                Some(-0.5)
+            }
+        }
+        let stats = one_table(1000.0, &[100.0]);
+        let preds = vec![Predicate::local_cmp(c(0, 0), CmpOp::Lt, 10i64)];
+        let eff = compute_effective_stats(&preds, &stats, &NegOracle, DistinctReduction::UrnModel)
+            .unwrap();
+        assert_eq!(eff.cardinality(0), 0.0);
+        assert_eq!(eff.distinct(c(0, 0)), 0.0);
     }
 
     #[test]

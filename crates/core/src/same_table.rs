@@ -19,6 +19,7 @@
 //! the algorithm level.
 
 use crate::equivalence::EquivalenceClasses;
+use crate::error::ElsResult;
 use crate::ids::{ClassId, ColumnRef};
 use crate::local_effects::EffectiveStats;
 use crate::urn;
@@ -49,7 +50,7 @@ pub struct SameTableAdjustment {
 pub fn apply_same_table_equivalences(
     eff: &mut EffectiveStats,
     classes: &EquivalenceClasses,
-) -> Vec<SameTableAdjustment> {
+) -> ElsResult<Vec<SameTableAdjustment>> {
     let mut adjustments = Vec::new();
     let num_tables = eff.tables.len();
     for table in 0..num_tables {
@@ -86,7 +87,7 @@ pub fn apply_same_table_equivalences(
             }
             let divisor: f64 = ds[1..].iter().product();
             let after = (before / divisor).ceil().max(1.0);
-            let d_join = urn::expected_distinct_rounded(d_min, after);
+            let d_join = urn::expected_distinct_rounded(d_min, after)?;
 
             eff.tables[table].cardinality = after;
             for c in &group {
@@ -105,7 +106,7 @@ pub fn apply_same_table_equivalences(
             });
         }
     }
-    adjustments
+    Ok(adjustments)
 }
 
 #[cfg(test)]
@@ -144,7 +145,7 @@ mod tests {
         let mut eff =
             compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
                 .unwrap();
-        let adj = apply_same_table_equivalences(&mut eff, &classes);
+        let adj = apply_same_table_equivalences(&mut eff, &classes).unwrap();
         assert_eq!(adj.len(), 1);
         let a = &adj[0];
         assert_eq!(a.table, 1);
@@ -182,7 +183,7 @@ mod tests {
         let mut eff =
             compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
                 .unwrap();
-        let adj = apply_same_table_equivalences(&mut eff, &classes);
+        let adj = apply_same_table_equivalences(&mut eff, &classes).unwrap();
         assert_eq!(adj.len(), 1);
         assert_eq!(adj[0].cardinality_after, 20.0);
         assert_eq!(adj[0].join_distinct, 4.0);
@@ -199,7 +200,7 @@ mod tests {
         let mut eff =
             compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
                 .unwrap();
-        let adj = apply_same_table_equivalences(&mut eff, &classes);
+        let adj = apply_same_table_equivalences(&mut eff, &classes).unwrap();
         assert!(adj.is_empty());
         assert_eq!(eff.cardinality(0), 100.0);
         assert_eq!(eff.cardinality(1), 200.0);
@@ -217,7 +218,7 @@ mod tests {
         let mut eff =
             compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
                 .unwrap();
-        let adj = apply_same_table_equivalences(&mut eff, &classes);
+        let adj = apply_same_table_equivalences(&mut eff, &classes).unwrap();
         assert_eq!(adj[0].cardinality_after, 1.0);
         assert_eq!(adj[0].join_distinct, 1.0);
     }
@@ -240,7 +241,7 @@ mod tests {
                 .unwrap();
         // Table already empty from the contradiction; adjustment is a no-op
         // skip (cardinality 0 short-circuits).
-        let _ = apply_same_table_equivalences(&mut eff, &classes);
+        let _ = apply_same_table_equivalences(&mut eff, &classes).unwrap();
         assert_eq!(eff.cardinality(0), 0.0);
     }
 
@@ -259,7 +260,7 @@ mod tests {
         let mut eff =
             compute_effective_stats(&preds, &stats, &NoOracle, DistinctReduction::UrnModel)
                 .unwrap();
-        apply_same_table_equivalences(&mut eff, &classes);
+        apply_same_table_equivalences(&mut eff, &classes).unwrap();
         assert_eq!(eff.cardinality(0), 20.0);
         assert!(eff.distinct(c(0, 2)) <= 20.0);
     }

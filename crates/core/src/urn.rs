@@ -16,12 +16,34 @@
 //! The paper rounds the expectation *up* (its Section 6 example evaluates
 //! `10·(1−0.9²⁰) = 8.78…` and uses 9), so [`expected_distinct_rounded`]
 //! applies a ceiling.
+//!
+//! # Input validation
+//!
+//! NaN, infinite or negative inputs are *degenerate*: the model has no
+//! answer for them, and the old behaviour of silently returning `0.0` let a
+//! corrupted statistic propagate through Step 4 as a confident zero estimate
+//! with no signal anywhere. Every function here now returns
+//! [`ElsError::DegenerateStats`] for such inputs. Exact zero stays a valid
+//! boundary (an empty selection holds zero distinct values).
+
+use crate::error::{ElsError, ElsResult};
+
+/// Reject NaN, infinite and negative model inputs with a typed error.
+fn check_input(name: &str, v: f64) -> ElsResult<()> {
+    if !v.is_finite() || v < 0.0 {
+        return Err(ElsError::DegenerateStats(format!(
+            "{name} must be finite and non-negative, got {v}"
+        )));
+    }
+    Ok(())
+}
 
 /// Expected number of non-empty urns after throwing `balls` balls uniformly
 /// into `urns` urns, as a real number.
 ///
-/// Degenerate inputs behave sensibly: zero urns or zero balls give 0, and a
-/// huge ball count saturates at `urns`. Computation goes through
+/// Zero urns or zero balls give 0 (an empty selection), and a huge ball
+/// count saturates at `urns`; NaN, infinite or negative inputs are an
+/// [`ElsError::DegenerateStats`] error. Computation goes through
 /// `exp(balls·ln(1−1/urns))` so it is stable for the large ball counts that
 /// arise from table cardinalities (naive `powf` on `(1−1/d)` is fine for
 /// small exponents but loses precision when `d` is large; `ln_1p` keeps the
@@ -32,38 +54,43 @@
 ///
 /// ```
 /// use els_core::urn::expected_distinct_rounded;
-/// assert_eq!(expected_distinct_rounded(10_000.0, 50_000.0), 9933.0);
+/// assert_eq!(expected_distinct_rounded(10_000.0, 50_000.0).unwrap(), 9933.0);
 /// ```
-pub fn expected_distinct(urns: f64, balls: f64) -> f64 {
-    if urns <= 0.0 || balls <= 0.0 || urns.is_nan() || balls.is_nan() {
-        return 0.0;
+pub fn expected_distinct(urns: f64, balls: f64) -> ElsResult<f64> {
+    check_input("urn count", urns)?;
+    check_input("ball count", balls)?;
+    if urns == 0.0 || balls == 0.0 {
+        return Ok(0.0);
     }
     if urns <= 1.0 {
         // A single urn is hit by the first ball.
-        return urns.min(1.0);
+        return Ok(urns.min(1.0));
     }
     // (1 - 1/urns)^balls = exp(balls * ln(1 - 1/urns)), via ln_1p for
     // precision when 1/urns is tiny.
     let log_miss = (-1.0 / urns).ln_1p();
     let p_empty = (balls * log_miss).exp();
-    urns * (1.0 - p_empty)
+    Ok(urns * (1.0 - p_empty))
 }
 
 /// The urn estimate rounded up to an integer, matching the ceilings the
 /// paper applies in Sections 5 and 6. The result never exceeds `urns`
 /// (rounding must not invent an extra distinct value).
-pub fn expected_distinct_rounded(urns: f64, balls: f64) -> f64 {
-    expected_distinct(urns, balls).ceil().min(urns.ceil())
+pub fn expected_distinct_rounded(urns: f64, balls: f64) -> ElsResult<f64> {
+    Ok(expected_distinct(urns, balls)?.ceil().min(urns.ceil()))
 }
 
 /// The proportional alternative `d' = d · (k/n)` the paper argues against
 /// (Section 5). Exposed for the ablation study (experiment F2). `n` is the
 /// original table cardinality and `k` the number of selected tuples.
-pub fn proportional_distinct(d: f64, k: f64, n: f64) -> f64 {
-    if n <= 0.0 || d <= 0.0 || k <= 0.0 || n.is_nan() || d.is_nan() || k.is_nan() {
-        return 0.0;
+pub fn proportional_distinct(d: f64, k: f64, n: f64) -> ElsResult<f64> {
+    check_input("distinct count", d)?;
+    check_input("selected tuple count", k)?;
+    check_input("table cardinality", n)?;
+    if n == 0.0 || d == 0.0 || k == 0.0 {
+        return Ok(0.0);
     }
-    (d * (k / n).min(1.0)).max(1.0_f64.min(d))
+    Ok((d * (k / n).min(1.0)).max(1.0_f64.min(d)))
 }
 
 #[cfg(test)]
@@ -73,44 +100,78 @@ mod tests {
     #[test]
     fn paper_section5_example() {
         // d_x = 10000, ||R||' = 50000 -> 9933 (urn) vs 5000 (proportional).
-        let urn = expected_distinct_rounded(10_000.0, 50_000.0);
+        let urn = expected_distinct_rounded(10_000.0, 50_000.0).unwrap();
         assert_eq!(urn, 9933.0);
-        let prop = proportional_distinct(10_000.0, 50_000.0, 100_000.0);
+        let prop = proportional_distinct(10_000.0, 50_000.0, 100_000.0).unwrap();
         assert_eq!(prop, 5000.0);
     }
 
     #[test]
     fn paper_section6_example() {
         // 10 * (1 - 0.9^20) = 8.78... -> 9 after the paper's ceiling.
-        assert_eq!(expected_distinct_rounded(10.0, 20.0), 9.0);
+        assert_eq!(expected_distinct_rounded(10.0, 20.0).unwrap(), 9.0);
     }
 
     #[test]
     fn full_selection_keeps_all_distinct_values() {
         // ||R||' = ||R||: the paper notes d' ≈ d. With the ceiling the
         // estimate is exactly d.
-        assert_eq!(expected_distinct_rounded(10_000.0, 100_000.0), 10_000.0);
+        assert_eq!(expected_distinct_rounded(10_000.0, 100_000.0).unwrap(), 10_000.0);
     }
 
     #[test]
     fn zero_inputs_give_zero() {
-        assert_eq!(expected_distinct(0.0, 10.0), 0.0);
-        assert_eq!(expected_distinct(10.0, 0.0), 0.0);
-        assert_eq!(expected_distinct(-3.0, 5.0), 0.0);
-        assert_eq!(proportional_distinct(0.0, 1.0, 1.0), 0.0);
+        assert_eq!(expected_distinct(0.0, 10.0).unwrap(), 0.0);
+        assert_eq!(expected_distinct(10.0, 0.0).unwrap(), 0.0);
+        assert_eq!(proportional_distinct(0.0, 1.0, 1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn nan_and_negative_inputs_are_typed_errors() {
+        for (u, b) in [
+            (f64::NAN, 5.0),
+            (5.0, f64::NAN),
+            (-3.0, 5.0),
+            (5.0, -3.0),
+            (f64::INFINITY, 5.0),
+            (5.0, f64::NEG_INFINITY),
+        ] {
+            assert!(
+                matches!(expected_distinct(u, b), Err(ElsError::DegenerateStats(_))),
+                "expected_distinct({u}, {b}) must be a DegenerateStats error"
+            );
+            assert!(
+                matches!(expected_distinct_rounded(u, b), Err(ElsError::DegenerateStats(_))),
+                "expected_distinct_rounded({u}, {b}) must be a DegenerateStats error"
+            );
+        }
+        for (d, k, n) in [(f64::NAN, 1.0, 1.0), (1.0, -2.0, 1.0), (1.0, 1.0, f64::INFINITY)] {
+            assert!(
+                matches!(proportional_distinct(d, k, n), Err(ElsError::DegenerateStats(_))),
+                "proportional_distinct({d}, {k}, {n}) must be a DegenerateStats error"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_errors_name_the_offending_input() {
+        let e = expected_distinct(f64::NAN, 5.0).unwrap_err();
+        assert!(e.to_string().contains("urn count"), "{e}");
+        let e = expected_distinct(5.0, -1.0).unwrap_err();
+        assert!(e.to_string().contains("ball count"), "{e}");
     }
 
     #[test]
     fn single_urn_saturates_at_one() {
-        assert_eq!(expected_distinct(1.0, 100.0), 1.0);
-        assert_eq!(expected_distinct_rounded(1.0, 1.0), 1.0);
+        assert_eq!(expected_distinct(1.0, 100.0).unwrap(), 1.0);
+        assert_eq!(expected_distinct_rounded(1.0, 1.0).unwrap(), 1.0);
     }
 
     #[test]
     fn monotone_in_balls() {
         let mut prev = 0.0;
         for balls in [1.0, 10.0, 100.0, 1_000.0, 10_000.0] {
-            let cur = expected_distinct(500.0, balls);
+            let cur = expected_distinct(500.0, balls).unwrap();
             assert!(cur >= prev, "urn estimate must grow with ball count");
             prev = cur;
         }
@@ -118,15 +179,15 @@ mod tests {
 
     #[test]
     fn monotone_in_urns() {
-        let a = expected_distinct(10.0, 50.0);
-        let b = expected_distinct(100.0, 50.0);
+        let a = expected_distinct(10.0, 50.0).unwrap();
+        let b = expected_distinct(100.0, 50.0).unwrap();
         assert!(b > a);
     }
 
     #[test]
     fn never_exceeds_urns_or_balls() {
         for (u, b) in [(10.0, 3.0), (3.0, 10.0), (1e6, 1e6), (7.0, 7.0)] {
-            let e = expected_distinct(u, b);
+            let e = expected_distinct(u, b).unwrap();
             assert!(e <= u + 1e-9, "estimate {e} exceeds urn count {u}");
             assert!(e <= b + 1e-9, "estimate {e} exceeds ball count {b}");
         }
@@ -134,14 +195,14 @@ mod tests {
 
     #[test]
     fn rounded_never_exceeds_urns() {
-        assert_eq!(expected_distinct_rounded(10.0, 1e9), 10.0);
+        assert_eq!(expected_distinct_rounded(10.0, 1e9).unwrap(), 10.0);
     }
 
     #[test]
     fn stable_for_large_populations() {
         // d = 1e9, k = 1e9: expectation is d(1 - e^{-1}) ≈ 0.632 d. A naive
         // powf evaluation drifts here; ln_1p keeps it tight.
-        let e = expected_distinct(1e9, 1e9);
+        let e = expected_distinct(1e9, 1e9).unwrap();
         let expected = 1e9 * (1.0 - (-1.0f64).exp());
         assert!((e - expected).abs() / expected < 1e-6);
     }
@@ -149,14 +210,14 @@ mod tests {
     #[test]
     fn few_balls_into_many_urns_is_almost_ball_count() {
         // With k ≪ d collisions are rare: expect ≈ k.
-        let e = expected_distinct(1e8, 100.0);
+        let e = expected_distinct(1e8, 100.0).unwrap();
         assert!((e - 100.0).abs() < 0.01);
     }
 
     proptest::proptest! {
         #[test]
         fn urn_bounds_hold(urns in 1.0f64..1e6, balls in 0.0f64..1e7) {
-            let e = expected_distinct(urns, balls);
+            let e = expected_distinct(urns, balls).unwrap();
             proptest::prop_assert!(e >= 0.0);
             proptest::prop_assert!(e <= urns + 1e-6);
             proptest::prop_assert!(e <= balls + 1e-6);
@@ -174,7 +235,7 @@ mod tests {
             // domain; at n = d the relation flips, see the paper's ≈ case.)
             let n = d * 10.0;
             let k = n * frac;
-            let urn = expected_distinct(d, k);
+            let urn = expected_distinct(d, k).unwrap();
             let prop = d * frac;
             proptest::prop_assert!(urn >= prop - 1e-6,
                 "urn {urn} < proportional {prop} for d={d} n={n} k={k}");

@@ -1,7 +1,7 @@
 //! Plan interpretation.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use els_storage::Table;
 
@@ -133,7 +133,7 @@ pub fn execute_plan_buffered_with(
 /// Per-operator output sizes observed during execution, in post-order —
 /// the "actual rows" column of EXPLAIN ANALYZE. Join entries align with
 /// [`els_core::Els`] step estimates for left-deep plans.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Observations {
     /// `(tables covered by the subtree, output rows)` for every Join node,
     /// post-order.
@@ -144,6 +144,22 @@ pub struct Observations {
     /// filters are applied during each rescan, so no single filtered
     /// output exists.
     pub scan_outputs: Vec<(usize, u64)>,
+    /// Inclusive subtree wall time per Join node, aligned with
+    /// `join_outputs`. The rescan-NL/INL inner's cost is charged to its
+    /// join, not to the phantom scan entry.
+    pub join_elapsed: Vec<Duration>,
+    /// Inclusive wall time per Scan node, aligned with `scan_outputs`
+    /// (zero for rescanned inners — see `join_elapsed`).
+    pub scan_elapsed: Vec<Duration>,
+}
+
+/// Equality compares only the *logical* observations (output cardinalities):
+/// the wall-time vectors are measurement noise and would make every
+/// differential `vec_obs == row_obs` assertion flaky.
+impl PartialEq for Observations {
+    fn eq(&self, other: &Observations) -> bool {
+        self.join_outputs == other.join_outputs && self.scan_outputs == other.scan_outputs
+    }
 }
 
 /// [`execute_plan`] that also records per-operator actual cardinalities.
@@ -165,6 +181,25 @@ pub fn execute_plan_observed_with(
         plan,
         tables,
         &mut crate::buffer::PageIo::unbuffered(),
+        &mut obs,
+        mode,
+    )?;
+    Ok((out, obs))
+}
+
+/// [`execute_plan_buffered_with`] that also records per-operator actual
+/// cardinalities and wall times — the execution half of EXPLAIN ANALYZE.
+pub fn execute_plan_buffered_observed_with(
+    plan: &QueryPlan,
+    tables: &[Arc<Table>],
+    buffer_pages: usize,
+    mode: ExecMode,
+) -> ExecResult<(ExecOutput, Observations)> {
+    let mut obs = Observations::default();
+    let out = execute_plan_io_observed(
+        plan,
+        tables,
+        &mut crate::buffer::PageIo::with_pool(buffer_pages),
         &mut obs,
         mode,
     )?;
@@ -373,13 +408,16 @@ pub fn execute_node_observed(
     io: &mut crate::buffer::PageIo,
     obs: &mut Observations,
 ) -> ExecResult<Chunk> {
+    let start = Instant::now();
     let chunk = execute_node_inner(node, tables, metrics, io, obs)?;
     match node {
         PlanNode::Scan { table_id, .. } => {
             obs.scan_outputs.push((*table_id, chunk.num_rows() as u64));
+            obs.scan_elapsed.push(start.elapsed());
         }
         PlanNode::Join { .. } => {
             obs.join_outputs.push((node.tables(), chunk.num_rows() as u64));
+            obs.join_elapsed.push(start.elapsed());
         }
     }
     Ok(chunk)
@@ -451,6 +489,7 @@ pub(crate) fn rescan_nested_loop(
         st.io,
     )?;
     st.obs.scan_outputs.push((inner_table_id, inner.num_rows() as u64));
+    st.obs.scan_elapsed.push(Duration::ZERO);
     Ok(out)
 }
 
@@ -483,6 +522,7 @@ pub(crate) fn indexed_nested_loop(
         l, *table_id, inner, &index, filters, keys, st.metrics, st.io,
     )?;
     st.obs.scan_outputs.push((*table_id, inner.num_rows() as u64));
+    st.obs.scan_elapsed.push(Duration::ZERO);
     Ok(out)
 }
 

@@ -39,10 +39,13 @@ pub use buffer::{BufferPool, PageIo};
 pub use chunk::Chunk;
 pub use error::{ExecError, ExecResult};
 pub use executor::{
-    execute_plan, execute_plan_buffered, execute_plan_buffered_with, execute_plan_observed,
-    execute_plan_observed_with, execute_plan_with, ExecMode, ExecOutput, Observations,
-    PlanEvaluator, RowOracle, VectorizedEvaluator,
+    execute_plan, execute_plan_buffered, execute_plan_buffered_observed_with,
+    execute_plan_buffered_with, execute_plan_observed, execute_plan_observed_with,
+    execute_plan_with, ExecMode, ExecOutput, Observations, PlanEvaluator, RowOracle,
+    VectorizedEvaluator,
 };
-pub use metrics::{EngineCounters, EngineCountersSnapshot, ExecMetrics};
+pub use metrics::{
+    EngineCounters, EngineCountersSnapshot, ExecMetrics, MetricsRegistry, QErrorHistogram,
+};
 pub use plan::{JoinMethod, PlanNode, QueryPlan};
-pub use vectorized::MORSEL_ROWS;
+pub use vectorized::{MORSEL_ROWS, PARALLEL_MIN_ROWS};

@@ -8,8 +8,11 @@
 //! misplaced giant tables expensive, exactly the failure mode the paper's
 //! experiment demonstrates.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
 /// Counters accumulated while executing one plan.
@@ -180,6 +183,218 @@ pub fn enumerations() -> u64 {
     ENUMERATIONS.load(Ordering::Relaxed)
 }
 
+/// Fixed-size log₂ histogram of q-errors.
+///
+/// q-errors live on a multiplicative scale — a factor-2 overestimate and a
+/// factor-2 underestimate are equally bad — so bucket `i` covers the range
+/// `[2^i, 2^(i+1))`. Bucket 0 therefore holds the "essentially exact"
+/// estimates (q-error in `[1, 2)`); the last bucket absorbs everything
+/// beyond `2^31`, including the `INFINITY` assigned to NaN estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QErrorHistogram {
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+    max: f64,
+}
+
+impl Default for QErrorHistogram {
+    fn default() -> Self {
+        QErrorHistogram { buckets: [0; Self::BUCKETS], count: 0, max: 1.0 }
+    }
+}
+
+impl QErrorHistogram {
+    const BUCKETS: usize = 32;
+
+    /// An empty histogram.
+    pub fn new() -> QErrorHistogram {
+        QErrorHistogram::default()
+    }
+
+    /// Record one q-error. Values below 1 (impossible for a real q-error)
+    /// clamp to 1; NaN and infinity land in the overflow bucket.
+    pub fn record(&mut self, q: f64) {
+        let q = if q.is_nan() { f64::INFINITY } else { q.max(1.0) };
+        let bucket = if q.is_finite() {
+            (q.log2().floor() as usize).min(Self::BUCKETS - 1)
+        } else {
+            Self::BUCKETS - 1
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        if q > self.max {
+            self.max = q;
+        }
+    }
+
+    /// Number of recorded q-errors.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded q-error (1.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate `p`-quantile (`p` in `[0, 1]`, clamped; NaN reads as 0).
+    /// Nearest-rank over the buckets; the returned value is the geometric
+    /// midpoint `2^(i + 0.5)` of the selected bucket, capped by the true
+    /// recorded maximum so a histogram of exact estimates reports 1.0, not
+    /// √2. Returns 1.0 for an empty histogram.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let mid = 2f64.powf(i as f64 + 0.5);
+                return mid.min(self.max).max(1.0);
+            }
+        }
+        self.max
+    }
+
+    /// Median q-error.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile q-error.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &QErrorHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+/// Process-wide aggregation point for the estimation-observability layer:
+/// per-selectivity-rule q-error histograms fed by `explain_analyze`,
+/// mirrored plan-cache counters, and cumulative kernel counters. One
+/// instance per process (see [`MetricsRegistry::global`]), following the
+/// same placement logic as [`record_enumeration`]: this crate is the lowest
+/// layer that both the optimizer (cache counters) and the engine (q-errors)
+/// can reach.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    qerr: Mutex<BTreeMap<String, QErrorHistogram>>,
+    cache: EngineCounters,
+    queries: AtomicU64,
+    kernel_rows: AtomicU64,
+    morsels: AtomicU64,
+    hash_probes: AtomicU64,
+    tuples_scanned: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry (for tests; production code uses
+    /// [`MetricsRegistry::global`]).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::default)
+    }
+
+    /// Record one per-operator (or per-query) q-error under a selectivity
+    /// rule label (e.g. `"LS"`, `"M"`).
+    pub fn record_q_error(&self, rule: &str, q: f64) {
+        let mut map = self.qerr.lock().expect("q-error map poisoned");
+        map.entry(rule.to_owned()).or_default().record(q);
+    }
+
+    /// Fold one finished query's execution counters into the totals.
+    pub fn record_query(&self, metrics: &ExecMetrics) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.kernel_rows.fetch_add(metrics.kernel_rows, Ordering::Relaxed);
+        self.morsels.fetch_add(metrics.morsels, Ordering::Relaxed);
+        self.hash_probes.fetch_add(metrics.hash_probes, Ordering::Relaxed);
+        self.tuples_scanned.fetch_add(metrics.tuples_scanned, Ordering::Relaxed);
+    }
+
+    /// The registry's plan-cache counters. Plan caches mirror their bumps
+    /// here so the registry sees process-wide cache traffic even though each
+    /// cache instance also keeps its own counters.
+    pub fn cache_counters(&self) -> &EngineCounters {
+        &self.cache
+    }
+
+    /// Number of queries folded in via [`MetricsRegistry::record_query`].
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the q-error histogram recorded under `rule`, if any.
+    pub fn q_error_histogram(&self, rule: &str) -> Option<QErrorHistogram> {
+        self.qerr.lock().expect("q-error map poisoned").get(rule).cloned()
+    }
+
+    /// JSON export of everything in the registry. Hand-rolled (no serde in
+    /// the dependency tree) but stable: keys are sorted, floats rendered
+    /// with fixed precision, infinities as the JSON-safe string `"inf"`.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "\"inf\"".to_owned()
+            }
+        }
+        let cache = self.cache.snapshot();
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"queries\": {},", self.queries());
+        let _ = writeln!(
+            json,
+            "  \"plan_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"invalidations\": {} }},",
+            cache.hits, cache.misses, cache.evictions, cache.invalidations
+        );
+        let _ = writeln!(
+            json,
+            "  \"kernels\": {{ \"kernel_rows\": {}, \"morsels\": {}, \"hash_probes\": {}, \
+             \"tuples_scanned\": {} }},",
+            self.kernel_rows.load(Ordering::Relaxed),
+            self.morsels.load(Ordering::Relaxed),
+            self.hash_probes.load(Ordering::Relaxed),
+            self.tuples_scanned.load(Ordering::Relaxed),
+        );
+        json.push_str("  \"q_error\": {");
+        let map = self.qerr.lock().expect("q-error map poisoned");
+        for (i, (rule, h)) in map.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{}\n    \"{rule}\": {{ \"count\": {}, \"p50\": {}, \"p95\": {}, \"max\": {} }}",
+                if i == 0 { "" } else { "," },
+                h.count(),
+                num(h.median()),
+                num(h.p95()),
+                num(h.max()),
+            );
+        }
+        if !map.is_empty() {
+            json.push_str("\n  ");
+        }
+        json.push_str("}\n}\n");
+        json
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +455,99 @@ mod tests {
         record_enumeration();
         record_enumeration();
         assert!(enumerations() >= before + 2);
+    }
+
+    #[test]
+    fn histogram_of_exact_estimates_reports_one() {
+        let mut h = QErrorHistogram::new();
+        for _ in 0..10 {
+            h.record(1.0);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.median(), 1.0);
+        assert_eq!(h.p95(), 1.0);
+        assert_eq!(h.max(), 1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_distribution() {
+        let mut h = QErrorHistogram::new();
+        // 90 near-exact estimates, 10 bad ones around 1000x.
+        for _ in 0..90 {
+            h.record(1.2);
+        }
+        for _ in 0..10 {
+            h.record(1000.0);
+        }
+        assert!(h.median() < 2.0, "median {}", h.median());
+        assert!(h.p95() > 500.0 && h.p95() <= 1000.0, "p95 {}", h.p95());
+        assert_eq!(h.max(), 1000.0);
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_values() {
+        let mut h = QErrorHistogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(0.5); // impossible q-error, clamps to 1
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), f64::INFINITY);
+        // Quantile with garbage p must not panic.
+        assert!(h.quantile(f64::NAN) >= 1.0);
+        assert!(h.quantile(-3.0) >= 1.0);
+        assert!(h.quantile(7.0) >= 1.0);
+        // Empty histogram is "perfect".
+        assert_eq!(QErrorHistogram::new().median(), 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts_and_max() {
+        let mut a = QErrorHistogram::new();
+        a.record(2.0);
+        let mut b = QErrorHistogram::new();
+        b.record(64.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 64.0);
+    }
+
+    #[test]
+    fn registry_aggregates_and_exports_json() {
+        let r = MetricsRegistry::new();
+        r.record_q_error("LS", 1.0);
+        r.record_q_error("LS", 4.0);
+        r.record_q_error("M", 100.0);
+        r.record_query(&ExecMetrics { kernel_rows: 5, morsels: 2, ..ExecMetrics::default() });
+        r.cache_counters().hits.fetch_add(1, Ordering::Relaxed);
+
+        assert_eq!(r.queries(), 1);
+        let ls = r.q_error_histogram("LS").unwrap();
+        assert_eq!(ls.count(), 2);
+        assert!(r.q_error_histogram("SS").is_none());
+
+        let json = r.to_json();
+        assert!(json.contains("\"queries\": 1"), "{json}");
+        assert!(json.contains("\"kernel_rows\": 5"), "{json}");
+        assert!(json.contains("\"hits\": 1"), "{json}");
+        assert!(json.contains("\"LS\""), "{json}");
+        assert!(json.contains("\"M\""), "{json}");
+        // Rules are emitted in sorted order (BTreeMap) for stable output.
+        assert!(json.find("\"LS\"").unwrap() < json.find("\"M\"").unwrap());
+    }
+
+    #[test]
+    fn registry_json_renders_infinite_max_safely() {
+        let r = MetricsRegistry::new();
+        r.record_q_error("LS", f64::NAN);
+        let json = r.to_json();
+        assert!(json.contains("\"inf\""), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = MetricsRegistry::global() as *const _;
+        let b = MetricsRegistry::global() as *const _;
+        assert_eq!(a, b);
     }
 }

@@ -52,8 +52,10 @@ use crate::plan::{JoinMethod, PlanNode};
 pub const MORSEL_ROWS: usize = 2048;
 
 /// Minimum probe rows before the parallel path engages; below this the
-/// thread-spawn overhead dominates any probe speedup.
-const PARALLEL_MIN_ROWS: usize = 4 * MORSEL_ROWS;
+/// thread-spawn overhead dominates any probe speedup. Public so the
+/// boundary-straddling differential tests can pin sizes right at the
+/// threshold.
+pub const PARALLEL_MIN_ROWS: usize = 4 * MORSEL_ROWS;
 
 /// One input a selection can point into: either a stored base table
 /// (shared, never copied) or a materialized intermediate produced by a
@@ -219,13 +221,16 @@ fn exec_node(
     workers: usize,
     st: &mut ExecState<'_>,
 ) -> ExecResult<VChunk> {
+    let start = std::time::Instant::now();
     let out = exec_inner(node, tables, workers, st)?;
     match node {
         PlanNode::Scan { table_id, .. } => {
             st.obs.scan_outputs.push((*table_id, out.len() as u64));
+            st.obs.scan_elapsed.push(start.elapsed());
         }
         PlanNode::Join { .. } => {
             st.obs.join_outputs.push((node.tables(), out.len() as u64));
+            st.obs.join_elapsed.push(start.elapsed());
         }
     }
     Ok(out)

@@ -26,9 +26,16 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
-use els_exec::{EngineCounters, EngineCountersSnapshot};
+use els_exec::{EngineCounters, EngineCountersSnapshot, MetricsRegistry};
 
 use crate::optimizer::OptimizedQuery;
+
+/// Bump one counter on this cache and mirror it into the process-wide
+/// [`MetricsRegistry`], which aggregates cache traffic across all engines.
+fn bump(local: &std::sync::atomic::AtomicU64, global: &std::sync::atomic::AtomicU64, n: u64) {
+    local.fetch_add(n, Ordering::Relaxed);
+    global.fetch_add(n, Ordering::Relaxed);
+}
 
 /// Everything needed to execute a cached plan without re-binding: the
 /// optimized plan plus the name resolution the binder produced.
@@ -83,6 +90,7 @@ impl PlanCache {
     /// older epoch is dropped (counted as an invalidation) and reported as
     /// a miss.
     pub fn get(&self, fingerprint: &str, epoch: u64) -> Option<Arc<CachedPlan>> {
+        let global = MetricsRegistry::global().cache_counters();
         let mut state = self.state.lock().expect("plan cache lock never poisoned");
         state.clock += 1;
         let clock = state.clock;
@@ -91,19 +99,19 @@ impl PlanCache {
                 entry.last_used = clock;
                 let plan = Arc::clone(&entry.plan);
                 drop(state);
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.counters.hits, &global.hits, 1);
                 Some(plan)
             }
             Some(_) => {
                 state.entries.remove(fingerprint);
                 drop(state);
-                self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
-                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.counters.invalidations, &global.invalidations, 1);
+                bump(&self.counters.misses, &global.misses, 1);
                 None
             }
             None => {
                 drop(state);
-                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.counters.misses, &global.misses, 1);
                 None
             }
         }
@@ -113,17 +121,26 @@ impl PlanCache {
     /// entries to stay within capacity. Two threads racing to insert the
     /// same fingerprint is benign — last writer wins, both plans are
     /// equivalent.
+    ///
+    /// Replacing an existing fingerprint is **not** an eviction (capacity
+    /// did not force anything out) and must not trigger the LRU sweep: the
+    /// replaced slot already counted toward `len`, so the cache cannot be
+    /// over capacity. Replacing an entry whose epoch went stale *is*
+    /// counted as an invalidation — the old plan died of catalog drift, and
+    /// dropping it silently would under-report invalidations relative to
+    /// the `get`-then-reoptimize path.
     pub fn insert(&self, fingerprint: String, epoch: u64, plan: Arc<CachedPlan>) {
         if self.capacity == 0 {
             return;
         }
+        let global = MetricsRegistry::global().cache_counters();
         let mut state = self.state.lock().expect("plan cache lock never poisoned");
         state.clock += 1;
         let clock = state.clock;
-        let replaced =
-            state.entries.insert(fingerprint, Entry { epoch, plan, last_used: clock }).is_some();
+        let prev = state.entries.insert(fingerprint, Entry { epoch, plan, last_used: clock });
+        let stale_replaced = prev.as_ref().is_some_and(|e| e.epoch != epoch);
         let mut evicted = 0u64;
-        while !replaced && state.entries.len() > self.capacity {
+        while prev.is_none() && state.entries.len() > self.capacity {
             let lru = state
                 .entries
                 .iter()
@@ -134,8 +151,11 @@ impl PlanCache {
             evicted += 1;
         }
         drop(state);
+        if stale_replaced {
+            bump(&self.counters.invalidations, &global.invalidations, 1);
+        }
         if evicted > 0 {
-            self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+            bump(&self.counters.evictions, &global.evictions, evicted);
         }
     }
 
@@ -259,6 +279,60 @@ mod tests {
         assert_eq!(cache.stats().evictions, 0);
         assert!(cache.get("a", 1).is_some());
         assert!(cache.get("b", 0).is_some());
+    }
+
+    #[test]
+    fn insert_over_existing_at_bumped_epoch_counts_invalidation_not_eviction() {
+        // Replay the replacement path directly (no intervening `get`): the
+        // old entry at epoch 0 is displaced by the same fingerprint
+        // re-optimized at epoch 1. That displacement is catalog drift — an
+        // invalidation — and must NOT also run the LRU sweep (which would
+        // double-count the slot as insertion + eviction and throw out an
+        // innocent neighbor).
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), 0, dummy_plan());
+        cache.insert("b".into(), 0, dummy_plan());
+        assert_eq!(cache.len(), 2);
+
+        cache.insert("a".into(), 1, dummy_plan());
+        assert_eq!(cache.len(), 2, "replacement keeps len constant");
+        let s = cache.stats();
+        assert_eq!(s.evictions, 0, "replacement is not an eviction");
+        assert_eq!(s.invalidations, 1, "stale entry displaced by newer epoch");
+        assert!(cache.get("a", 1).is_some());
+        assert!(cache.get("b", 0).is_some(), "neighbor survived the replacement");
+
+        // The replaced entry took the newest LRU stamp: a later capacity
+        // eviction removes `b` (older), not the refreshed `a`.
+        assert!(cache.get("a", 1).is_some()); // touch a again
+        cache.insert("c".into(), 0, dummy_plan());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get("a", 1).is_some(), "refreshed entry is MRU, kept");
+        assert!(cache.get("b", 0).is_none(), "LRU neighbor evicted");
+
+        // Same-epoch replacement (two threads raced to optimize the same
+        // query) is neither an eviction nor an invalidation.
+        let before = cache.stats();
+        cache.insert("c".into(), 0, dummy_plan());
+        let after = cache.stats();
+        assert_eq!(after.evictions, before.evictions);
+        assert_eq!(after.invalidations, before.invalidations);
+    }
+
+    #[test]
+    fn cache_traffic_mirrors_into_the_global_registry() {
+        let global = MetricsRegistry::global().cache_counters();
+        let before = global.snapshot();
+        let cache = PlanCache::new(2);
+        cache.insert("q".into(), 0, dummy_plan());
+        assert!(cache.get("q", 0).is_some());
+        assert!(cache.get("missing", 0).is_none());
+        let after = global.snapshot();
+        // Other tests run concurrently against the same global registry, so
+        // assert deltas as lower bounds.
+        assert!(after.hits >= before.hits + 1);
+        assert!(after.misses >= before.misses + 1);
     }
 
     #[test]

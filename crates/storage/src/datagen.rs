@@ -263,12 +263,20 @@ impl ZipfSampler {
 /// values of `g`, and the true size of any join combination filtered by
 /// `s < 100` is exactly 100 — the ground truth quoted in the paper.
 pub fn starburst_experiment_tables(seed: u64) -> Vec<Table> {
-    let specs =
-        [("S", "s", 1_000usize), ("M", "m", 10_000), ("B", "b", 50_000), ("G", "g", 100_000)];
+    starburst_experiment_tables_sized(seed, &[1_000, 10_000, 50_000, 100_000])
+}
+
+/// [`starburst_experiment_tables`] at caller-chosen cardinalities for
+/// S/M/B/G (`sizes` must have four entries). Used by the smoke-scale bench
+/// gates, which need the same schema and containment structure at a
+/// fraction of the rows.
+pub fn starburst_experiment_tables_sized(seed: u64, sizes: &[usize; 4]) -> Vec<Table> {
+    let specs = [("S", "s"), ("M", "m"), ("B", "b"), ("G", "g")];
     specs
         .iter()
-        .map(|(table, col, rows)| {
-            TableSpec::new(*table, *rows)
+        .zip(sizes)
+        .map(|((table, col), &rows)| {
+            TableSpec::new(*table, rows)
                 .column(ColumnSpec::new(*col, Distribution::SequentialInt { start: 0 }))
                 // A payload column so tuples have realistic width.
                 .column(ColumnSpec::new(

@@ -11,7 +11,8 @@ cargo fmt --check
 
 # Bench smoke: the kernel bench on a scaled-down workload. It exits
 # non-zero and prints REGRESSION if any vectorized result diverges from
-# the row-at-a-time oracle.
+# the row-at-a-time oracle, or ACCURACY REGRESSION if the ELS median
+# q-error on the Section 8 chain exceeds its pinned threshold.
 smoke_out=$(cargo run --release -q -p els-bench --bin bench_exec_kernels -- --smoke)
 echo "$smoke_out"
 if grep -q "REGRESSION" <<<"$smoke_out"; then

@@ -1,0 +1,320 @@
+//! EXPLAIN ANALYZE: the estimation-observability layer.
+//!
+//! The paper's whole evaluation (Section 8) is a table of *estimated* join
+//! result sizes next to *actual* ones; this module closes that loop at
+//! runtime. Executing a plan with observations enabled yields per-operator
+//! actual cardinalities and wall times; re-running the prepared
+//! [`els_core::Els`] estimator over the *same plan tree shape* yields the
+//! per-operator estimates the optimizer believed in (works for bushy trees,
+//! not just the left-deep chains `estimated_sizes` covers). Each operator
+//! then gets the paper's error ratio (`est/act`) and its symmetric folding,
+//! the **q-error** `max(est/act, act/est)` (see [`els_core::q_error`]).
+//!
+//! Reports are recorded into the process-wide
+//! [`els_exec::MetricsRegistry`], keyed by selectivity rule, so a long-run
+//! accuracy histogram accumulates across queries and engines.
+
+use std::fmt;
+use std::time::Duration;
+
+use els_core::{q_error, Els, ElsResult, JoinState};
+use els_exec::{ExecMetrics, ExecMode, JoinMethod, MetricsRegistry, Observations, PlanNode};
+
+/// One operator of the analyzed plan: the estimator's belief next to the
+/// executor's observation.
+#[derive(Debug, Clone)]
+pub struct OperatorReport {
+    /// Display label, e.g. `Scan(a)` or `Join<HASH>`.
+    pub label: String,
+    /// Depth in the plan tree (root = 0); renders as indentation.
+    pub depth: usize,
+    /// Query tables covered by this operator's subtree, sorted.
+    pub tables: Vec<usize>,
+    /// True for join operators (the paper's metric is join sizes; scans are
+    /// context).
+    pub is_join: bool,
+    /// The optimizer's estimated output cardinality.
+    pub estimated: f64,
+    /// The observed output cardinality.
+    pub actual: u64,
+    /// Inclusive subtree wall time (zero for rescanned inners, whose cost
+    /// is charged to their join).
+    pub elapsed: Duration,
+}
+
+impl OperatorReport {
+    /// `max(est/act, act/est)`, both floored at one tuple.
+    pub fn q_error(&self) -> f64 {
+        q_error(self.estimated, self.actual as f64)
+    }
+
+    /// The paper's raw error ratio `est/act` (`> 1` over-estimates,
+    /// `< 1` under-estimates; infinite when the actual was zero but the
+    /// estimate was not).
+    pub fn error_ratio(&self) -> f64 {
+        if self.actual == 0 {
+            if self.estimated <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.estimated / self.actual as f64
+        }
+    }
+}
+
+/// The result of [`crate::engine::Engine::explain_analyze`]: the executed
+/// query, its operator tree with estimated-vs-actual annotations, and the
+/// execution metrics. `Display` renders the stable human-readable report.
+#[derive(Debug, Clone)]
+pub struct ExplainAnalyzeReport {
+    /// The SQL as submitted.
+    pub sql: String,
+    /// Short name of the selectivity rule the estimates used ("LS", "M", …).
+    pub rule: String,
+    /// The execution mode the actuals were measured under.
+    pub mode: ExecMode,
+    /// True when the plan came from the engine's plan cache.
+    pub cache_hit: bool,
+    /// Result row count (the count itself for `COUNT(*)`).
+    pub result_rows: u64,
+    /// Operators in pre-order (root first).
+    pub operators: Vec<OperatorReport>,
+    /// Whole-query execution metrics.
+    pub metrics: ExecMetrics,
+}
+
+impl ExplainAnalyzeReport {
+    /// The root operator (None only for a degenerate empty plan).
+    pub fn root(&self) -> Option<&OperatorReport> {
+        self.operators.first()
+    }
+
+    /// q-error of the final result size — the paper's headline metric.
+    pub fn query_q_error(&self) -> f64 {
+        self.root().map_or(1.0, OperatorReport::q_error)
+    }
+
+    /// Worst per-operator q-error in the plan.
+    pub fn max_q_error(&self) -> f64 {
+        self.operators.iter().map(OperatorReport::q_error).fold(1.0, f64::max)
+    }
+
+    /// The join operators only (the observations the paper's Section 8
+    /// table is made of).
+    pub fn join_operators(&self) -> impl Iterator<Item = &OperatorReport> {
+        self.operators.iter().filter(|o| o.is_join)
+    }
+
+    /// Fold this report into a [`MetricsRegistry`]: one q-error sample per
+    /// join operator under this report's rule (the root scan when the query
+    /// had no joins), plus the query's kernel counters.
+    pub fn record(&self, registry: &MetricsRegistry) {
+        let mut recorded = false;
+        for op in self.join_operators() {
+            registry.record_q_error(&self.rule, op.q_error());
+            recorded = true;
+        }
+        if !recorded {
+            if let Some(root) = self.root() {
+                registry.record_q_error(&self.rule, root.q_error());
+            }
+        }
+        registry.record_query(&self.metrics);
+    }
+}
+
+impl fmt::Display for ExplainAnalyzeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match self.mode {
+            ExecMode::RowAtATime => "row".to_owned(),
+            ExecMode::Vectorized { workers } => format!("vectorized({workers})"),
+        };
+        writeln!(
+            f,
+            "EXPLAIN ANALYZE  rule={}  mode={mode}  cache={}",
+            self.rule,
+            if self.cache_hit { "hit" } else { "miss" }
+        )?;
+        writeln!(f, "query: {}", self.sql)?;
+        writeln!(f, "result rows: {}", self.result_rows)?;
+        for op in &self.operators {
+            writeln!(
+                f,
+                "{}{}  est={:.1} act={} qerr={:.2} ({:.3}ms)",
+                "  ".repeat(op.depth),
+                op.label,
+                op.estimated,
+                op.actual,
+                op.q_error(),
+                op.elapsed.as_secs_f64() * 1e3,
+            )?;
+        }
+        writeln!(f, "metrics: {}", self.metrics)?;
+        writeln!(
+            f,
+            "query q-error: {:.2} (worst operator: {:.2})",
+            self.query_q_error(),
+            self.max_q_error()
+        )
+    }
+}
+
+/// Walker state: two observation cursors (scans and joins are separate
+/// post-order streams) plus the pre-order operator list under construction.
+struct Builder<'a> {
+    els: &'a Els,
+    binding_names: &'a [String],
+    obs: &'a Observations,
+    scan_cursor: usize,
+    join_cursor: usize,
+    operators: Vec<OperatorReport>,
+}
+
+impl Builder<'_> {
+    fn table_name(&self, t: usize) -> &str {
+        self.binding_names.get(t).map_or("?", |s| s.as_str())
+    }
+
+    fn next_scan(&mut self) -> (usize, u64, Duration) {
+        let (t, rows) = self.obs.scan_outputs.get(self.scan_cursor).copied().unwrap_or((0, 0));
+        let elapsed =
+            self.obs.scan_elapsed.get(self.scan_cursor).copied().unwrap_or(Duration::ZERO);
+        self.scan_cursor += 1;
+        (t, rows, elapsed)
+    }
+
+    fn next_join(&mut self) -> (u64, Duration) {
+        let rows = self.obs.join_outputs.get(self.join_cursor).map_or(0, |(_, r)| *r);
+        let elapsed =
+            self.obs.join_elapsed.get(self.join_cursor).copied().unwrap_or(Duration::ZERO);
+        self.join_cursor += 1;
+        (rows, elapsed)
+    }
+
+    /// Walk one plan node, consuming its observations in the exact order
+    /// the executor produced them (see `execute_node_observed`) and
+    /// recomputing the estimator's belief for the node's subtree. Returns
+    /// the estimator state covering the subtree.
+    fn walk(&mut self, node: &PlanNode, depth: usize) -> ElsResult<JoinState> {
+        match node {
+            PlanNode::Scan { table_id, filters } => {
+                let state = self.els.initial_state(*table_id)?;
+                let (obs_table, actual, elapsed) = self.next_scan();
+                debug_assert_eq!(obs_table, *table_id, "scan observation order diverged");
+                let mut label = format!("Scan({})", self.table_name(*table_id));
+                if !filters.is_empty() {
+                    label.push_str(&format!(" [{} filter(s)]", filters.len()));
+                }
+                self.operators.push(OperatorReport {
+                    label,
+                    depth,
+                    tables: vec![*table_id],
+                    is_join: false,
+                    estimated: state.cardinality(),
+                    actual,
+                    elapsed,
+                });
+                Ok(state)
+            }
+            PlanNode::Join { method, left, right, .. } => {
+                // Reserve the join's pre-order slot before descending.
+                let slot = self.operators.len();
+                self.operators.push(OperatorReport {
+                    label: String::new(),
+                    depth,
+                    tables: node.tables(),
+                    is_join: true,
+                    estimated: 0.0,
+                    actual: 0,
+                    elapsed: Duration::ZERO,
+                });
+                let l = self.walk(left, depth + 1)?;
+
+                // Rescanning access paths (plain NL over a stored inner,
+                // and INL) never execute the inner as a plan node: the
+                // executor records the inner's *stored* row count as its
+                // scan observation. Mirror that — and estimate it with the
+                // original (pre-predicate) cardinality, since that is what
+                // the observation measures.
+                let rescans_inner = matches!(
+                    (method, right.as_ref()),
+                    (JoinMethod::NestedLoop, PlanNode::Scan { .. })
+                ) || *method == JoinMethod::IndexNestedLoop;
+                let r = if rescans_inner {
+                    let PlanNode::Scan { table_id, .. } = right.as_ref() else {
+                        // INL over a non-scan inner fails execution before
+                        // any report is built; estimate it as a plain walk.
+                        let r = self.walk(right, depth + 1)?;
+                        return self.finish_join(slot, method, &l, &r);
+                    };
+                    let (obs_table, actual, elapsed) = self.next_scan();
+                    debug_assert_eq!(obs_table, *table_id, "rescan observation order diverged");
+                    let stored = self
+                        .els
+                        .effective_stats()
+                        .tables
+                        .get(*table_id)
+                        .map_or(0.0, |t| t.original_cardinality);
+                    self.operators.push(OperatorReport {
+                        label: format!("Rescan({})", self.table_name(*table_id)),
+                        depth: depth + 1,
+                        tables: vec![*table_id],
+                        is_join: false,
+                        estimated: stored,
+                        actual,
+                        elapsed,
+                    });
+                    self.els.initial_state(*table_id)?
+                } else {
+                    self.walk(right, depth + 1)?
+                };
+                self.finish_join(slot, method, &l, &r)
+            }
+        }
+    }
+
+    /// Fill a reserved join slot from the estimator and the next join
+    /// observation.
+    fn finish_join(
+        &mut self,
+        slot: usize,
+        method: &JoinMethod,
+        l: &JoinState,
+        r: &JoinState,
+    ) -> ElsResult<JoinState> {
+        let state = self.els.join_sets(l, r)?;
+        let (actual, elapsed) = self.next_join();
+        let names: Vec<String> = self.operators[slot]
+            .tables
+            .clone()
+            .into_iter()
+            .map(|t| self.table_name(t).to_owned())
+            .collect();
+        let op = &mut self.operators[slot];
+        op.label = format!("Join<{}> {{{}}}", method.name(), names.join(","));
+        op.estimated = state.cardinality();
+        op.actual = actual;
+        op.elapsed = elapsed;
+        Ok(state)
+    }
+}
+
+/// Build the per-operator report for an executed plan. `els` must be the
+/// prepared estimator the optimizer used (it carries the rule and the
+/// effective statistics); `obs` the observations from the same plan's
+/// execution.
+pub fn build_operator_reports(
+    plan_root: &PlanNode,
+    els: &Els,
+    binding_names: &[String],
+    obs: &Observations,
+) -> ElsResult<Vec<OperatorReport>> {
+    let mut b =
+        Builder { els, binding_names, obs, scan_cursor: 0, join_cursor: 0, operators: Vec::new() };
+    b.walk(plan_root, 0)?;
+    debug_assert_eq!(b.scan_cursor, obs.scan_outputs.len(), "unconsumed scan observations");
+    debug_assert_eq!(b.join_cursor, obs.join_outputs.len(), "unconsumed join observations");
+    Ok(b.operators)
+}

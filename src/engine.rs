@@ -41,11 +41,13 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::analyze::{build_operator_reports, ExplainAnalyzeReport};
+
 use els_catalog::collect::CollectOptions;
 use els_catalog::{Catalog, CatalogSnapshot, SharedCatalog};
 use els_exec::{
-    execute_plan_buffered_with, execute_plan_observed_with, execute_plan_with,
-    EngineCountersSnapshot, ExecMetrics, ExecMode,
+    execute_plan_buffered_observed_with, execute_plan_buffered_with, execute_plan_observed_with,
+    execute_plan_with, EngineCountersSnapshot, ExecMetrics, ExecMode, MetricsRegistry,
 };
 use els_optimizer::{
     bound_query_tables, optimize_bound, CachedPlan, EstimatorPreset, OptimizedQuery,
@@ -219,59 +221,25 @@ impl Database {
         })
     }
 
-    /// EXPLAIN ANALYZE: run the query and report, per join, the
+    /// EXPLAIN ANALYZE: run the query and report, per operator, the
     /// optimizer's estimated cardinality next to the measured one — the
     /// estimation-quality view the paper's experiment table is built from.
-    pub fn explain_analyze(&self, sql: &str) -> EngineResult<String> {
+    /// The report also lands in the process-wide
+    /// [`els_exec::MetricsRegistry`]. Render with `Display` for the
+    /// human-readable tree.
+    pub fn explain_analyze(&self, sql: &str) -> EngineResult<ExplainAnalyzeReport> {
         let bound = bind(&parse(sql)?, &self.catalog)?;
         let optimized = optimize_bound(&bound, &self.catalog, &self.optimizer_options)?;
         let tables = bound_query_tables(&bound, &self.catalog)?;
-        let (out, obs) = execute_plan_observed_with(&optimized.plan, &tables, self.exec_mode)?;
-        let mut text = String::new();
-        text.push_str(&format!(
-            "query: {sql}
-"
-        ));
-        text.push_str(&format!(
-            "result rows: {}
-",
-            out.count
-        ));
-        text.push_str(
-            "scans (actual rows out):
-",
-        );
-        for (t, rows) in &obs.scan_outputs {
-            text.push_str(&format!(
-                "  {}: {rows}
-",
-                bound.binding_names[*t]
-            ));
-        }
-        text.push_str(
-            "joins (estimated vs actual):
-",
-        );
-        for ((covered, actual), estimate) in obs.join_outputs.iter().zip(&optimized.estimated_sizes)
-        {
-            let names: Vec<&str> =
-                covered.iter().map(|&t| bound.binding_names[t].as_str()).collect();
-            let ratio = if *actual > 0 { estimate / *actual as f64 } else { f64::INFINITY };
-            text.push_str(&format!(
-                "  {{{}}}: est {:.1} vs actual {} (x{:.3})
-",
-                names.join(", "),
-                estimate,
-                actual,
-                ratio
-            ));
-        }
-        text.push_str(&format!(
-            "metrics: {}
-",
-            out.metrics
-        ));
-        Ok(text)
+        analyze_query(
+            sql,
+            &optimized,
+            &bound.binding_names,
+            &tables,
+            self.buffer_pages,
+            self.exec_mode,
+            false,
+        )
     }
 
     /// An EXPLAIN-style report: the rewritten predicates, equivalence
@@ -484,6 +452,61 @@ impl Engine {
         let (plan, _, _) = self.prepare_at(sql)?;
         Ok(explain_report(sql, &plan.binding_names, &plan.optimized))
     }
+
+    /// EXPLAIN ANALYZE through the plan cache: execute with observation
+    /// collection and return the structured estimated-vs-actual report
+    /// (see [`Database::explain_analyze`]). `cache_hit` in the report tells
+    /// whether the estimates came from a previously cached plan.
+    pub fn explain_analyze(&self, sql: &str) -> EngineResult<ExplainAnalyzeReport> {
+        let (plan, snapshot, cache_hit) = self.prepare_at(sql)?;
+        let tables = plan
+            .table_names
+            .iter()
+            .map(|name| snapshot.table_data(name))
+            .collect::<Result<Vec<_>, _>>()?;
+        analyze_query(
+            sql,
+            &plan.optimized,
+            &plan.binding_names,
+            &tables,
+            self.buffer_pages,
+            self.exec_mode,
+            cache_hit,
+        )
+    }
+}
+
+/// Execute with observations and assemble the [`ExplainAnalyzeReport`]
+/// (shared by [`Database::explain_analyze`] and
+/// [`Engine::explain_analyze`]). Records the report into
+/// [`MetricsRegistry::global`] under the estimator's rule name.
+fn analyze_query(
+    sql: &str,
+    optimized: &OptimizedQuery,
+    binding_names: &[String],
+    tables: &[Arc<Table>],
+    buffer_pages: Option<usize>,
+    mode: ExecMode,
+    cache_hit: bool,
+) -> EngineResult<ExplainAnalyzeReport> {
+    let (out, obs) = match buffer_pages {
+        None => execute_plan_observed_with(&optimized.plan, tables, mode)?,
+        Some(pages) => execute_plan_buffered_observed_with(&optimized.plan, tables, pages, mode)?,
+    };
+    let operators =
+        build_operator_reports(&optimized.plan.root, &optimized.els, binding_names, &obs)
+            .map_err(|e| EngineError::Optimizer(e.to_string()))?;
+    let report = ExplainAnalyzeReport {
+        sql: sql.to_owned(),
+        rule: optimized.els.options().rule.short_name().to_owned(),
+        mode,
+        cache_hit,
+        result_rows: out.count,
+        operators,
+        metrics: out.metrics,
+    };
+    report.record(MetricsRegistry::global());
+    Ok(report)
 }
 
 /// Render the EXPLAIN report for an optimized query (shared by

@@ -17,6 +17,7 @@
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction of
 //! the paper's experiment.
 
+pub mod analyze;
 pub mod engine;
 
 pub use els_catalog as catalog;

@@ -171,12 +171,20 @@ fn order_by_and_limit_through_the_engine() {
 #[test]
 fn explain_analyze_reports_estimates_vs_actuals() {
     let db = db();
-    let text = db
+    let report = db
         .explain_analyze("SELECT COUNT(*) FROM fact, dim WHERE fact.key = dim.id AND fact.key < 5")
         .unwrap();
-    assert!(text.contains("estimated vs actual"), "{text}");
-    assert!(text.contains("fact"), "{text}");
+    // One join over two scans, root first.
+    assert_eq!(report.operators.len(), 3, "{report}");
+    let root = report.root().unwrap();
+    assert!(root.is_join, "{report}");
+    assert_eq!(root.actual, report.result_rows, "{report}");
     // Model assumptions hold exactly here (cyclic keys, nested domains), so
-    // the ELS estimate matches the actual join size: ratio x1.000.
-    assert!(text.contains("x1.000"), "{text}");
+    // the ELS estimate matches the actual join size: q-error 1.0.
+    assert_eq!(report.query_q_error(), 1.0, "{report}");
+    let text = report.to_string();
+    assert!(text.contains("est="), "{text}");
+    assert!(text.contains("act="), "{text}");
+    assert!(text.contains("qerr="), "{text}");
+    assert!(text.contains("fact"), "{text}");
 }

@@ -149,6 +149,24 @@ fn check_plan(plan: &QueryPlan, tables: &[Arc<Table>], context: &str) {
             "{label}: shared counters"
         );
         assert_eq!(vec_obs, row_obs, "{label}: observations");
+        // `Observations::eq` deliberately compares only the logical
+        // streams; spell the per-stream equality out so a failure names
+        // the diverging stream, and pin the timing vectors to their
+        // streams one-to-one (the report builder indexes them in step).
+        assert_eq!(vec_obs.scan_outputs, row_obs.scan_outputs, "{label}: scan outputs");
+        assert_eq!(vec_obs.join_outputs, row_obs.join_outputs, "{label}: join outputs");
+        for (name, obs) in [("row", &row_obs), ("vec", &vec_obs)] {
+            assert_eq!(
+                obs.scan_elapsed.len(),
+                obs.scan_outputs.len(),
+                "{label}: {name} scan timing alignment"
+            );
+            assert_eq!(
+                obs.join_elapsed.len(),
+                obs.join_outputs.len(),
+                "{label}: {name} join timing alignment"
+            );
+        }
     }
 }
 
@@ -216,6 +234,70 @@ fn parallel_probe_matches_on_a_large_skewed_table() {
     let (out, _) =
         execute_plan_observed_with(&plan, &tables, ExecMode::Vectorized { workers: 4 }).unwrap();
     assert!(out.metrics.morsels > 1, "expected a morsel split, got {}", out.metrics.morsels);
+}
+
+/// Probe sizes straddling both the morsel size (2048) and the parallel
+/// engagement threshold ([`els::exec::PARALLEL_MIN_ROWS`]): the
+/// observation streams and results must be identical whether a probe ends
+/// exactly on a morsel boundary, one row before it, or one row after —
+/// and whether the parallel path engages at all.
+#[test]
+fn morsel_boundary_probe_sizes_keep_observation_parity() {
+    use els::exec::{MORSEL_ROWS, PARALLEL_MIN_ROWS};
+
+    let sizes = [
+        MORSEL_ROWS - 1,
+        MORSEL_ROWS,
+        MORSEL_ROWS + 1,
+        PARALLEL_MIN_ROWS - 1,
+        PARALLEL_MIN_ROWS,
+        PARALLEL_MIN_ROWS + 1,
+    ];
+    for rows in sizes {
+        let mut catalog = Catalog::new();
+        catalog
+            .register(
+                TableSpec::new("build", 300)
+                    .column(ColumnSpec::new("k", Distribution::UniformInt { lo: 0, hi: 200 }))
+                    .generate(11),
+                &CollectOptions::default(),
+            )
+            .unwrap();
+        catalog
+            .register(
+                TableSpec::new("probe", rows)
+                    .column(ColumnSpec::new("k", Distribution::UniformInt { lo: 0, hi: 200 }))
+                    .generate(13),
+                &CollectOptions::default(),
+            )
+            .unwrap();
+        let sql = "SELECT COUNT(*) FROM build, probe WHERE build.k = probe.k";
+        let bound = bind(&parse(sql).unwrap(), &catalog).unwrap();
+        let tables = bound_query_tables(&bound, &catalog).unwrap();
+        let optimized = optimize_bound(&bound, &catalog, &OptimizerOptions::default()).unwrap();
+        let mut plan = optimized.plan.clone();
+        force_method(&mut plan.root, JoinMethod::Hash);
+
+        let context = format!("probe rows={rows} [HASH]");
+        let (row_out, row_obs) =
+            execute_plan_observed_with(&plan, &tables, ExecMode::RowAtATime).unwrap();
+        for workers in [1usize, 2, 4] {
+            let label = format!("{context} workers={workers}");
+            let (out, obs) =
+                execute_plan_observed_with(&plan, &tables, ExecMode::Vectorized { workers })
+                    .unwrap();
+            assert_eq!(out.count, row_out.count, "{label}: count");
+            assert_eq!(obs.scan_outputs, row_obs.scan_outputs, "{label}: scan outputs");
+            assert_eq!(obs.join_outputs, row_obs.join_outputs, "{label}: join outputs");
+            if workers > 1 && rows >= PARALLEL_MIN_ROWS {
+                assert!(
+                    out.metrics.morsels > 1,
+                    "{label}: parallel probe should split {rows} rows into morsels, got {}",
+                    out.metrics.morsels
+                );
+            }
+        }
+    }
 }
 
 /// Near-overflow keys: the old f64-image hash keys collided above 2⁵³;

@@ -86,9 +86,9 @@ fn section_3_3_representative_rule_has_no_correct_value() {
 fn section_5_urn_example() {
     // d_x = 10000, ||R|| = 100000, ||R||' = 50000: urn gives 9933,
     // proportional gives 5000; with ||R||' = ||R|| the urn gives 10000.
-    assert_eq!(urn::expected_distinct_rounded(10_000.0, 50_000.0), 9933.0);
-    assert_eq!(urn::proportional_distinct(10_000.0, 50_000.0, 100_000.0), 5000.0);
-    assert_eq!(urn::expected_distinct_rounded(10_000.0, 100_000.0), 10_000.0);
+    assert_eq!(urn::expected_distinct_rounded(10_000.0, 50_000.0).unwrap(), 9933.0);
+    assert_eq!(urn::proportional_distinct(10_000.0, 50_000.0, 100_000.0).unwrap(), 5000.0);
+    assert_eq!(urn::expected_distinct_rounded(10_000.0, 100_000.0).unwrap(), 10_000.0);
 }
 
 #[test]
