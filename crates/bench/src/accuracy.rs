@@ -7,6 +7,7 @@
 //! section and the smoke gate can pin a regression threshold on it.
 
 use els::engine::Database;
+use els_catalog::FeedbackMode;
 use els_optimizer::{EstimatorPreset, OptimizerOptions};
 use els_storage::Table;
 
@@ -103,6 +104,118 @@ pub fn accuracy_json(summaries: &[AccuracySummary]) -> String {
     format!("[{}]", rows.join(", "))
 }
 
+/// The before/after-feedback q-error summary of one preset: the workload
+/// runs twice through one database under [`FeedbackMode::Apply`] — the
+/// first pass learns per-key corrections from its own estimated-vs-actual
+/// residuals, the second pass replays the identical queries against the
+/// corrected estimator.
+#[derive(Debug, Clone)]
+pub struct FeedbackSummary {
+    /// The paper's preset label, e.g. `Orig. SM`.
+    pub label: String,
+    /// The selectivity rule's short name.
+    pub rule: String,
+    /// Join q-error samples per pass.
+    pub samples: usize,
+    /// Median q-error of the learning (first) pass.
+    pub median_q_before: f64,
+    /// Median q-error of the corrected (second) pass.
+    pub median_q_after: f64,
+    /// Worst q-error of the learning pass.
+    pub max_q_before: f64,
+    /// Worst q-error of the corrected pass.
+    pub max_q_after: f64,
+    /// Observations harvested across both passes.
+    pub learned: u64,
+    /// Corrections published (each one a plan-invalidation request).
+    pub published: u64,
+}
+
+/// Measure the feedback loop: for each preset, run `queries` twice under
+/// [`FeedbackMode::Apply`] and summarize each pass's join q-errors. The
+/// second pass's estimates carry whatever corrections the first pass
+/// published, so `median_q_after <= median_q_before` is the loop working.
+pub fn preset_feedback_accuracy(tables: &[Table], queries: &[String]) -> Vec<FeedbackSummary> {
+    PRESETS
+        .iter()
+        .map(|&preset| {
+            let mut db = Database::new();
+            db.set_optimizer_options(
+                OptimizerOptions::preset(preset)
+                    .with_bushy_trees()
+                    .with_hash_join()
+                    .with_feedback(FeedbackMode::Apply),
+            );
+            for table in tables {
+                db.register(table.clone()).expect("feedback fixture tables register");
+            }
+            let mut rule = String::new();
+            let mut pass = |db: &Database| {
+                let mut qerrs: Vec<f64> = Vec::new();
+                for sql in queries {
+                    let report =
+                        db.explain_analyze(sql).expect("feedback workload queries execute");
+                    rule = report.rule.clone();
+                    qerrs.extend(report.join_operators().map(|op| op.q_error()));
+                }
+                qerrs.sort_by(f64::total_cmp);
+                if qerrs.is_empty() {
+                    (0, 1.0, 1.0)
+                } else {
+                    (qerrs.len(), quantile(&qerrs, 0.5), *qerrs.last().unwrap())
+                }
+            };
+            let (samples, median_q_before, max_q_before) = pass(&db);
+            let (_, median_q_after, max_q_after) = pass(&db);
+            let counters = db.catalog().feedback().counters();
+            FeedbackSummary {
+                label: preset.label().to_owned(),
+                rule,
+                samples,
+                median_q_before,
+                median_q_after,
+                max_q_before,
+                max_q_after,
+                learned: counters.learned,
+                published: counters.epoch_bumps,
+            }
+        })
+        .collect()
+}
+
+/// Render the feedback summaries as a JSON array (same conventions as
+/// [`accuracy_json`]).
+pub fn feedback_json(summaries: &[FeedbackSummary]) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.4}")
+        } else {
+            "\"inf\"".to_owned()
+        }
+    }
+    let rows: Vec<String> = summaries
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"label\": \"{}\", \"rule\": \"{}\", \"samples\": {}, \
+                 \"median_q_before\": {}, \"median_q_after\": {}, \
+                 \"max_q_before\": {}, \"max_q_after\": {}, \
+                 \"learned\": {}, \"published\": {}}}",
+                s.label,
+                s.rule,
+                s.samples,
+                num(s.median_q_before),
+                num(s.median_q_after),
+                num(s.max_q_before),
+                num(s.max_q_after),
+                s.learned,
+                s.published
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +234,104 @@ mod tests {
         // without closure is far off.
         assert!(els.median_q <= sm.median_q, "ELS {} vs SM {}", els.median_q, sm.median_q);
         assert!(els.median_q < 2.0, "ELS median q-error degraded: {}", els.median_q);
+    }
+
+    #[test]
+    fn feedback_replay_never_regresses_and_rescues_sss() {
+        let tables = starburst_experiment_tables_sized(7, &[50, 500, 2_000, 4_000usize]);
+        let queries = vec![crate::SECTION8_SQL.to_owned()];
+        let summaries = preset_feedback_accuracy(&tables, &queries);
+        assert_eq!(summaries.len(), 4);
+        for s in &summaries {
+            assert!(
+                s.median_q_after <= s.median_q_before,
+                "{}: feedback regressed {} -> {}",
+                s.label,
+                s.median_q_before,
+                s.median_q_after
+            );
+            assert!(s.learned > 0, "{}: nothing harvested", s.label);
+        }
+        // SSS collapses its estimates on this chain; one learning pass pulls
+        // the replay's median down by orders of magnitude (the class residual
+        // transfers cleanly because SS applies one correction per class).
+        let sss = summaries.iter().find(|s| s.label == "Orig.+PTC SSS").unwrap();
+        assert!(
+            sss.median_q_before > 10.0,
+            "SSS fixture not broken enough: {}",
+            sss.median_q_before
+        );
+        assert!(
+            sss.median_q_after < sss.median_q_before / 2.0,
+            "feedback should rescue SSS: {} -> {}",
+            sss.median_q_before,
+            sss.median_q_after
+        );
+        assert!(sss.published >= 1);
+    }
+
+    #[test]
+    fn feedback_converges_under_rule_m() {
+        // Rule M with closure is the adversarial case: corrections raise the
+        // chosen plan's estimates, so the optimizer escapes to the next
+        // still-collapsed plan shape for a pass or two before every shape is
+        // corrected. The replay medians must converge, not cycle.
+        let tables = starburst_experiment_tables_sized(7, &[50, 500, 2_000, 4_000usize]);
+        let mut db = Database::new();
+        db.set_optimizer_options(
+            OptimizerOptions::preset(EstimatorPreset::Sm)
+                .with_bushy_trees()
+                .with_hash_join()
+                .with_feedback(FeedbackMode::Apply),
+        );
+        for t in &tables {
+            db.register(t.clone()).unwrap();
+        }
+        let median = |db: &Database| {
+            let report = db.explain_analyze(crate::SECTION8_SQL).unwrap();
+            let mut qs: Vec<f64> = report.join_operators().map(|op| op.q_error()).collect();
+            qs.sort_by(f64::total_cmp);
+            quantile(&qs, 0.5)
+        };
+        let first = median(&db);
+        assert!(first > 10.0, "rule-M fixture not broken enough: {first}");
+        let mut last = first;
+        for pass in 2..=5 {
+            let m = median(&db);
+            assert!(m <= last, "pass {pass} regressed: {last} -> {m}");
+            last = m;
+        }
+        assert!(
+            last < first / 2.0,
+            "rule-M replays should converge well below the raw medians: {first} -> {last}"
+        );
+        // Convergence means publications stopped, not just slowed: the
+        // per-key cap bounds epoch churn no matter how many replays run.
+        let counters = db.catalog().feedback().counters();
+        assert!(counters.epoch_bumps <= 8 * counters.keys, "{counters:?}");
+    }
+
+    #[test]
+    fn feedback_json_is_stable_and_inf_safe() {
+        let summaries = vec![FeedbackSummary {
+            label: "Orig. SM".to_owned(),
+            rule: "LS".to_owned(),
+            samples: 3,
+            median_q_before: 100.0,
+            median_q_after: 1.5,
+            max_q_before: f64::INFINITY,
+            max_q_after: 2.0,
+            learned: 12,
+            published: 2,
+        }];
+        let json = feedback_json(&summaries);
+        assert_eq!(
+            json,
+            "[{\"label\": \"Orig. SM\", \"rule\": \"LS\", \"samples\": 3, \
+             \"median_q_before\": 100.0000, \"median_q_after\": 1.5000, \
+             \"max_q_before\": \"inf\", \"max_q_after\": 2.0000, \
+             \"learned\": 12, \"published\": 2}]"
+        );
     }
 
     #[test]

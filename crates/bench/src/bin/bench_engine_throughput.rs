@@ -17,7 +17,9 @@
 
 use std::fmt::Write as _;
 
-use els_bench::accuracy::{accuracy_json, preset_accuracy};
+use els_bench::accuracy::{
+    accuracy_json, feedback_json, preset_accuracy, preset_feedback_accuracy,
+};
 use els_bench::driver::{
     replay_parallel, replay_serial, section8_engine, section8_throughput_workload, Replay,
 };
@@ -88,11 +90,24 @@ fn main() {
     // presets on the 4-table Section 8 queries of this workload (the deep
     // self-join chains are an optimizer stress, not an estimation fixture).
     let accuracy_queries: Vec<String> = queries.iter().take(4).cloned().collect();
-    let summaries = preset_accuracy(&starburst_experiment_tables(42), &accuracy_queries);
+    let accuracy_tables = starburst_experiment_tables(42);
+    let summaries = preset_accuracy(&accuracy_tables, &accuracy_queries);
     for s in &summaries {
         println!(
             "accuracy {:<14} rule {:<3} samples {:>2}  median q {:>7.2}  p95 q {:>7.2}  max q {:>7.2}",
             s.label, s.rule, s.samples, s.median_q, s.p95_q, s.max_q
+        );
+    }
+
+    // Feedback section: the same queries replayed twice per preset under
+    // FeedbackMode::Apply — the before/after medians show how much of the
+    // estimation error the correction loop recovers on repeated queries.
+    let feedback = preset_feedback_accuracy(&accuracy_tables, &accuracy_queries);
+    for s in &feedback {
+        println!(
+            "feedback {:<14} rule {:<3} samples {:>2}  median q {:>7.2} -> {:>7.2}  \
+             learned {:>3}  published {}",
+            s.label, s.rule, s.samples, s.median_q_before, s.median_q_after, s.learned, s.published
         );
     }
 
@@ -107,6 +122,7 @@ fn main() {
     json_phase(&mut json, "serial_cached_second_replay", &serial_cached);
     json_phase(&mut json, "parallel_8_threads_cached", &parallel);
     let _ = write!(json, "  \"accuracy\": {},\n", accuracy_json(&summaries));
+    let _ = write!(json, "  \"feedback\": {},\n", feedback_json(&feedback));
     let _ = write!(
         json,
         "  \"speedup_parallel_cached_vs_serial_uncached\": {speedup_parallel:.2},\n  \

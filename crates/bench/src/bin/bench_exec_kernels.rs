@@ -19,7 +19,9 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use els_bench::accuracy::{accuracy_json, preset_accuracy};
+use els_bench::accuracy::{
+    accuracy_json, feedback_json, preset_accuracy, preset_feedback_accuracy,
+};
 use els_catalog::collect::CollectOptions;
 use els_catalog::Catalog;
 use els_exec::{execute_plan_with, ExecMode, JoinMethod, PlanNode, QueryPlan};
@@ -225,15 +227,45 @@ fn main() {
         );
     }
 
+    // Feedback pass: the same workload run twice under FeedbackMode::Apply;
+    // the second (corrected) pass's median must never exceed the first. In
+    // smoke mode this gates the estimation feedback loop the same way the
+    // accuracy pass gates the raw estimators.
+    let feedback = preset_feedback_accuracy(&base_tables, &accuracy_queries);
+    for s in &feedback {
+        println!(
+            "feedback {:<14} rule {:<3} samples {:>2}  median q {:>7.2} -> {:>7.2}  \
+             max q {:>7.2} -> {:>7.2}  learned {:>3}  published {}",
+            s.label,
+            s.rule,
+            s.samples,
+            s.median_q_before,
+            s.median_q_after,
+            s.max_q_before,
+            s.max_q_after,
+            s.learned,
+            s.published
+        );
+        if !(s.median_q_after <= s.median_q_before) {
+            regression = true;
+            println!(
+                "FEEDBACK REGRESSION: {} replay median q-error rose {:.2} -> {:.2}",
+                s.label, s.median_q_before, s.median_q_after
+            );
+        }
+    }
+
     let join_speedup = join_totals[0] / join_totals[1].max(1e-9);
     let parallel_speedup = join_totals[1] / join_totals[2].max(1e-9);
     let overall_speedup = all_totals[0] / all_totals[1].max(1e-9);
     let _ = write!(
         json,
-        "  }},\n  \"accuracy\": {},\n  \"join_speedup_vectorized_vs_row\": {join_speedup:.2},\n  \
+        "  }},\n  \"accuracy\": {},\n  \"feedback\": {},\n  \
+         \"join_speedup_vectorized_vs_row\": {join_speedup:.2},\n  \
          \"join_speedup_parallel_vs_vectorized\": {parallel_speedup:.2},\n  \
          \"overall_speedup_vectorized_vs_row\": {overall_speedup:.2}\n}}\n",
-        accuracy_json(&summaries)
+        accuracy_json(&summaries),
+        feedback_json(&feedback)
     );
 
     println!("join workload: vectorized {join_speedup:.2}x over row-at-a-time");

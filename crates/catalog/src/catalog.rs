@@ -9,6 +9,7 @@ use els_storage::{Table, Value};
 
 use crate::collect::{collect_table_stats, CollectOptions};
 use crate::error::{CatalogError, CatalogResult};
+use crate::feedback::{FeedbackStore, QueryCorrections};
 use crate::schema::TableDef;
 use crate::stats::TableStats;
 
@@ -24,6 +25,11 @@ struct Entry {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     entries: Vec<Entry>,
+    /// Feedback-learned correction factors. Behind an `Arc` so every
+    /// clone of this catalog — in particular every copy-on-write snapshot
+    /// [`crate::SharedCatalog`] publishes — shares one live store:
+    /// observations harvested against an old snapshot are never lost.
+    feedback: Arc<FeedbackStore>,
 }
 
 impl Catalog {
@@ -35,8 +41,11 @@ impl Catalog {
     /// Register a table, collecting its statistics with `options`.
     ///
     /// # Errors
-    /// [`CatalogError::DuplicateTable`] when the name is taken.
+    /// [`CatalogError::DuplicateTable`] when the name is taken;
+    /// [`CatalogError::InvalidOptions`] when `options` fail validation
+    /// (e.g. a sampling fraction outside `(0, 1]`).
     pub fn register(&mut self, table: Table, options: &CollectOptions) -> CatalogResult<()> {
+        options.validate()?;
         if self.find(table.name()).is_some() {
             return Err(CatalogError::DuplicateTable(table.name().to_owned()));
         }
@@ -114,6 +123,28 @@ impl Catalog {
             .map(|name| Ok(self.entry(name)?.stats.to_core()))
             .collect::<CatalogResult<Vec<_>>>()?;
         Ok(QueryStatistics::new(tables))
+    }
+
+    /// The shared feedback store (correction factors learned from
+    /// executed queries).
+    pub fn feedback(&self) -> &Arc<FeedbackStore> {
+        &self.feedback
+    }
+
+    /// A feedback-backed [`els_core::correction::CorrectionSource`] for a
+    /// `FROM` list, translating positional lookups into the store's
+    /// name-based keys. Also the key factory the engine's harvest path
+    /// uses (see [`QueryCorrections::scan_key`] /
+    /// [`QueryCorrections::join_key`]).
+    pub fn corrections(&self, from: &[&str]) -> CatalogResult<QueryCorrections> {
+        let tables = from
+            .iter()
+            .map(|name| {
+                self.entry(name)?;
+                Ok((*name).to_owned())
+            })
+            .collect::<CatalogResult<Vec<_>>>()?;
+        Ok(QueryCorrections::new(Arc::clone(&self.feedback), tables))
     }
 
     /// A histogram/MCV-backed [`SelectivityOracle`] for a `FROM` list.
@@ -197,6 +228,17 @@ mod tests {
     }
 
     #[test]
+    fn register_rejects_invalid_sampling_options() {
+        let mut c = Catalog::new();
+        let t = TableSpec::new("T", 10)
+            .column(ColumnSpec::new("x", Distribution::ConstInt { value: 1 }))
+            .generate(1);
+        let bad = CollectOptions::default().with_sampling(f64::NAN, 1);
+        assert!(matches!(c.register(t, &bad), Err(CatalogError::InvalidOptions(_))));
+        assert!(c.is_empty(), "rejected registration must not leave an entry");
+    }
+
+    #[test]
     fn resolve_column_is_positional_in_from_list() {
         let c = sample_catalog(&CollectOptions::default());
         // FROM B, A — B is table 0.
@@ -257,6 +299,23 @@ mod tests {
         let est =
             oracle.local_selectivity(ColumnRef::new(0, 0), CmpOp::Eq, &Value::Int(0)).unwrap();
         assert!((est - truth).abs() < 1e-9, "MCV estimate {est} != truth {truth}");
+    }
+
+    #[test]
+    fn catalog_clones_share_one_feedback_store() {
+        let c = sample_catalog(&CollectOptions::default());
+        let snapshot_style_clone = c.clone();
+        // Learning through the clone (how a snapshot would) is visible to
+        // corrections built from the original.
+        let learn = snapshot_style_clone.corrections(&["A", "B"]).unwrap();
+        let key = learn.scan_key(0, "c0<100").unwrap();
+        snapshot_style_clone.feedback().observe(key, 100.0, 1000.0, false);
+        let apply = c.corrections(&["B", "A"]).unwrap();
+        use els_core::correction::CorrectionSource as _;
+        let corr = apply.scan_correction(1, "c0<100").expect("shared store");
+        assert!((corr - 10.0).abs() < 1e-9);
+        // Unknown FROM names are rejected.
+        assert!(matches!(c.corrections(&["nope"]), Err(CatalogError::UnknownTable(_))));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! comparison from sampling noise (the paper's Section 8 likewise assumes
 //! exact catalog statistics). Histograms and MCV lists are optional.
 
-use els_storage::Table;
+use els_storage::{Table, Value};
 
+use crate::error::{CatalogError, CatalogResult};
 use crate::histogram::{Histogram, MostCommonValues};
 use crate::stats::{ColumnStats, TableStats};
 
@@ -71,11 +72,55 @@ impl CollectOptions {
         }
     }
 
-    /// Sampled collection at the given fraction (builder style).
+    /// Sampled collection at the given fraction (builder style). The
+    /// fraction is checked by [`CollectOptions::validate`] at registration
+    /// time (the fallible path), not here.
     #[must_use]
     pub fn with_sampling(mut self, fraction: f64, seed: u64) -> Self {
         self.sampling = Some(SamplingOptions { fraction, seed });
         self
+    }
+
+    /// Check the options are usable. The Bernoulli sampling fraction must
+    /// be in `(0, 1]`: NaN or non-positive fractions silently select no
+    /// rows (empty sample, `distinct = 0` garbage), and fractions above one
+    /// claim precision the sample does not have.
+    pub fn validate(&self) -> CatalogResult<()> {
+        if let Some(s) = self.sampling {
+            if !(s.fraction > 0.0 && s.fraction <= 1.0) {
+                return Err(CatalogError::InvalidOptions(format!(
+                    "sampling fraction must be in (0, 1], got {}",
+                    s.fraction
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Distinct-count identity of a non-NULL value. Keying the sample's
+/// distinct set on `to_string()` is wrong for floats: `-0.0` and `0.0`
+/// render differently yet compare equal (inflating the count the urn
+/// inversion amplifies), and display formatting drops trailing zeros,
+/// conflating an integer-valued float column with differently-typed
+/// twins. `-0.0` is normalized to `0.0`; all other floats key on their
+/// bit pattern.
+#[derive(PartialEq, Eq, Hash)]
+enum DistinctKey<'a> {
+    Int(i64),
+    Float(u64),
+    Str(&'a str),
+}
+
+fn distinct_key(v: &Value) -> Option<DistinctKey<'_>> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(DistinctKey::Int(*i)),
+        Value::Float(x) => {
+            let normalized = if *x == 0.0 { 0.0 } else { *x };
+            Some(DistinctKey::Float(normalized.to_bits()))
+        }
+        Value::Str(s) => Some(DistinctKey::Str(s)),
     }
 }
 
@@ -149,12 +194,8 @@ pub fn collect_table_stats(table: &Table, options: &CollectOptions) -> TableStat
                 None => col.distinct_count() as f64,
                 Some(_) => {
                     use std::collections::HashSet;
-                    let seen = values
-                        .iter()
-                        .filter(|v| !v.is_null())
-                        .map(|v| v.to_string())
-                        .collect::<HashSet<_>>()
-                        .len() as f64;
+                    let seen =
+                        values.iter().filter_map(distinct_key).collect::<HashSet<_>>().len() as f64;
                     estimate_distinct_from_sample(seen, rows as f64, table.num_rows() as f64)
                         .round()
                 }
@@ -304,6 +345,32 @@ mod tests {
         // Heavy duplication: 10 distinct in a big sample -> stays near 10.
         let est = estimate_distinct_from_sample(10.0, 5000.0, 10_000.0);
         assert!((est - 10.0).abs() < 1.0, "estimate {est}");
+    }
+
+    #[test]
+    fn invalid_sampling_fractions_are_rejected() {
+        for bad in [f64::NAN, 0.0, -0.5, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = CollectOptions::default().with_sampling(bad, 1).validate().unwrap_err();
+            assert!(matches!(err, CatalogError::InvalidOptions(_)), "fraction {bad} gave {err:?}");
+        }
+        for good in [f64::MIN_POSITIVE, 0.5, 1.0] {
+            CollectOptions::default().with_sampling(good, 1).validate().unwrap();
+        }
+        CollectOptions::default().validate().unwrap();
+        CollectOptions::full().validate().unwrap();
+    }
+
+    #[test]
+    fn sampled_distinct_uses_value_identity_not_formatting() {
+        // -0.0 and 0.0 compare equal but render as "-0" and "0": the old
+        // string-keyed sample saw two distinct values in a one-value column.
+        use els_storage::ColumnVector;
+        let n = 4000;
+        let col = ColumnVector::from_floats((0..n).map(|i| if i % 2 == 0 { 0.0 } else { -0.0 }));
+        let t = Table::new("t", vec![("v".into(), col)]).unwrap();
+        let opts = CollectOptions::default().with_sampling(0.5, 9);
+        let stats = collect_table_stats(&t, &opts);
+        assert_eq!(stats.columns[0].distinct, 1.0, "float zeros must count once");
     }
 
     #[test]

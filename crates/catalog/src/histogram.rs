@@ -16,8 +16,9 @@ use std::collections::HashMap;
 use els_core::predicate::CmpOp;
 
 /// One histogram bucket over `[lo, hi]` (buckets partition the domain; a
-/// value on a boundary belongs to the earlier bucket's `hi` only for the
-/// last bucket).
+/// value that falls exactly on an interior boundary belongs to the *later*
+/// bucket — the equi-width build convention `idx = (v - lo) / width` — and
+/// only the last bucket includes its `hi`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Bucket {
     /// Inclusive lower bound.
@@ -63,8 +64,18 @@ impl Histogram {
         }
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if hi <= lo {
+            // Single-valued column: one point bucket. The general path
+            // would synthesize width-1 buckets past `hi` (the last one with
+            // `hi < lo`) and linearly interpolate inside them, giving e.g.
+            // `fraction_below(point + 0.5) == 0.5` instead of 1.
+            return Some(Histogram::EquiWidth(EquiWidthHistogram {
+                buckets: vec![Bucket { lo, hi: lo, count: values.len() as u64, distinct: 1 }],
+                total: values.len() as u64,
+            }));
+        }
         let nb = bucket_count.min(values.len()).max(1);
-        let width = if hi > lo { (hi - lo) / nb as f64 } else { 1.0 };
+        let width = (hi - lo) / nb as f64;
         let mut counts = vec![0u64; nb];
         let mut distinct: Vec<HashMap<u64, ()>> = vec![HashMap::new(); nb];
         for &v in values {
@@ -171,9 +182,15 @@ impl Histogram {
         if total == 0.0 {
             return 0.0;
         }
-        for b in self.buckets() {
-            let contains = v >= b.lo && (v <= b.hi);
-            if contains {
+        // The equi-width builder puts a value sitting exactly on an interior
+        // boundary into the *later* bucket (`idx = (v - lo) / width`), so the
+        // lookup must prefer the last bucket containing `v` — otherwise a
+        // boundary value is estimated with the earlier bucket's
+        // `count/distinct` even though it was never counted there. Equi-depth
+        // buckets never share a boundary value, so the direction is
+        // indifferent for them.
+        for b in self.buckets().iter().rev() {
+            if v >= b.lo && v <= b.hi {
                 let per_value = b.count as f64 / b.distinct.max(1) as f64;
                 return (per_value / total).clamp(0.0, 1.0);
             }
@@ -312,6 +329,57 @@ mod tests {
     }
 
     #[test]
+    fn single_valued_column_collapses_to_point_bucket() {
+        // Regression: the pre-fix builder synthesized width-1 buckets past
+        // `hi` (last bucket with hi < lo) and interpolated inside them, so
+        // fraction_below(5.5) on an all-5.0 column came out 0.5.
+        let h = Histogram::equi_width(&[5.0, 5.0, 5.0], 4).unwrap();
+        assert_eq!(h.num_buckets(), 1);
+        assert_eq!(h.fraction_below(5.5), 1.0);
+        // Strictly below the point.
+        assert_eq!(h.selectivity(CmpOp::Lt, 4.5), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Le, 4.5), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, 4.5), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, 4.5), 1.0);
+        // Strictly above the point.
+        assert_eq!(h.selectivity(CmpOp::Lt, 5.5), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Le, 5.5), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, 5.5), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, 5.5), 0.0);
+        // At the point itself.
+        assert_eq!(h.selectivity(CmpOp::Eq, 5.0), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Lt, 5.0), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, 5.0), 1.0);
+    }
+
+    #[test]
+    fn equi_width_boundary_value_uses_later_bucket() {
+        // lo=0, hi=4, 2 buckets of width 2: the six 0s land in bucket 0
+        // (count 6, distinct 1), while 2.0 and 4.0 land in bucket 1 (count
+        // 2, distinct 2) because idx = (v - lo)/width sends a boundary value
+        // to the later bucket. The pre-fix lookup matched bucket 0 first and
+        // estimated Eq(2.0) at (6/1)/8 = 0.75 instead of (2/2)/8 = 0.125.
+        let values = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 4.0];
+        let h = Histogram::equi_width(&values, 2).unwrap();
+        assert_eq!(h.num_buckets(), 2);
+        assert_eq!(h.fraction_equal(2.0), 0.125);
+    }
+
+    #[test]
+    fn equi_depth_boundary_value_keeps_its_own_bucket() {
+        // Equi-depth buckets never share a value across a boundary: a value
+        // equal to some bucket's hi must still resolve to that bucket under
+        // the reversed lookup order.
+        let values = [0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 2.0, 3.0];
+        let h = Histogram::equi_depth(&values, 2).unwrap();
+        assert_eq!(h.num_buckets(), 2);
+        // Bucket 0 is the four 0s (hi = 0.0): per-value 4 of 8 rows.
+        assert_eq!(h.fraction_equal(0.0), 0.5);
+        // Bucket 1 is {1,1,2,3}: per-value (4/3)/8 = 1/6.
+        assert!((h.fraction_equal(1.0) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn equi_depth_keeps_equal_values_together() {
         // 10 copies each of 0..10; 4 buckets of target 25 would split value
         // groups — the builder must extend to group boundaries.
@@ -367,6 +435,51 @@ mod tests {
                 for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
                     let s = h.selectivity(op, v);
                     proptest::prop_assert!((0.0..=1.0).contains(&s), "{op:?} gave {s}");
+                }
+            }
+        }
+
+        #[test]
+        fn constant_column_range_selectivities_are_degenerate(
+            point in -1000.0f64..1000.0,
+            n in 1usize..200,
+            nb in 1usize..16,
+            delta in 0.001f64..100.0,
+        ) {
+            let values = vec![point; n];
+            let below = point - delta;
+            let above = point + delta;
+            for h in [
+                Histogram::equi_width(&values, nb).unwrap(),
+                Histogram::equi_depth(&values, nb).unwrap(),
+            ] {
+                // Every range selectivity on either side of the point is
+                // exactly 0 or 1 — never an interpolated in-between.
+                proptest::prop_assert_eq!(h.selectivity(CmpOp::Lt, below), 0.0);
+                proptest::prop_assert_eq!(h.selectivity(CmpOp::Le, below), 0.0);
+                proptest::prop_assert_eq!(h.selectivity(CmpOp::Gt, below), 1.0);
+                proptest::prop_assert_eq!(h.selectivity(CmpOp::Ge, below), 1.0);
+                proptest::prop_assert_eq!(h.selectivity(CmpOp::Lt, above), 1.0);
+                proptest::prop_assert_eq!(h.selectivity(CmpOp::Le, above), 1.0);
+                proptest::prop_assert_eq!(h.selectivity(CmpOp::Gt, above), 0.0);
+                proptest::prop_assert_eq!(h.selectivity(CmpOp::Ge, above), 0.0);
+                proptest::prop_assert_eq!(h.selectivity(CmpOp::Eq, point), 1.0);
+            }
+        }
+
+        #[test]
+        fn fraction_below_bounded_mid_bucket(
+            values in proptest::collection::vec(-50.0f64..50.0, 1..100),
+            nb in 1usize..8,
+        ) {
+            for h in [
+                Histogram::equi_width(&values, nb).unwrap(),
+                Histogram::equi_depth(&values, nb).unwrap(),
+            ] {
+                for b in h.buckets() {
+                    let mid = (b.lo + b.hi) / 2.0;
+                    proptest::prop_assert!(h.fraction_below(mid) <= 1.0);
+                    proptest::prop_assert!(h.fraction_below(b.hi) <= 1.0);
                 }
             }
         }

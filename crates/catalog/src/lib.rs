@@ -18,6 +18,10 @@
 //! * [`shared`] — concurrent serving: [`SharedCatalog`] publishes immutable
 //!   [`CatalogSnapshot`]s under a monotonically increasing *epoch*, the
 //!   invalidation token for cached plans.
+//! * [`feedback`] — runtime feedback: per-key correction factors learned
+//!   from executed queries ([`FeedbackStore`]), shared across snapshots
+//!   and consulted by the estimator under
+//!   [`FeedbackMode::Apply`](feedback::FeedbackMode).
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@
 pub mod catalog;
 pub mod collect;
 pub mod error;
+pub mod feedback;
 pub mod histogram;
 pub mod schema;
 pub mod shared;
@@ -45,6 +50,7 @@ pub mod stats;
 
 pub use catalog::{Catalog, QueryOracle};
 pub use error::{CatalogError, CatalogResult};
+pub use feedback::{FeedbackCounters, FeedbackKey, FeedbackMode, FeedbackStore, QueryCorrections};
 pub use histogram::{EquiDepthHistogram, EquiWidthHistogram, Histogram, MostCommonValues};
 pub use schema::{ColumnDef, TableDef};
 pub use shared::{CatalogSnapshot, SharedCatalog};

@@ -24,12 +24,13 @@
 use std::collections::HashMap;
 
 use crate::closure::transitive_closure;
+use crate::correction::{CorrectionSource, NoCorrections};
 use crate::equivalence::EquivalenceClasses;
 use crate::error::ElsResult;
 use crate::estimator::{JoinState, PreparedQuery};
 use crate::ids::{ClassId, ColumnRef, TableId};
-use crate::join_sel::annotate_join_predicates;
-use crate::local_effects::{compute_effective_stats, DistinctReduction, EffectiveStats};
+use crate::join_sel::annotate_join_predicates_corrected;
+use crate::local_effects::{compute_effective_stats_corrected, DistinctReduction, EffectiveStats};
 use crate::predicate::{dedup_predicates, Predicate};
 use crate::rules::{RepresentativeStrategy, SelectivityRule};
 use crate::same_table::{apply_same_table_equivalences, SameTableAdjustment};
@@ -169,6 +170,22 @@ impl Els {
         options: &ElsOptions,
         oracle: &dyn SelectivityOracle,
     ) -> ElsResult<Els> {
+        Els::prepare_full(predicates, stats, options, oracle, &NoCorrections)
+    }
+
+    /// Run Steps 1–5 with both hooks: `oracle` for distribution
+    /// statistics and `corrections` for feedback-learned factors (scan
+    /// corrections fold into Step 4's local selectivities, join
+    /// corrections into Step 5's Equation 2 values; see
+    /// [`crate::correction`]). Passing [`NoCorrections`] makes this
+    /// identical to [`Els::prepare_with_oracle`].
+    pub fn prepare_full(
+        predicates: &[Predicate],
+        stats: &QueryStatistics,
+        options: &ElsOptions,
+        oracle: &dyn SelectivityOracle,
+        corrections: &dyn CorrectionSource,
+    ) -> ElsResult<Els> {
         // Step 1: deduplicate. Step 2: transitive closure (optional).
         let predicates = if options.apply_closure {
             transitive_closure(predicates)
@@ -179,8 +196,13 @@ impl Els {
         let classes = EquivalenceClasses::from_predicates(&predicates);
 
         // Steps 3–4: local predicate selectivities and effective statistics.
-        let mut effective =
-            compute_effective_stats(&predicates, stats, oracle, options.distinct_reduction)?;
+        let mut effective = compute_effective_stats_corrected(
+            &predicates,
+            stats,
+            oracle,
+            options.distinct_reduction,
+            corrections,
+        )?;
 
         // Step 5 special case (Section 6), ELS pre-processing only.
         let adjustments = match options.preprocessing {
@@ -190,12 +212,18 @@ impl Els {
 
         // Step 5: join selectivities from the appropriate cardinalities.
         let infos = match options.preprocessing {
-            Preprocessing::Els => {
-                annotate_join_predicates(&predicates, &classes, |c| effective.distinct(c))?
-            }
-            Preprocessing::Standard => {
-                annotate_join_predicates(&predicates, &classes, |c| effective.original_distinct(c))?
-            }
+            Preprocessing::Els => annotate_join_predicates_corrected(
+                &predicates,
+                &classes,
+                |c| effective.distinct(c),
+                corrections,
+            )?,
+            Preprocessing::Standard => annotate_join_predicates_corrected(
+                &predicates,
+                &classes,
+                |c| effective.original_distinct(c),
+                corrections,
+            )?,
         };
 
         // Fixed representative per class (only used by Rule REP).

@@ -12,6 +12,7 @@
 //! cardinalities after Steps 4–5, the **standard** algorithm the original
 //! (unreduced) ones.
 
+use crate::correction::CorrectionSource;
 use crate::equivalence::EquivalenceClasses;
 use crate::error::{ElsError, ElsResult};
 use crate::ids::{ClassId, ColumnRef};
@@ -72,6 +73,30 @@ pub fn annotate_join_predicates(
     Ok(out)
 }
 
+/// [`annotate_join_predicates`] with a feedback hook: each annotated
+/// predicate's Equation 2 selectivity is multiplied by the published
+/// correction of its equivalence class (if any) and clamped back into
+/// `[0, 1]`. Every predicate of a class receives the *same* factor — a
+/// uniform scaling that preserves the relative ordering rule LS selects
+/// by, which is why corrections compose with the paper's Step 6 instead
+/// of replacing it.
+pub fn annotate_join_predicates_corrected(
+    predicates: &[Predicate],
+    classes: &EquivalenceClasses,
+    distinct_of: impl FnMut(ColumnRef) -> f64,
+    corrections: &dyn CorrectionSource,
+) -> ElsResult<Vec<JoinPredicateInfo>> {
+    let mut infos = annotate_join_predicates(predicates, classes, distinct_of)?;
+    for info in &mut infos {
+        if let Some(corr) = corrections.join_correction(classes.members(info.class)) {
+            if corr.is_finite() && corr > 0.0 {
+                info.selectivity = (info.selectivity * corr).clamp(0.0, 1.0);
+            }
+        }
+    }
+    Ok(infos)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +147,57 @@ mod tests {
         let preds = vec![Predicate::col_eq(c(0, 0), c(1, 0))];
         let err = annotate_join_predicates(&preds, &classes, |_| 1.0).unwrap_err();
         assert!(matches!(err, ElsError::MalformedPredicate(_)));
+    }
+
+    #[test]
+    fn corrected_annotation_scales_whole_classes_uniformly() {
+        struct PerClass;
+        impl CorrectionSource for PerClass {
+            fn scan_correction(&self, _: usize, _: &str) -> Option<f64> {
+                None
+            }
+            fn join_correction(&self, members: &[ColumnRef]) -> Option<f64> {
+                // Receives the full sorted member set, so the key cannot
+                // depend on which predicate of the class asks.
+                assert_eq!(members, &[c(0, 0), c(1, 0), c(2, 0)][..]);
+                Some(10.0)
+            }
+        }
+        let preds = crate::closure::transitive_closure(&[
+            Predicate::col_eq(c(0, 0), c(1, 0)),
+            Predicate::col_eq(c(1, 0), c(2, 0)),
+        ]);
+        let classes = EquivalenceClasses::from_predicates(&preds);
+        let d = |cr: ColumnRef| [10.0, 100.0, 1000.0][cr.table];
+        let plain = annotate_join_predicates(&preds, &classes, d).unwrap();
+        let corrected = annotate_join_predicates_corrected(&preds, &classes, d, &PerClass).unwrap();
+        for (p, q) in plain.iter().zip(&corrected) {
+            assert!((q.selectivity - (p.selectivity * 10.0).min(1.0)).abs() < 1e-12);
+        }
+        // Uniform scaling preserves the LS ordering within the class.
+        let max_plain = plain.iter().map(|i| i.selectivity).fold(f64::NEG_INFINITY, f64::max);
+        let max_corr = corrected.iter().map(|i| i.selectivity).fold(f64::NEG_INFINITY, f64::max);
+        assert!((max_corr - (max_plain * 10.0).min(1.0)).abs() < 1e-12);
+        // Degenerate factors are ignored; NoCorrections is the identity.
+        struct Bad;
+        impl CorrectionSource for Bad {
+            fn scan_correction(&self, _: usize, _: &str) -> Option<f64> {
+                None
+            }
+            fn join_correction(&self, _: &[ColumnRef]) -> Option<f64> {
+                Some(f64::NAN)
+            }
+        }
+        let ignored = annotate_join_predicates_corrected(&preds, &classes, d, &Bad).unwrap();
+        assert_eq!(ignored, plain);
+        let identity = annotate_join_predicates_corrected(
+            &preds,
+            &classes,
+            d,
+            &crate::correction::NoCorrections,
+        )
+        .unwrap();
+        assert_eq!(identity, plain);
     }
 
     #[test]

@@ -72,6 +72,7 @@
 
 pub mod algorithm;
 pub mod closure;
+pub mod correction;
 pub mod equivalence;
 pub mod error;
 pub mod error_model;
@@ -89,6 +90,7 @@ pub mod stats;
 pub mod urn;
 
 pub use algorithm::{Els, ElsOptions, Preprocessing};
+pub use correction::{scan_fingerprint, CorrectionSource, NoCorrections};
 pub use error::{ElsError, ElsResult};
 pub use error_model::q_error;
 pub use estimator::{JoinState, PreparedQuery};

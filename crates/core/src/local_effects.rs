@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 
+use crate::correction::{scan_fingerprint, CorrectionSource, NoCorrections};
 use crate::error::{ElsError, ElsResult};
 use crate::ids::ColumnRef;
 use crate::predicate::Predicate;
@@ -95,6 +96,21 @@ pub fn compute_effective_stats(
     stats: &QueryStatistics,
     oracle: &dyn SelectivityOracle,
     reduction: DistinctReduction,
+) -> ElsResult<EffectiveStats> {
+    compute_effective_stats_corrected(predicates, stats, oracle, reduction, &NoCorrections)
+}
+
+/// [`compute_effective_stats`] with a feedback hook: after a table's local
+/// selectivity is resolved, a published scan correction (keyed by the
+/// table's [`scan_fingerprint`]) is multiplied in and the product clamped
+/// back into `[0, 1]`, so learned corrections adjust ‖R‖′ — and,
+/// downstream, the urn bounds — without touching the Step 3/4 machinery.
+pub fn compute_effective_stats_corrected(
+    predicates: &[Predicate],
+    stats: &QueryStatistics,
+    oracle: &dyn SelectivityOracle,
+    reduction: DistinctReduction,
+    corrections: &dyn CorrectionSource,
 ) -> ElsResult<EffectiveStats> {
     stats.validate()?;
     let shape = stats.shape();
@@ -167,6 +183,22 @@ pub fn compute_effective_stats(
                 ResolvedShape::Equality(_) => own_bound[c] = Some(1.0),
                 ResolvedShape::Range => own_bound[c] = Some(cstats.distinct * resolved.selectivity),
                 ResolvedShape::Unconstrained => {}
+            }
+        }
+
+        // Feedback hook: fold a learned scan correction into the table's
+        // combined local selectivity (clamped — a correction can never
+        // resurrect more rows than the table holds). Unfiltered tables
+        // have an empty fingerprint and are never corrected: their
+        // estimate is the exact row count.
+        if !contradiction {
+            let fingerprint = scan_fingerprint(predicates, t);
+            if !fingerprint.is_empty() {
+                if let Some(corr) = corrections.scan_correction(t, &fingerprint) {
+                    if corr.is_finite() && corr > 0.0 {
+                        table_sel = (table_sel * corr).clamp(0.0, 1.0);
+                    }
+                }
             }
         }
 
@@ -482,6 +514,79 @@ mod tests {
             .unwrap();
         assert_eq!(eff.cardinality(0), 0.0);
         assert_eq!(eff.distinct(c(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn scan_corrections_scale_the_local_selectivity() {
+        struct Fixed(f64);
+        impl crate::correction::CorrectionSource for Fixed {
+            fn scan_correction(&self, table: usize, fingerprint: &str) -> Option<f64> {
+                assert_eq!(table, 0);
+                assert_eq!(fingerprint, "c0<100");
+                Some(self.0)
+            }
+            fn join_correction(&self, _: &[ColumnRef]) -> Option<f64> {
+                None
+            }
+        }
+        let stats = one_table(1000.0, &[1000.0]);
+        let preds = vec![Predicate::local_cmp(c(0, 0), CmpOp::Lt, 100i64)];
+        let eff = crate::local_effects::compute_effective_stats_corrected(
+            &preds,
+            &stats,
+            &NoOracle,
+            DistinctReduction::UrnModel,
+            &Fixed(3.0),
+        )
+        .unwrap();
+        // Uncorrected: 0.1 · 1000 = 100; corrected: 0.3 · 1000 = 300.
+        assert!((eff.cardinality(0) - 300.0).abs() < 1e-9, "got {}", eff.cardinality(0));
+        assert!((eff.tables[0].local_selectivity - 0.3).abs() < 1e-12);
+        // Corrections clamp into [0, 1]: a 100x factor caps at the full
+        // table, and degenerate factors are ignored.
+        let eff = crate::local_effects::compute_effective_stats_corrected(
+            &preds,
+            &stats,
+            &NoOracle,
+            DistinctReduction::UrnModel,
+            &Fixed(100.0),
+        )
+        .unwrap();
+        assert_eq!(eff.cardinality(0), 1000.0);
+        for bad in [f64::NAN, 0.0, -2.0, f64::INFINITY] {
+            let eff = crate::local_effects::compute_effective_stats_corrected(
+                &preds,
+                &stats,
+                &NoOracle,
+                DistinctReduction::UrnModel,
+                &Fixed(bad),
+            )
+            .unwrap();
+            assert_eq!(eff.cardinality(0), 100.0, "correction {bad} must be ignored");
+        }
+    }
+
+    #[test]
+    fn unfiltered_tables_are_never_corrected() {
+        struct Panicky;
+        impl crate::correction::CorrectionSource for Panicky {
+            fn scan_correction(&self, _: usize, _: &str) -> Option<f64> {
+                panic!("scan_correction must not be called without local predicates");
+            }
+            fn join_correction(&self, _: &[ColumnRef]) -> Option<f64> {
+                None
+            }
+        }
+        let stats = one_table(1000.0, &[100.0]);
+        let eff = crate::local_effects::compute_effective_stats_corrected(
+            &[],
+            &stats,
+            &NoOracle,
+            DistinctReduction::UrnModel,
+            &Panicky,
+        )
+        .unwrap();
+        assert_eq!(eff.cardinality(0), 1000.0);
     }
 
     #[test]

@@ -297,6 +297,9 @@ pub struct MetricsRegistry {
     morsels: AtomicU64,
     hash_probes: AtomicU64,
     tuples_scanned: AtomicU64,
+    feedback_learned: AtomicU64,
+    feedback_applied: AtomicU64,
+    feedback_epoch_bumps: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -333,6 +336,24 @@ impl MetricsRegistry {
     /// cache instance also keeps its own counters.
     pub fn cache_counters(&self) -> &EngineCounters {
         &self.cache
+    }
+
+    /// Fold one query's runtime-feedback activity into the totals:
+    /// `(estimated, actual)` pairs harvested, published corrections the
+    /// optimizer consumed, and correction-driven plan invalidations.
+    pub fn record_feedback(&self, learned: u64, applied: u64, epoch_bumps: u64) {
+        self.feedback_learned.fetch_add(learned, Ordering::Relaxed);
+        self.feedback_applied.fetch_add(applied, Ordering::Relaxed);
+        self.feedback_epoch_bumps.fetch_add(epoch_bumps, Ordering::Relaxed);
+    }
+
+    /// Cumulative feedback totals `(learned, applied, epoch_bumps)`.
+    pub fn feedback_totals(&self) -> (u64, u64, u64) {
+        (
+            self.feedback_learned.load(Ordering::Relaxed),
+            self.feedback_applied.load(Ordering::Relaxed),
+            self.feedback_epoch_bumps.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of queries folded in via [`MetricsRegistry::record_query`].
@@ -373,6 +394,12 @@ impl MetricsRegistry {
             self.morsels.load(Ordering::Relaxed),
             self.hash_probes.load(Ordering::Relaxed),
             self.tuples_scanned.load(Ordering::Relaxed),
+        );
+        let (learned, applied, epoch_bumps) = self.feedback_totals();
+        let _ = writeln!(
+            json,
+            "  \"feedback\": {{ \"learned\": {learned}, \"applied\": {applied}, \
+             \"epoch_bumps\": {epoch_bumps} }},",
         );
         json.push_str("  \"q_error\": {");
         let map = self.qerr.lock().expect("q-error map poisoned");
@@ -525,9 +552,13 @@ mod tests {
         assert_eq!(ls.count(), 2);
         assert!(r.q_error_histogram("SS").is_none());
 
+        r.record_feedback(3, 2, 1);
+        assert_eq!(r.feedback_totals(), (3, 2, 1));
+
         let json = r.to_json();
         assert!(json.contains("\"queries\": 1"), "{json}");
         assert!(json.contains("\"kernel_rows\": 5"), "{json}");
+        assert!(json.contains("\"feedback\": { \"learned\": 3, \"applied\": 2"), "{json}");
         assert!(json.contains("\"hits\": 1"), "{json}");
         assert!(json.contains("\"LS\""), "{json}");
         assert!(json.contains("\"M\""), "{json}");

@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
-use els_catalog::Catalog;
-use els_core::{Els, ElsOptions, Predicate, QueryStatistics};
+use els_catalog::{Catalog, FeedbackMode};
+use els_core::{CorrectionSource, Els, ElsOptions, NoCorrections, Predicate, QueryStatistics};
 use els_exec::plan::PlanOutput;
 use els_exec::{JoinMethod, QueryPlan};
 use els_sql::{BoundProjection, BoundQuery};
@@ -68,6 +68,10 @@ pub struct OptimizerOptions {
     /// Join-tree space to enumerate (left-deep by default, as in System R
     /// and the paper's experiment).
     pub tree_shape: TreeShape,
+    /// Runtime-feedback policy: whether executions are harvested into the
+    /// catalog's [`els_catalog::FeedbackStore`] and whether the estimator
+    /// consults published corrections. `Off` reproduces the paper exactly.
+    pub feedback: FeedbackMode,
 }
 
 impl Default for OptimizerOptions {
@@ -77,6 +81,7 @@ impl Default for OptimizerOptions {
             join_methods: vec![JoinMethod::NestedLoop, JoinMethod::SortMerge],
             cost: CostParams::default(),
             tree_shape: TreeShape::LeftDeep,
+            feedback: FeedbackMode::Off,
         }
     }
 }
@@ -112,6 +117,13 @@ impl OptimizerOptions {
         }
         self
     }
+
+    /// Set the runtime-feedback policy (default [`FeedbackMode::Off`]).
+    #[must_use]
+    pub fn with_feedback(mut self, mode: FeedbackMode) -> Self {
+        self.feedback = mode;
+        self
+    }
 }
 
 /// The result of optimization: an executable plan plus everything the paper
@@ -128,6 +140,9 @@ pub struct OptimizedQuery {
     pub estimated_cost: f64,
     /// The prepared estimator (for EXPLAIN-style inspection).
     pub els: Els,
+    /// Published feedback corrections folded into this plan's estimates
+    /// (0 unless the optimizer ran under [`FeedbackMode::Apply`]).
+    pub corrections_applied: u64,
 }
 
 /// Optimize from raw parts: predicates + statistics + physical profiles.
@@ -168,6 +183,22 @@ pub fn optimize_with_oracle(
     options: &OptimizerOptions,
     oracle: &dyn els_core::selectivity::SelectivityOracle,
 ) -> OptimizerResult<OptimizedQuery> {
+    optimize_full(predicates, stats, profiles, output, options, oracle, &NoCorrections)
+}
+
+/// [`optimize_with_oracle`] plus a runtime-feedback correction source whose
+/// published factors are multiplied into selectivities before clamping.
+/// Pass [`NoCorrections`] to reproduce the uncorrected estimates exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_full(
+    predicates: &[Predicate],
+    stats: &QueryStatistics,
+    profiles: &[TableProfile],
+    output: PlanOutput,
+    options: &OptimizerOptions,
+    oracle: &dyn els_core::selectivity::SelectivityOracle,
+    corrections: &dyn CorrectionSource,
+) -> OptimizerResult<OptimizedQuery> {
     if stats.num_tables() != profiles.len() {
         return Err(OptimizerError::Unsupported(format!(
             "statistics describe {} tables but {} profiles were supplied",
@@ -175,7 +206,7 @@ pub fn optimize_with_oracle(
             profiles.len()
         )));
     }
-    let els = Els::prepare_with_oracle(predicates, stats, &options.els, oracle)?;
+    let els = Els::prepare_full(predicates, stats, &options.els, oracle, corrections)?;
     let result =
         enumerate(&els, profiles, &options.join_methods, &options.cost, options.tree_shape)?;
     Ok(OptimizedQuery {
@@ -184,6 +215,7 @@ pub fn optimize_with_oracle(
         estimated_sizes: result.estimated_sizes,
         estimated_cost: result.estimated_cost,
         els,
+        corrections_applied: 0,
     })
 }
 
@@ -207,8 +239,22 @@ pub fn optimize_bound(
         BoundProjection::Columns(cols) => PlanOutput::Columns(cols.clone()),
         BoundProjection::GroupCount(cols) => PlanOutput::GroupCount(cols.clone()),
     };
-    let mut optimized =
-        optimize_with_oracle(&query.predicates, &stats, &profiles, output, options, &oracle)?;
+    let mut optimized = if options.feedback.applies() {
+        let corrections = catalog.corrections(&from)?;
+        let mut o = optimize_full(
+            &query.predicates,
+            &stats,
+            &profiles,
+            output,
+            options,
+            &oracle,
+            &corrections,
+        )?;
+        o.corrections_applied = corrections.applied();
+        o
+    } else {
+        optimize_with_oracle(&query.predicates, &stats, &profiles, output, options, &oracle)?
+    };
     optimized.plan.order_by = query.order_by.clone();
     optimized.plan.limit = query.limit;
     Ok(optimized)
@@ -369,5 +415,47 @@ mod tests {
         let o = OptimizerOptions::default().with_hash_join();
         assert!(o.join_methods.contains(&JoinMethod::Hash));
         assert_eq!(o.with_hash_join().join_methods.len(), 3);
+    }
+
+    #[test]
+    fn feedback_apply_with_empty_store_matches_off() {
+        // The differential guarantee: Apply with zero observations takes the
+        // published-correction path but finds nothing, so every estimate is
+        // bit-identical to Off.
+        let catalog = section8_catalog();
+        let bound = bind(&parse(SQL).unwrap(), &catalog).unwrap();
+        for preset in EstimatorPreset::all() {
+            let off = OptimizerOptions::preset(preset);
+            let apply = OptimizerOptions::preset(preset).with_feedback(FeedbackMode::Apply);
+            let a = optimize_bound(&bound, &catalog, &off).unwrap();
+            let b = optimize_bound(&bound, &catalog, &apply).unwrap();
+            assert_eq!(a.join_order, b.join_order, "{}", preset.label());
+            assert_eq!(a.estimated_sizes, b.estimated_sizes, "{}", preset.label());
+            assert_eq!(a.estimated_cost, b.estimated_cost, "{}", preset.label());
+            assert_eq!(b.corrections_applied, 0);
+        }
+    }
+
+    #[test]
+    fn published_corrections_rescale_apply_estimates() {
+        use els_catalog::FeedbackKey;
+        let catalog = section8_catalog();
+        let bound = bind(&parse(SQL).unwrap(), &catalog).unwrap();
+        let off = optimize_bound(&bound, &catalog, &OptimizerOptions::preset(EstimatorPreset::Els))
+            .unwrap();
+        // Teach the store that the filtered S scan returns 4x the estimate;
+        // one observation with full first-observation weight publishes it.
+        let key = FeedbackKey::scan("S", "c0<100");
+        assert!(catalog.feedback().observe(key, 100.0, 400.0, false));
+        let apply =
+            OptimizerOptions::preset(EstimatorPreset::Els).with_feedback(FeedbackMode::Apply);
+        let corrected = optimize_bound(&bound, &catalog, &apply).unwrap();
+        assert!(corrected.corrections_applied >= 1);
+        let last_off = *off.estimated_sizes.last().unwrap();
+        let last_on = *corrected.estimated_sizes.last().unwrap();
+        assert!(
+            last_on > last_off * 2.0,
+            "expected corrected final estimate to grow ~4x: off={last_off} on={last_on}"
+        );
     }
 }

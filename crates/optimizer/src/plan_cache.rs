@@ -218,6 +218,7 @@ mod tests {
                 estimated_sizes: vec![],
                 estimated_cost: 0.0,
                 els,
+                corrections_applied: 0,
             },
             table_names: vec!["t".into()],
             binding_names: vec!["t".into()],

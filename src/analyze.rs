@@ -17,7 +17,10 @@
 use std::fmt;
 use std::time::Duration;
 
-use els_core::{q_error, Els, ElsResult, JoinState};
+use std::collections::HashMap;
+
+use els_catalog::{FeedbackKey, QueryCorrections};
+use els_core::{q_error, scan_fingerprint, Els, ElsResult, JoinState, Predicate, SelectivityRule};
 use els_exec::{ExecMetrics, ExecMode, JoinMethod, MetricsRegistry, Observations, PlanNode};
 
 /// One operator of the analyzed plan: the estimator's belief next to the
@@ -40,6 +43,10 @@ pub struct OperatorReport {
     /// Inclusive subtree wall time (zero for rescanned inners, whose cost
     /// is charged to their join).
     pub elapsed: Duration,
+    /// True for a rescanned inner (NL/INL over a stored table): its
+    /// "actual" is the stored row count, not a post-filter cardinality, so
+    /// feedback harvesting must not treat it as a scan observation.
+    pub rescan: bool,
 }
 
 impl OperatorReport {
@@ -77,6 +84,10 @@ pub struct ExplainAnalyzeReport {
     pub mode: ExecMode,
     /// True when the plan came from the engine's plan cache.
     pub cache_hit: bool,
+    /// Published feedback corrections the optimizer folded into this
+    /// plan's estimates (0 unless it ran under
+    /// [`els_catalog::FeedbackMode::Apply`]).
+    pub corrections_applied: u64,
     /// Result row count (the count itself for `COUNT(*)`).
     pub result_rows: u64,
     /// Operators in pre-order (root first).
@@ -131,12 +142,16 @@ impl fmt::Display for ExplainAnalyzeReport {
             ExecMode::RowAtATime => "row".to_owned(),
             ExecMode::Vectorized { workers } => format!("vectorized({workers})"),
         };
-        writeln!(
+        write!(
             f,
             "EXPLAIN ANALYZE  rule={}  mode={mode}  cache={}",
             self.rule,
             if self.cache_hit { "hit" } else { "miss" }
         )?;
+        if self.corrections_applied > 0 {
+            write!(f, "  corrected={}", self.corrections_applied)?;
+        }
+        writeln!(f)?;
         writeln!(f, "query: {}", self.sql)?;
         writeln!(f, "result rows: {}", self.result_rows)?;
         for op in &self.operators {
@@ -215,6 +230,7 @@ impl Builder<'_> {
                     estimated: state.cardinality(),
                     actual,
                     elapsed,
+                    rescan: false,
                 });
                 Ok(state)
             }
@@ -229,6 +245,7 @@ impl Builder<'_> {
                     estimated: 0.0,
                     actual: 0,
                     elapsed: Duration::ZERO,
+                    rescan: false,
                 });
                 let l = self.walk(left, depth + 1)?;
 
@@ -265,6 +282,7 @@ impl Builder<'_> {
                         estimated: stored,
                         actual,
                         elapsed,
+                        rescan: true,
                     });
                     self.els.initial_state(*table_id)?
                 } else {
@@ -317,4 +335,137 @@ pub fn build_operator_reports(
     debug_assert_eq!(b.scan_cursor, obs.scan_outputs.len(), "unconsumed scan observations");
     debug_assert_eq!(b.join_cursor, obs.join_outputs.len(), "unconsumed join observations");
     Ok(b.operators)
+}
+
+/// The direct children of the join at pre-order index `join`: the operator
+/// right after it, and the next operator at the same child depth after that
+/// child's subtree.
+fn direct_children(operators: &[OperatorReport], join: usize) -> Option<(usize, usize)> {
+    let child_depth = operators[join].depth + 1;
+    let left = join + 1;
+    if operators.get(left)?.depth != child_depth {
+        return None;
+    }
+    let mut right = left + 1;
+    while operators.get(right).is_some_and(|o| o.depth > child_depth) {
+        right += 1;
+    }
+    (operators.get(right)?.depth == child_depth).then_some((left, right))
+}
+
+/// Harvest one executed query's estimated-vs-actual residuals into the
+/// feedback store behind `corrections`. Returns
+/// `(observations folded, publications granted)`; any granted publication
+/// means the caller should invalidate cached plans (once — publications
+/// coalesce into a single epoch bump per query).
+///
+/// Two residual families, keyed like the corrections the optimizer reads:
+///
+/// * **Scans** — each filtered scan contributes `actual / estimated` under
+///   its `(table, predicate-fingerprint)` key. Unfiltered scans are exact
+///   by construction and rescanned inners report stored (pre-filter) row
+///   counts, so both are skipped.
+/// * **Joins** — a join's raw residual conflates its children's errors;
+///   dividing observed join selectivity `act_J / (act_L · act_R)` by the
+///   estimated one isolates the join-selectivity error, which is split
+///   `e^(1/n)` across the `n` correction *applications* at the step — one
+///   per crossing predicate under Rule M, one per linking class under the
+///   choosing rules — so replaying the learned factors reproduces `e`. For a
+///   join over a rescanned inner — whose post-filter actual is
+///   unobservable — the inner's filtered *estimate* stands in on both
+///   sides of the ratio, so the inner cancels and the residual measures
+///   the join alone.
+///
+/// `corrected` says whether the plan's estimates already carried published
+/// corrections (an `Apply`-mode plan); the store composes them back out so
+/// learning always targets the raw estimator error.
+pub fn harvest_feedback(
+    operators: &[OperatorReport],
+    els: &Els,
+    corrections: &QueryCorrections,
+    corrected: bool,
+) -> (u64, u64) {
+    let store = corrections.store();
+    let mut observed = 0u64;
+    let mut published = 0u64;
+    for (i, op) in operators.iter().enumerate() {
+        if op.rescan {
+            continue;
+        }
+        if !op.is_join {
+            let Some(&t) = op.tables.first() else { continue };
+            let fingerprint = scan_fingerprint(els.predicates(), t);
+            let Some(key) = corrections.scan_key(t, &fingerprint) else { continue };
+            observed += 1;
+            published += u64::from(store.observe(key, op.estimated, op.actual as f64, corrected));
+            continue;
+        }
+        let Some((l, r)) = direct_children(operators, i) else { continue };
+        if op.actual == 0 {
+            // An empty observed join: the q-error convention calls a
+            // sub-tuple estimate of an empty result exact, and a residual
+            // learned from it would only push corrections toward zero.
+            continue;
+        }
+        let (lop, rop) = (&operators[l], &operators[r]);
+        // Count how many times the estimator applied each class's
+        // correction at this step: corrections scale *predicate*
+        // selectivities, so Rule M (which multiplies every eligible
+        // predicate) applies a class's factor once per predicate crossing
+        // the two children, while the choosing rules (LS/SS/REP) collapse
+        // a class's eligible set into one value and apply it once.
+        let mut applications: HashMap<FeedbackKey, usize> = HashMap::new();
+        for p in els.predicates() {
+            let Predicate::JoinEq { left, right } = p else { continue };
+            let crosses = (lop.tables.contains(&left.table) && rop.tables.contains(&right.table))
+                || (rop.tables.contains(&left.table) && lop.tables.contains(&right.table));
+            if !crosses {
+                continue;
+            }
+            let Some(class) = els.classes().class_of(*left) else { continue };
+            let Some(key) = corrections.join_key(els.classes().members(class)) else { continue };
+            *applications.entry(key).or_insert(0) += 1;
+        }
+        if applications.is_empty() {
+            // A cartesian step (or classes the key schema cannot name):
+            // nothing the optimizer could re-apply, so nothing to learn.
+            continue;
+        }
+        let total = if els.options().rule == SelectivityRule::Multiplicative {
+            applications.values().sum::<usize>()
+        } else {
+            applications.len()
+        };
+        // A rescanned inner reports its *stored* row count; the post-filter
+        // actual is unobservable. Substitute the estimator's filtered
+        // cardinality on both sides of the ratio so the inner cancels out —
+        // the residual then reads "join output given the left child", which
+        // is exact whenever the inner's local estimate is (and the scan key
+        // tracks that error separately when it is not).
+        let (r_est, r_act) = if rop.rescan {
+            let filtered = rop
+                .tables
+                .first()
+                .and_then(|&t| els.effective_cardinality(t).ok())
+                .unwrap_or(rop.estimated);
+            (filtered, filtered)
+        } else {
+            (rop.estimated, rop.actual as f64)
+        };
+        // Actual cardinalities are at least one tuple here; estimates are
+        // floored at a sub-tuple epsilon instead — flooring a collapsed
+        // estimate (Rule M's 1e-9 "rows") up to one tuple would erase
+        // exactly the under-estimation the loop exists to correct.
+        const EST_FLOOR: f64 = 1e-6;
+        let act_sel =
+            (op.actual as f64).max(1.0) / ((lop.actual as f64).max(1.0) * r_act.max(EST_FLOOR));
+        let est_sel =
+            op.estimated.max(EST_FLOOR) / (lop.estimated.max(EST_FLOOR) * r_est.max(EST_FLOOR));
+        let ratio = (act_sel / est_sel).powf(1.0 / total as f64);
+        for key in applications.into_keys() {
+            observed += 1;
+            published += u64::from(store.observe_ratio(key, ratio, corrected));
+        }
+    }
+    (observed, published)
 }

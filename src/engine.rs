@@ -41,10 +41,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::analyze::{build_operator_reports, ExplainAnalyzeReport};
+use crate::analyze::{
+    build_operator_reports, harvest_feedback, ExplainAnalyzeReport, OperatorReport,
+};
 
 use els_catalog::collect::CollectOptions;
-use els_catalog::{Catalog, CatalogSnapshot, SharedCatalog};
+use els_catalog::{Catalog, CatalogSnapshot, FeedbackMode, SharedCatalog};
 use els_exec::{
     execute_plan_buffered_observed_with, execute_plan_buffered_with, execute_plan_observed_with,
     execute_plan_with, EngineCountersSnapshot, ExecMetrics, ExecMode, MetricsRegistry,
@@ -156,6 +158,15 @@ impl Database {
         self.optimizer_options = options;
     }
 
+    /// Set the runtime-feedback policy. Under `Observe` or `Apply`,
+    /// [`Database::explain_analyze`] harvests each operator's
+    /// `(estimated, actual)` pair into the catalog's
+    /// [`els_catalog::FeedbackStore`]; under `Apply` the optimizer also
+    /// multiplies published corrections into its selectivities.
+    pub fn set_feedback(&mut self, mode: FeedbackMode) {
+        self.optimizer_options.feedback = mode;
+    }
+
     /// Configure how statistics are collected for *subsequently* registered
     /// tables (e.g. [`CollectOptions::full`] for histograms + MCVs).
     pub fn set_collect_options(&mut self, options: CollectOptions) {
@@ -231,7 +242,7 @@ impl Database {
         let bound = bind(&parse(sql)?, &self.catalog)?;
         let optimized = optimize_bound(&bound, &self.catalog, &self.optimizer_options)?;
         let tables = bound_query_tables(&bound, &self.catalog)?;
-        analyze_query(
+        let report = analyze_query(
             sql,
             &optimized,
             &bound.binding_names,
@@ -239,7 +250,17 @@ impl Database {
             self.buffer_pages,
             self.exec_mode,
             false,
-        )
+        )?;
+        // A single-user database optimizes every query, so publications
+        // need no plan invalidation — the next optimize sees them.
+        harvest_query(
+            &self.catalog,
+            self.optimizer_options.feedback,
+            &optimized,
+            &bound.table_names,
+            &report.operators,
+        );
+        Ok(report)
     }
 
     /// An EXPLAIN-style report: the rewritten predicates, equivalence
@@ -332,6 +353,22 @@ impl Engine {
     #[must_use]
     pub fn exec_mode(self, mode: ExecMode) -> Engine {
         Engine { exec_mode: mode, ..self }
+    }
+
+    /// Set the runtime-feedback policy (default
+    /// [`FeedbackMode::Off`]). Under `Observe` or `Apply`, every
+    /// [`Engine::execute`] and [`Engine::explain_analyze`] harvests
+    /// per-operator `(estimated, actual)` pairs into the shared catalog's
+    /// [`els_catalog::FeedbackStore`]; under `Apply` the optimizer also
+    /// consults published corrections, and a correction drifting past the
+    /// store's publication threshold bumps the catalog epoch so stale
+    /// cached plans re-optimize. Consumes `self`: like the estimator, the
+    /// policy is part of what a cached plan means.
+    #[must_use]
+    pub fn feedback(self, mode: FeedbackMode) -> Engine {
+        let mut options = self.options;
+        options.feedback = mode;
+        Engine { options, ..self }
     }
 
     /// Run vectorized with `workers` probe threads AND tell the cost model
@@ -428,10 +465,48 @@ impl Engine {
             .iter()
             .map(|name| snapshot.table_data(name))
             .collect::<Result<Vec<_>, _>>()?;
-        let out = match self.buffer_pages {
-            None => execute_plan_with(&plan.optimized.plan, &tables, self.exec_mode)?,
-            Some(pages) => {
-                execute_plan_buffered_with(&plan.optimized.plan, &tables, pages, self.exec_mode)?
+        let out = if self.options.feedback.observes() {
+            // Feedback needs per-operator actuals: run the observed
+            // executor variant (same results, plus observation streams)
+            // and fold the residuals into the shared feedback store.
+            let (out, obs) = match self.buffer_pages {
+                None => execute_plan_observed_with(&plan.optimized.plan, &tables, self.exec_mode)?,
+                Some(pages) => execute_plan_buffered_observed_with(
+                    &plan.optimized.plan,
+                    &tables,
+                    pages,
+                    self.exec_mode,
+                )?,
+            };
+            let operators = build_operator_reports(
+                &plan.optimized.plan.root,
+                &plan.optimized.els,
+                &plan.binding_names,
+                &obs,
+            )
+            .map_err(|e| EngineError::Optimizer(e.to_string()))?;
+            let published = harvest_query(
+                &snapshot,
+                self.options.feedback,
+                &plan.optimized,
+                &plan.table_names,
+                &operators,
+            );
+            // Publications only matter to plans that would consult them:
+            // invalidate under Apply, never churn the cache under Observe.
+            if published > 0 && self.options.feedback.applies() {
+                self.catalog.invalidate();
+            }
+            out
+        } else {
+            match self.buffer_pages {
+                None => execute_plan_with(&plan.optimized.plan, &tables, self.exec_mode)?,
+                Some(pages) => execute_plan_buffered_with(
+                    &plan.optimized.plan,
+                    &tables,
+                    pages,
+                    self.exec_mode,
+                )?,
             }
         };
         let join_order =
@@ -464,7 +539,7 @@ impl Engine {
             .iter()
             .map(|name| snapshot.table_data(name))
             .collect::<Result<Vec<_>, _>>()?;
-        analyze_query(
+        let report = analyze_query(
             sql,
             &plan.optimized,
             &plan.binding_names,
@@ -472,8 +547,49 @@ impl Engine {
             self.buffer_pages,
             self.exec_mode,
             cache_hit,
-        )
+        )?;
+        let published = harvest_query(
+            &snapshot,
+            self.options.feedback,
+            &plan.optimized,
+            &plan.table_names,
+            &report.operators,
+        );
+        if published > 0 && self.options.feedback.applies() {
+            self.catalog.invalidate();
+        }
+        Ok(report)
     }
+}
+
+/// Harvest an executed query's operator reports into the catalog's
+/// feedback store (no-op when `feedback` is `Off`) and mirror the activity
+/// into [`MetricsRegistry::global`]. Returns the number of publications
+/// granted; the caller coalesces any positive count into a single plan
+/// invalidation, so one execution never bumps the epoch more than once.
+fn harvest_query(
+    catalog: &Catalog,
+    feedback: FeedbackMode,
+    optimized: &OptimizedQuery,
+    table_names: &[String],
+    operators: &[OperatorReport],
+) -> u64 {
+    if !feedback.observes() {
+        return 0;
+    }
+    let names: Vec<&str> = table_names.iter().map(String::as_str).collect();
+    let Ok(corrections) = catalog.corrections(&names) else {
+        return 0;
+    };
+    // `corrected` must describe the *plan's* estimates, not the mode: an
+    // Apply-mode plan optimized before anything was published carries raw
+    // estimates, and composing a mid-query publication back out of them
+    // would inflate every subsequent residual of the same execution.
+    let corrected = optimized.corrections_applied > 0;
+    let (observed, published) =
+        harvest_feedback(operators, &optimized.els, &corrections, corrected);
+    MetricsRegistry::global().record_feedback(observed, optimized.corrections_applied, published);
+    published
 }
 
 /// Execute with observations and assemble the [`ExplainAnalyzeReport`]
@@ -501,6 +617,7 @@ fn analyze_query(
         rule: optimized.els.options().rule.short_name().to_owned(),
         mode,
         cache_hit,
+        corrections_applied: optimized.corrections_applied,
         result_rows: out.count,
         operators,
         metrics: out.metrics,
@@ -723,6 +840,122 @@ mod tests {
         let clamped = Engine::new().exec_workers(0);
         assert_eq!(clamped.exec_mode, ExecMode::Vectorized { workers: 1 });
         assert_eq!(clamped.options.cost.probe_parallelism, 1.0);
+    }
+
+    fn zipf_engine(mode: FeedbackMode) -> Engine {
+        // Without histograms the uniform model badly misestimates `k < 10`
+        // over a Zipf-skewed column — the feedback loop's bread and butter.
+        let engine = Engine::new().feedback(mode);
+        engine
+            .generate(
+                TableSpec::new("z", 2000).column(ColumnSpec::new(
+                    "k",
+                    Distribution::ZipfInt { n: 1000, theta: 1.0, start: 0 },
+                )),
+                7,
+            )
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn feedback_apply_corrects_repeated_queries() {
+        let engine = zipf_engine(FeedbackMode::Apply);
+        let sql = "SELECT COUNT(*) FROM z WHERE k < 10";
+        let first = engine.explain_analyze(sql).unwrap();
+        assert!(
+            first.query_q_error() > 2.0,
+            "workload not skewed enough: {}",
+            first.query_q_error()
+        );
+        // Harvesting the first run publishes a correction (the residual is
+        // way past the 2x drift threshold), which invalidates the cached
+        // plan; the re-optimized estimate is built from the observed
+        // cardinality and lands near-exact.
+        let second = engine.explain_analyze(sql).unwrap();
+        assert!(!second.cache_hit, "publication must invalidate the cached plan");
+        assert!(second.corrections_applied >= 1);
+        assert!(
+            second.query_q_error() <= first.query_q_error(),
+            "feedback regressed: {} -> {}",
+            first.query_q_error(),
+            second.query_q_error()
+        );
+        assert!(
+            second.query_q_error() < 1.5,
+            "correction should be near-exact: {}",
+            second.query_q_error()
+        );
+        // The corrected estimate is stable: no further drift, no churn —
+        // the third run reuses the corrected plan.
+        let third = engine.explain_analyze(sql).unwrap();
+        assert!(third.cache_hit, "stable corrections must not churn the cache");
+        let counters = engine.snapshot().feedback().counters();
+        assert!(counters.learned >= 3);
+        assert_eq!(counters.epoch_bumps, 1, "exactly one publication expected");
+    }
+
+    #[test]
+    fn feedback_observe_learns_without_changing_estimates() {
+        let engine = zipf_engine(FeedbackMode::Observe);
+        let sql = "SELECT COUNT(*) FROM z WHERE k < 10";
+        let first = engine.execute(sql).unwrap();
+        let second = engine.execute(sql).unwrap();
+        // Observe never consults the store and never invalidates plans.
+        assert!(second.cache_hit);
+        assert_eq!(first.estimated_sizes, second.estimated_sizes);
+        assert_eq!(engine.cache_stats().invalidations, 0);
+        let counters = engine.snapshot().feedback().counters();
+        assert!(counters.learned >= 2, "observe mode must still harvest");
+        assert_eq!(counters.applied, 0, "observe mode must never apply");
+    }
+
+    #[test]
+    fn feedback_join_corrections_improve_skewed_joins() {
+        // Two Zipf columns joined: frequent values pair up, so the actual
+        // join size far exceeds the containment estimate ||R||·||S||/d.
+        let engine = Engine::new().feedback(FeedbackMode::Apply);
+        for (name, seed) in [("r", 11), ("s", 12)] {
+            engine
+                .generate(
+                    TableSpec::new(name, 1000).column(ColumnSpec::new(
+                        "k",
+                        Distribution::ZipfInt { n: 100, theta: 1.0, start: 0 },
+                    )),
+                    seed,
+                )
+                .unwrap();
+        }
+        let sql = "SELECT COUNT(*) FROM r, s WHERE r.k = s.k";
+        let q = |est: f64, act: f64| (est.max(1.0) / act).max(act / est.max(1.0));
+        let first = engine.execute(sql).unwrap();
+        let actual = first.count as f64;
+        let q1 = q(*first.estimated_sizes.last().unwrap(), actual);
+        assert!(q1 > 2.0, "join workload not skewed enough: {q1}");
+        let second = engine.execute(sql).unwrap();
+        let q2 = q(*second.estimated_sizes.last().unwrap(), actual);
+        assert!(q2 <= q1, "join feedback regressed: {q1} -> {q2}");
+        assert!(q2 < 1.5, "join correction should be near-exact: {q2}");
+    }
+
+    #[test]
+    fn database_feedback_loop_matches_engine_semantics() {
+        let mut db = Database::new();
+        db.set_feedback(FeedbackMode::Apply);
+        db.generate(
+            TableSpec::new("z", 2000).column(ColumnSpec::new(
+                "k",
+                Distribution::ZipfInt { n: 1000, theta: 1.0, start: 0 },
+            )),
+            7,
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM z WHERE k < 10";
+        let first = db.explain_analyze(sql).unwrap();
+        let second = db.explain_analyze(sql).unwrap();
+        assert!(second.query_q_error() <= first.query_q_error());
+        assert!(second.query_q_error() < 1.5);
+        assert!(second.to_string().contains("corrected="), "{second}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::sync::Mutex;
 
+use els::catalog::FeedbackMode;
 use els::engine::Engine;
 use els::exec::metrics::enumerations;
 use els::storage::datagen::{ColumnSpec, Distribution, TableSpec};
@@ -156,6 +157,83 @@ fn epoch_bump_invalidates_cached_plans() {
     // Explicit invalidation works without any content change.
     engine.invalidate_plans();
     assert!(!engine.execute(sql).unwrap().cache_hit);
+}
+
+#[test]
+fn feedback_apply_stays_correct_and_bounded_under_concurrency() {
+    let _guard = GUARD.lock().unwrap();
+    // Skewed data so corrections actually publish while eight threads hammer
+    // the same queries: results must stay exactly serial, no observation may
+    // be lost, and the per-key publication cap must bound epoch churn.
+    let make = || {
+        let engine = Engine::new().feedback(FeedbackMode::Apply);
+        engine
+            .generate(
+                TableSpec::new("z", 2000).column(ColumnSpec::new(
+                    "k",
+                    Distribution::ZipfInt { n: 1000, theta: 1.0, start: 0 },
+                )),
+                7,
+            )
+            .unwrap();
+        engine
+            .generate(
+                TableSpec::new("b", 500)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                2,
+            )
+            .unwrap();
+        engine
+    };
+    let engine = make();
+    let queries = [
+        "SELECT COUNT(*) FROM z WHERE k < 10".to_owned(),
+        "SELECT COUNT(*) FROM z WHERE k < 50".to_owned(),
+        "SELECT COUNT(*) FROM z, b WHERE z.k = b.k".to_owned(),
+        "SELECT COUNT(*) FROM z, b WHERE z.k = b.k AND z.k < 10".to_owned(),
+    ];
+    let reference = make();
+    let expected: Vec<u64> = queries.iter().map(|q| reference.execute(q).unwrap().count).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let engine = &engine;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                for i in 0..50usize {
+                    let q = (i + t) % queries.len();
+                    let out = engine.execute(&queries[q]).unwrap();
+                    assert_eq!(
+                        out.count, expected[q],
+                        "thread {t} iteration {i} diverged on `{}`",
+                        queries[q]
+                    );
+                }
+            });
+        }
+    });
+
+    let counters = engine.snapshot().feedback().counters();
+    // Every execution harvests at least its root operator: 400 executions,
+    // no lost updates under contention.
+    assert!(counters.learned >= 400, "observations were lost: {counters:?}");
+    // Edge-triggered publication with a per-key cap bounds epoch churn: far
+    // fewer bumps than executions, and never more than cap x keys.
+    assert!(counters.epoch_bumps >= 1, "skewed workload must publish: {counters:?}");
+    assert!(
+        counters.epoch_bumps <= 8 * counters.keys,
+        "epoch churn exceeded the per-key cap: {counters:?}"
+    );
+    assert!(
+        counters.epoch_bumps < 40,
+        "epoch bumps should be rare after corrections settle: {counters:?}"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 400);
+    // Corrections settle, so the cache still serves the vast majority of
+    // executions from corrected plans.
+    assert!(stats.hit_rate() > 0.8, "{stats:?}");
 }
 
 #[test]
