@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use els_core::correction::CorrectionSource;
+use els_core::sync::lock_recovering;
 use els_core::ColumnRef;
 
 /// How the engine uses the feedback store.
@@ -232,7 +233,7 @@ impl FeedbackStore {
         let residual = ratio.ln();
         let bound = FeedbackStore::CORRECTION_BOUND.ln();
         self.learned.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("feedback store lock never poisoned");
+        let mut entries = lock_recovering(&self.entries);
         let entry = entries.entry(key).or_insert(CorrectionEntry {
             log_live: 0.0,
             log_pub: 0.0,
@@ -263,7 +264,7 @@ impl FeedbackStore {
     /// store with zero published corrections therefore leaves every
     /// estimate bit-identical to [`FeedbackMode::Off`].
     pub fn correction(&self, key: &FeedbackKey) -> Option<f64> {
-        let entries = self.entries.lock().expect("feedback store lock never poisoned");
+        let entries = lock_recovering(&self.entries);
         let log_pub = entries.get(key).map(|e| e.log_pub).filter(|&l| l != 0.0)?;
         drop(entries);
         self.applied.fetch_add(1, Ordering::Relaxed);
@@ -272,7 +273,7 @@ impl FeedbackStore {
 
     /// Point-in-time counters.
     pub fn counters(&self) -> FeedbackCounters {
-        let entries = self.entries.lock().expect("feedback store lock never poisoned");
+        let entries = lock_recovering(&self.entries);
         let keys = entries.len() as u64;
         let published = entries.values().filter(|e| e.log_pub != 0.0).count() as u64;
         drop(entries);
@@ -288,7 +289,7 @@ impl FeedbackStore {
     /// Sorted `(key, published correction, observations)` rows for
     /// reports; unpublished keys report a correction of 1.0.
     pub fn snapshot(&self) -> Vec<(FeedbackKey, f64, u64)> {
-        let entries = self.entries.lock().expect("feedback store lock never poisoned");
+        let entries = lock_recovering(&self.entries);
         let mut rows: Vec<(FeedbackKey, f64, u64)> =
             entries.iter().map(|(k, e)| (k.clone(), e.log_pub.exp(), e.observations)).collect();
         drop(entries);
@@ -298,7 +299,7 @@ impl FeedbackStore {
 
     /// Number of tracked keys.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("feedback store lock never poisoned").len()
+        lock_recovering(&self.entries).len()
     }
 
     /// True when no key is tracked.

@@ -39,6 +39,14 @@
 //! assert_eq!(stats.columns[0].distinct, 1000.0);
 //! ```
 
+// Clippy-level twin of the els-lint panic-freedom and metrics-only-io
+// passes (scripts/check.sh runs clippy with `-D warnings`, so these warn
+// levels are bans on non-test library code).
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)
+)]
+
 pub mod catalog;
 pub mod collect;
 pub mod error;

@@ -17,6 +17,8 @@ use std::sync::{Arc, RwLock};
 
 use els_storage::Table;
 
+use els_core::sync::{read_recovering, write_recovering};
+
 use crate::catalog::Catalog;
 use crate::collect::CollectOptions;
 use crate::error::CatalogResult;
@@ -98,13 +100,13 @@ impl SharedCatalog {
     /// The current contents + epoch. Readers work from this and never
     /// contend with each other.
     pub fn snapshot(&self) -> CatalogSnapshot {
-        let state = self.state.read().expect("catalog lock never poisoned");
+        let state = read_recovering(&self.state);
         CatalogSnapshot { catalog: Arc::clone(&state.catalog), epoch: state.epoch }
     }
 
     /// The current epoch (advances by at least 1 on every mutation).
     pub fn epoch(&self) -> u64 {
-        self.state.read().expect("catalog lock never poisoned").epoch
+        read_recovering(&self.state).epoch
     }
 
     /// Register a table (copy-on-write publish; bumps the epoch on
@@ -117,7 +119,7 @@ impl SharedCatalog {
     /// publish it, bumping the epoch. Use for statistics refreshes or
     /// multi-table changes that must appear atomically.
     pub fn update<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
-        let mut state = self.state.write().expect("catalog lock never poisoned");
+        let mut state = write_recovering(&self.state);
         let mut next = (*state.catalog).clone();
         let out = f(&mut next);
         state.catalog = Arc::new(next);
@@ -128,7 +130,7 @@ impl SharedCatalog {
     /// Like [`SharedCatalog::update`] but publishes (and bumps the epoch)
     /// only when the mutation succeeds.
     pub fn try_update<R, E>(&self, f: impl FnOnce(&mut Catalog) -> Result<R, E>) -> Result<R, E> {
-        let mut state = self.state.write().expect("catalog lock never poisoned");
+        let mut state = write_recovering(&self.state);
         let mut next = (*state.catalog).clone();
         let out = f(&mut next)?;
         state.catalog = Arc::new(next);
@@ -141,7 +143,7 @@ impl SharedCatalog {
     /// hatch for invalidation causes the epoch cannot see, such as edited
     /// cost-model constants.
     pub fn invalidate(&self) {
-        self.state.write().expect("catalog lock never poisoned").epoch += 1;
+        write_recovering(&self.state).epoch += 1;
     }
 }
 

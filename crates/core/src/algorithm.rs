@@ -319,6 +319,7 @@ mod tests {
     use super::*;
     use crate::predicate::CmpOp;
     use crate::stats::{ColumnStatistics, TableStatistics};
+    use crate::ElsError;
 
     fn c(t: usize, col: usize) -> ColumnRef {
         ColumnRef::new(t, col)
@@ -447,5 +448,23 @@ mod tests {
         assert!(!o.apply_closure);
         assert_eq!(o.distinct_reduction, DistinctReduction::Proportional);
         assert_eq!(o.representative, RepresentativeStrategy::GeometricMean);
+    }
+
+    /// Regression: degenerate table ids through the `Els` facade surface as
+    /// `InvalidJoinStep`, never as an indexing or shift-overflow panic.
+    #[test]
+    fn facade_rejects_out_of_range_tables_with_typed_errors() {
+        let (stats, preds) = section8();
+        let els = Els::prepare(&preds, &stats, &ElsOptions::default()).unwrap();
+        let s = els.initial_state(0).unwrap();
+        for bad in [stats.num_tables(), 64, usize::MAX] {
+            assert!(
+                matches!(els.effective_cardinality(bad), Err(ElsError::UnknownTable(t)) if t == bad)
+            );
+            assert!(els.initial_state(bad).is_err());
+            assert!(els.join(&s, bad).is_err());
+            assert!(els.estimate_order(&[0, bad]).is_err());
+            assert!(els.estimate_final(&[bad]).is_err());
+        }
     }
 }

@@ -46,9 +46,9 @@ pub fn transitive_closure(predicates: &[Predicate]) -> Vec<Predicate> {
     // Rules a–d: all pairs within each class.
     let mut implied: Vec<Predicate> = Vec::new();
     for (_, members) in classes.iter() {
-        for i in 0..members.len() {
-            for j in (i + 1)..members.len() {
-                implied.push(Predicate::col_eq(members[i], members[j]));
+        for (i, &a) in members.iter().enumerate() {
+            for &b in members.iter().skip(i + 1) {
+                implied.push(Predicate::col_eq(a, b));
             }
         }
     }
@@ -81,12 +81,12 @@ pub fn pairwise_fixpoint(predicates: &[Predicate]) -> Vec<Predicate> {
     let mut set = dedup_predicates(predicates);
     loop {
         let mut new: Vec<Predicate> = Vec::new();
-        for i in 0..set.len() {
-            for j in 0..set.len() {
+        for (i, a) in set.iter().enumerate() {
+            for (j, b) in set.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                if let Some(p) = imply(&set[i], &set[j]) {
+                if let Some(p) = imply(a, b) {
                     if !set.contains(&p) && !new.contains(&p) {
                         new.push(p);
                     }

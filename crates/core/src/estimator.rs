@@ -138,12 +138,24 @@ impl PreparedQuery {
         self.rule
     }
 
-    /// Start a join with a single base table.
-    pub fn initial_state(&self, table: TableId) -> ElsResult<JoinState> {
-        if table >= self.num_tables() || table >= MAX_TABLES {
+    /// The effective cardinality of `table`, or a typed error when the id
+    /// is outside the query or the 64-table state mask. Centralizing the
+    /// bound check keeps the estimator free of indexing panics: Algorithm
+    /// ELS must degrade to an error on degenerate inputs, never abort.
+    fn checked_base(&self, table: TableId) -> ElsResult<f64> {
+        if table >= MAX_TABLES {
             return Err(ElsError::InvalidJoinStep { table, reason: "table out of range" });
         }
-        Ok(JoinState { tables: 1 << table, cardinality: self.table_cardinality[table] })
+        self.table_cardinality
+            .get(table)
+            .copied()
+            .ok_or(ElsError::InvalidJoinStep { table, reason: "table out of range" })
+    }
+
+    /// Start a join with a single base table.
+    pub fn initial_state(&self, table: TableId) -> ElsResult<JoinState> {
+        let cardinality = self.checked_base(table)?;
+        Ok(JoinState { tables: 1 << table, cardinality })
     }
 
     /// Selectivities of the predicates linking `table` to the tables of
@@ -164,9 +176,7 @@ impl PreparedQuery {
     /// cardinality. When no predicate links the new table to the state the
     /// step is a cartesian product.
     pub fn join(&self, state: &JoinState, table: TableId) -> ElsResult<JoinState> {
-        if table >= self.num_tables() {
-            return Err(ElsError::InvalidJoinStep { table, reason: "table out of range" });
-        }
+        let base = self.checked_base(table)?;
         if state.contains(table) {
             return Err(ElsError::InvalidJoinStep { table, reason: "table already joined" });
         }
@@ -180,7 +190,7 @@ impl PreparedQuery {
         }
         Ok(JoinState {
             tables: state.tables | (1 << table),
-            cardinality: state.cardinality * self.table_cardinality[table] * selectivity,
+            cardinality: state.cardinality * base * selectivity,
         })
     }
 
@@ -194,6 +204,7 @@ impl PreparedQuery {
         table: TableId,
     ) -> ElsResult<JoinStepExplanation> {
         let new_state = self.join(state, table)?;
+        let base_cardinality = self.checked_base(table)?;
         let mut classes: Vec<ClassChoice> = self
             .eligible_by_class(state, table)
             .into_iter()
@@ -206,7 +217,7 @@ impl PreparedQuery {
         classes.sort_by_key(|c| c.class);
         Ok(JoinStepExplanation {
             table,
-            base_cardinality: self.table_cardinality[table],
+            base_cardinality,
             classes,
             cardinality_before: state.cardinality(),
             cardinality_after: new_state.cardinality(),
@@ -441,5 +452,47 @@ mod tests {
         let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
         assert!(q.estimate_order(&[]).unwrap().is_empty());
         assert!(q.estimate_order(&[2]).unwrap().is_empty());
+    }
+
+    /// Regression: table ids at or past the 64-table state mask used to
+    /// reach `1 << table` (a shift-overflow panic in debug builds) and
+    /// direct `table_cardinality[table]` indexing. Every entry point must
+    /// return a typed error instead.
+    #[test]
+    fn out_of_range_tables_are_typed_errors_not_panics() {
+        let q = example_1b(SelectivityRule::LargestSelectivity, Default::default());
+        let s = q.initial_state(0).unwrap();
+        for bad in [MAX_TABLES, MAX_TABLES + 1, usize::MAX] {
+            assert!(matches!(
+                q.initial_state(bad),
+                Err(ElsError::InvalidJoinStep { reason: "table out of range", .. })
+            ));
+            assert!(matches!(q.join(&s, bad), Err(ElsError::InvalidJoinStep { .. })));
+            assert!(q.explain_join(&s, bad).is_err());
+            assert!(q.base_cardinality(bad).is_err());
+            assert!(q.estimate_order(&[0, bad]).is_err());
+        }
+    }
+
+    /// Regression: a caller may hand `from_parts` more than [`MAX_TABLES`]
+    /// cardinalities. Table 64 then exists in the vector but has no bit in
+    /// the state mask — it must be rejected, not silently aliased to bit 0.
+    #[test]
+    fn oversized_table_vector_cannot_overflow_the_state_mask() {
+        let q = PreparedQuery::from_parts(
+            vec![10.0; MAX_TABLES + 8],
+            Vec::new(),
+            HashMap::new(),
+            SelectivityRule::LargestSelectivity,
+        );
+        assert!(q.initial_state(MAX_TABLES - 1).is_ok());
+        assert!(matches!(
+            q.initial_state(MAX_TABLES),
+            Err(ElsError::InvalidJoinStep { table, reason: "table out of range" })
+                if table == MAX_TABLES
+        ));
+        let s = q.initial_state(0).unwrap();
+        assert!(q.join(&s, MAX_TABLES).is_err());
+        assert!(q.join(&s, MAX_TABLES + 7).is_err());
     }
 }

@@ -70,6 +70,14 @@
 //! assert_eq!(m2.cardinality().round(), 1.0);
 //! ```
 
+// Clippy-level twin of the els-lint panic-freedom and metrics-only-io
+// passes (scripts/check.sh runs clippy with `-D warnings`, so these warn
+// levels are bans on non-test library code).
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)
+)]
+
 pub mod algorithm;
 pub mod closure;
 pub mod correction;
@@ -87,6 +95,7 @@ pub mod rules;
 pub mod same_table;
 pub mod selectivity;
 pub mod stats;
+pub mod sync;
 pub mod urn;
 
 pub use algorithm::{Els, ElsOptions, Preprocessing};

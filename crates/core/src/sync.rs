@@ -1,0 +1,73 @@
+//! The engine's single poisoned-lock policy: **recover**.
+//!
+//! Every shared structure in the engine guarded by a `Mutex`/`RwLock` —
+//! the plan cache, the metrics registry, the feedback store, the shared
+//! catalog — maintains its invariants at every point a panic can unwind
+//! through (plain counters, maps, and copy-on-write snapshots; no
+//! multi-step states held across calls into user code). Poisoning
+//! therefore adds no safety and subtracts a lot of availability: one
+//! panicking worker thread would cascade `PoisonError`s into every other
+//! thread touching the engine. These helpers centralize the decision to
+//! take the guard anyway, so the policy is written (and lintable) in
+//! exactly one place instead of being re-decided at each `lock()` site.
+//!
+//! If a structure ever *does* need partial-update protection, it should
+//! not reach for poisoning — it should keep a generation counter or build
+//! the new state off to the side and swap it in, as `SharedCatalog` does.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub fn lock_recovering<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Take a read lock, recovering the guard if a writer panicked.
+pub fn read_recovering<T: ?Sized>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Take a write lock, recovering the guard if a previous holder panicked.
+pub fn write_recovering<T: ?Sized>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn poison<T: Send + Sync + 'static>(m: &Arc<Mutex<T>>) {
+        let m2 = Arc::clone(m);
+        let res = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("first holder");
+            panic!("deliberate: poison the mutex");
+        })
+        .join();
+        assert!(res.is_err(), "worker should have panicked");
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers_with_data_intact() {
+        let m = Arc::new(Mutex::new(41));
+        poison(&m);
+        assert!(m.is_poisoned());
+        *lock_recovering(&m) += 1;
+        assert_eq!(*lock_recovering(&m), 42);
+    }
+
+    #[test]
+    fn poisoned_rwlock_recovers_for_readers_and_writers() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let l2 = Arc::clone(&l);
+        let res = std::thread::spawn(move || {
+            let _guard = l2.write().expect("first writer");
+            panic!("deliberate: poison the rwlock");
+        })
+        .join();
+        assert!(res.is_err());
+        assert_eq!(read_recovering(&l).len(), 3);
+        write_recovering(&l).push(4);
+        assert_eq!(*read_recovering(&l), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,7 +1,9 @@
 //! Plan interpretation.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::timing::Stopwatch;
 
 use els_storage::Table;
 
@@ -230,7 +232,7 @@ fn execute_plan_io_observed(
     obs: &mut Observations,
     mode: ExecMode,
 ) -> ExecResult<ExecOutput> {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut metrics = ExecMetrics::default();
     let (mut rows, count): (Table, u64) = match mode {
         ExecMode::RowAtATime => {
@@ -408,7 +410,7 @@ pub fn execute_node_observed(
     io: &mut crate::buffer::PageIo,
     obs: &mut Observations,
 ) -> ExecResult<Chunk> {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let chunk = execute_node_inner(node, tables, metrics, io, obs)?;
     match node {
         PlanNode::Scan { table_id, .. } => {

@@ -24,6 +24,14 @@
 //! applied at the scan too. Correctness of every join method is tested
 //! against a brute-force cartesian evaluator.
 
+// Clippy-level twin of the els-lint panic-freedom and metrics-only-io
+// passes (scripts/check.sh runs clippy with `-D warnings`, so these warn
+// levels are bans on non-test library code).
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)
+)]
+
 pub mod buffer;
 pub mod chunk;
 pub mod error;
@@ -33,6 +41,7 @@ pub mod index;
 pub mod join;
 pub mod metrics;
 pub mod plan;
+pub mod timing;
 pub mod vectorized;
 
 pub use buffer::{BufferPool, PageIo};

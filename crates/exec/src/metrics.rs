@@ -15,6 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
+use els_core::sync::lock_recovering;
+
 /// Counters accumulated while executing one plan.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExecMetrics {
@@ -318,7 +320,7 @@ impl MetricsRegistry {
     /// Record one per-operator (or per-query) q-error under a selectivity
     /// rule label (e.g. `"LS"`, `"M"`).
     pub fn record_q_error(&self, rule: &str, q: f64) {
-        let mut map = self.qerr.lock().expect("q-error map poisoned");
+        let mut map = lock_recovering(&self.qerr);
         map.entry(rule.to_owned()).or_default().record(q);
     }
 
@@ -363,7 +365,7 @@ impl MetricsRegistry {
 
     /// Copy of the q-error histogram recorded under `rule`, if any.
     pub fn q_error_histogram(&self, rule: &str) -> Option<QErrorHistogram> {
-        self.qerr.lock().expect("q-error map poisoned").get(rule).cloned()
+        lock_recovering(&self.qerr).get(rule).cloned()
     }
 
     /// JSON export of everything in the registry. Hand-rolled (no serde in
@@ -402,7 +404,7 @@ impl MetricsRegistry {
              \"epoch_bumps\": {epoch_bumps} }},",
         );
         json.push_str("  \"q_error\": {");
-        let map = self.qerr.lock().expect("q-error map poisoned");
+        let map = lock_recovering(&self.qerr);
         for (i, (rule, h)) in map.iter().enumerate() {
             let _ = write!(
                 json,

@@ -1,0 +1,64 @@
+//! The one place the engine reads a wall clock.
+//!
+//! PR 3 made `Observations` compare timing-blind (a manual `PartialEq`
+//! skips the elapsed vectors) exactly so differential tests never depend
+//! on wall time. That property survives only if clock reads stay behind a
+//! single seam: the `determinism` pass of `els-lint` bans `Instant` and
+//! `SystemTime` in every other library module, and this file is its entire
+//! allowlist. Operators measure durations through [`Stopwatch`]; nothing
+//! else in library code may observe time.
+
+use std::time::Duration;
+// The clippy-level twin of the els-lint determinism pass disallows
+// `Instant::now` everywhere; this module is the seam it points to.
+#[allow(clippy::disallowed_methods)]
+mod clock {
+    use std::time::{Duration, Instant};
+
+    /// A started wall-clock measurement.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Stopwatch {
+        start: Instant,
+    }
+
+    impl Stopwatch {
+        /// Start measuring now.
+        pub fn start() -> Stopwatch {
+            Stopwatch { start: Instant::now() }
+        }
+
+        /// Wall time since [`Stopwatch::start`].
+        pub fn elapsed(&self) -> Duration {
+            self.start.elapsed()
+        }
+    }
+}
+
+pub use clock::Stopwatch;
+
+/// Measure one closure, returning its result and its wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let sw = Stopwatch::start();
+    let out = f();
+    (out, sw.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn timed_returns_the_closure_result() {
+        let (v, d) = timed(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+}

@@ -221,7 +221,7 @@ fn exec_node(
     workers: usize,
     st: &mut ExecState<'_>,
 ) -> ExecResult<VChunk> {
-    let start = std::time::Instant::now();
+    let start = crate::timing::Stopwatch::start();
     let out = exec_inner(node, tables, workers, st)?;
     match node {
         PlanNode::Scan { table_id, .. } => {
@@ -526,6 +526,7 @@ fn parallel_probe(
                 })
             })
             .collect();
+        // els-lint: allow(panic-freedom, "re-raises a probe-worker panic on the coordinating thread; swallowing it would return truncated join results")
         handles.into_iter().flat_map(|h| h.join().expect("probe worker panicked")).collect()
     });
     parts.sort_unstable_by_key(|&(m, _)| m);

@@ -1,0 +1,267 @@
+//! `els-lint` — in-workspace static analysis for the ELS engine.
+//!
+//! Five passes enforce invariants the test suite cannot see (see
+//! `DESIGN.md` §4f): panic-freedom, determinism, metrics-only I/O, atomics
+//! discipline, and crate layering. Pre-existing violations are
+//! grandfathered in `lint-baseline.json`, a ratchet: per-file-per-lint
+//! counts may only decrease, new violations fail, and suppressions require
+//! a written justification that is reviewed like code.
+
+pub mod baseline;
+pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use passes::{Lint, Violation};
+use source::SourceFile;
+
+/// The library targets the passes cover: the six engine crates plus the
+/// umbrella facade. Tooling (els-bench, els-lint) and the vendored shims
+/// are exempt by construction — printing and clock reads are their job.
+pub const LIBRARY_SRC_ROOTS: &[(&str, &str)] = &[
+    ("els-storage", "crates/storage/src"),
+    ("els-core", "crates/core/src"),
+    ("els-catalog", "crates/catalog/src"),
+    ("els-sql", "crates/sql/src"),
+    ("els-exec", "crates/exec/src"),
+    ("els-optimizer", "crates/optimizer/src"),
+    ("els", "src"),
+];
+
+/// Manifests the layering pass reads, alongside their crate names.
+pub const LIBRARY_MANIFESTS: &[(&str, &str)] = &[
+    ("els-storage", "crates/storage/Cargo.toml"),
+    ("els-core", "crates/core/Cargo.toml"),
+    ("els-catalog", "crates/catalog/Cargo.toml"),
+    ("els-sql", "crates/sql/Cargo.toml"),
+    ("els-exec", "crates/exec/Cargo.toml"),
+    ("els-optimizer", "crates/optimizer/Cargo.toml"),
+    ("els", "Cargo.toml"),
+];
+
+/// Name of the committed ratchet file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// Hard errors that fail the run regardless of the baseline: malformed or
+/// unused suppressions, unreadable files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardError {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line (0 when the error is about the whole file).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Everything one run produced, ready for reporting.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Number of library source files scanned.
+    pub files_scanned: usize,
+    /// All violations, suppressed ones included (marked).
+    pub violations: Vec<Violation>,
+    /// Unsuppressed counts per (lint, file).
+    pub counts: Baseline,
+    /// The committed baseline the counts were compared against.
+    pub baseline: Baseline,
+    /// Violations not covered by the baseline — these fail the run.
+    pub new_violations: Vec<Violation>,
+    /// Malformed/unused suppressions and I/O problems — always fail.
+    pub hard_errors: Vec<HardError>,
+}
+
+impl Outcome {
+    /// True when the tree is clean under the ratchet.
+    pub fn is_ok(&self) -> bool {
+        self.new_violations.is_empty() && self.hard_errors.is_empty()
+    }
+}
+
+/// Run every pass over the workspace at `root`.
+pub fn run(root: &Path) -> Result<Outcome, String> {
+    let mut violations = Vec::new();
+    let mut hard_errors = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for (_, src_root) in LIBRARY_SRC_ROOTS {
+        let dir = root.join(src_root);
+        if !dir.is_dir() {
+            return Err(format!("library source root `{src_root}` not found under {root:?}"));
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        files.sort();
+        for path in files {
+            files_scanned += 1;
+            let rel = rel_path(root, &path);
+            let text =
+                fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", rel))?;
+            let file = SourceFile::parse(&rel, &text);
+            lint_one_file(&file, &mut violations, &mut hard_errors);
+        }
+    }
+
+    for (crate_name, manifest_rel) in LIBRARY_MANIFESTS {
+        let text = fs::read_to_string(root.join(manifest_rel))
+            .map_err(|e| format!("cannot read {manifest_rel}: {e}"))?;
+        passes::run_layering_pass(crate_name, manifest_rel, &text, &mut violations);
+    }
+
+    let counts = count_unsuppressed(&violations);
+    let baseline = load_baseline(root)?;
+    let new_violations = find_new(&violations, &counts, &baseline);
+
+    Ok(Outcome { files_scanned, violations, counts, baseline, new_violations, hard_errors })
+}
+
+/// Lint one parsed file: run the token passes, then apply suppressions.
+/// Suppression rules: the lint name must exist, the justification is
+/// mandatory (enforced at parse), and a suppression that matches no
+/// violation is itself an error — stale allows rot into lies.
+fn lint_one_file(
+    file: &SourceFile,
+    violations: &mut Vec<Violation>,
+    hard_errors: &mut Vec<HardError>,
+) {
+    for e in &file.errors {
+        hard_errors.push(HardError {
+            file: file.rel_path.clone(),
+            line: e.line,
+            message: e.message.clone(),
+        });
+    }
+    let mut fresh = Vec::new();
+    passes::run_token_passes(file, &mut fresh);
+    for sup in &file.suppressions {
+        let Some(lint) = Lint::from_name(&sup.lint) else {
+            hard_errors.push(HardError {
+                file: file.rel_path.clone(),
+                line: sup.line,
+                message: format!(
+                    "suppression names unknown lint `{}` (known: {})",
+                    sup.lint,
+                    Lint::all().map(Lint::name).join(", ")
+                ),
+            });
+            continue;
+        };
+        let mut used = false;
+        for v in fresh.iter_mut().filter(|v| v.lint == lint && v.line == sup.applies_to) {
+            v.suppressed = true;
+            used = true;
+        }
+        if !used {
+            hard_errors.push(HardError {
+                file: file.rel_path.clone(),
+                line: sup.line,
+                message: format!(
+                    "unused suppression: no `{}` violation on line {}",
+                    sup.lint, sup.applies_to
+                ),
+            });
+        }
+    }
+    violations.append(&mut fresh);
+}
+
+/// Unsuppressed violation counts per (lint, file).
+pub fn count_unsuppressed(violations: &[Violation]) -> Baseline {
+    let mut counts = Baseline::new();
+    for v in violations.iter().filter(|v| !v.suppressed) {
+        *counts.entry(v.lint.name().to_string()).or_default().entry(v.file.clone()).or_insert(0) +=
+            1;
+    }
+    counts
+}
+
+/// The violations exceeding the baseline: for each (lint, file) whose
+/// count is above its grandfathered allowance, the trailing `count -
+/// allowed` violations (by source order) are reported as new.
+fn find_new(violations: &[Violation], counts: &Baseline, baseline: &Baseline) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (lint, files) in counts {
+        for (file, &count) in files {
+            let allowed = baseline.get(lint).and_then(|f| f.get(file)).copied().unwrap_or(0);
+            if count <= allowed {
+                continue;
+            }
+            let over = (count - allowed) as usize;
+            let mut matching: Vec<&Violation> = violations
+                .iter()
+                .filter(|v| !v.suppressed && v.lint.name() == lint && v.file == *file)
+                .collect();
+            matching.sort_by_key(|v| (v.line, v.col));
+            out.extend(matching.into_iter().rev().take(over).rev().cloned());
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    out
+}
+
+/// Load `lint-baseline.json`; a missing file is an empty baseline (the
+/// bootstrap case).
+pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let path = root.join(BASELINE_FILE);
+    if !path.exists() {
+        return Ok(Baseline::new());
+    }
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {BASELINE_FILE}: {e}"))?;
+    baseline::from_json(&text).map_err(|e| format!("{BASELINE_FILE}: {e}"))
+}
+
+/// Write the current counts as the new baseline. The caller has already
+/// checked the `ELS_LINT_BASELINE_UPDATE` gate.
+pub fn write_baseline(root: &Path, counts: &Baseline) -> Result<(), String> {
+    fs::write(root.join(BASELINE_FILE), baseline::to_json(counts))
+        .map_err(|e| format!("cannot write {BASELINE_FILE}: {e}"))
+}
+
+/// Per-lint rollup used by the delta report: (current, baselined,
+/// suppressed) for each lint name.
+pub fn per_lint_summary(outcome: &Outcome) -> BTreeMap<String, (u64, u64, u64)> {
+    let mut out: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    for lint in Lint::all() {
+        out.insert(lint.name().to_string(), (0, 0, 0));
+    }
+    for (lint, files) in &outcome.counts {
+        out.entry(lint.clone()).or_default().0 += files.values().sum::<u64>();
+    }
+    for (lint, files) in &outcome.baseline {
+        out.entry(lint.clone()).or_default().1 += files.values().sum::<u64>();
+    }
+    for v in outcome.violations.iter().filter(|v| v.suppressed) {
+        out.entry(v.lint.name().to_string()).or_default().2 += 1;
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {dir:?}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {dir:?}: {e}"))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,102 @@
+//! CLI for `els-lint`. Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -q -p els-lint            # human report, ratchet check
+//! cargo run --release -q -p els-lint -- --json  # structured report
+//! ELS_LINT_BASELINE_UPDATE=1 cargo run -q -p els-lint -- --baseline-update
+//! ```
+//!
+//! Exit codes: 0 clean, 1 new violations or malformed/unused suppressions,
+//! 2 usage or I/O errors.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut update = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--baseline-update" => update = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+
+    let outcome = match els_lint::run(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("els-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update {
+        // The ratchet only loosens deliberately: the flag alone is not
+        // enough, the environment must opt in too (see scripts/check.sh).
+        if env::var("ELS_LINT_BASELINE_UPDATE").as_deref() != Ok("1") {
+            eprintln!(
+                "els-lint: --baseline-update is gated: set ELS_LINT_BASELINE_UPDATE=1 \
+                 to rewrite the ratchet baseline"
+            );
+            return ExitCode::from(2);
+        }
+        if !outcome.hard_errors.is_empty() {
+            print!("{}", els_lint::report::human(&outcome));
+            eprintln!("els-lint: fix suppression errors before updating the baseline");
+            return ExitCode::from(1);
+        }
+        if let Err(e) = els_lint::write_baseline(&root, &outcome.counts) {
+            eprintln!("els-lint: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "els-lint: baseline rewritten with {} grandfathered violation(s)",
+            outcome.counts.values().flat_map(|f| f.values()).sum::<u64>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", els_lint::report::json(&outcome));
+    } else {
+        print!("{}", els_lint::report::human(&outcome));
+    }
+    if outcome.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("els-lint: {msg}");
+    eprintln!("usage: els-lint [--json] [--baseline-update] [--root <workspace>]");
+    ExitCode::from(2)
+}
+
+/// Walk up from the current directory to the first directory holding a
+/// workspace `Cargo.toml` (one with a `[workspace]` table).
+fn find_workspace_root() -> PathBuf {
+    let mut dir = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The linter must hold on the workspace that ships it: zero hard errors,
+//! zero violations beyond the committed ratchet baseline. This is the same
+//! gate `scripts/check.sh` runs, kept here so `cargo test` alone catches a
+//! regression (a new unwrap, a stray println!, an unjustified suppression)
+//! without the shell harness.
+
+use std::path::Path;
+
+use els_lint::{per_lint_summary, run};
+
+fn workspace_root() -> &'static Path {
+    // crates/lint/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+#[test]
+fn workspace_passes_its_own_lints() {
+    let outcome = run(workspace_root()).expect("lint run must not fail to read the tree");
+    assert!(
+        outcome.hard_errors.is_empty(),
+        "hard errors (malformed or unused suppressions): {:#?}",
+        outcome.hard_errors
+    );
+    assert!(
+        outcome.new_violations.is_empty(),
+        "violations beyond lint-baseline.json: {:#?}",
+        outcome.new_violations
+    );
+    assert!(outcome.is_ok());
+    // Sanity: the scan actually saw the engine, not an empty directory.
+    assert!(outcome.files_scanned > 30, "only {} files scanned", outcome.files_scanned);
+}
+
+#[test]
+fn ratchet_only_tightens() {
+    // The committed baseline may only ever shrink: if a file got cleaner
+    // than its baselined count, the baseline must be re-ratcheted down
+    // (ELS_LINT_BASELINE_UPDATE=1 cargo run -p els-lint -- --baseline-update)
+    // so the slack cannot be spent on new violations elsewhere in the file.
+    let outcome = run(workspace_root()).expect("lint run must not fail to read the tree");
+    let current = els_lint::count_unsuppressed(&outcome.violations);
+    for (lint, files) in &outcome.baseline {
+        for (file, &allowed) in files {
+            let now = current.get(lint).and_then(|m| m.get(file)).copied().unwrap_or(0);
+            assert!(
+                now >= allowed,
+                "{file} is below its `{lint}` baseline ({now} < {allowed}); \
+                 re-ratchet the baseline down"
+            );
+        }
+    }
+    // And the per-lint totals the report prints agree with the raw data.
+    for (lint, (cur, baselined, _suppressed)) in per_lint_summary(&outcome) {
+        let raw: u64 = current.get(&lint).map(|m| m.values().sum()).unwrap_or(0);
+        assert_eq!(cur, raw, "summary total for {lint} disagrees with violations");
+        assert!(cur <= baselined, "{lint}: {cur} unsuppressed but only {baselined} baselined");
+    }
+}

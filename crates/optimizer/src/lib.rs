@@ -27,6 +27,14 @@
 //! ~0 (Rule M after transitive closure) makes nested loops over a giant
 //! unfiltered inner look free, and the chosen plan pays for it at runtime.
 
+// Clippy-level twin of the els-lint panic-freedom and metrics-only-io
+// passes (scripts/check.sh runs clippy with `-D warnings`, so these warn
+// levels are bans on non-test library code).
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)
+)]
+
 pub mod cost;
 pub mod enumerate;
 pub mod error;

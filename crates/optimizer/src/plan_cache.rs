@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
+use els_core::sync::lock_recovering;
 use els_exec::{EngineCounters, EngineCountersSnapshot, MetricsRegistry};
 
 use crate::optimizer::OptimizedQuery;
@@ -91,7 +92,7 @@ impl PlanCache {
     /// a miss.
     pub fn get(&self, fingerprint: &str, epoch: u64) -> Option<Arc<CachedPlan>> {
         let global = MetricsRegistry::global().cache_counters();
-        let mut state = self.state.lock().expect("plan cache lock never poisoned");
+        let mut state = lock_recovering(&self.state);
         state.clock += 1;
         let clock = state.clock;
         match state.entries.get_mut(fingerprint) {
@@ -134,19 +135,15 @@ impl PlanCache {
             return;
         }
         let global = MetricsRegistry::global().cache_counters();
-        let mut state = self.state.lock().expect("plan cache lock never poisoned");
+        let mut state = lock_recovering(&self.state);
         state.clock += 1;
         let clock = state.clock;
         let prev = state.entries.insert(fingerprint, Entry { epoch, plan, last_used: clock });
         let stale_replaced = prev.as_ref().is_some_and(|e| e.epoch != epoch);
         let mut evicted = 0u64;
         while prev.is_none() && state.entries.len() > self.capacity {
-            let lru = state
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("over-capacity cache is non-empty");
+            let lru = state.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone());
+            let Some(lru) = lru else { break };
             state.entries.remove(&lru);
             evicted += 1;
         }
@@ -161,12 +158,12 @@ impl PlanCache {
 
     /// Drop every entry (configuration changed, tests).
     pub fn clear(&self) {
-        self.state.lock().expect("plan cache lock never poisoned").entries.clear();
+        lock_recovering(&self.state).entries.clear();
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("plan cache lock never poisoned").entries.len()
+        lock_recovering(&self.state).entries.len()
     }
 
     /// True when nothing is cached.

@@ -45,7 +45,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, kind: &TokenKind, what: &str) -> SqlResult<()> {
+    fn expect_token(&mut self, kind: &TokenKind, what: &str) -> SqlResult<()> {
         if self.peek() == Some(kind) {
             self.pos += 1;
             Ok(())
@@ -132,9 +132,9 @@ impl Parser {
 
     /// Parse `COUNT ( * )` with `COUNT` already consumed.
     fn count_star_tail(&mut self) -> SqlResult<()> {
-        self.expect(&TokenKind::LParen, "`(` after COUNT")?;
-        self.expect(&TokenKind::Star, "`*` in COUNT(*)")?;
-        self.expect(&TokenKind::RParen, "`)` after COUNT(*")?;
+        self.expect_token(&TokenKind::LParen, "`(` after COUNT")?;
+        self.expect_token(&TokenKind::Star, "`*` in COUNT(*)")?;
+        self.expect_token(&TokenKind::RParen, "`)` after COUNT(*")?;
         Ok(())
     }
 

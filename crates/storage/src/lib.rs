@@ -32,6 +32,14 @@
 //! assert_eq!(table.column_by_name("s").unwrap().distinct_count(), 1000);
 //! ```
 
+// Clippy-level twin of the els-lint panic-freedom and metrics-only-io
+// passes (scripts/check.sh runs clippy with `-D warnings`, so these warn
+// levels are bans on non-test library code).
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)
+)]
+
 pub mod column;
 pub mod csv;
 pub mod datagen;

@@ -7,6 +7,16 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Static analysis: the in-workspace linter (crates/lint) enforces
+# panic-freedom, determinism, metrics-only I/O, atomics discipline, and
+# crate layering against the ratchet baseline in lint-baseline.json. Its
+# report includes the per-lint current/baseline/suppressed delta table; a
+# non-zero exit means a new violation, a malformed/unused suppression, or
+# a layering break. To re-ratchet after burning down baselined debt:
+#   ELS_LINT_BASELINE_UPDATE=1 cargo run -q -p els-lint -- --baseline-update
+cargo run --release -q -p els-lint
+
 cargo fmt --check
 
 # Bench smoke: the kernel bench on a scaled-down workload. It exits

@@ -8,6 +8,11 @@
 //! elapses, and the mean/min per-iteration times are printed. There are
 //! no statistics, plots, or baselines.
 
+// Tooling/timing layer: measuring wall clocks (and exiting non-zero) is
+// this crate's job, so the workspace-wide `disallowed-methods` bans from
+// clippy.toml do not apply here.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -17,6 +17,14 @@
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction of
 //! the paper's experiment.
 
+// Clippy-level twin of the els-lint panic-freedom and metrics-only-io
+// passes (scripts/check.sh runs clippy with `-D warnings`, so these warn
+// levels are bans on non-test library code).
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)
+)]
+
 pub mod analyze;
 pub mod engine;
 
