@@ -1,0 +1,319 @@
+//! Estimator bake-off: accuracy *and* plan quality, side by side.
+//!
+//! The `accuracy` module answers "how wrong are the estimates"; this one
+//! adds the question the estimates exist to answer — "how good is the plan
+//! they chose". Each contender plans and executes the same workload:
+//!
+//! * **ELS** — the paper's full pipeline (`EstimatorPreset::Els`).
+//! * **Rule-M** — the standard multiplicative baseline
+//!   (`EstimatorPreset::Sm`).
+//! * **ELS+feedback** — ELS under [`FeedbackMode::Apply`], measured on the
+//!   replay pass after one learning pass over the workload.
+//! * **UES bound** — the sketch-style guaranteed upper bound
+//!   ([`EstimatorStrategy::UpperBound`]); its `underestimates` count must
+//!   be zero on every workload, by construction.
+//! * **Simpli-Squared** — the no-estimates baseline
+//!   ([`EstimatorStrategy::NoEstimates`]).
+//!
+//! Per contender we pool the join-operator q-errors (via
+//! `explain_analyze`) and separately time plain `execute` over the
+//! workload, so the JSON carries both the estimation error and the
+//! runtime of the plans that error bought.
+
+use std::time::Instant;
+
+use els::engine::Database;
+use els_catalog::FeedbackMode;
+use els_optimizer::{EstimatorPreset, EstimatorStrategy, OptimizerOptions};
+use els_storage::Table;
+
+use crate::workload::quantile;
+
+/// One contender's row of the bake-off table.
+#[derive(Debug, Clone)]
+pub struct BakeoffEntry {
+    /// Contender label, e.g. `UES bound`.
+    pub label: String,
+    /// The planning estimator's short name as reported by
+    /// `explain_analyze` ("LS", "M", "upper-bound", …).
+    pub rule: String,
+    /// Number of join-operator q-error samples.
+    pub samples: usize,
+    /// Median q-error (nearest-rank).
+    pub median_q: f64,
+    /// 95th-percentile q-error.
+    pub p95_q: f64,
+    /// Worst q-error.
+    pub max_q: f64,
+    /// Join operators whose estimate fell below the observed actual.
+    /// Must be 0 for the UES bound contender.
+    pub underestimates: usize,
+    /// Wall time executing the workload with this contender's plans.
+    pub runtime_ms: f64,
+}
+
+/// How a contender configures its database.
+struct Contender {
+    label: &'static str,
+    preset: EstimatorPreset,
+    strategy: EstimatorStrategy,
+    feedback: bool,
+}
+
+const CONTENDERS: [Contender; 5] = [
+    Contender {
+        label: "ELS",
+        preset: EstimatorPreset::Els,
+        strategy: EstimatorStrategy::Els,
+        feedback: false,
+    },
+    Contender {
+        label: "Rule-M",
+        preset: EstimatorPreset::Sm,
+        strategy: EstimatorStrategy::Els,
+        feedback: false,
+    },
+    Contender {
+        label: "ELS+feedback",
+        preset: EstimatorPreset::Els,
+        strategy: EstimatorStrategy::Els,
+        feedback: true,
+    },
+    Contender {
+        label: "UES bound",
+        preset: EstimatorPreset::Els,
+        strategy: EstimatorStrategy::UpperBound,
+        feedback: false,
+    },
+    Contender {
+        label: "Simpli-Squared",
+        preset: EstimatorPreset::Els,
+        strategy: EstimatorStrategy::NoEstimates,
+        feedback: false,
+    },
+];
+
+/// Run the bake-off: every contender plans and executes `queries` over its
+/// own database built from `tables`. Panics if a workload query fails —
+/// these are benchmark fixtures, not user input.
+pub fn estimator_bakeoff(tables: &[Table], queries: &[String]) -> Vec<BakeoffEntry> {
+    CONTENDERS
+        .iter()
+        .map(|c| {
+            let mut db = Database::new();
+            let mut options =
+                OptimizerOptions::preset(c.preset).with_bushy_trees().with_hash_join();
+            if c.feedback {
+                options = options.with_feedback(FeedbackMode::Apply);
+            }
+            db.set_optimizer_options(options);
+            db.set_strategy(c.strategy);
+            for table in tables {
+                db.register(table.clone()).expect("bake-off fixture tables register");
+            }
+            if c.feedback {
+                // Learning pass: harvest residuals so the measured pass
+                // replays the workload against corrected estimates.
+                for sql in queries {
+                    db.explain_analyze(sql).expect("bake-off learning pass executes");
+                }
+            }
+            let mut qerrs: Vec<f64> = Vec::new();
+            let mut underestimates = 0usize;
+            let mut rule = String::new();
+            for sql in queries {
+                let report = db.explain_analyze(sql).expect("bake-off workload queries execute");
+                rule = report.rule.clone();
+                for op in report.join_operators() {
+                    qerrs.extend([op.q_error()]);
+                    if op.estimated < op.actual as f64 {
+                        underestimates += 1;
+                    }
+                }
+            }
+            qerrs.sort_by(f64::total_cmp);
+            let (median_q, p95_q, max_q) = if qerrs.is_empty() {
+                (1.0, 1.0, 1.0)
+            } else {
+                (quantile(&qerrs, 0.5), quantile(&qerrs, 0.95), *qerrs.last().unwrap())
+            };
+            // Chosen-plan runtime: plain execution (no observation
+            // overhead) of the same workload, planned by this contender.
+            let start = Instant::now();
+            for sql in queries {
+                db.execute(sql).expect("bake-off timed pass executes");
+            }
+            let runtime_ms = start.elapsed().as_secs_f64() * 1e3;
+            BakeoffEntry {
+                label: c.label.to_owned(),
+                rule,
+                samples: qerrs.len(),
+                median_q,
+                p95_q,
+                max_q,
+                underestimates,
+                runtime_ms,
+            }
+        })
+        .collect()
+}
+
+/// The smoke-gate regression threshold on the ELS contender's median
+/// q-error.
+pub const ELS_MEDIAN_Q_LIMIT: f64 = 2.0;
+
+/// The gate conditions the smoke runs enforce. Returns one message per
+/// violated invariant (empty = healthy):
+///
+/// * the UES contender under-estimated a measured join (it claims to be an
+///   upper bound, so a single miss is a correctness bug, not noise), or
+/// * the ELS contender's median q-error exceeded [`ELS_MEDIAN_Q_LIMIT`].
+pub fn bakeoff_regressions(entries: &[BakeoffEntry]) -> Vec<String> {
+    let mut msgs = Vec::new();
+    for e in entries {
+        if e.label == "UES bound" && e.underestimates > 0 {
+            msgs.push(format!(
+                "UES bound under-estimated {} join operator(s) — not an upper bound",
+                e.underestimates
+            ));
+        }
+        if e.label == "ELS" && e.median_q > ELS_MEDIAN_Q_LIMIT {
+            msgs.push(format!(
+                "ELS median q-error {:.3} exceeds the {ELS_MEDIAN_Q_LIMIT} gate",
+                e.median_q
+            ));
+        }
+    }
+    msgs
+}
+
+/// Render the bake-off entries as a JSON array (hand-rolled; infinities
+/// become the string `"inf"` to stay valid JSON).
+pub fn bakeoff_json(entries: &[BakeoffEntry]) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.4}")
+        } else {
+            "\"inf\"".to_owned()
+        }
+    }
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"label\": \"{}\", \"rule\": \"{}\", \"samples\": {}, \
+                 \"median_q\": {}, \"p95_q\": {}, \"max_q\": {}, \
+                 \"underestimates\": {}, \"runtime_ms\": {}}}",
+                e.label,
+                e.rule,
+                e.samples,
+                num(e.median_q),
+                num(e.p95_q),
+                num(e.max_q),
+                e.underestimates,
+                num(e.runtime_ms)
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els_storage::datagen::starburst_experiment_tables_sized;
+
+    fn fixture() -> (Vec<Table>, Vec<String>) {
+        let tables = starburst_experiment_tables_sized(7, &[50, 500, 2_000, 4_000usize]);
+        (tables, vec![crate::SECTION8_SQL.to_owned()])
+    }
+
+    #[test]
+    fn bakeoff_covers_all_five_contenders() {
+        let (tables, queries) = fixture();
+        let entries = estimator_bakeoff(&tables, &queries);
+        let labels: Vec<&str> = entries.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["ELS", "Rule-M", "ELS+feedback", "UES bound", "Simpli-Squared"]);
+        for e in &entries {
+            assert_eq!(e.samples, 3, "{}: three joins in the 4-table chain", e.label);
+            assert!(e.runtime_ms > 0.0, "{}: timed pass did not run", e.label);
+        }
+    }
+
+    #[test]
+    fn ues_bound_never_underestimates_and_gate_is_quiet() {
+        let (tables, queries) = fixture();
+        let entries = estimator_bakeoff(&tables, &queries);
+        let ues = entries.iter().find(|e| e.label == "UES bound").unwrap();
+        assert_eq!(ues.underestimates, 0, "UES produced a below-actual estimate");
+        // An upper bound over-estimates by construction, so its q-error is
+        // its over-estimation factor — finite and at least 1.
+        assert!(ues.median_q >= 1.0 && ues.median_q.is_finite());
+        assert!(bakeoff_regressions(&entries).is_empty(), "{:?}", bakeoff_regressions(&entries));
+    }
+
+    #[test]
+    fn feedback_contender_beats_or_matches_raw_els() {
+        let (tables, queries) = fixture();
+        let entries = estimator_bakeoff(&tables, &queries);
+        let els = entries.iter().find(|e| e.label == "ELS").unwrap();
+        let fed = entries.iter().find(|e| e.label == "ELS+feedback").unwrap();
+        assert!(
+            fed.median_q <= els.median_q * 1.0001,
+            "feedback replay regressed: {} -> {}",
+            els.median_q,
+            fed.median_q
+        );
+    }
+
+    #[test]
+    fn gate_flags_a_lying_bound_and_a_degraded_els() {
+        let entries = vec![
+            BakeoffEntry {
+                label: "UES bound".to_owned(),
+                rule: "upper-bound".to_owned(),
+                samples: 3,
+                median_q: 5.0,
+                p95_q: 9.0,
+                max_q: 9.0,
+                underestimates: 2,
+                runtime_ms: 1.0,
+            },
+            BakeoffEntry {
+                label: "ELS".to_owned(),
+                rule: "LS".to_owned(),
+                samples: 3,
+                median_q: 3.5,
+                p95_q: 4.0,
+                max_q: 4.0,
+                underestimates: 0,
+                runtime_ms: 1.0,
+            },
+        ];
+        let msgs = bakeoff_regressions(&entries);
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[0].contains("not an upper bound"));
+        assert!(msgs[1].contains("exceeds"));
+    }
+
+    #[test]
+    fn bakeoff_json_is_stable_and_inf_safe() {
+        let entries = vec![BakeoffEntry {
+            label: "UES bound".to_owned(),
+            rule: "upper-bound".to_owned(),
+            samples: 3,
+            median_q: 4.0,
+            p95_q: f64::INFINITY,
+            max_q: f64::INFINITY,
+            underestimates: 0,
+            runtime_ms: 12.5,
+        }];
+        let json = bakeoff_json(&entries);
+        assert_eq!(
+            json,
+            "[{\"label\": \"UES bound\", \"rule\": \"upper-bound\", \"samples\": 3, \
+             \"median_q\": 4.0000, \"p95_q\": \"inf\", \"max_q\": \"inf\", \
+             \"underestimates\": 0, \"runtime_ms\": 12.5000}]"
+        );
+    }
+}

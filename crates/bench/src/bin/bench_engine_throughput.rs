@@ -25,6 +25,7 @@ use std::fmt::Write as _;
 use els_bench::accuracy::{
     accuracy_json, feedback_json, preset_accuracy, preset_feedback_accuracy,
 };
+use els_bench::bakeoff::{bakeoff_json, bakeoff_regressions, estimator_bakeoff};
 use els_bench::driver::{
     replay_parallel, replay_serial, section8_engine, section8_throughput_workload, Replay,
 };
@@ -116,6 +117,25 @@ fn main() {
         );
     }
 
+    // Bake-off section: the five estimator contenders (ELS, Rule-M,
+    // feedback-corrected ELS, the UES upper bound, Simpli-Squared) plan
+    // and execute the accuracy workload, pairing each contender's q-error
+    // with the runtime of the plans it chose. A UES under-estimate is a
+    // correctness bug (it claims to be a guaranteed bound), so it fails
+    // the run like a result divergence would.
+    let bakeoff = estimator_bakeoff(&accuracy_tables, &accuracy_queries);
+    for e in &bakeoff {
+        println!(
+            "bakeoff {:<15} rule {:<11} samples {:>2}  median q {:>9.2}  max q {:>9.2}  \
+             under-est {:>2}  runtime {:>8.3}ms",
+            e.label, e.rule, e.samples, e.median_q, e.max_q, e.underestimates, e.runtime_ms
+        );
+    }
+    let bakeoff_failures = bakeoff_regressions(&bakeoff);
+    for msg in &bakeoff_failures {
+        println!("BAKE-OFF REGRESSION: {msg}");
+    }
+
     let mut json = String::from("{\n  \"bench\": \"engine_throughput\",\n");
     let _ = write!(
         json,
@@ -128,6 +148,7 @@ fn main() {
     json_phase(&mut json, "parallel_8_threads_cached", &parallel);
     let _ = write!(json, "  \"accuracy\": {},\n", accuracy_json(&summaries));
     let _ = write!(json, "  \"feedback\": {},\n", feedback_json(&feedback));
+    let _ = write!(json, "  \"bakeoff\": {},\n", bakeoff_json(&bakeoff));
     let _ = write!(
         json,
         "  \"speedup_parallel_cached_vs_serial_uncached\": {speedup_parallel:.2},\n  \
@@ -176,4 +197,8 @@ fn main() {
         if ok_enums { "PASS" } else { "FAIL" },
     );
     println!("wrote BENCH_engine_throughput.json");
+    if !bakeoff_failures.is_empty() {
+        println!("REGRESSION: estimator bake-off gate failed");
+        std::process::exit(1);
+    }
 }

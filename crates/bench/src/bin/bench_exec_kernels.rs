@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use els_bench::accuracy::{
     accuracy_json, feedback_json, preset_accuracy, preset_feedback_accuracy,
 };
+use els_bench::bakeoff::{bakeoff_json, bakeoff_regressions, estimator_bakeoff};
 use els_catalog::collect::CollectOptions;
 use els_catalog::Catalog;
 use els_exec::{execute_plan_with, ExecMode, JoinMethod, PlanNode, QueryPlan};
@@ -260,17 +261,37 @@ fn main() {
         }
     }
 
+    // Bake-off pass: five estimator contenders (ELS, Rule-M, feedback-
+    // corrected ELS, the UES upper bound, and the Simpli-Squared
+    // no-estimates baseline) each plan AND execute the workload — q-error
+    // tells how wrong the estimates were, runtime what the plans cost. In
+    // smoke mode the gate fails on a UES under-estimate (it claims to be
+    // an upper bound) or a degraded ELS median.
+    let bakeoff = estimator_bakeoff(&base_tables, &accuracy_queries);
+    for e in &bakeoff {
+        println!(
+            "bakeoff {:<15} rule {:<11} samples {:>2}  median q {:>9.2}  max q {:>9.2}  \
+             under-est {:>2}  runtime {:>8.3}ms",
+            e.label, e.rule, e.samples, e.median_q, e.max_q, e.underestimates, e.runtime_ms
+        );
+    }
+    for msg in bakeoff_regressions(&bakeoff) {
+        regression = true;
+        println!("BAKE-OFF REGRESSION: {msg}");
+    }
+
     let join_speedup = join_totals[0] / join_totals[1].max(1e-9);
     let parallel_speedup = join_totals[1] / join_totals[2].max(1e-9);
     let overall_speedup = all_totals[0] / all_totals[1].max(1e-9);
     let _ = write!(
         json,
-        "  }},\n  \"accuracy\": {},\n  \"feedback\": {},\n  \
+        "  }},\n  \"accuracy\": {},\n  \"feedback\": {},\n  \"bakeoff\": {},\n  \
          \"join_speedup_vectorized_vs_row\": {join_speedup:.2},\n  \
          \"join_speedup_parallel_vs_vectorized\": {parallel_speedup:.2},\n  \
          \"overall_speedup_vectorized_vs_row\": {overall_speedup:.2}\n}}\n",
         accuracy_json(&summaries),
-        feedback_json(&feedback)
+        feedback_json(&feedback),
+        bakeoff_json(&bakeoff)
     );
 
     println!("join workload: vectorized {join_speedup:.2}x over row-at-a-time");

@@ -10,6 +10,7 @@
 #![allow(clippy::disallowed_methods)]
 
 pub mod accuracy;
+pub mod bakeoff;
 pub mod driver;
 pub mod workload;
 

@@ -217,7 +217,23 @@ pub fn collect_table_stats(table: &Table, options: &CollectOptions) -> TableStat
             } else {
                 None
             };
-            ColumnStats { distinct, min, max, null_fraction, histogram, mcv }
+            // Max frequency (UES upper bounds): exact on a full scan. A
+            // sample can only lower-bound the true maximum, and a too-low
+            // MF would void the bound guarantee — so sampled collection
+            // omits the statistic and the bound estimator falls back to
+            // its worst case, ‖R‖ − d + 1.
+            let max_frequency = match &sampled_rows {
+                None => {
+                    use std::collections::HashMap;
+                    let mut counts: HashMap<DistinctKey<'_>, u64> = HashMap::new();
+                    for k in values.iter().filter_map(distinct_key) {
+                        *counts.entry(k).or_insert(0) += 1;
+                    }
+                    Some(counts.values().copied().max().unwrap_or(0) as f64)
+                }
+                Some(_) => None,
+            };
+            ColumnStats { distinct, min, max, null_fraction, histogram, mcv, max_frequency }
         })
         .collect();
     TableStats { row_count: table.num_rows(), columns }
@@ -371,6 +387,40 @@ mod tests {
         let opts = CollectOptions::default().with_sampling(0.5, 9);
         let stats = collect_table_stats(&t, &opts);
         assert_eq!(stats.columns[0].distinct, 1.0, "float zeros must count once");
+    }
+
+    #[test]
+    fn max_frequency_is_exact_on_full_scans() {
+        // CycleInt over 10 values in 1000 rows: every value occurs exactly
+        // 100 times; a key column has MF = 1.
+        let t = TableSpec::new("t", 1000)
+            .column(ColumnSpec::new("c", Distribution::CycleInt { modulus: 10, start: 0 }))
+            .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 }))
+            .generate(1);
+        let stats = collect_table_stats(&t, &CollectOptions::default());
+        assert_eq!(stats.columns[0].max_frequency, Some(100.0));
+        assert_eq!(stats.columns[1].max_frequency, Some(1.0));
+    }
+
+    #[test]
+    fn max_frequency_skips_nulls_and_is_absent_under_sampling() {
+        let t = TableSpec::new("t", 1000)
+            .column(ColumnSpec::new(
+                "v",
+                Distribution::WithNulls {
+                    inner: Box::new(Distribution::ConstInt { value: 3 }),
+                    null_fraction: 0.5,
+                },
+            ))
+            .generate(5);
+        let full = collect_table_stats(&t, &CollectOptions::default());
+        let mf = full.columns[0].max_frequency.expect("collected on full scan");
+        // Only the non-NULL rows count toward the most common value.
+        let non_null = (1000.0 * (1.0 - full.columns[0].null_fraction)).round();
+        assert_eq!(mf, non_null);
+        // Sampling cannot upper-bound the true MF: the statistic is omitted.
+        let sampled = collect_table_stats(&t, &CollectOptions::default().with_sampling(0.5, 3));
+        assert_eq!(sampled.columns[0].max_frequency, None);
     }
 
     #[test]

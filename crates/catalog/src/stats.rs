@@ -19,6 +19,11 @@ pub struct ColumnStats {
     pub histogram: Option<Histogram>,
     /// Optional most-common-values list (numeric columns only).
     pub mcv: Option<MostCommonValues>,
+    /// Frequency of the most common non-NULL value — the MF(x) statistic
+    /// of UES-style upper-bound estimation. Collected exactly on full
+    /// scans; `None` under sampling (a sample cannot upper-bound it, and
+    /// a wrong MF would break the bound guarantee).
+    pub max_frequency: Option<f64>,
 }
 
 /// Statistics for one table.
@@ -39,6 +44,7 @@ impl ColumnStats {
             min: self.min.as_ref().and_then(Value::as_f64),
             max: self.max.as_ref().and_then(Value::as_f64),
             null_fraction: self.null_fraction,
+            max_frequency: self.max_frequency,
         }
     }
 }
@@ -68,6 +74,7 @@ mod tests {
                 null_fraction: 0.1,
                 histogram: None,
                 mcv: None,
+                max_frequency: Some(6.0),
             }],
         };
         let core = ts.to_core();
@@ -76,6 +83,7 @@ mod tests {
         assert_eq!(core.columns[0].min, Some(1.0));
         assert_eq!(core.columns[0].max, Some(9.0));
         assert_eq!(core.columns[0].null_fraction, 0.1);
+        assert_eq!(core.columns[0].max_frequency, Some(6.0));
     }
 
     #[test]
@@ -87,6 +95,7 @@ mod tests {
             null_fraction: 0.0,
             histogram: None,
             mcv: None,
+            max_frequency: None,
         };
         let core = cs.to_core();
         assert_eq!(core.min, None);

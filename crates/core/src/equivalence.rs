@@ -41,12 +41,18 @@ impl UnionFind {
     }
 
     fn find_slot(&mut self, mut i: usize) -> usize {
-        while self.parent[i] != i {
-            // Path halving.
-            self.parent[i] = self.parent[self.parent[i]];
-            i = self.parent[i];
+        loop {
+            let parent = self.parent.get(i).copied().unwrap_or(i);
+            if parent == i {
+                return i;
+            }
+            // Path halving: point i at its grandparent before stepping.
+            let grand = self.parent.get(parent).copied().unwrap_or(parent);
+            if let Some(slot) = self.parent.get_mut(i) {
+                *slot = grand;
+            }
+            i = grand;
         }
-        i
     }
 
     /// Merge the classes of `a` and `b`.
@@ -56,9 +62,15 @@ impl UnionFind {
         if ra == rb {
             return;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
-        self.parent[small] = big;
-        self.size[big] += self.size[small];
+        let size_a = self.size.get(ra).copied().unwrap_or(1);
+        let size_b = self.size.get(rb).copied().unwrap_or(1);
+        let (big, small) = if size_a >= size_b { (ra, rb) } else { (rb, ra) };
+        if let Some(p) = self.parent.get_mut(small) {
+            *p = big;
+        }
+        if let Some(s) = self.size.get_mut(big) {
+            *s += size_a.min(size_b);
+        }
     }
 
     /// True when `a` and `b` are known and in the same class.
@@ -119,7 +131,7 @@ impl EquivalenceClasses {
         let cols: Vec<ColumnRef> = uf.columns().collect();
         let mut groups: HashMap<usize, Vec<ColumnRef>> = HashMap::new();
         for c in cols {
-            let slot = uf.index[&c];
+            let Some(slot) = uf.index.get(&c).copied() else { continue };
             let root = uf.find_slot(slot);
             groups.entry(root).or_default().push(c);
         }
@@ -133,7 +145,7 @@ impl EquivalenceClasses {
             .collect();
         // Deterministic class numbering: order classes by their smallest
         // member so results do not depend on hash iteration order.
-        classes.sort_by_key(|g| g[0]);
+        classes.sort_by_key(|g| g.first().copied());
         let mut by_column = HashMap::new();
         for (i, class) in classes.iter().enumerate() {
             for &c in class {
@@ -158,9 +170,10 @@ impl EquivalenceClasses {
         self.by_column.get(&column).copied()
     }
 
-    /// Members of a class, sorted ascending.
+    /// Members of a class, sorted ascending (empty for an unknown class
+    /// id — an out-of-range lookup degrades, it does not panic).
     pub fn members(&self, class: ClassId) -> &[ColumnRef] {
-        &self.classes[class.0]
+        self.classes.get(class.0).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Iterate `(ClassId, members)` pairs.

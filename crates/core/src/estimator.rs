@@ -33,6 +33,14 @@ pub struct JoinState {
 }
 
 impl JoinState {
+    /// Build a state directly from a table bitmask and an estimate. Only
+    /// estimator implementations (this module and [`crate::cardinality`])
+    /// construct states; everyone else receives them from an estimator, so
+    /// the mask/cardinality pairing stays an estimator invariant.
+    pub(crate) fn from_parts(tables: u64, cardinality: f64) -> JoinState {
+        JoinState { tables, cardinality }
+    }
+
     /// The estimated cardinality of this intermediate result.
     pub fn cardinality(&self) -> f64 {
         self.cardinality

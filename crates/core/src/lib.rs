@@ -79,6 +79,7 @@
 )]
 
 pub mod algorithm;
+pub mod cardinality;
 pub mod closure;
 pub mod correction;
 pub mod equivalence;
@@ -99,6 +100,7 @@ pub mod sync;
 pub mod urn;
 
 pub use algorithm::{Els, ElsOptions, Preprocessing};
+pub use cardinality::{CardinalityEstimator, NoEstimatesEstimator, UpperBoundEstimator};
 pub use correction::{scan_fingerprint, CorrectionSource, NoCorrections};
 pub use error::{ElsError, ElsResult};
 pub use error_model::q_error;
@@ -112,6 +114,7 @@ pub use stats::{ColumnStatistics, QueryStatistics, TableStatistics};
 /// One-stop imports for typical users.
 pub mod prelude {
     pub use crate::algorithm::{Els, ElsOptions, Preprocessing};
+    pub use crate::cardinality::{CardinalityEstimator, NoEstimatesEstimator, UpperBoundEstimator};
     pub use crate::error::{ElsError, ElsResult};
     pub use crate::estimator::JoinState;
     pub use crate::ids::{ColumnRef, TableId};

@@ -70,19 +70,29 @@ pub struct EffectiveStats {
 }
 
 impl EffectiveStats {
-    /// Effective cardinality ‖R‖′ of a table.
+    /// Effective cardinality ‖R‖′ of a table (0.0 for an unknown table —
+    /// an out-of-range lookup degrades, it does not panic).
     pub fn cardinality(&self, table: usize) -> f64 {
-        self.tables[table].cardinality
+        self.tables.get(table).map_or(0.0, |t| t.cardinality)
     }
 
-    /// Effective distinct count d′ of a column.
+    /// Effective distinct count d′ of a column (0.0 when unknown).
     pub fn distinct(&self, c: ColumnRef) -> f64 {
-        self.tables[c.table].column_distinct[c.column]
+        self.tables
+            .get(c.table)
+            .and_then(|t| t.column_distinct.get(c.column))
+            .copied()
+            .unwrap_or(0.0)
     }
 
-    /// Original (pre-predicate) distinct count of a column.
+    /// Original (pre-predicate) distinct count of a column (0.0 when
+    /// unknown).
     pub fn original_distinct(&self, c: ColumnRef) -> f64 {
-        self.tables[c.table].original_distinct[c.column]
+        self.tables
+            .get(c.table)
+            .and_then(|t| t.original_distinct.get(c.column))
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 
@@ -145,12 +155,14 @@ pub fn compute_effective_stats_corrected(
         let ncols = tstats.columns.len();
         let mut table_sel = 1.0f64;
         let mut contradiction = false;
-        // Resolve each column's own predicates.
-        let mut own_bound: Vec<Option<f64>> = vec![None; ncols];
-        let mut own_sel: Vec<f64> = vec![1.0; ncols];
+        // Resolve each column's own predicates: `(selectivity, bound)` per
+        // column, in column order.
+        let mut own: Vec<(f64, Option<f64>)> = Vec::with_capacity(ncols);
         for (c, cstats) in tstats.columns.iter().enumerate() {
             let cref = ColumnRef::new(t, c);
             let has_cmp = by_column.contains_key(&cref);
+            let mut own_sel = 1.0f64;
+            let mut own_bound: Option<f64> = None;
             // Nullness tests first: `IS NULL` conflicts with any comparison
             // (comparisons require a non-NULL value) and with IS NOT NULL;
             // `IS NOT NULL` is redundant next to a comparison (the model
@@ -161,29 +173,33 @@ pub fn compute_effective_stats_corrected(
                         contradiction = true;
                     } else {
                         table_sel *= cstats.null_fraction;
-                        own_sel[c] *= cstats.null_fraction;
+                        own_sel *= cstats.null_fraction;
                         // Only NULL rows remain: the column carries no
                         // joinable values at all.
-                        own_bound[c] = Some(0.0);
+                        own_bound = Some(0.0);
                     }
                 } else if is_not_null && !has_cmp {
                     let sel = 1.0 - cstats.null_fraction;
                     table_sel *= sel;
-                    own_sel[c] *= sel;
+                    own_sel *= sel;
                     // Every distinct (non-NULL) value survives.
-                    own_bound[c] = Some(cstats.distinct);
+                    own_bound = Some(cstats.distinct);
                 }
             }
-            let Some(preds) = by_column.get(&cref) else { continue };
-            let resolved = resolve_column_predicates(cref, cstats, preds, oracle);
-            table_sel *= resolved.selectivity;
-            own_sel[c] *= resolved.selectivity;
-            match resolved.shape {
-                ResolvedShape::Contradiction => contradiction = true,
-                ResolvedShape::Equality(_) => own_bound[c] = Some(1.0),
-                ResolvedShape::Range => own_bound[c] = Some(cstats.distinct * resolved.selectivity),
-                ResolvedShape::Unconstrained => {}
+            if let Some(preds) = by_column.get(&cref) {
+                let resolved = resolve_column_predicates(cref, cstats, preds, oracle);
+                table_sel *= resolved.selectivity;
+                own_sel *= resolved.selectivity;
+                match resolved.shape {
+                    ResolvedShape::Contradiction => contradiction = true,
+                    ResolvedShape::Equality(_) => own_bound = Some(1.0),
+                    ResolvedShape::Range => {
+                        own_bound = Some(cstats.distinct * resolved.selectivity)
+                    }
+                    ResolvedShape::Unconstrained => {}
+                }
             }
+            own.push((own_sel, own_bound));
         }
 
         // Feedback hook: fold a learned scan correction into the table's
@@ -216,10 +232,10 @@ pub fn compute_effective_stats_corrected(
         }
 
         let mut column_distinct = Vec::with_capacity(ncols);
-        for (c, cstats) in tstats.columns.iter().enumerate() {
+        for (cstats, &(own_sel, own_bound)) in tstats.columns.iter().zip(&own) {
             let d = cstats.distinct;
             // Selectivity contributed by predicates on *other* columns.
-            let other_sel = if own_sel[c] > 0.0 { table_sel / own_sel[c] } else { 0.0 };
+            let other_sel = if own_sel > 0.0 { table_sel / own_sel } else { 0.0 };
             let d_prime = if contradiction || cardinality == 0.0 {
                 0.0
             } else if cardinality >= original {
@@ -229,7 +245,7 @@ pub fn compute_effective_stats_corrected(
                 // Reduction comes only from this column's own predicates:
                 // the paper's exact rule (d' = 1 for equality, d·S for
                 // ranges) applies with no urn shaving.
-                own_bound[c].unwrap_or(d)
+                own_bound.unwrap_or(d)
             } else {
                 // Other columns shrank the table too: the urn bound with the
                 // final ||R||' captures their effect; own predicates give an
@@ -240,7 +256,7 @@ pub fn compute_effective_stats_corrected(
                         urn::proportional_distinct(d, cardinality, original)?
                     }
                 };
-                own_bound[c].unwrap_or(f64::INFINITY).min(indirect)
+                own_bound.unwrap_or(f64::INFINITY).min(indirect)
             };
             column_distinct.push(d_prime.min(cardinality.max(0.0)).min(d));
         }

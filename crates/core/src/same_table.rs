@@ -60,19 +60,20 @@ pub fn apply_same_table_equivalences(
             if group.len() < 2 {
                 continue;
             }
-            let before = eff.tables[table].cardinality;
+            let Some(entry) = eff.tables.get_mut(table) else { continue };
+            let before = entry.cardinality;
             if before <= 0.0 {
                 continue;
             }
             // Effective cardinalities of the group, ascending.
             let mut ds: Vec<f64> =
-                group.iter().map(|c| eff.tables[table].column_distinct[c.column]).collect();
+                group.iter().filter_map(|c| entry.column_distinct.get(c.column).copied()).collect();
             ds.sort_by(|a, b| a.total_cmp(b));
-            let d_min = ds[0];
+            let Some((&d_min, rest)) = ds.split_first() else { continue };
             if d_min <= 0.0 {
                 // A member column is already empty: the table empties too.
-                eff.tables[table].cardinality = 0.0;
-                for d in &mut eff.tables[table].column_distinct {
+                entry.cardinality = 0.0;
+                for d in &mut entry.column_distinct {
                     *d = 0.0;
                 }
                 adjustments.push(SameTableAdjustment {
@@ -85,15 +86,17 @@ pub fn apply_same_table_equivalences(
                 });
                 continue;
             }
-            let divisor: f64 = ds[1..].iter().product();
+            let divisor: f64 = rest.iter().product();
             let after = (before / divisor).ceil().max(1.0);
             let d_join = urn::expected_distinct_rounded(d_min, after)?;
 
-            eff.tables[table].cardinality = after;
+            entry.cardinality = after;
             for c in &group {
-                eff.tables[table].column_distinct[c.column] = d_join;
+                if let Some(d) = entry.column_distinct.get_mut(c.column) {
+                    *d = d_join;
+                }
             }
-            for d in &mut eff.tables[table].column_distinct {
+            for d in &mut entry.column_distinct {
                 *d = d.min(after);
             }
             adjustments.push(SameTableAdjustment {

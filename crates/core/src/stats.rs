@@ -27,17 +27,35 @@ pub struct ColumnStatistics {
     /// Fraction of rows that are NULL (0 when unknown). NULLs never satisfy
     /// comparison predicates and never join.
     pub null_fraction: f64,
+    /// Frequency of the most common non-NULL value (None when not
+    /// collected). This is the MF(x) statistic of UES-style upper-bound
+    /// estimation: `|R ⋈ S on a=b| ≤ min(‖R‖·MF_S(b), ‖S‖·MF_R(a))` holds
+    /// for any data, so a true per-column maximum yields guaranteed upper
+    /// bounds on join sizes.
+    pub max_frequency: Option<f64>,
 }
 
 impl ColumnStatistics {
     /// Statistics with a known distinct count and nothing else.
     pub fn with_distinct(distinct: f64) -> Self {
-        ColumnStatistics { distinct, min: None, max: None, null_fraction: 0.0 }
+        ColumnStatistics { distinct, min: None, max: None, null_fraction: 0.0, max_frequency: None }
     }
 
     /// Statistics with a distinct count and numeric domain bounds.
     pub fn with_domain(distinct: f64, min: f64, max: f64) -> Self {
-        ColumnStatistics { distinct, min: Some(min), max: Some(max), null_fraction: 0.0 }
+        ColumnStatistics {
+            distinct,
+            min: Some(min),
+            max: Some(max),
+            null_fraction: 0.0,
+            max_frequency: None,
+        }
+    }
+
+    /// Same statistics with the max-frequency statistic attached.
+    pub fn with_max_frequency(mut self, max_frequency: f64) -> Self {
+        self.max_frequency = Some(max_frequency);
+        self
     }
 
     /// Validate ranges: distinct must be ≥ 0 and finite, null fraction in
@@ -58,6 +76,13 @@ impl ColumnStatistics {
         if let (Some(lo), Some(hi)) = (self.min, self.max) {
             if lo > hi {
                 return Err(ElsError::InvalidStatistics(format!("min {lo} exceeds max {hi}")));
+            }
+        }
+        if let Some(mf) = self.max_frequency {
+            if !mf.is_finite() || mf < 0.0 {
+                return Err(ElsError::InvalidStatistics(format!(
+                    "max frequency must be finite and non-negative, got {mf}"
+                )));
             }
         }
         Ok(())
@@ -198,6 +223,15 @@ mod tests {
         let mut c = ColumnStatistics::with_distinct(5.0);
         c.null_fraction = 1.5;
         assert!(matches!(c.validate(), Err(ElsError::InvalidStatistics(_))));
+    }
+
+    #[test]
+    fn validation_rejects_bad_max_frequency() {
+        let c = ColumnStatistics::with_distinct(5.0).with_max_frequency(-1.0);
+        assert!(matches!(c.validate(), Err(ElsError::InvalidStatistics(_))));
+        let ok = ColumnStatistics::with_distinct(5.0).with_max_frequency(3.0);
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.max_frequency, Some(3.0));
     }
 
     #[test]

@@ -74,15 +74,27 @@ pub fn expected_distinct(urns: f64, balls: f64) -> ElsResult<f64> {
 }
 
 /// The urn estimate rounded up to an integer, matching the ceilings the
-/// paper applies in Sections 5 and 6. The result never exceeds `urns`
-/// (rounding must not invent an extra distinct value).
+/// paper applies in Sections 5 and 6. The result never exceeds `urns` or
+/// `balls` after their own ceilings (rounding must not invent an extra
+/// distinct value, nor more distinct values than selected tuples — the
+/// bare `ceil` used to exceed a fractional ball count, e.g. 10 urns and
+/// 2.5 balls rounded to 3 > 2.5).
 pub fn expected_distinct_rounded(urns: f64, balls: f64) -> ElsResult<f64> {
-    Ok(expected_distinct(urns, balls)?.ceil().min(urns.ceil()))
+    Ok(expected_distinct(urns, balls)?.ceil().min(urns.ceil()).min(balls.ceil()))
 }
 
 /// The proportional alternative `d' = d · (k/n)` the paper argues against
 /// (Section 5). Exposed for the ablation study (experiment F2). `n` is the
 /// original table cardinality and `k` the number of selected tuples.
+///
+/// Out-of-range inputs are clamped rather than trusted: `k > n` (a
+/// selection claiming more tuples than the table holds) caps the ratio at
+/// 1, and the result never exceeds either `k` (can't keep more distinct
+/// values than tuples) or `d` (can't keep more than existed). Both
+/// overflows arise in practice from sampled or feedback-corrected
+/// statistics that drift out of sync with each other; before this clamp,
+/// `d = 100, k = 5, n = 10` returned 50 distinct values from a 5-tuple
+/// selection.
 pub fn proportional_distinct(d: f64, k: f64, n: f64) -> ElsResult<f64> {
     check_input("distinct count", d)?;
     check_input("selected tuple count", k)?;
@@ -90,7 +102,7 @@ pub fn proportional_distinct(d: f64, k: f64, n: f64) -> ElsResult<f64> {
     if n == 0.0 || d == 0.0 || k == 0.0 {
         return Ok(0.0);
     }
-    Ok((d * (k / n).min(1.0)).max(1.0_f64.min(d)))
+    Ok((d * (k / n).min(1.0)).min(k).min(d).max(1.0_f64.min(d).min(k)))
 }
 
 #[cfg(test)]
@@ -214,6 +226,26 @@ mod tests {
         assert!((e - 100.0).abs() < 0.01);
     }
 
+    #[test]
+    fn rounded_never_exceeds_fractional_ball_count_ceiling() {
+        // 10 urns, 2.5 balls: the expectation is ≈ 2.4; the bare ceil used
+        // to return 3 with no relation to the ball count. The clamp keeps
+        // the result within ceil(balls).
+        let e = expected_distinct_rounded(10.0, 2.5).unwrap();
+        assert!(e <= 3.0, "rounded estimate {e} exceeds ceil of ball count");
+        assert_eq!(expected_distinct_rounded(1e6, 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn proportional_clamps_overselection_and_excess_distincts() {
+        // k > n: a selection cannot keep more distinct values than tuples.
+        assert_eq!(proportional_distinct(100.0, 5.0, 10.0).unwrap(), 5.0);
+        // k > n with the ratio capped at 1: result stays ≤ d.
+        assert_eq!(proportional_distinct(100.0, 5_000.0, 10.0).unwrap(), 100.0);
+        // d > n (inconsistent stats): still bounded by the selection size.
+        assert_eq!(proportional_distinct(1_000.0, 100.0, 100.0).unwrap(), 100.0);
+    }
+
     proptest::proptest! {
         #[test]
         fn urn_bounds_hold(urns in 1.0f64..1e6, balls in 0.0f64..1e7) {
@@ -221,6 +253,28 @@ mod tests {
             proptest::prop_assert!(e >= 0.0);
             proptest::prop_assert!(e <= urns + 1e-6);
             proptest::prop_assert!(e <= balls + 1e-6);
+        }
+
+        #[test]
+        fn rounded_bounds_hold(urns in 0.0f64..1e6, balls in 0.0f64..1e7) {
+            let e = expected_distinct_rounded(urns, balls).unwrap();
+            proptest::prop_assert!(e >= 0.0);
+            proptest::prop_assert!(e <= urns.ceil() + 1e-6);
+            proptest::prop_assert!(e <= balls.ceil() + 1e-6);
+        }
+
+        #[test]
+        fn proportional_bounds_hold(
+            d in 0.0f64..1e6,
+            k in 0.0f64..1e7,
+            n in 0.0f64..1e6,
+        ) {
+            // Deliberately covers k > n and d > n: the clamp must hold for
+            // out-of-range inputs, not just consistent statistics.
+            let e = proportional_distinct(d, k, n).unwrap();
+            proptest::prop_assert!(e >= 0.0);
+            proptest::prop_assert!(e <= d + 1e-6, "estimate {e} exceeds distinct count {d}");
+            proptest::prop_assert!(e <= k + 1e-6, "estimate {e} exceeds selection size {k}");
         }
 
         #[test]

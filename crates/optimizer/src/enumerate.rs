@@ -13,7 +13,7 @@
 
 use els_core::estimator::JoinState;
 use els_core::predicate::Predicate;
-use els_core::{ColumnRef, Els};
+use els_core::{CardinalityEstimator, ColumnRef};
 use els_exec::filter::CompiledFilter;
 use els_exec::{JoinMethod, PlanNode};
 
@@ -106,7 +106,7 @@ pub fn join_keys_between(
 /// Run the DP over left-deep trees. `els` must have been prepared over the
 /// same table numbering as `profiles`.
 pub fn enumerate_left_deep(
-    els: &Els,
+    els: &dyn CardinalityEstimator,
     profiles: &[TableProfile],
     methods: &[JoinMethod],
     params: &CostParams,
@@ -116,9 +116,9 @@ pub fn enumerate_left_deep(
 
 /// Post-order estimated sizes of every join node in a plan tree (for a
 /// left-deep tree this equals the step-by-step sizes of
-/// [`Els::estimate_order`]).
+/// [`CardinalityEstimator::estimate_order`]).
 fn node_sizes(
-    els: &Els,
+    els: &dyn CardinalityEstimator,
     node: &PlanNode,
     sizes: &mut Vec<f64>,
 ) -> OptimizerResult<els_core::estimator::JoinState> {
@@ -134,9 +134,11 @@ fn node_sizes(
     }
 }
 
-/// Run the DP. `shape` selects left-deep (System R) or bushy exploration.
+/// Run the DP over any [`CardinalityEstimator`] (the paper's ELS, the
+/// UES-style upper bound, the no-estimates baseline, ...). `shape` selects
+/// left-deep (System R) or bushy exploration.
 pub fn enumerate(
-    els: &Els,
+    els: &dyn CardinalityEstimator,
     profiles: &[TableProfile],
     methods: &[JoinMethod],
     params: &CostParams,
@@ -326,7 +328,7 @@ pub fn enumerate(
 mod tests {
     use super::*;
     use els_core::predicate::CmpOp;
-    use els_core::{ColumnStatistics, ElsOptions, QueryStatistics, TableStatistics};
+    use els_core::{ColumnStatistics, Els, ElsOptions, QueryStatistics, TableStatistics};
 
     fn c(t: usize, col: usize) -> ColumnRef {
         ColumnRef::new(t, col)

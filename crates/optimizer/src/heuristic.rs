@@ -24,7 +24,7 @@ use els_exec::{JoinMethod, PlanNode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use els_core::Els;
+use els_core::CardinalityEstimator;
 
 use crate::cost::CostParams;
 use crate::enumerate::{join_keys, scan_filters, EnumerationResult};
@@ -35,7 +35,7 @@ use crate::profile::TableProfile;
 /// (shared by all strategies in this module).
 pub fn cost_order(
     order: &[usize],
-    els: &Els,
+    els: &dyn CardinalityEstimator,
     profiles: &[TableProfile],
     methods: &[JoinMethod],
     params: &CostParams,
@@ -101,7 +101,7 @@ pub fn cost_order(
 /// Greedy minimum-cost augmentation: try every starting table, then extend
 /// with whichever next table adds the least cost. O(n³) cost evaluations.
 pub fn greedy_order(
-    els: &Els,
+    els: &dyn CardinalityEstimator,
     profiles: &[TableProfile],
     methods: &[JoinMethod],
     params: &CostParams,
@@ -143,7 +143,7 @@ pub fn greedy_order(
 /// by adjacent-swap and random-swap moves until no move helps, keeping the
 /// global best. Deterministic for a given `seed`.
 pub fn iterative_improvement(
-    els: &Els,
+    els: &dyn CardinalityEstimator,
     profiles: &[TableProfile],
     methods: &[JoinMethod],
     params: &CostParams,
@@ -194,7 +194,9 @@ mod tests {
     use super::*;
     use crate::enumerate::{enumerate, TreeShape};
     use els_core::predicate::{CmpOp, Predicate};
-    use els_core::{ColumnRef, ColumnStatistics, ElsOptions, QueryStatistics, TableStatistics};
+    use els_core::{
+        ColumnRef, ColumnStatistics, Els, ElsOptions, QueryStatistics, TableStatistics,
+    };
 
     fn c(t: usize, col: usize) -> ColumnRef {
         ColumnRef::new(t, col)

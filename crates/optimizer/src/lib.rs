@@ -50,7 +50,7 @@ pub use error::{OptimizerError, OptimizerResult};
 pub use heuristic::{cost_order, greedy_order, iterative_improvement};
 pub use optimizer::{
     bound_query_tables, optimize, optimize_bound, optimize_full, optimize_with_oracle,
-    EstimatorPreset, OptimizedQuery, OptimizerOptions,
+    EstimatorPreset, EstimatorStrategy, OptimizedQuery, OptimizerOptions,
 };
 pub use plan_cache::{CachedPlan, PlanCache};
 pub use profile::TableProfile;

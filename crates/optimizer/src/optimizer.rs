@@ -3,7 +3,10 @@
 use std::sync::Arc;
 
 use els_catalog::{Catalog, FeedbackMode};
-use els_core::{CorrectionSource, Els, ElsOptions, NoCorrections, Predicate, QueryStatistics};
+use els_core::{
+    CardinalityEstimator, CorrectionSource, Els, ElsOptions, NoCorrections, NoEstimatesEstimator,
+    Predicate, QueryStatistics, UpperBoundEstimator,
+};
 use els_exec::plan::PlanOutput;
 use els_exec::{JoinMethod, QueryPlan};
 use els_sql::{BoundProjection, BoundQuery};
@@ -55,11 +58,45 @@ impl EstimatorPreset {
     }
 }
 
+/// Which cardinality estimator drives join enumeration.
+///
+/// Every strategy still prepares the paper's [`Els`] estimator alongside
+/// (EXPLAIN, accuracy reporting and feedback harvesting are defined
+/// against it); the strategy picks whose numbers the dynamic program
+/// *plans* with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EstimatorStrategy {
+    /// The configured [`ElsOptions`] pipeline (Algorithm ELS by default;
+    /// rule M / SS / representative and the standard pre-processing are
+    /// selected through [`OptimizerOptions::els`]).
+    #[default]
+    Els,
+    /// The UES-style sketch bound ([`UpperBoundEstimator`]): plan against
+    /// guaranteed upper bounds built from max join-column frequencies.
+    UpperBound,
+    /// The Simpli-Squared baseline ([`NoEstimatesEstimator`]): no
+    /// statistics, joins assumed never to expand.
+    NoEstimates,
+}
+
+impl EstimatorStrategy {
+    /// Stable short name (matches [`CardinalityEstimator::name`] labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimatorStrategy::Els => "els",
+            EstimatorStrategy::UpperBound => "upper-bound",
+            EstimatorStrategy::NoEstimates => "no-estimates",
+        }
+    }
+}
+
 /// Optimizer configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimizerOptions {
     /// Estimation-core configuration (rule, pre-processing, closure).
     pub els: ElsOptions,
+    /// Which estimator's numbers the join enumerator plans with.
+    pub strategy: EstimatorStrategy,
     /// Join methods the enumerator may choose from. The paper's experiment
     /// enabled Nested Loops and Sort Merge.
     pub join_methods: Vec<JoinMethod>,
@@ -78,6 +115,7 @@ impl Default for OptimizerOptions {
     fn default() -> Self {
         OptimizerOptions {
             els: ElsOptions::default(),
+            strategy: EstimatorStrategy::default(),
             join_methods: vec![JoinMethod::NestedLoop, JoinMethod::SortMerge],
             cost: CostParams::default(),
             tree_shape: TreeShape::LeftDeep,
@@ -124,6 +162,39 @@ impl OptimizerOptions {
         self.feedback = mode;
         self
     }
+
+    /// Plan with a different estimator (default [`EstimatorStrategy::Els`]).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: EstimatorStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// A fingerprint of every plan-shaping knob in this configuration:
+    /// two option sets produce the same fingerprint iff switching between
+    /// them could never change the chosen plan or its estimates. Plan
+    /// caches must fold this into their keys — the same SQL text under a
+    /// different estimator, rule or feedback mode is a different plan.
+    /// Process-local (the hash is not stable across runs); never persist
+    /// it.
+    pub fn config_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // Every field of the struct shapes plans (estimator choice, rule,
+        // closure, join methods, cost constants, tree shape, feedback), so
+        // the Debug rendering of the whole value is the honest key.
+        format!("{self:?}").hash(&mut h);
+        h.finish()
+    }
+}
+
+/// The non-ELS estimator that planned a query, retained for EXPLAIN-style
+/// inspection (the ELS pipeline is always kept alongside in
+/// [`OptimizedQuery::els`]).
+#[derive(Debug, Clone)]
+pub(crate) enum AltEstimator {
+    UpperBound(UpperBoundEstimator),
+    NoEstimates(NoEstimatesEstimator),
 }
 
 /// The result of optimization: an executable plan plus everything the paper
@@ -134,15 +205,41 @@ pub struct OptimizedQuery {
     pub plan: QueryPlan,
     /// The chosen join order (table positions in the `FROM` list).
     pub join_order: Vec<usize>,
-    /// Estimated intermediate result sizes along that order.
+    /// Estimated intermediate result sizes along that order (per the
+    /// planning estimator, i.e. [`Self::estimator`]).
     pub estimated_sizes: Vec<f64>,
     /// Total estimated cost in page units.
     pub estimated_cost: f64,
-    /// The prepared estimator (for EXPLAIN-style inspection).
+    /// The prepared ELS estimator (for EXPLAIN-style inspection and
+    /// feedback harvesting) — prepared even when another strategy planned
+    /// the query.
     pub els: Els,
+    /// The alternative estimator that planned the query, when the
+    /// strategy was not [`EstimatorStrategy::Els`].
+    pub(crate) alt: Option<AltEstimator>,
     /// Published feedback corrections folded into this plan's estimates
     /// (0 unless the optimizer ran under [`FeedbackMode::Apply`]).
     pub corrections_applied: u64,
+}
+
+impl OptimizedQuery {
+    /// The estimator whose numbers chose this plan.
+    pub fn estimator(&self) -> &dyn CardinalityEstimator {
+        match &self.alt {
+            Some(AltEstimator::UpperBound(e)) => e,
+            Some(AltEstimator::NoEstimates(e)) => e,
+            None => &self.els,
+        }
+    }
+
+    /// The strategy that planned this query.
+    pub fn strategy(&self) -> EstimatorStrategy {
+        match &self.alt {
+            Some(AltEstimator::UpperBound(_)) => EstimatorStrategy::UpperBound,
+            Some(AltEstimator::NoEstimates(_)) => EstimatorStrategy::NoEstimates,
+            None => EstimatorStrategy::Els,
+        }
+    }
 }
 
 /// Optimize from raw parts: predicates + statistics + physical profiles.
@@ -207,14 +304,29 @@ pub fn optimize_full(
         )));
     }
     let els = Els::prepare_full(predicates, stats, &options.els, oracle, corrections)?;
+    let alt = match options.strategy {
+        EstimatorStrategy::Els => None,
+        EstimatorStrategy::UpperBound => {
+            Some(AltEstimator::UpperBound(UpperBoundEstimator::new(predicates, stats)?))
+        }
+        EstimatorStrategy::NoEstimates => {
+            Some(AltEstimator::NoEstimates(NoEstimatesEstimator::new(predicates, stats)?))
+        }
+    };
+    let estimator: &dyn CardinalityEstimator = match &alt {
+        Some(AltEstimator::UpperBound(e)) => e,
+        Some(AltEstimator::NoEstimates(e)) => e,
+        None => &els,
+    };
     let result =
-        enumerate(&els, profiles, &options.join_methods, &options.cost, options.tree_shape)?;
+        enumerate(estimator, profiles, &options.join_methods, &options.cost, options.tree_shape)?;
     Ok(OptimizedQuery {
         plan: QueryPlan::new(result.root, output),
         join_order: result.join_order,
         estimated_sizes: result.estimated_sizes,
         estimated_cost: result.estimated_cost,
         els,
+        alt,
         corrections_applied: 0,
     })
 }

@@ -4,18 +4,20 @@
 //! Caching optimized plans is semantically safe here because optimization
 //! is a pure function of (query, catalog statistics, optimizer options):
 //! the estimators are deterministic and consult only the statistics frozen
-//! in a catalog snapshot. The cache key therefore needs exactly two parts:
+//! in a catalog snapshot. The cache key therefore needs three parts:
 //!
 //! * the **canonical fingerprint** of the SQL (`els-sql`'s
 //!   [`els_sql::fingerprint`] — whitespace, conjunct order and symmetric
-//!   operand order do not fragment the cache), and
+//!   operand order do not fragment the cache),
+//! * the **optimizer configuration**
+//!   ([`crate::OptimizerOptions::config_fingerprint`]) — the same SQL
+//!   planned under a different estimator strategy, selectivity rule, or
+//!   feedback mode is a different plan, and serving one to the other would
+//!   replay the wrong estimates (the caller folds this into the string
+//!   fingerprint it passes in), and
 //! * the **catalog epoch** the plan was optimized against
 //!   ([`els_catalog::SharedCatalog::epoch`]) — any catalog mutation bumps
 //!   it, so stale plans can never be served.
-//!
-//! Optimizer options are *not* part of the key: a cache belongs to one
-//! engine whose options are fixed at construction (see `els::Engine`). A
-//! second configuration wants a second cache.
 //!
 //! Eviction is LRU by a logical access clock under a capacity bound.
 //! Hit/miss/eviction/invalidation counters live in
@@ -215,6 +217,7 @@ mod tests {
                 estimated_sizes: vec![],
                 estimated_cost: 0.0,
                 els,
+                alt: None,
                 corrections_applied: 0,
             },
             table_names: vec!["t".into()],

@@ -20,7 +20,10 @@ use std::time::Duration;
 use std::collections::HashMap;
 
 use els_catalog::{FeedbackKey, QueryCorrections};
-use els_core::{q_error, scan_fingerprint, Els, ElsResult, JoinState, Predicate, SelectivityRule};
+use els_core::{
+    q_error, scan_fingerprint, CardinalityEstimator, Els, ElsResult, JoinState, Predicate,
+    SelectivityRule,
+};
 use els_exec::{ExecMetrics, ExecMode, JoinMethod, MetricsRegistry, Observations, PlanNode};
 
 /// One operator of the analyzed plan: the estimator's belief next to the
@@ -179,7 +182,7 @@ impl fmt::Display for ExplainAnalyzeReport {
 /// Walker state: two observation cursors (scans and joins are separate
 /// post-order streams) plus the pre-order operator list under construction.
 struct Builder<'a> {
-    els: &'a Els,
+    est: &'a dyn CardinalityEstimator,
     binding_names: &'a [String],
     obs: &'a Observations,
     scan_cursor: usize,
@@ -215,7 +218,7 @@ impl Builder<'_> {
     fn walk(&mut self, node: &PlanNode, depth: usize) -> ElsResult<JoinState> {
         match node {
             PlanNode::Scan { table_id, filters } => {
-                let state = self.els.initial_state(*table_id)?;
+                let state = self.est.initial_state(*table_id)?;
                 let (obs_table, actual, elapsed) = self.next_scan();
                 debug_assert_eq!(obs_table, *table_id, "scan observation order diverged");
                 let mut label = format!("Scan({})", self.table_name(*table_id));
@@ -268,12 +271,7 @@ impl Builder<'_> {
                     };
                     let (obs_table, actual, elapsed) = self.next_scan();
                     debug_assert_eq!(obs_table, *table_id, "rescan observation order diverged");
-                    let stored = self
-                        .els
-                        .effective_stats()
-                        .tables
-                        .get(*table_id)
-                        .map_or(0.0, |t| t.original_cardinality);
+                    let stored = self.est.original_cardinality(*table_id).unwrap_or(0.0);
                     self.operators.push(OperatorReport {
                         label: format!("Rescan({})", self.table_name(*table_id)),
                         depth: depth + 1,
@@ -284,7 +282,7 @@ impl Builder<'_> {
                         elapsed,
                         rescan: true,
                     });
-                    self.els.initial_state(*table_id)?
+                    self.est.initial_state(*table_id)?
                 } else {
                     self.walk(right, depth + 1)?
                 };
@@ -302,7 +300,7 @@ impl Builder<'_> {
         l: &JoinState,
         r: &JoinState,
     ) -> ElsResult<JoinState> {
-        let state = self.els.join_sets(l, r)?;
+        let state = self.est.join_sets(l, r)?;
         let (actual, elapsed) = self.next_join();
         let names: Vec<String> = self.operators[slot]
             .tables
@@ -319,18 +317,18 @@ impl Builder<'_> {
     }
 }
 
-/// Build the per-operator report for an executed plan. `els` must be the
-/// prepared estimator the optimizer used (it carries the rule and the
-/// effective statistics); `obs` the observations from the same plan's
-/// execution.
+/// Build the per-operator report for an executed plan. `est` must be the
+/// prepared estimator the optimizer used (it carries the effective
+/// statistics the plan was costed with); `obs` the observations from the
+/// same plan's execution.
 pub fn build_operator_reports(
     plan_root: &PlanNode,
-    els: &Els,
+    est: &dyn CardinalityEstimator,
     binding_names: &[String],
     obs: &Observations,
 ) -> ElsResult<Vec<OperatorReport>> {
     let mut b =
-        Builder { els, binding_names, obs, scan_cursor: 0, join_cursor: 0, operators: Vec::new() };
+        Builder { est, binding_names, obs, scan_cursor: 0, join_cursor: 0, operators: Vec::new() };
     b.walk(plan_root, 0)?;
     debug_assert_eq!(b.scan_cursor, obs.scan_outputs.len(), "unconsumed scan observations");
     debug_assert_eq!(b.join_cursor, obs.join_outputs.len(), "unconsumed join observations");

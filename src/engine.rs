@@ -52,8 +52,8 @@ use els_exec::{
     execute_plan_with, EngineCountersSnapshot, ExecMetrics, ExecMode, MetricsRegistry,
 };
 use els_optimizer::{
-    bound_query_tables, optimize_bound, CachedPlan, EstimatorPreset, OptimizedQuery,
-    OptimizerOptions, PlanCache,
+    bound_query_tables, optimize_bound, CachedPlan, EstimatorPreset, EstimatorStrategy,
+    OptimizedQuery, OptimizerOptions, PlanCache,
 };
 use els_sql::{bind, canonical_sql, parse};
 use els_storage::datagen::TableSpec;
@@ -165,6 +165,12 @@ impl Database {
     /// multiplies published corrections into its selectivities.
     pub fn set_feedback(&mut self, mode: FeedbackMode) {
         self.optimizer_options.feedback = mode;
+    }
+
+    /// Plan with a different estimator strategy (ELS pipeline, the
+    /// UES-style upper bound, or the no-estimates baseline).
+    pub fn set_strategy(&mut self, strategy: EstimatorStrategy) {
+        self.optimizer_options.strategy = strategy;
     }
 
     /// Configure how statistics are collected for *subsequently* registered
@@ -285,12 +291,19 @@ impl Database {
 /// * **Writes publish.** [`Engine::register`] copies the catalog, applies
 ///   the change, swaps the `Arc` and bumps the epoch.
 /// * **Plans are cached.** Optimized plans are keyed by the query's
-///   canonical fingerprint ([`els_sql::fingerprint`]) and the snapshot
-///   epoch; a hit skips binding, estimation and join enumeration. Any
-///   catalog change bumps the epoch, so stale plans can never be served.
+///   canonical fingerprint ([`els_sql::fingerprint`]), the optimizer
+///   configuration's [`OptimizerOptions::config_fingerprint`] and the
+///   snapshot epoch; a hit skips binding, estimation and join
+///   enumeration. Any catalog change bumps the epoch, so stale plans can
+///   never be served — and a plan optimized under one configuration can
+///   never be replayed under another.
 ///
 /// Optimizer configuration is fixed at construction (it is part of what a
 /// cached plan means); build a second engine for a second configuration.
+/// The one exception is the estimator strategy, which
+/// [`Engine::set_strategy`] switches at runtime: because the strategy is
+/// part of the cache key, plans optimized under the previous strategy
+/// stay cached but can never be served to the new one.
 ///
 /// ```
 /// use els::engine::Engine;
@@ -312,9 +325,30 @@ pub struct Engine {
     catalog: SharedCatalog,
     cache: PlanCache,
     options: OptimizerOptions,
+    /// The runtime-switchable estimator strategy (encoded for atomic
+    /// storage; see [`Engine::set_strategy`]). Overrides
+    /// `options.strategy`.
+    strategy: std::sync::atomic::AtomicU8,
     collect_options: CollectOptions,
     buffer_pages: Option<usize>,
     exec_mode: ExecMode,
+}
+
+/// Strategy <-> atomic encoding for [`Engine::set_strategy`].
+fn strategy_code(strategy: EstimatorStrategy) -> u8 {
+    match strategy {
+        EstimatorStrategy::Els => 0,
+        EstimatorStrategy::UpperBound => 1,
+        EstimatorStrategy::NoEstimates => 2,
+    }
+}
+
+fn strategy_from_code(code: u8) -> EstimatorStrategy {
+    match code {
+        1 => EstimatorStrategy::UpperBound,
+        2 => EstimatorStrategy::NoEstimates,
+        _ => EstimatorStrategy::Els,
+    }
 }
 
 impl Engine {
@@ -326,7 +360,8 @@ impl Engine {
 
     /// An empty engine with the given optimizer configuration.
     pub fn with_options(options: OptimizerOptions) -> Engine {
-        Engine { options, ..Engine::default() }
+        let strategy = std::sync::atomic::AtomicU8::new(strategy_code(options.strategy));
+        Engine { options, strategy, ..Engine::default() }
     }
 
     /// Set the plan-cache capacity (0 disables caching — every query
@@ -411,9 +446,30 @@ impl Engine {
         self.catalog.invalidate();
     }
 
-    /// The optimizer configuration this engine serves with.
+    /// The optimizer configuration this engine serves with, as
+    /// constructed. The live estimator strategy may differ — see
+    /// [`Engine::current_strategy`].
     pub fn options(&self) -> &OptimizerOptions {
         &self.options
+    }
+
+    /// Switch the estimator strategy at runtime, through a shared
+    /// reference. Safe under concurrency because the strategy is part of
+    /// the plan-cache key: plans optimized under the previous strategy
+    /// stay cached but can never be served to the new one.
+    pub fn set_strategy(&self, strategy: EstimatorStrategy) {
+        self.strategy.store(strategy_code(strategy), std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// The estimator strategy queries are currently planned with.
+    pub fn current_strategy(&self) -> EstimatorStrategy {
+        strategy_from_code(self.strategy.load(std::sync::atomic::Ordering::SeqCst))
+    }
+
+    /// The options actually used for planning: the constructed options
+    /// with the live strategy folded in.
+    fn effective_options(&self) -> OptimizerOptions {
+        self.options.clone().with_strategy(self.current_strategy())
     }
 
     /// The plan cache (for inspection; counters live on it).
@@ -432,7 +488,12 @@ impl Engine {
     /// whether it was a hit.
     fn prepare_at(&self, sql: &str) -> EngineResult<(Arc<CachedPlan>, CatalogSnapshot, bool)> {
         let ast = parse(sql)?;
-        let fingerprint = canonical_sql(&ast);
+        let options = self.effective_options();
+        // The optimizer configuration is part of the key: the same SQL
+        // planned under a different estimator, rule, or feedback mode is a
+        // different plan, and serving one to the other would replay the
+        // wrong estimates.
+        let fingerprint = format!("{}#{:016x}", canonical_sql(&ast), options.config_fingerprint());
         // Epoch and contents come from the same snapshot, so a plan stamped
         // with this epoch is exactly a plan over these statistics.
         let snapshot = self.catalog.snapshot();
@@ -440,7 +501,7 @@ impl Engine {
             return Ok((plan, snapshot, true));
         }
         let bound = bind(&ast, snapshot.catalog())?;
-        let optimized = optimize_bound(&bound, snapshot.catalog(), &self.options)?;
+        let optimized = optimize_bound(&bound, snapshot.catalog(), &options)?;
         let plan = Arc::new(CachedPlan {
             optimized,
             table_names: bound.table_names,
@@ -480,7 +541,7 @@ impl Engine {
             };
             let operators = build_operator_reports(
                 &plan.optimized.plan.root,
-                &plan.optimized.els,
+                plan.optimized.estimator(),
                 &plan.binding_names,
                 &obs,
             )
@@ -577,6 +638,11 @@ fn harvest_query(
     if !feedback.observes() {
         return 0;
     }
+    // Residuals are defined against the ELS pipeline's estimates; operator
+    // reports built from an alternative estimator would poison the store.
+    if optimized.strategy() != EstimatorStrategy::Els {
+        return 0;
+    }
     let names: Vec<&str> = table_names.iter().map(String::as_str).collect();
     let Ok(corrections) = catalog.corrections(&names) else {
         return 0;
@@ -610,11 +676,17 @@ fn analyze_query(
         Some(pages) => execute_plan_buffered_observed_with(&optimized.plan, tables, pages, mode)?,
     };
     let operators =
-        build_operator_reports(&optimized.plan.root, &optimized.els, binding_names, &obs)
+        build_operator_reports(&optimized.plan.root, optimized.estimator(), binding_names, &obs)
             .map_err(|e| EngineError::Optimizer(e.to_string()))?;
+    // Alternative estimators have no selectivity rule; key their accuracy
+    // samples in the registry by estimator name instead.
+    let rule = match optimized.strategy() {
+        EstimatorStrategy::Els => optimized.els.options().rule.short_name().to_owned(),
+        _ => optimized.estimator().name().to_owned(),
+    };
     let report = ExplainAnalyzeReport {
         sql: sql.to_owned(),
-        rule: optimized.els.options().rule.short_name().to_owned(),
+        rule,
         mode,
         cache_hit,
         corrections_applied: optimized.corrections_applied,
@@ -774,6 +846,39 @@ mod tests {
         assert_eq!(warm.estimated_sizes, cold.estimated_sizes);
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn strategy_switch_never_replays_the_other_estimators_plan() {
+        let engine = engine();
+        let sql = "SELECT COUNT(*) FROM a, b WHERE a.k = b.k";
+        let els = engine.execute(sql).unwrap();
+        assert!(!els.cache_hit);
+        assert_eq!(els.estimated_sizes, vec![500.0]);
+
+        // Same SQL under a different strategy: a different cache entry
+        // carrying the no-estimates baseline's numbers, not a replay of
+        // the ELS plan.
+        engine.set_strategy(EstimatorStrategy::NoEstimates);
+        assert_eq!(engine.current_strategy(), EstimatorStrategy::NoEstimates);
+        let ne = engine.execute(sql).unwrap();
+        assert!(!ne.cache_hit);
+        assert_eq!(ne.estimated_sizes, vec![1000.0]);
+        assert_eq!(ne.count, els.count);
+
+        engine.set_strategy(EstimatorStrategy::UpperBound);
+        let ub = engine.execute(sql).unwrap();
+        assert!(!ub.cache_hit);
+        assert_eq!(ub.count, els.count);
+
+        // Switching back serves the original entry — still cached, and
+        // never overwritten by the other strategies.
+        engine.set_strategy(EstimatorStrategy::Els);
+        let back = engine.execute(sql).unwrap();
+        assert!(back.cache_hit);
+        assert_eq!(back.estimated_sizes, els.estimated_sizes);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 3));
     }
 
     #[test]
