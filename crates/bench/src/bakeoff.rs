@@ -18,12 +18,16 @@
 //! Per contender we pool the join-operator q-errors (via
 //! `explain_analyze`) and separately time plain `execute` over the
 //! workload, so the JSON carries both the estimation error and the
-//! runtime of the plans that error bought.
+//! runtime of the plans that error bought. The timed pass runs the
+//! vectorized executor with the caller's worker count — and tells the
+//! cost model about it (`CostParams::probe_parallelism`) — so contenders
+//! are compared on the engine configuration a real deployment would run.
 
 use std::time::Instant;
 
 use els::engine::Database;
 use els_catalog::FeedbackMode;
+use els_exec::ExecMode;
 use els_optimizer::{EstimatorPreset, EstimatorStrategy, OptimizerOptions};
 use els_storage::Table;
 
@@ -94,20 +98,28 @@ const CONTENDERS: [Contender; 5] = [
 ];
 
 /// Run the bake-off: every contender plans and executes `queries` over its
-/// own database built from `tables`. Panics if a workload query fails —
-/// these are benchmark fixtures, not user input.
-pub fn estimator_bakeoff(tables: &[Table], queries: &[String]) -> Vec<BakeoffEntry> {
+/// own database built from `tables`, executing with `exec_workers`
+/// vectorized workers (clamped to at least 1). Panics if a workload query
+/// fails — these are benchmark fixtures, not user input.
+pub fn estimator_bakeoff(
+    tables: &[Table],
+    queries: &[String],
+    exec_workers: usize,
+) -> Vec<BakeoffEntry> {
+    let workers = exec_workers.max(1);
     CONTENDERS
         .iter()
         .map(|c| {
             let mut db = Database::new();
             let mut options =
                 OptimizerOptions::preset(c.preset).with_bushy_trees().with_hash_join();
+            options.cost.probe_parallelism = workers as f64;
             if c.feedback {
                 options = options.with_feedback(FeedbackMode::Apply);
             }
             db.set_optimizer_options(options);
             db.set_strategy(c.strategy);
+            db.set_exec_mode(ExecMode::Vectorized { workers });
             for table in tables {
                 db.register(table.clone()).expect("bake-off fixture tables register");
             }
@@ -231,7 +243,7 @@ mod tests {
     #[test]
     fn bakeoff_covers_all_five_contenders() {
         let (tables, queries) = fixture();
-        let entries = estimator_bakeoff(&tables, &queries);
+        let entries = estimator_bakeoff(&tables, &queries, 2);
         let labels: Vec<&str> = entries.iter().map(|e| e.label.as_str()).collect();
         assert_eq!(labels, ["ELS", "Rule-M", "ELS+feedback", "UES bound", "Simpli-Squared"]);
         for e in &entries {
@@ -243,7 +255,7 @@ mod tests {
     #[test]
     fn ues_bound_never_underestimates_and_gate_is_quiet() {
         let (tables, queries) = fixture();
-        let entries = estimator_bakeoff(&tables, &queries);
+        let entries = estimator_bakeoff(&tables, &queries, 1);
         let ues = entries.iter().find(|e| e.label == "UES bound").unwrap();
         assert_eq!(ues.underestimates, 0, "UES produced a below-actual estimate");
         // An upper bound over-estimates by construction, so its q-error is
@@ -255,7 +267,7 @@ mod tests {
     #[test]
     fn feedback_contender_beats_or_matches_raw_els() {
         let (tables, queries) = fixture();
-        let entries = estimator_bakeoff(&tables, &queries);
+        let entries = estimator_bakeoff(&tables, &queries, 2);
         let els = entries.iter().find(|e| e.label == "ELS").unwrap();
         let fed = entries.iter().find(|e| e.label == "ELS+feedback").unwrap();
         assert!(

@@ -123,7 +123,7 @@ fn main() {
     // with the runtime of the plans it chose. A UES under-estimate is a
     // correctness bug (it claims to be a guaranteed bound), so it fails
     // the run like a result divergence would.
-    let bakeoff = estimator_bakeoff(&accuracy_tables, &accuracy_queries);
+    let bakeoff = estimator_bakeoff(&accuracy_tables, &accuracy_queries, cpus);
     for e in &bakeoff {
         println!(
             "bakeoff {:<15} rule {:<11} samples {:>2}  median q {:>9.2}  max q {:>9.2}  \

@@ -173,7 +173,9 @@ pub fn collect_table_stats(table: &Table, options: &CollectOptions) -> TableStat
             let values: Vec<_> = match &sampled_rows {
                 None => col.iter().collect(),
                 Some(rows) => {
-                    rows.iter().map(|&r| col.get(r).expect("sampled row in range")).collect()
+                    // Sampled indices come from `0..num_rows`; an
+                    // out-of-range read (impossible) degrades to NULL.
+                    rows.iter().map(|&r| col.get(r).unwrap_or(els_storage::Value::Null)).collect()
                 }
             };
             let rows = values.len();

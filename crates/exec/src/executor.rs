@@ -241,13 +241,21 @@ fn execute_plan_io_observed(
         }
         ExecMode::Vectorized { workers } => {
             let mut st = ExecState { metrics: &mut metrics, io, obs };
-            let v = crate::vectorized::execute_root(&plan.root, tables, workers.max(1), &mut st)?;
             if matches!(plan.output, PlanOutput::CountStar) {
                 // COUNT(*) never materializes the join result — the point
-                // of carrying row ids to the top of the plan.
-                let n = v.len() as u64;
+                // of carrying row ids to the top of the plan — and a keyed
+                // hash/sort-merge root fuses the probe with the count, so
+                // not even the root's pair list is allocated.
+                let n = crate::vectorized::execute_root_count(
+                    &plan.root,
+                    tables,
+                    workers.max(1),
+                    &mut st,
+                )?;
                 (count_table(n)?, n)
             } else {
+                let v =
+                    crate::vectorized::execute_root(&plan.root, tables, workers.max(1), &mut st)?;
                 shape_output(v.materialize()?, &plan.output, &mut metrics)?
             }
         }
@@ -788,6 +796,9 @@ mod tests {
         m.kernel_rows = 0;
         m.sel_reuses = 0;
         m.morsels = 0;
+        m.partitions = 0;
+        m.steals = 0;
+        m.pair_lists = 0;
         m.elapsed = std::time::Duration::ZERO;
         m
     }
@@ -853,6 +864,36 @@ mod tests {
         let rows =
             execute_plan_with(&star, &tables(), ExecMode::Vectorized { workers: 1 }).unwrap();
         assert_eq!(count.count, rows.rows.num_rows() as u64);
+        // The fused COUNT(*) root allocates no row-id pair list; the Star
+        // plan materializes exactly one (the root join's).
+        assert_eq!(count.metrics.pair_lists, 0, "fused count must not build a pair list");
+        assert_eq!(rows.metrics.pair_lists, 1);
+    }
+
+    #[test]
+    fn fused_count_only_skips_the_root_pair_list() {
+        // (T0 ⋈ T1) ⋈ T1: the lower join must still materialize its pair
+        // list (its parent composes selections from it); only the root
+        // fuses away.
+        let plan = QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Join {
+                method: JoinMethod::Hash,
+                left: Box::new(PlanNode::Join {
+                    method: JoinMethod::Hash,
+                    left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
+                    right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
+                    keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+                }),
+                right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
+                keys: vec![(ColumnRef::new(1, 0), ColumnRef::new(1, 0))],
+            },
+            output: PlanOutput::CountStar,
+        };
+        let out = execute_plan_with(&plan, &tables(), ExecMode::Vectorized { workers: 1 }).unwrap();
+        assert_eq!(out.count, 100);
+        assert_eq!(out.metrics.pair_lists, 1, "only the lower join materializes");
     }
 
     #[test]

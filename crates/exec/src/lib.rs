@@ -15,8 +15,11 @@
 //!   (tuples, simulated page reads, comparisons, wall time), in one of two
 //!   [`ExecMode`]s: the tuple-at-a-time reference oracle, or
 //! * [`vectorized`] — typed whole-column kernels over selection vectors
-//!   with late materialization and an optional morsel-parallel hash-join
-//!   probe (the default mode; bit-identical results and counters).
+//!   with late materialization, a radix-partitioned parallel hash join,
+//!   and fused `COUNT(*)` roots (the default mode; bit-identical results
+//!   and counters).
+//! * [`scheduler`] — the work-stealing morsel scheduler every parallel
+//!   operator runs on (the only library module allowed to spawn threads).
 //!
 //! The engine executes *exactly* the predicate set it is given: join
 //! predicates become join keys as soon as both sides are available, local
@@ -41,6 +44,7 @@ pub mod index;
 pub mod join;
 pub mod metrics;
 pub mod plan;
+pub mod scheduler;
 pub mod timing;
 pub mod vectorized;
 
@@ -57,4 +61,5 @@ pub use metrics::{
     EngineCounters, EngineCountersSnapshot, ExecMetrics, MetricsRegistry, QErrorHistogram,
 };
 pub use plan::{JoinMethod, PlanNode, QueryPlan};
-pub use vectorized::{MORSEL_ROWS, PARALLEL_MIN_ROWS};
+pub use scheduler::RunStats;
+pub use vectorized::{radix_partitions, MAX_RADIX_PARTITIONS, MORSEL_ROWS, PARALLEL_MIN_ROWS};

@@ -44,8 +44,21 @@ pub struct ExecMetrics {
     /// In-place selection-vector compactions: each conjunct after the first
     /// reuses the scan's selection vector instead of materializing rows.
     pub sel_reuses: u64,
-    /// Probe-side morsels dispatched to parallel join workers.
+    /// Probe-side morsels dispatched to parallel join workers. Charged
+    /// identically on the serial path (the morsels it *would* dispatch), so
+    /// the number is a property of the plan, not the schedule.
     pub morsels: u64,
+    /// Radix partitions built by partitioned hash joins (0 when every join
+    /// ran unpartitioned).
+    pub partitions: u64,
+    /// Tasks the work-stealing scheduler moved between workers. The one
+    /// schedule-dependent counter: monitoring only, never compared across
+    /// runs.
+    pub steals: u64,
+    /// `(u32, u32)` row-id pair lists materialized by vectorized join
+    /// kernels. Fused `COUNT(*)` roots produce none; the differential tests
+    /// assert that.
+    pub pair_lists: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -63,6 +76,9 @@ impl ExecMetrics {
         self.kernel_rows += other.kernel_rows;
         self.sel_reuses += other.sel_reuses;
         self.morsels += other.morsels;
+        self.partitions += other.partitions;
+        self.steals += other.steals;
+        self.pair_lists += other.pair_lists;
         self.elapsed += other.elapsed;
     }
 }
@@ -72,7 +88,7 @@ impl fmt::Display for ExecMetrics {
         write!(
             f,
             "scanned={} pages={} phys={} emitted={} cmps={} sorted={} probes={} kernel={} \
-             selreuse={} morsels={} elapsed={:?}",
+             selreuse={} morsels={} parts={} steals={} pairlists={} elapsed={:?}",
             self.tuples_scanned,
             self.pages_read,
             self.physical_pages_read,
@@ -83,6 +99,9 @@ impl fmt::Display for ExecMetrics {
             self.kernel_rows,
             self.sel_reuses,
             self.morsels,
+            self.partitions,
+            self.steals,
+            self.pair_lists,
             self.elapsed
         )
     }
@@ -297,6 +316,8 @@ pub struct MetricsRegistry {
     queries: AtomicU64,
     kernel_rows: AtomicU64,
     morsels: AtomicU64,
+    partitions: AtomicU64,
+    steals: AtomicU64,
     hash_probes: AtomicU64,
     tuples_scanned: AtomicU64,
     feedback_learned: AtomicU64,
@@ -329,6 +350,8 @@ impl MetricsRegistry {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.kernel_rows.fetch_add(metrics.kernel_rows, Ordering::Relaxed);
         self.morsels.fetch_add(metrics.morsels, Ordering::Relaxed);
+        self.partitions.fetch_add(metrics.partitions, Ordering::Relaxed);
+        self.steals.fetch_add(metrics.steals, Ordering::Relaxed);
         self.hash_probes.fetch_add(metrics.hash_probes, Ordering::Relaxed);
         self.tuples_scanned.fetch_add(metrics.tuples_scanned, Ordering::Relaxed);
     }
@@ -390,10 +413,12 @@ impl MetricsRegistry {
         );
         let _ = writeln!(
             json,
-            "  \"kernels\": {{ \"kernel_rows\": {}, \"morsels\": {}, \"hash_probes\": {}, \
-             \"tuples_scanned\": {} }},",
+            "  \"kernels\": {{ \"kernel_rows\": {}, \"morsels\": {}, \"partitions\": {}, \
+             \"steals\": {}, \"hash_probes\": {}, \"tuples_scanned\": {} }},",
             self.kernel_rows.load(Ordering::Relaxed),
             self.morsels.load(Ordering::Relaxed),
+            self.partitions.load(Ordering::Relaxed),
+            self.steals.load(Ordering::Relaxed),
             self.hash_probes.load(Ordering::Relaxed),
             self.tuples_scanned.load(Ordering::Relaxed),
         );
@@ -441,6 +466,9 @@ mod tests {
             kernel_rows: 7,
             sel_reuses: 8,
             morsels: 9,
+            partitions: 10,
+            steals: 11,
+            pair_lists: 12,
             elapsed: Duration::from_millis(10),
         };
         let b = a;
@@ -451,6 +479,9 @@ mod tests {
         assert_eq!(a.kernel_rows, 14);
         assert_eq!(a.sel_reuses, 16);
         assert_eq!(a.morsels, 18);
+        assert_eq!(a.partitions, 20);
+        assert_eq!(a.steals, 22);
+        assert_eq!(a.pair_lists, 24);
         assert_eq!(a.elapsed, Duration::from_millis(20));
     }
 
@@ -546,7 +577,13 @@ mod tests {
         r.record_q_error("LS", 1.0);
         r.record_q_error("LS", 4.0);
         r.record_q_error("M", 100.0);
-        r.record_query(&ExecMetrics { kernel_rows: 5, morsels: 2, ..ExecMetrics::default() });
+        r.record_query(&ExecMetrics {
+            kernel_rows: 5,
+            morsels: 2,
+            partitions: 4,
+            steals: 3,
+            ..ExecMetrics::default()
+        });
         r.cache_counters().hits.fetch_add(1, Ordering::Relaxed);
 
         assert_eq!(r.queries(), 1);
@@ -560,6 +597,8 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"queries\": 1"), "{json}");
         assert!(json.contains("\"kernel_rows\": 5"), "{json}");
+        assert!(json.contains("\"partitions\": 4"), "{json}");
+        assert!(json.contains("\"steals\": 3"), "{json}");
         assert!(json.contains("\"feedback\": { \"learned\": 3, \"applied\": 2"), "{json}");
         assert!(json.contains("\"hits\": 1"), "{json}");
         assert!(json.contains("\"LS\""), "{json}");

@@ -15,12 +15,18 @@
 //!   ([`VChunk::materialize`]), or never, for `COUNT(*)` outputs.
 //!
 //! Single-column `Int` equi-joins take fast paths over raw `i64` slices
-//! (exact — see `HashKey` in [`crate::join`] for the 2⁵³ story); the hash
-//! probe additionally splits into fixed-size **morsels** dispatched to
-//! scoped worker threads when a probe side is large enough and more than
-//! one worker is configured. Results are deterministic regardless of
-//! worker count: morsels are merged in morsel order and the pair list gets
-//! the same left-major sort the serial path applies.
+//! (exact — see `HashKey` in [`crate::join`] for the 2⁵³ story). With more
+//! than one worker and a large enough probe side, the int path goes
+//! parallel through the work-stealing scheduler ([`crate::scheduler`]):
+//! either a **radix-partitioned** join (both sides partitioned by the high
+//! bits of the key hash, then independent per-partition build+probe with no
+//! shared hash table — see [`radix_partitions`]) or, when the build side is
+//! too small to be worth splitting, a shared-table probe over fixed-size
+//! **morsels**. Results are deterministic regardless of worker or partition
+//! count: partition/morsel buffers merge in a fixed order and the pair list
+//! gets the same left-major sort the serial path applies. `COUNT(*)` roots
+//! additionally fuse the probe with the count ([`execute_root_count`]) so
+//! no row-id pair list is ever allocated for them.
 //!
 //! Nested-loops shapes (rescan, indexed, and keyless joins) delegate to the
 //! row-path operators on materialized inputs: their cost is dominated by
@@ -32,7 +38,6 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use els_core::ColumnRef;
@@ -56,6 +61,38 @@ pub const MORSEL_ROWS: usize = 2048;
 /// boundary-straddling differential tests can pin sizes right at the
 /// threshold.
 pub const PARALLEL_MIN_ROWS: usize = 4 * MORSEL_ROWS;
+
+/// Maximum radix fan-out. 64 partitions keeps the per-task partition
+/// buffers and the final merge cheap while making every per-partition
+/// build side cache-resident at the scales this engine generates.
+pub const MAX_RADIX_PARTITIONS: usize = 64;
+
+/// Build rows per radix partition the fan-out decision aims for: small
+/// enough that a partition's hash table stays cache-resident, large enough
+/// that per-partition fixed costs amortize.
+const RADIX_BUILD_ROWS_PER_PARTITION: usize = 2048;
+
+/// The radix fan-out the int hash join will use, as a function of the two
+/// input sizes and the configured worker count. Public because the
+/// optimizer's cost model (`CostParams` in `els-optimizer`) consults the
+/// same decision, keeping plan costs aligned with what the executor will
+/// actually do.
+///
+/// Returns 1 (no partitioning) when the probe is too small to parallelize
+/// or only one worker is configured; otherwise a power of two, capped at
+/// [`MAX_RADIX_PARTITIONS`], sized so each worker gets several independent
+/// partitions to steal and each partition's build side stays around
+/// [`RADIX_BUILD_ROWS_PER_PARTITION`] keys. A build side below one
+/// partition's worth yields 1 — the shared-table morsel probe beats
+/// partitioning a tiny build.
+pub fn radix_partitions(build_rows: usize, probe_rows: usize, workers: usize) -> usize {
+    if workers <= 1 || probe_rows < PARALLEL_MIN_ROWS {
+        return 1;
+    }
+    let by_build = (build_rows / RADIX_BUILD_ROWS_PER_PARTITION).max(1);
+    let by_workers = workers.saturating_mul(4);
+    by_build.min(by_workers).next_power_of_two().min(MAX_RADIX_PARTITIONS)
+}
 
 /// One input a selection can point into: either a stored base table
 /// (shared, never copied) or a materialized intermediate produced by a
@@ -213,6 +250,38 @@ pub(crate) fn execute_root(
     exec_node(node, tables, workers, st)
 }
 
+/// Fused `COUNT(*)` evaluation: when the plan root is a *keyed* hash or
+/// sort-merge join, count the matches in one pass over the probe instead
+/// of materializing, merging, and sorting the root's row-id pair list.
+/// Only the root can fuse — lower joins' parents compose selections from
+/// their pair lists — and NL/INL/keyless roots fall back to the general
+/// path (they delegate to row operators and never build a pair list).
+/// Counters and observations are charged exactly as the unfused path
+/// charges them, minus the `pair_lists` allocation the fusion removes.
+pub(crate) fn execute_root_count(
+    node: &PlanNode,
+    tables: &[Arc<Table>],
+    workers: usize,
+    st: &mut ExecState<'_>,
+) -> ExecResult<u64> {
+    if let PlanNode::Join { method, left, right, keys } = node {
+        if !keys.is_empty() && matches!(method, JoinMethod::Hash | JoinMethod::SortMerge) {
+            let start = crate::timing::Stopwatch::start();
+            let l = exec_node(left, tables, workers, st)?;
+            let r = exec_node(right, tables, workers, st)?;
+            let n = match method {
+                JoinMethod::Hash => vhash_count(&l, &r, keys, workers, st.metrics)?,
+                _ => vsort_merge_count(&l, &r, keys, st.metrics)?,
+            };
+            st.metrics.tuples_emitted += n;
+            st.obs.join_outputs.push((node.tables(), n));
+            st.obs.join_elapsed.push(start.elapsed());
+            return Ok(n);
+        }
+    }
+    Ok(execute_root(node, tables, workers, st)?.len() as u64)
+}
+
 /// Recursive node evaluation, recording the same per-operator observations
 /// (in the same post-order) as the row path.
 fn exec_node(
@@ -296,6 +365,7 @@ fn exec_inner(
                     unreachable!("handled above")
                 }
             };
+            st.metrics.pair_lists += 1;
             st.metrics.tuples_emitted += pairs.len() as u64;
             Ok(VChunk::compose(l, r, &pairs))
         }
@@ -457,28 +527,261 @@ fn vhash_join(
     Ok(pairs)
 }
 
-/// `i64` fast path: build a multiply-mix-hashed table, probe serially or in
-/// morsels across scoped worker threads.
+/// Fused counting twin of [`vhash_join`]: the same three key paths with
+/// the same `hash_probes` charge, but only a running count crosses the
+/// probe loop — no `(u32, u32)` pair list is ever allocated (so the
+/// `pair_lists` counter stays untouched) and the build tables hold bucket
+/// *sizes*, not row-id lists, where possible.
+fn vhash_count(
+    left: &VChunk,
+    right: &VChunk,
+    keys: &[(ColumnRef, ColumnRef)],
+    workers: usize,
+    metrics: &mut ExecMetrics,
+) -> ExecResult<u64> {
+    let lsides = side_keys(left, keys.iter().map(|&(l, _)| l))?;
+    let rsides = side_keys(right, keys.iter().map(|&(_, r)| r))?;
+    if let ([lk], [rk]) = (lsides.as_slice(), rsides.as_slice()) {
+        if let (Some(ld), Some(rd)) = (lk.col.as_int_slice(), rk.col.as_int_slice()) {
+            let build = IntKeys { data: ld, valid: lk.col.validity(), ids: lk.ids };
+            let probe = IntKeys { data: rd, valid: rk.col.validity(), ids: rk.ids };
+            return Ok(int_hash_count(&build, &probe, workers, metrics));
+        }
+        if let (Some(ld), Some(rd)) = (lk.col.as_str_slice(), rk.col.as_str_slice()) {
+            let (lv, rv) = (lk.col.validity(), rk.col.validity());
+            let mut table: HashMap<&str, u64> = HashMap::new();
+            for &rid in lk.ids {
+                if lv[rid as usize] {
+                    *table.entry(ld[rid as usize].as_str()).or_default() += 1;
+                }
+            }
+            metrics.hash_probes += rk.ids.len() as u64;
+            let mut n = 0u64;
+            for &rid in rk.ids {
+                if rv[rid as usize] {
+                    n += table.get(rd[rid as usize].as_str()).copied().unwrap_or(0);
+                }
+            }
+            return Ok(n);
+        }
+    }
+    let mut table: HashMap<Vec<HashKey>, u64> = HashMap::new();
+    for k in gather_hash_keys(&lsides, left.len())?.into_iter().flatten() {
+        *table.entry(k).or_default() += 1;
+    }
+    metrics.hash_probes += right.len() as u64;
+    let mut n = 0u64;
+    for k in gather_hash_keys(&rsides, right.len())?.into_iter().flatten() {
+        n += table.get(&k).copied().unwrap_or(0);
+    }
+    Ok(n)
+}
+
+/// The full multiply-mix of one `i64` key — the same bits [`IntHasher`]
+/// feeds the hash table. Radix partitioning takes the *high* bits of this
+/// mix while the table's bucket choice uses the low bits, so partition and
+/// bucket assignment stay decorrelated.
+#[inline]
+fn int_key_mix(key: i64) -> u64 {
+    let mut h = IntHasher::default();
+    h.write_i64(key);
+    h.finish()
+}
+
+/// Build an [`IntMap`] from `(key, logical row)` entries, preserving entry
+/// order within each bucket (build-side row order, like the unpartitioned
+/// build loop).
+fn build_int_map(entries: &[(i64, u32)]) -> IntMap {
+    let mut table = IntMap::default();
+    for &(k, j) in entries {
+        table.entry(k).or_default().push(j);
+    }
+    table
+}
+
+/// `i64` fast path: pick a radix fan-out via [`radix_partitions`], then
+/// build+probe. Charges one `hash_probes` per probe-side row (NULLs
+/// included) and one `morsels` per probe morsel, identically on the
+/// serial, stealing, and radix paths.
 fn int_hash_join(
     build: &IntKeys<'_>,
     probe: &IntKeys<'_>,
     workers: usize,
     metrics: &mut ExecMetrics,
 ) -> Vec<(u32, u32)> {
-    let mut table = IntMap::default();
-    for (j, &rid) in build.ids.iter().enumerate() {
-        if build.valid[rid as usize] {
-            table.entry(build.data[rid as usize]).or_default().push(j as u32);
-        }
-    }
-    metrics.hash_probes += probe.ids.len() as u64;
-    let mut pairs = if workers > 1 && probe.ids.len() >= PARALLEL_MIN_ROWS {
-        parallel_probe(&table, probe, workers, metrics)
+    let parts = radix_partitions(build.ids.len(), probe.ids.len(), workers);
+    int_hash_join_with(build, probe, workers, parts, metrics)
+}
+
+/// [`int_hash_join`] with an explicit radix fan-out, so tests can pin
+/// partition counts the decision function would not pick. `parts` is
+/// normalized to a power of two within `1..=MAX_RADIX_PARTITIONS`.
+fn int_hash_join_with(
+    build: &IntKeys<'_>,
+    probe: &IntKeys<'_>,
+    workers: usize,
+    parts: usize,
+    metrics: &mut ExecMetrics,
+) -> Vec<(u32, u32)> {
+    let parts = parts.clamp(1, MAX_RADIX_PARTITIONS).next_power_of_two();
+    charge_probe(probe, metrics);
+    let mut pairs = if parts > 1 {
+        radix_join(build, probe, workers, parts, metrics, probe_partition_pairs)
+            .into_iter()
+            .flatten()
+            .collect()
+    } else if workers > 1 && probe.ids.len() >= PARALLEL_MIN_ROWS {
+        let table = build_int_map(&gather_int_entries(build));
+        let n_morsels = probe.ids.len().div_ceil(MORSEL_ROWS);
+        let (morsel_pairs, stats) = crate::scheduler::run_tasks(workers, n_morsels, |m| {
+            let lo = m * MORSEL_ROWS;
+            let hi = (lo + MORSEL_ROWS).min(probe.ids.len());
+            probe_morsel(&table, probe, lo, hi)
+        });
+        metrics.steals += stats.steals;
+        morsel_pairs.into_iter().flatten().collect()
     } else {
+        let table = build_int_map(&gather_int_entries(build));
         probe_morsel(&table, probe, 0, probe.ids.len())
     };
     pairs.sort_unstable();
     pairs
+}
+
+/// Fused counting twin of [`int_hash_join`]: identical partitioning,
+/// hashing, and counter charges, but sums matching-bucket sizes instead of
+/// allocating a pair list. A count is additive, so no merge order or final
+/// sort is needed for determinism.
+fn int_hash_count(
+    build: &IntKeys<'_>,
+    probe: &IntKeys<'_>,
+    workers: usize,
+    metrics: &mut ExecMetrics,
+) -> u64 {
+    let parts = radix_partitions(build.ids.len(), probe.ids.len(), workers);
+    int_hash_count_with(build, probe, workers, parts, metrics)
+}
+
+/// [`int_hash_count`] with an explicit radix fan-out (see
+/// [`int_hash_join_with`]).
+fn int_hash_count_with(
+    build: &IntKeys<'_>,
+    probe: &IntKeys<'_>,
+    workers: usize,
+    parts: usize,
+    metrics: &mut ExecMetrics,
+) -> u64 {
+    let parts = parts.clamp(1, MAX_RADIX_PARTITIONS).next_power_of_two();
+    charge_probe(probe, metrics);
+    if parts > 1 {
+        return radix_join(build, probe, workers, parts, metrics, probe_partition_count)
+            .into_iter()
+            .sum();
+    }
+    let table = build_int_map(&gather_int_entries(build));
+    if workers > 1 && probe.ids.len() >= PARALLEL_MIN_ROWS {
+        let n_morsels = probe.ids.len().div_ceil(MORSEL_ROWS);
+        let (counts, stats) = crate::scheduler::run_tasks(workers, n_morsels, |m| {
+            let lo = m * MORSEL_ROWS;
+            let hi = (lo + MORSEL_ROWS).min(probe.ids.len());
+            count_morsel(&table, probe, lo, hi)
+        });
+        metrics.steals += stats.steals;
+        counts.into_iter().sum()
+    } else {
+        count_morsel(&table, probe, 0, probe.ids.len())
+    }
+}
+
+/// Charge the probe-side counters every int-path variant shares: one
+/// `hash_probes` per probe row (NULLs included, like the row path) and one
+/// `morsels` per probe morsel — the serial path reports the same morsel
+/// count the parallel paths dispatch, so accounting is mode-independent.
+fn charge_probe(probe: &IntKeys<'_>, metrics: &mut ExecMetrics) {
+    metrics.hash_probes += probe.ids.len() as u64;
+    metrics.morsels += probe.ids.len().div_ceil(MORSEL_ROWS) as u64;
+}
+
+/// All valid `(key, logical row)` entries of one side, in row order.
+fn gather_int_entries(keys: &IntKeys<'_>) -> Vec<(i64, u32)> {
+    keys.ids
+        .iter()
+        .enumerate()
+        .filter(|&(_, &rid)| keys.valid[rid as usize])
+        .map(|(j, &rid)| (keys.data[rid as usize], j as u32))
+        .collect()
+}
+
+/// The radix-partitioned parallel join core, generic over what a partition
+/// probe produces (a pair list or a count). Three phases:
+///
+/// 1. the (small) build side is partitioned serially by the high bits of
+///    [`int_key_mix`];
+/// 2. the probe side is partitioned in parallel, one task per morsel, each
+///    task filling its own per-partition buffers (no shared state to
+///    contend on); buffers concatenate in morsel order, so every partition
+///    sees its probe rows in ascending logical-row order;
+/// 3. one task per partition builds that partition's private hash table
+///    and probes it — no shared table, no cross-partition traffic.
+///
+/// Returns the per-partition probe results in partition order.
+fn radix_join<T: Send>(
+    build: &IntKeys<'_>,
+    probe: &IntKeys<'_>,
+    workers: usize,
+    parts: usize,
+    metrics: &mut ExecMetrics,
+    probe_partition: fn(&IntMap, &[(i64, u32)]) -> T,
+) -> Vec<T> {
+    debug_assert!(parts.is_power_of_two() && parts > 1);
+    let shift = 64 - parts.trailing_zeros();
+    let mut bparts: Vec<Vec<(i64, u32)>> = vec![Vec::new(); parts];
+    for (k, j) in gather_int_entries(build) {
+        bparts[(int_key_mix(k) >> shift) as usize].push((k, j));
+    }
+    let n_morsels = probe.ids.len().div_ceil(MORSEL_ROWS);
+    let (morsel_buffers, pstats) = crate::scheduler::run_tasks(workers, n_morsels, |m| {
+        let lo = m * MORSEL_ROWS;
+        let hi = (lo + MORSEL_ROWS).min(probe.ids.len());
+        let mut buf: Vec<Vec<(i64, u32)>> = vec![Vec::new(); parts];
+        for (off, &rid) in probe.ids[lo..hi].iter().enumerate() {
+            if probe.valid[rid as usize] {
+                let k = probe.data[rid as usize];
+                buf[(int_key_mix(k) >> shift) as usize].push((k, (lo + off) as u32));
+            }
+        }
+        buf
+    });
+    let mut pparts: Vec<Vec<(i64, u32)>> = vec![Vec::new(); parts];
+    for buf in morsel_buffers {
+        for (p, mut rows) in buf.into_iter().enumerate() {
+            pparts[p].append(&mut rows);
+        }
+    }
+    let (results, jstats) = crate::scheduler::run_tasks(workers, parts, |p| {
+        probe_partition(&build_int_map(&bparts[p]), &pparts[p])
+    });
+    metrics.partitions += parts as u64;
+    metrics.steals += pstats.steals + jstats.steals;
+    results
+}
+
+/// Per-partition probe producing `(build row, probe row)` pairs.
+fn probe_partition_pairs(table: &IntMap, entries: &[(i64, u32)]) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for &(k, j) in entries {
+        if let Some(ls) = table.get(&k) {
+            for &lj in ls {
+                pairs.push((lj, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// Per-partition probe producing only the match count.
+fn probe_partition_count(table: &IntMap, entries: &[(i64, u32)]) -> u64 {
+    entries.iter().map(|(k, _)| table.get(k).map_or(0, |ls| ls.len() as u64)).sum()
 }
 
 /// Probe rows `lo..hi`, emitting `(build row, probe row)` logical pairs.
@@ -496,42 +799,17 @@ fn probe_morsel(table: &IntMap, probe: &IntKeys<'_>, lo: usize, hi: usize) -> Ve
     pairs
 }
 
-/// Morsel-driven parallel probe: workers pull morsel indices from a shared
-/// atomic counter and probe the shared read-only build table. Determinism:
-/// results are merged in morsel order (and the caller sorts the pair list),
-/// so worker count and scheduling are invisible in the output.
-fn parallel_probe(
-    table: &IntMap,
-    probe: &IntKeys<'_>,
-    workers: usize,
-    metrics: &mut ExecMetrics,
-) -> Vec<(u32, u32)> {
-    let n_morsels = probe.ids.len().div_ceil(MORSEL_ROWS);
-    let next = AtomicUsize::new(0);
-    let mut parts: Vec<(usize, Vec<(u32, u32)>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers.min(n_morsels))
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out: Vec<(usize, Vec<(u32, u32)>)> = Vec::new();
-                    loop {
-                        let m = next.fetch_add(1, Ordering::Relaxed);
-                        if m >= n_morsels {
-                            break;
-                        }
-                        let lo = m * MORSEL_ROWS;
-                        let hi = (lo + MORSEL_ROWS).min(probe.ids.len());
-                        out.push((m, probe_morsel(table, probe, lo, hi)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        // els-lint: allow(panic-freedom, "re-raises a probe-worker panic on the coordinating thread; swallowing it would return truncated join results")
-        handles.into_iter().flat_map(|h| h.join().expect("probe worker panicked")).collect()
-    });
-    parts.sort_unstable_by_key(|&(m, _)| m);
-    metrics.morsels += n_morsels as u64;
-    parts.into_iter().flat_map(|(_, p)| p).collect()
+/// Counting twin of [`probe_morsel`].
+fn count_morsel(table: &IntMap, probe: &IntKeys<'_>, lo: usize, hi: usize) -> u64 {
+    let mut n = 0u64;
+    for &rid in &probe.ids[lo..hi] {
+        if probe.valid[rid as usize] {
+            if let Some(ls) = table.get(&probe.data[rid as usize]) {
+                n += ls.len() as u64;
+            }
+        }
+    }
+    n
 }
 
 /// Vectorized sort-merge join on logical row ids; replicates the row
@@ -636,6 +914,95 @@ fn int_sort_merge(l: &IntKeys<'_>, r: &IntKeys<'_>, metrics: &mut ExecMetrics) -
     pairs
 }
 
+/// Fused counting twin of [`vsort_merge`]: identical sorts, sort charges,
+/// and merge loop, but an equal run contributes `|left run| * |right run|`
+/// to a running count instead of materializing its cross product.
+fn vsort_merge_count(
+    left: &VChunk,
+    right: &VChunk,
+    keys: &[(ColumnRef, ColumnRef)],
+    metrics: &mut ExecMetrics,
+) -> ExecResult<u64> {
+    let lsides = side_keys(left, keys.iter().map(|&(l, _)| l))?;
+    let rsides = side_keys(right, keys.iter().map(|&(_, r)| r))?;
+    if let ([lk], [rk]) = (lsides.as_slice(), rsides.as_slice()) {
+        if let (Some(ld), Some(rd)) = (lk.col.as_int_slice(), rk.col.as_int_slice()) {
+            let l = IntKeys { data: ld, valid: lk.col.validity(), ids: lk.ids };
+            let r = IntKeys { data: rd, valid: rk.col.validity(), ids: rk.ids };
+            return Ok(int_sort_merge_count(&l, &r, metrics));
+        }
+    }
+    let mut lrows = gather_sort_keys(&lsides, left.len())?;
+    let mut rrows = gather_sort_keys(&rsides, right.len())?;
+    metrics.rows_sorted += (lrows.len() + rrows.len()) as u64;
+    lrows.sort_by(|a, b| cmp_key_slices(&a.0, &b.0));
+    rrows.sort_by(|a, b| cmp_key_slices(&a.0, &b.0));
+    metrics.comparisons += sort_charge(lrows.len()) + sort_charge(rrows.len());
+    let mut n = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lrows.len() && j < rrows.len() {
+        metrics.comparisons += 1;
+        match cmp_key_slices(&lrows[i].0, &rrows[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let mut ie = i + 1;
+                while ie < lrows.len() && cmp_key_slices(&lrows[ie].0, &lrows[i].0).is_eq() {
+                    ie += 1;
+                }
+                let mut je = j + 1;
+                while je < rrows.len() && cmp_key_slices(&rrows[je].0, &rrows[j].0).is_eq() {
+                    je += 1;
+                }
+                n += ((ie - i) * (je - j)) as u64;
+                i = ie;
+                j = je;
+            }
+        }
+    }
+    Ok(n)
+}
+
+/// `i64` fast path of [`vsort_merge_count`] (see [`int_sort_merge`]).
+fn int_sort_merge_count(l: &IntKeys<'_>, r: &IntKeys<'_>, metrics: &mut ExecMetrics) -> u64 {
+    let collect = |k: &IntKeys<'_>| -> Vec<i64> {
+        k.ids
+            .iter()
+            .filter(|&&rid| k.valid[rid as usize])
+            .map(|&rid| k.data[rid as usize])
+            .collect()
+    };
+    let mut lrows = collect(l);
+    let mut rrows = collect(r);
+    metrics.rows_sorted += (lrows.len() + rrows.len()) as u64;
+    lrows.sort_unstable();
+    rrows.sort_unstable();
+    metrics.comparisons += sort_charge(lrows.len()) + sort_charge(rrows.len());
+    let mut n = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lrows.len() && j < rrows.len() {
+        metrics.comparisons += 1;
+        match lrows[i].cmp(&rrows[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let mut ie = i + 1;
+                while ie < lrows.len() && lrows[ie] == lrows[i] {
+                    ie += 1;
+                }
+                let mut je = j + 1;
+                while je < rrows.len() && rrows[je] == rrows[j] {
+                    je += 1;
+                }
+                n += ((ie - i) * (je - j)) as u64;
+                i = ie;
+                j = je;
+            }
+        }
+    }
+    n
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,7 +1034,78 @@ mod tests {
             assert_eq!(par_m.morsels, (pids.len().div_ceil(MORSEL_ROWS)) as u64);
             assert_eq!(par_m.hash_probes, serial_m.hash_probes);
         }
-        assert_eq!(serial_m.morsels, 0, "serial probe dispatches no morsels");
+        assert_eq!(
+            serial_m.morsels,
+            (pids.len().div_ceil(MORSEL_ROWS)) as u64,
+            "serial probe reports the same morsel count the parallel paths dispatch"
+        );
+    }
+
+    #[test]
+    fn radix_fanout_decision_respects_floors_and_caps() {
+        assert_eq!(radix_partitions(100_000, 100_000, 1), 1, "one worker never partitions");
+        assert_eq!(radix_partitions(100_000, PARALLEL_MIN_ROWS - 1, 8), 1, "small probe");
+        assert_eq!(radix_partitions(1000, 100_000, 8), 1, "tiny build: shared-table probe wins");
+        assert_eq!(radix_partitions(8 * 2048, 100_000, 2), 8);
+        assert_eq!(radix_partitions(1 << 20, 1 << 20, 64), MAX_RADIX_PARTITIONS);
+    }
+
+    #[test]
+    fn radix_join_and_count_match_single_partition_for_any_fanout() {
+        // Handmade keys with interleaved NULLs so validity filtering is
+        // exercised on both sides and in the partitioning pass.
+        let bdata: Vec<i64> = (0..600).map(|i| i % 97).collect();
+        let bvalid: Vec<bool> = (0..600).map(|i| i % 13 != 0).collect();
+        let pdata: Vec<i64> = (0..3 * PARALLEL_MIN_ROWS as i64).map(|i| i % 97).collect();
+        let pvalid: Vec<bool> = (0..pdata.len()).map(|i| i % 7 != 0).collect();
+        let bids: Vec<u32> = (0..bdata.len() as u32).collect();
+        let pids: Vec<u32> = (0..pdata.len() as u32).collect();
+        let bk = IntKeys { data: &bdata, valid: &bvalid, ids: &bids };
+        let pk = IntKeys { data: &pdata, valid: &pvalid, ids: &pids };
+        let mut base_m = ExecMetrics::default();
+        let base = int_hash_join_with(&bk, &pk, 1, 1, &mut base_m);
+        assert!(!base.is_empty());
+        for workers in [1, 2, 3, 8] {
+            for parts in [1, 4, 64] {
+                let ctx = format!("workers={workers} parts={parts}");
+                let mut m = ExecMetrics::default();
+                let pairs = int_hash_join_with(&bk, &pk, workers, parts, &mut m);
+                assert_eq!(pairs, base, "{ctx}");
+                let mut cm = ExecMetrics::default();
+                let n = int_hash_count_with(&bk, &pk, workers, parts, &mut cm);
+                assert_eq!(n, base.len() as u64, "{ctx}");
+                for metrics in [&m, &cm] {
+                    assert_eq!(metrics.hash_probes, base_m.hash_probes, "{ctx}");
+                    assert_eq!(metrics.morsels, base_m.morsels, "{ctx}");
+                    let want_parts = if parts > 1 { parts as u64 } else { 0 };
+                    assert_eq!(metrics.partitions, want_parts, "{ctx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn radix_join_handles_empty_and_all_null_sides() {
+        let pdata: Vec<i64> = (0..2 * PARALLEL_MIN_ROWS as i64).collect();
+        let pvalid = vec![true; pdata.len()];
+        let pids: Vec<u32> = (0..pdata.len() as u32).collect();
+        let pk = IntKeys { data: &pdata, valid: &pvalid, ids: &pids };
+        let empty = IntKeys { data: &[], valid: &[], ids: &[] };
+        let nulls_data = vec![7i64; 100];
+        let nulls_valid = vec![false; 100];
+        let nulls_ids: Vec<u32> = (0..100).collect();
+        let nulls = IntKeys { data: &nulls_data, valid: &nulls_valid, ids: &nulls_ids };
+        for workers in [1, 2, 8] {
+            for parts in [1, 4, 64] {
+                let mut m = ExecMetrics::default();
+                assert!(int_hash_join_with(&empty, &pk, workers, parts, &mut m).is_empty());
+                assert_eq!(int_hash_count_with(&empty, &pk, workers, parts, &mut m), 0);
+                assert!(int_hash_join_with(&nulls, &pk, workers, parts, &mut m).is_empty());
+                assert_eq!(int_hash_count_with(&nulls, &pk, workers, parts, &mut m), 0);
+                assert!(int_hash_join_with(&pk, &empty, workers, parts, &mut m).is_empty());
+                assert_eq!(int_hash_count_with(&pk, &nulls, workers, parts, &mut m), 0);
+            }
+        }
     }
 
     #[test]

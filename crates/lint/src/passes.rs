@@ -26,6 +26,10 @@ pub enum Lint {
     MetricsIo,
     /// `Ordering::Relaxed` only in the allowlisted counter modules.
     Atomics,
+    /// `thread::spawn`/`thread::scope` confined to the work-stealing
+    /// scheduler module, so every parallel code path shares one panic and
+    /// determinism policy.
+    ParallelismSeam,
     /// Crate dependencies must respect the layer order and add no new
     /// external dependencies.
     Layering,
@@ -33,8 +37,15 @@ pub enum Lint {
 
 impl Lint {
     /// All lints, in report order.
-    pub fn all() -> [Lint; 5] {
-        [Lint::PanicFreedom, Lint::Determinism, Lint::MetricsIo, Lint::Atomics, Lint::Layering]
+    pub fn all() -> [Lint; 6] {
+        [
+            Lint::PanicFreedom,
+            Lint::Determinism,
+            Lint::MetricsIo,
+            Lint::Atomics,
+            Lint::ParallelismSeam,
+            Lint::Layering,
+        ]
     }
 
     /// The name used in reports, baselines and suppression comments.
@@ -44,6 +55,7 @@ impl Lint {
             Lint::Determinism => "determinism",
             Lint::MetricsIo => "metrics-only-io",
             Lint::Atomics => "atomics-discipline",
+            Lint::ParallelismSeam => "parallelism-seam",
             Lint::Layering => "layering",
         }
     }
@@ -76,10 +88,17 @@ pub struct Violation {
 /// atomic. Everything else must spell out an ordering and justify it.
 const RELAXED_ALLOWLIST: &[&str] = &[
     "crates/exec/src/metrics.rs",
+    "crates/exec/src/scheduler.rs",
     "crates/exec/src/vectorized.rs",
     "crates/catalog/src/feedback.rs",
     "crates/optimizer/src/plan_cache.rs",
 ];
+
+/// The one library module allowed to spawn threads: the work-stealing
+/// scheduler. Confining parallelism to a single seam gives every parallel
+/// operator the same panic policy (worker panics re-raise, never truncate)
+/// and keeps the determinism argument in one reviewable place.
+const THREAD_ALLOWLIST: &[&str] = &["crates/exec/src/scheduler.rs"];
 
 /// The only module allowed to read wall clocks. PR 3 made Observations
 /// compare timing-blind; keeping clock reads behind one seam keeps it so.
@@ -203,6 +222,26 @@ pub fn run_token_passes(file: &SourceFile, out: &mut Vec<Violation>) {
                 Lint::MetricsIo,
                 tok,
                 format!("`process::{}` in library code: surface an error instead", tok.text),
+            ));
+        }
+
+        // parallelism seam: thread spawns outside the scheduler module.
+        if matches!(tok.text.as_str(), "spawn" | "scope")
+            && ci >= 3
+            && at(ci - 1).is_some_and(|p| p.kind == TokenKind::Punct(':'))
+            && at(ci - 2).is_some_and(|p| p.kind == TokenKind::Punct(':'))
+            && at(ci - 3).is_some_and(|p| p.kind == TokenKind::Ident && p.text == "thread")
+            && !THREAD_ALLOWLIST.contains(&file.rel_path.as_str())
+        {
+            out.push(violation(
+                Lint::ParallelismSeam,
+                tok,
+                format!(
+                    "`thread::{}` outside the scheduler module: route parallel work \
+                     through `els_exec::scheduler::run_tasks` so it shares the one \
+                     panic/determinism seam",
+                    tok.text
+                ),
             ));
         }
 
@@ -376,6 +415,20 @@ mod tests {
         let mut out = Vec::new();
         run_token_passes(&f, &mut out);
         assert_eq!(out, vec![]);
+    }
+
+    #[test]
+    fn thread_spawns_fire_outside_the_scheduler_module() {
+        let src = "fn f() { std::thread::spawn(|| {}); thread::scope(|s| { s.spawn(|| {}); }); }";
+        let v = lint_src(src);
+        assert_eq!(v.iter().filter(|v| v.lint == Lint::ParallelismSeam).count(), 2, "{v:?}");
+        let f = SourceFile::parse("crates/exec/src/scheduler.rs", src);
+        let mut out = Vec::new();
+        run_token_passes(&f, &mut out);
+        assert_eq!(out.iter().filter(|v| v.lint == Lint::ParallelismSeam).count(), 0);
+        // Method calls named `spawn` (not through `thread::`) are fine.
+        let v = lint_src("fn f(s: &Scope) { s.spawn(|| {}); pool.scope(|x| x); }");
+        assert_eq!(v, vec![]);
     }
 
     #[test]

@@ -129,8 +129,9 @@ impl ColumnVector {
             }
             (_, other) => Err(StorageError::TypeMismatch {
                 expected: self.data_type(),
-                // `other` is non-NULL in this arm, so the type exists.
-                actual: other.data_type().expect("non-null value has a type"),
+                // `other` is non-NULL in this arm, so the type exists; fall
+                // back to the column's own type rather than assert.
+                actual: other.data_type().unwrap_or(self.data_type()),
             }),
         }
     }
@@ -165,7 +166,7 @@ impl ColumnVector {
 
     /// Iterate over all values (cloning strings).
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
-        (0..self.len()).map(move |i| self.get(i).expect("index in range"))
+        (0..self.len()).map(move |i| self.get(i).unwrap_or(Value::Null))
     }
 
     /// Count distinct non-NULL values. This is the *column cardinality* `d_x`
@@ -198,23 +199,22 @@ impl ColumnVector {
         let mut min: Option<Value> = None;
         let mut max: Option<Value> = None;
         for i in 0..self.len() {
-            let v = self.get(i).expect("index in range");
+            let v = self.get(i).unwrap_or(Value::Null);
             if v.is_null() {
                 continue;
             }
-            match &min {
-                None => {
-                    min = Some(v.clone());
-                    max = Some(v);
-                }
-                Some(lo) => {
+            match (&min, &max) {
+                (Some(lo), Some(hi)) => {
                     if v.total_cmp(lo) == std::cmp::Ordering::Less {
                         min = Some(v.clone());
                     }
-                    let hi = max.as_ref().expect("min set implies max set");
                     if v.total_cmp(hi) == std::cmp::Ordering::Greater {
                         max = Some(v);
                     }
+                }
+                _ => {
+                    min = Some(v.clone());
+                    max = Some(v);
                 }
             }
         }

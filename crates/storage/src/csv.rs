@@ -23,7 +23,7 @@ pub fn write_csv(table: &Table, out: &mut impl Write) -> std::io::Result<()> {
             .columns()
             .iter()
             .map(|c| {
-                let v = c.get(row).expect("row in range");
+                let v = c.get(row).unwrap_or(Value::Null);
                 match v {
                     Value::Null => String::new(),
                     Value::Int(x) => x.to_string(),

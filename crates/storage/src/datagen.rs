@@ -161,7 +161,10 @@ impl TableSpec {
                 (spec.name.clone(), col)
             })
             .collect();
-        Table::new(self.name.clone(), columns).expect("generated columns share row count")
+        // Every generated column has exactly `self.rows` rows, so
+        // construction cannot fail; degrade to an empty table rather than
+        // assert.
+        Table::new(self.name.clone(), columns).unwrap_or_else(|_| Table::empty(&self.name, &[]))
     }
 }
 
@@ -182,7 +185,12 @@ pub fn generate_column(dist: &Distribution, rows: usize, seed: u64) -> ColumnVec
     };
     for row in 0..rows {
         let v = sample(dist, row, &mut rng, zipf.as_ref());
-        col.push(v).expect("generator produces values of the column type");
+        // Generators produce values of the declared column type; the
+        // impossible mismatch degrades to a NULL slot (always accepted)
+        // rather than aborting.
+        if col.push(v).is_err() {
+            let _ = col.push(Value::Null);
+        }
     }
     col
 }
@@ -195,7 +203,12 @@ fn sample(dist: &Distribution, row: usize, rng: &mut StdRng, zipf: Option<&ZipfS
         }
         Distribution::UniformInt { lo, hi } => Value::Int(rng.gen_range(*lo..=*hi)),
         Distribution::ZipfInt { start, .. } => {
-            let k = zipf.expect("sampler prepared for zipf").sample(rng);
+            // The sampler is prepared for every zipf distribution; a
+            // missing one (impossible by construction) samples rank 0.
+            let k = match zipf {
+                Some(z) => z.sample(rng),
+                None => 0,
+            };
             Value::Int(start + k as i64)
         }
         Distribution::ConstInt { value } => Value::Int(*value),

@@ -113,7 +113,7 @@ impl Table {
             }
         }
         for (col, value) in self.columns.iter_mut().zip(row) {
-            col.push(value).expect("row pre-validated");
+            col.push(value)?;
         }
         Ok(())
     }

@@ -118,6 +118,9 @@ fn comparable(mut m: ExecMetrics) -> ExecMetrics {
     m.kernel_rows = 0;
     m.sel_reuses = 0;
     m.morsels = 0;
+    m.partitions = 0;
+    m.steals = 0;
+    m.pair_lists = 0;
     m.elapsed = std::time::Duration::ZERO;
     m
 }
@@ -136,7 +139,7 @@ fn check_plan(plan: &QueryPlan, tables: &[Arc<Table>], context: &str) {
     let (row_out, row_obs): (els::exec::ExecOutput, Observations) =
         execute_plan_observed_with(plan, tables, ExecMode::RowAtATime)
             .unwrap_or_else(|e| panic!("{context}: row oracle failed: {e}"));
-    for workers in [1usize, 4] {
+    for workers in [1usize, 2, 3, 8] {
         let label = format!("{context} workers={workers}");
         let (vec_out, vec_obs) =
             execute_plan_observed_with(plan, tables, ExecMode::Vectorized { workers })
@@ -296,6 +299,124 @@ fn morsel_boundary_probe_sizes_keep_observation_parity() {
                     out.metrics.morsels
                 );
             }
+        }
+    }
+}
+
+/// The radix-partitioned path at scale: a build side spanning several
+/// partition's worth of keys (an exact multiple of the per-partition build
+/// target) against a probe side an exact multiple of the parallel
+/// threshold. Bit-exact against the row oracle across worker counts, with
+/// the partition counter engaged and — for `COUNT(*)` — no pair list ever
+/// materialized.
+#[test]
+fn radix_partitioned_join_matches_oracle_bit_exactly() {
+    use els::exec::PARALLEL_MIN_ROWS;
+
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            TableSpec::new("build", 8192)
+                .column(ColumnSpec::new(
+                    "k",
+                    Distribution::WithNulls {
+                        inner: Box::new(Distribution::UniformInt { lo: 0, hi: 4000 }),
+                        null_fraction: 0.05,
+                    },
+                ))
+                .generate(21),
+            &CollectOptions::default(),
+        )
+        .unwrap();
+    catalog
+        .register(
+            TableSpec::new("probe", 4 * PARALLEL_MIN_ROWS)
+                .column(ColumnSpec::new(
+                    "k",
+                    Distribution::WithNulls {
+                        inner: Box::new(Distribution::ZipfInt { n: 3000, theta: 0.8, start: 0 }),
+                        null_fraction: 0.05,
+                    },
+                ))
+                .generate(22),
+            &CollectOptions::default(),
+        )
+        .unwrap();
+    let sql = "SELECT COUNT(*) FROM build, probe WHERE build.k = probe.k";
+    let bound = bind(&parse(sql).unwrap(), &catalog).unwrap();
+    let tables = bound_query_tables(&bound, &catalog).unwrap();
+    let optimized = optimize_bound(&bound, &catalog, &OptimizerOptions::default()).unwrap();
+    let mut plan = optimized.plan.clone();
+    force_method(&mut plan.root, JoinMethod::Hash);
+    check_plan(&plan, &tables, "radix-scale probe [HASH]");
+    for workers in [2usize, 3, 8] {
+        let (out, _) =
+            execute_plan_observed_with(&plan, &tables, ExecMode::Vectorized { workers }).unwrap();
+        assert!(
+            out.metrics.partitions > 1,
+            "workers={workers}: the radix path should engage, partitions={}",
+            out.metrics.partitions
+        );
+        assert_eq!(
+            out.metrics.pair_lists, 0,
+            "workers={workers}: a fused COUNT(*) root must not materialize row-id pairs"
+        );
+    }
+    // Serial never partitions, and the fused root still skips the pair list.
+    let (serial, _) =
+        execute_plan_observed_with(&plan, &tables, ExecMode::Vectorized { workers: 1 }).unwrap();
+    assert_eq!(serial.metrics.partitions, 0);
+    assert_eq!(serial.metrics.pair_lists, 0);
+}
+
+/// Degenerate key populations: an all-NULL build side and a filter-emptied
+/// build side must produce zero matches — identically on the serial,
+/// stealing, and radix paths.
+#[test]
+fn all_null_and_empty_build_sides_join_to_nothing() {
+    use els::exec::PARALLEL_MIN_ROWS;
+
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            TableSpec::new("build", 8192)
+                .column(ColumnSpec::new(
+                    "k",
+                    Distribution::WithNulls {
+                        inner: Box::new(Distribution::UniformInt { lo: 0, hi: 100 }),
+                        null_fraction: 1.0,
+                    },
+                ))
+                .column(ColumnSpec::new("f", Distribution::UniformInt { lo: 0, hi: 9 }))
+                .generate(31),
+            &CollectOptions::default(),
+        )
+        .unwrap();
+    catalog
+        .register(
+            TableSpec::new("probe", PARALLEL_MIN_ROWS + 1)
+                .column(ColumnSpec::new("k", Distribution::UniformInt { lo: 0, hi: 100 }))
+                .column(ColumnSpec::new("f", Distribution::UniformInt { lo: 0, hi: 9 }))
+                .generate(32),
+            &CollectOptions::default(),
+        )
+        .unwrap();
+    // All-NULL build keys: every probe row misses.
+    let null_sql = "SELECT COUNT(*) FROM build, probe WHERE build.k = probe.k";
+    // Filter-emptied build side: the kernel sees an empty selection.
+    let empty_sql = "SELECT COUNT(*) FROM build, probe WHERE build.k = probe.k AND build.f < 0";
+    for sql in [null_sql, empty_sql] {
+        let bound = bind(&parse(sql).unwrap(), &catalog).unwrap();
+        let tables = bound_query_tables(&bound, &catalog).unwrap();
+        let optimized = optimize_bound(&bound, &catalog, &OptimizerOptions::default()).unwrap();
+        let mut plan = optimized.plan.clone();
+        force_method(&mut plan.root, JoinMethod::Hash);
+        check_plan(&plan, &tables, &format!("degenerate build (`{sql}`) [HASH]"));
+        for workers in [1usize, 2, 8] {
+            let (out, _) =
+                execute_plan_observed_with(&plan, &tables, ExecMode::Vectorized { workers })
+                    .unwrap();
+            assert_eq!(out.count, 0, "`{sql}` workers={workers}");
         }
     }
 }
