@@ -12,6 +12,7 @@
 pub mod accuracy;
 pub mod bakeoff;
 pub mod driver;
+pub mod server_load;
 pub mod workload;
 
 use els_catalog::collect::CollectOptions;

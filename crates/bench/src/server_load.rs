@@ -1,0 +1,358 @@
+//! Closed-loop load generation for the `els-server` TCP front door.
+//!
+//! Two phases, matching the two pressure valves in `DESIGN.md` §4i:
+//!
+//! * [`closed_loop`] — N clients, each with at most one query in flight,
+//!   replaying a mixed cached/uncached workload. Measures sustained
+//!   throughput and tail latency *through the socket*, so protocol
+//!   framing and admission bookkeeping are inside the measured path.
+//! * [`overload_storm`] — C concurrent one-shot clients against a server
+//!   sized for far fewer (C ≫ workers + queue depth). Every attempt must
+//!   terminate with either full service, degraded (cached-plan-only)
+//!   service, or a typed `ERR overloaded` rejection. A client that
+//!   reaches its read timeout is a **hang** — the one outcome the
+//!   front door promises never to produce — and fails the bench.
+//!
+//! Both phases verify result counts, so a wrong answer under concurrency
+//! (tenant bleed-through, cache-lane mixup) fails loudly rather than
+//! inflating qps.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use els::storage::datagen::{ColumnSpec, Distribution, TableSpec};
+use els_server::{serve, Client, ServerConfig, ServerError, ServerHandle, Tenants};
+
+/// Tenant names the traffic server hosts. Both hold a table `t` with a
+/// sequential-int key column, sized differently so a cross-tenant answer
+/// is detectable from the count alone.
+pub const TENANTS: [(&str, usize, u64); 2] = [("alpha", 4000, 11), ("beta", 2000, 12)];
+
+/// Queries per workload pass, shared by every client. Predicates stay
+/// below the smaller tenant's row count so `COUNT(*)` must equal the
+/// predicate bound for *both* tenants — a free correctness oracle.
+pub fn workload() -> Vec<(String, u64)> {
+    [64u64, 256, 512, 777, 1024, 1500]
+        .into_iter()
+        .map(|k| (format!("SELECT COUNT(*) FROM t WHERE k < {k}"), k))
+        .collect()
+}
+
+/// Stand up the two-tenant traffic server on an ephemeral loopback port.
+pub fn traffic_server(config: ServerConfig) -> ServerHandle {
+    let tenants =
+        Tenants::isolated(&TENANTS.map(|(name, _, _)| name), 256).expect("valid tenant names");
+    for (name, rows, seed) in TENANTS {
+        tenants
+            .resolve(name)
+            .expect("tenant registered")
+            .generate(
+                TableSpec::new("t", rows)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                seed,
+            )
+            .expect("tenant table generates");
+    }
+    serve("127.0.0.1:0", tenants, config).expect("server binds loopback")
+}
+
+/// What one sustained closed-loop run measured.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopReport {
+    /// Client threads driving the loop.
+    pub clients: usize,
+    /// Queries answered `OK` (all of them count-verified).
+    pub ok: usize,
+    /// Queries answered with any typed error (should be zero here: the
+    /// sustained phase never oversubscribes the server).
+    pub errors: usize,
+    /// Of the `ok` replies, how many were plan-cache hits.
+    pub cached: usize,
+    /// Wall-clock time for the whole phase.
+    pub elapsed: Duration,
+    /// Every per-query round-trip latency, unordered.
+    pub latencies: Vec<Duration>,
+    /// Wrong-answer descriptions; any entry is a correctness failure.
+    pub wrong: Vec<String>,
+}
+
+impl ClosedLoopReport {
+    /// Sustained queries per second across all clients.
+    pub fn qps(&self) -> f64 {
+        self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Nearest-rank latency percentile; `p` in `0..=100`.
+    pub fn percentile(&self, p: f64) -> Duration {
+        percentile(&self.latencies, p)
+    }
+}
+
+/// Nearest-rank percentile over an unsorted latency sample.
+pub fn percentile(latencies: &[Duration], p: f64) -> Duration {
+    if latencies.is_empty() || p.is_nan() {
+        return Duration::ZERO;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let rank = (p.clamp(0.0, 100.0) / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Per-client tally: `(ok, errors, cached, latencies, wrong)`.
+type ClientTally = (usize, usize, usize, Vec<Duration>, Vec<String>);
+
+/// Drive `clients` closed-loop client threads, each replaying the
+/// workload `rounds` times against its round-robin-assigned tenant.
+/// Every reply's count is checked against the predicate bound.
+pub fn closed_loop(
+    addr: SocketAddr,
+    clients: usize,
+    rounds: usize,
+    timeout: Duration,
+) -> ClosedLoopReport {
+    let queries = workload();
+    let start = Instant::now();
+    let outcomes: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        let tenant = TENANTS[c % TENANTS.len()].0;
+                        let mut ok = 0usize;
+                        let mut errors = 0usize;
+                        let mut cached = 0usize;
+                        let mut latencies = Vec::with_capacity(rounds * queries.len());
+                        let mut wrong = Vec::new();
+                        let Ok(mut client) = Client::connect(addr, tenant, timeout) else {
+                            wrong.push(format!("client {c}: connect failed"));
+                            return (ok, errors, cached, latencies, wrong);
+                        };
+                        for _ in 0..rounds {
+                            for step in 0..queries.len() {
+                                // Rotate each client's starting query so cold
+                                // plans are warmed by whoever arrives first.
+                                let (sql, expected) = &queries[(step + c) % queries.len()];
+                                let t0 = Instant::now();
+                                match client.query(sql) {
+                                    Ok(reply) => {
+                                        latencies.push(t0.elapsed());
+                                        ok += 1;
+                                        cached += usize::from(reply.cached);
+                                        if reply.count != *expected {
+                                            wrong.push(format!(
+                                                "client {c} ({tenant}): `{sql}` -> {} (want {expected})",
+                                                reply.count
+                                            ));
+                                        }
+                                    }
+                                    Err(_) => errors += 1,
+                                }
+                            }
+                        }
+                        client.quit();
+                        (ok, errors, cached, latencies, wrong)
+                    })
+                })
+                .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = start.elapsed();
+    let mut report = ClosedLoopReport {
+        clients,
+        ok: 0,
+        errors: 0,
+        cached: 0,
+        elapsed,
+        latencies: Vec::new(),
+        wrong: Vec::new(),
+    };
+    for (ok, errors, cached, latencies, wrong) in outcomes {
+        report.ok += ok;
+        report.errors += errors;
+        report.cached += cached;
+        report.latencies.extend(latencies);
+        report.wrong.extend(wrong);
+    }
+    report
+}
+
+/// What the overload storm observed, per attempt, summed.
+#[derive(Debug, Clone, Default)]
+pub struct StormReport {
+    /// Connections attempted.
+    pub attempted: usize,
+    /// Attempts that got full service (both probe queries answered).
+    pub served: usize,
+    /// Attempts turned away at the door with a typed `ERR overloaded`.
+    pub rejected: usize,
+    /// Served attempts whose uncached probe was refused with `ERR shed`
+    /// (degraded, cached-plan-only service — still a clean outcome).
+    pub degraded: usize,
+    /// Attempts that ended in any other error: transport failures,
+    /// protocol violations, wrong counts. Must be zero.
+    pub failed: usize,
+    /// Attempts whose total wall time reached the read-timeout budget —
+    /// a hang, the outcome the front door must never produce.
+    pub hung: usize,
+}
+
+impl StormReport {
+    /// Every attempt accounted for as served, rejected, or failed?
+    pub fn accounted(&self) -> bool {
+        self.served + self.rejected + self.failed == self.attempted
+    }
+}
+
+/// Throw `attempts` concurrent one-shot clients at the server. Each
+/// connects, runs one warm (cacheable) query and one unique uncached
+/// query, and hangs up. The warm query must succeed whenever the
+/// connection is admitted — even in shed mode; the unique query may be
+/// shed. `warm_sql`/`warm_expected` should already be in the alpha
+/// tenant's plan-cache lane (run [`closed_loop`] first).
+pub fn overload_storm(
+    addr: SocketAddr,
+    attempts: usize,
+    warm_sql: &str,
+    warm_expected: u64,
+    timeout: Duration,
+) -> StormReport {
+    let outcomes: Vec<(u8, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..attempts)
+            .map(|i| {
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let outcome = storm_attempt(addr, i, warm_sql, warm_expected, timeout);
+                    (outcome, t0.elapsed())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("storm thread")).collect()
+    });
+    let mut report = StormReport { attempted: attempts, ..StormReport::default() };
+    for (outcome, elapsed) in outcomes {
+        match outcome {
+            SERVED => report.served += 1,
+            DEGRADED => {
+                report.served += 1;
+                report.degraded += 1;
+            }
+            REJECTED => report.rejected += 1,
+            _ => report.failed += 1,
+        }
+        if elapsed >= timeout {
+            report.hung += 1;
+        }
+    }
+    report
+}
+
+/// What the deterministic shed probe observed.
+#[derive(Debug, Clone, Default)]
+pub struct ShedProbe {
+    /// Cached queries answered (count-verified) while shed mode was held.
+    pub cached_served: usize,
+    /// Uncached queries refused with a typed `ERR shed` while held.
+    pub shed_refusals: usize,
+    /// Anything else: wrong counts, transport errors, un-shed service
+    /// while the watermark was held. Must be zero.
+    pub failed: usize,
+}
+
+/// Hold the server at its shed watermark and measure degraded service
+/// directly: park raw connections until the admission queue sits at the
+/// watermark, then run `probes` rounds of one warm (cached) and one
+/// unique (uncached) query on a connection admitted beforehand. Cached
+/// plans must keep serving; uncached queries must be refused typed. The
+/// overload storm can race past this state too fast to observe it — this
+/// probe pins it.
+pub fn shed_probe(
+    handle: &ServerHandle,
+    config: &ServerConfig,
+    warm_sql: &str,
+    warm_expected: u64,
+    probes: usize,
+    timeout: Duration,
+) -> ShedProbe {
+    let mut report = ShedProbe::default();
+    let Ok(mut client) = Client::connect(handle.addr(), "alpha", timeout) else {
+        report.failed += 1;
+        return report;
+    };
+    // Warm the lane while unloaded, so the cached path is hot.
+    match client.query(warm_sql) {
+        Ok(reply) if reply.count == warm_expected => {}
+        _ => {
+            report.failed += 1;
+            return report;
+        }
+    }
+    // Park silent connections until the queue sits at the watermark:
+    // idle workers pop the first few and block on their handshake read;
+    // the rest queue up and hold `depth >= shed_watermark` for as long as
+    // we like. Parked incrementally — connecting the full batch at once
+    // can transiently overfill the queue and get a parker *rejected*
+    // instead of queued. Budget `workers + queue_depth` covers the worst
+    // case, and once all workers are blocked the queued depth is stable.
+    let mut parked: Vec<std::net::TcpStream> = Vec::new();
+    let deadline = Instant::now() + timeout;
+    while handle.queue_depth() < config.shed_watermark {
+        if Instant::now() >= deadline {
+            report.failed += 1;
+            return report;
+        }
+        if parked.len() < config.workers + config.queue_depth {
+            parked.extend(std::net::TcpStream::connect(handle.addr()).ok());
+        }
+        std::thread::yield_now();
+    }
+    for i in 0..probes {
+        match client.query(warm_sql) {
+            Ok(reply) if reply.count == warm_expected => report.cached_served += 1,
+            _ => report.failed += 1,
+        }
+        // A predicate nothing has cached: 3000.. stays clear of the
+        // storm's 2000..3000 band and the workload's bounds.
+        match client.query(&format!("SELECT COUNT(*) FROM t WHERE k < {}", 3000 + i)) {
+            Err(ServerError::Shed) => report.shed_refusals += 1,
+            _ => report.failed += 1,
+        }
+    }
+    drop(parked);
+    client.quit();
+    report
+}
+
+const SERVED: u8 = 0;
+const DEGRADED: u8 = 1;
+const REJECTED: u8 = 2;
+const FAILED: u8 = 3;
+
+fn storm_attempt(
+    addr: SocketAddr,
+    index: usize,
+    warm_sql: &str,
+    warm_expected: u64,
+    timeout: Duration,
+) -> u8 {
+    let mut client = match Client::connect(addr, "alpha", timeout) {
+        Ok(client) => client,
+        Err(ServerError::Overloaded) => return REJECTED,
+        Err(_) => return FAILED,
+    };
+    // Admitted: the warm query must serve even under shed.
+    match client.query(warm_sql) {
+        Ok(reply) if reply.count == warm_expected => {}
+        _ => return FAILED,
+    }
+    // A predicate no one else runs: misses the cache by construction.
+    let k = 2000 + (index as u64 % 1000);
+    let outcome = match client.query(&format!("SELECT COUNT(*) FROM t WHERE k < {k}")) {
+        Ok(reply) if reply.count == k => SERVED,
+        Ok(_) => FAILED,
+        Err(ServerError::Shed) => DEGRADED,
+        Err(_) => FAILED,
+    };
+    client.quit();
+    outcome
+}

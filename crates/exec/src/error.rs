@@ -20,6 +20,14 @@ pub enum ExecError {
     /// A plan was structurally invalid (e.g. join key columns on the wrong
     /// side).
     InvalidPlan(String),
+    /// An input has more rows than a `u32` selection vector can address.
+    /// Row ids are `u32` throughout the vectorized path (selection
+    /// vectors, join pair lists); beyond `u32::MAX` rows they would
+    /// silently alias, so the executor refuses instead.
+    SelectionOverflow {
+        /// The offending row count.
+        rows: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -35,7 +43,26 @@ impl fmt::Display for ExecError {
             }
             ExecError::Storage(m) => write!(f, "storage error: {m}"),
             ExecError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            ExecError::SelectionOverflow { rows } => write!(
+                f,
+                "input has {rows} rows but row ids are u32: the vectorized executor \
+                 addresses at most {} rows per input",
+                u32::MAX
+            ),
         }
+    }
+}
+
+/// Guard for every place that builds `u32` row ids over an input of `rows`
+/// rows (selection vectors, identity selections, pair lists). In release
+/// builds an unchecked cast would silently alias row ids beyond
+/// `u32::MAX`; this returns the typed error instead. Callable without
+/// allocating anything, so the boundary is testable.
+pub fn check_rowid_range(rows: usize) -> ExecResult<()> {
+    if rows > u32::MAX as usize {
+        Err(ExecError::SelectionOverflow { rows })
+    } else {
+        Ok(())
     }
 }
 
@@ -61,5 +88,19 @@ mod tests {
         let multi = ExecError::ColumnsNotInSchema(vec![ColumnRef::new(0, 1), ColumnRef::new(2, 3)]);
         let text = multi.to_string();
         assert!(text.contains("R0.c1") && text.contains("R2.c3"), "{text}");
+        let overflow = ExecError::SelectionOverflow { rows: 5_000_000_000 };
+        assert!(overflow.to_string().contains("5000000000"), "{overflow}");
+    }
+
+    #[test]
+    fn rowid_range_guard_is_exact_at_the_u32_boundary() {
+        // No 4-billion-row table needed: the guard is a pure function of
+        // the row count.
+        assert!(check_rowid_range(0).is_ok());
+        assert!(check_rowid_range(u32::MAX as usize).is_ok());
+        assert_eq!(
+            check_rowid_range(u32::MAX as usize + 1),
+            Err(ExecError::SelectionOverflow { rows: u32::MAX as usize + 1 })
+        );
     }
 }

@@ -287,7 +287,9 @@ pub fn filter_selection(
 ) -> ExecResult<()> {
     sel.clear();
     let n = table.num_rows();
-    debug_assert!(n <= u32::MAX as usize, "selection vectors index rows with u32");
+    // Beyond u32::MAX rows the `as u32` casts below would silently alias
+    // row ids in release builds; refuse with a typed error instead.
+    crate::error::check_rowid_range(n)?;
     if bound.is_empty() {
         sel.extend(0..n as u32);
         return Ok(());

@@ -50,7 +50,7 @@ pub mod vectorized;
 
 pub use buffer::{BufferPool, PageIo};
 pub use chunk::Chunk;
-pub use error::{ExecError, ExecResult};
+pub use error::{check_rowid_range, ExecError, ExecResult};
 pub use executor::{
     execute_plan, execute_plan_buffered, execute_plan_buffered_observed_with,
     execute_plan_buffered_with, execute_plan_observed, execute_plan_observed_with,
@@ -58,7 +58,8 @@ pub use executor::{
     VectorizedEvaluator,
 };
 pub use metrics::{
-    EngineCounters, EngineCountersSnapshot, ExecMetrics, MetricsRegistry, QErrorHistogram,
+    json_escape, EngineCounters, EngineCountersSnapshot, ExecMetrics, MetricsRegistry,
+    QErrorHistogram, ServerCounters, ServerCountersSnapshot,
 };
 pub use plan::{JoinMethod, PlanNode, QueryPlan};
 pub use scheduler::RunStats;

@@ -187,6 +187,33 @@ impl fmt::Display for EngineCountersSnapshot {
     }
 }
 
+/// Escape a string for embedding in a JSON string literal (the inner
+/// text only — the caller supplies the surrounding quotes). Handles the
+/// full JSON escape set: quote, backslash, and every control character
+/// below 0x20 (named escapes for the common ones, `\u00XX` otherwise).
+/// Every hand-rolled JSON emitter in the workspace must route map keys
+/// and string values through this — an unescaped `"` or `\` in a
+/// rule/counter key silently produces invalid JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Process-wide count of join-enumeration runs. The benchmark acceptance
 /// check "cache hits skip `enumerate()`" needs an observable signal from
 /// inside the optimizer; `els-optimizer` depends on this crate, so the
@@ -323,6 +350,54 @@ pub struct MetricsRegistry {
     feedback_learned: AtomicU64,
     feedback_applied: AtomicU64,
     feedback_epoch_bumps: AtomicU64,
+    server: ServerCounters,
+}
+
+/// Shared counters for the TCP front door (`els-server`): connection and
+/// query traffic plus the two overload outcomes — hard rejections at the
+/// admission queue and queries shed because only cached plans are served
+/// under load. Atomics behind `&self`, like [`EngineCounters`].
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted and handed to a worker.
+    pub connections: AtomicU64,
+    /// Queries answered successfully over the wire.
+    pub queries_ok: AtomicU64,
+    /// Queries answered with a typed error (SQL/exec/protocol).
+    pub queries_err: AtomicU64,
+    /// Connections rejected at admission because the queue was full.
+    pub rejected: AtomicU64,
+    /// Queries refused in cached-plan-only (degraded) mode.
+    pub shed: AtomicU64,
+}
+
+impl ServerCounters {
+    /// Point-in-time copy (per-counter atomic reads, like
+    /// [`EngineCounters::snapshot`]).
+    pub fn snapshot(&self) -> ServerCountersSnapshot {
+        ServerCountersSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_err: self.queries_err.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`ServerCounters`] for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCountersSnapshot {
+    /// Connections accepted and handed to a worker.
+    pub connections: u64,
+    /// Queries answered successfully.
+    pub queries_ok: u64,
+    /// Queries answered with a typed error.
+    pub queries_err: u64,
+    /// Connections rejected at admission (queue full).
+    pub rejected: u64,
+    /// Queries refused in cached-plan-only mode.
+    pub shed: u64,
 }
 
 impl MetricsRegistry {
@@ -381,6 +456,13 @@ impl MetricsRegistry {
         )
     }
 
+    /// The front door's connection/query/shed/reject counters. The server
+    /// bumps these directly; monitoring reads them here or through the
+    /// `"server"` section of [`MetricsRegistry::to_json`].
+    pub fn server_counters(&self) -> &ServerCounters {
+        &self.server
+    }
+
     /// Number of queries folded in via [`MetricsRegistry::record_query`].
     pub fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
@@ -428,13 +510,21 @@ impl MetricsRegistry {
             "  \"feedback\": {{ \"learned\": {learned}, \"applied\": {applied}, \
              \"epoch_bumps\": {epoch_bumps} }},",
         );
+        let srv = self.server.snapshot();
+        let _ = writeln!(
+            json,
+            "  \"server\": {{ \"connections\": {}, \"queries_ok\": {}, \"queries_err\": {}, \
+             \"rejected\": {}, \"shed\": {} }},",
+            srv.connections, srv.queries_ok, srv.queries_err, srv.rejected, srv.shed
+        );
         json.push_str("  \"q_error\": {");
         let map = lock_recovering(&self.qerr);
         for (i, (rule, h)) in map.iter().enumerate() {
             let _ = write!(
                 json,
-                "{}\n    \"{rule}\": {{ \"count\": {}, \"p50\": {}, \"p95\": {}, \"max\": {} }}",
+                "{}\n    \"{}\": {{ \"count\": {}, \"p50\": {}, \"p95\": {}, \"max\": {} }}",
                 if i == 0 { "" } else { "," },
+                json_escape(rule),
                 h.count(),
                 num(h.median()),
                 num(h.p95()),
@@ -605,6 +695,56 @@ mod tests {
         assert!(json.contains("\"M\""), "{json}");
         // Rules are emitted in sorted order (BTreeMap) for stable output.
         assert!(json.find("\"LS\"").unwrap() < json.find("\"M\"").unwrap());
+    }
+
+    #[test]
+    fn json_escape_covers_the_escape_set() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape(r"a\b"), r"a\\b");
+        assert_eq!(json_escape("a\nb\tc\rd"), r"a\nb\tc\rd");
+        assert_eq!(json_escape("\u{08}\u{0c}\u{01}"), "\\b\\f\\u0001");
+        // Non-ASCII passes through untouched (JSON strings are UTF-8).
+        assert_eq!(json_escape("héllo⋈"), "héllo⋈");
+    }
+
+    #[test]
+    fn registry_json_escapes_hostile_rule_keys() {
+        let r = MetricsRegistry::new();
+        // A rule key with a quote, a backslash, and a newline must not
+        // produce invalid JSON.
+        r.record_q_error("evil\"rule\\name\nx", 2.0);
+        let json = r.to_json();
+        assert!(json.contains(r#""evil\"rule\\name\nx""#), "{json}");
+        // The raw quote/newline must not appear unescaped inside the key:
+        // every line with the key must carry the escaped forms only.
+        for line in json.lines() {
+            if line.contains("evil") {
+                assert!(!line.contains("evil\"rule"), "unescaped quote: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_server_counters_round_trip_into_json() {
+        let r = MetricsRegistry::new();
+        let s = r.server_counters();
+        s.connections.fetch_add(3, Ordering::Relaxed);
+        s.queries_ok.fetch_add(10, Ordering::Relaxed);
+        s.queries_err.fetch_add(2, Ordering::Relaxed);
+        s.rejected.fetch_add(4, Ordering::Relaxed);
+        s.shed.fetch_add(5, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.connections, 3);
+        assert_eq!(snap.queries_ok, 10);
+        let json = r.to_json();
+        assert!(
+            json.contains(
+                "\"server\": { \"connections\": 3, \"queries_ok\": 10, \"queries_err\": 2, \
+                 \"rejected\": 4, \"shed\": 5 }"
+            ),
+            "{json}"
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ pub fn radix_partitions(build_rows: usize, probe_rows: usize, workers: usize) ->
     }
     let by_build = (build_rows / RADIX_BUILD_ROWS_PER_PARTITION).max(1);
     let by_workers = workers.saturating_mul(4);
-    by_build.min(by_workers).next_power_of_two().min(MAX_RADIX_PARTITIONS)
+    // Round *down* to a power of two: rounding up would let the fan-out
+    // exceed the documented `workers * 4` cap for non-power-of-two worker
+    // counts (workers=3 → cap 12 → next_power_of_two would return 16).
+    let parts = by_build.min(by_workers).min(MAX_RADIX_PARTITIONS);
+    1usize << (usize::BITS - 1 - parts.leading_zeros())
 }
 
 /// One input a selection can point into: either a stored base table
@@ -120,14 +124,16 @@ impl VChunk {
         VChunk { sources: vec![VSource::Base { table_id, data }], rowids: vec![sel], len }
     }
 
-    /// Wrap a materialized chunk (identity selection).
-    fn from_chunk(c: Chunk) -> VChunk {
+    /// Wrap a materialized chunk (identity selection). Fallible because
+    /// the identity selection addresses rows with `u32` ids.
+    fn from_chunk(c: Chunk) -> ExecResult<VChunk> {
         let len = c.num_rows();
-        VChunk {
+        crate::error::check_rowid_range(len)?;
+        Ok(VChunk {
             sources: vec![VSource::Mat(Box::new(c))],
             rowids: vec![(0..len as u32).collect()],
             len,
-        }
+        })
     }
 
     /// Number of logical rows.
@@ -337,12 +343,12 @@ fn exec_inner(
                 let out = crate::executor::rescan_nested_loop(
                     &lchunk, *table_id, filters, keys, tables, st,
                 )?;
-                return Ok(VChunk::from_chunk(out));
+                return VChunk::from_chunk(out);
             }
             if *method == JoinMethod::IndexNestedLoop {
                 let lchunk = l.materialize()?;
                 let out = crate::executor::indexed_nested_loop(&lchunk, right, keys, tables, st)?;
-                return Ok(VChunk::from_chunk(out));
+                return VChunk::from_chunk(out);
             }
             let r = exec_node(right, tables, workers, st)?;
             if keys.is_empty() || *method == JoinMethod::NestedLoop {
@@ -356,7 +362,7 @@ fn exec_inner(
                     JoinMethod::Hash => hash_join(&lc, &rc, keys, st.metrics)?,
                     JoinMethod::IndexNestedLoop => unreachable!("handled above"),
                 };
-                return Ok(VChunk::from_chunk(out));
+                return VChunk::from_chunk(out);
             }
             let pairs = match method {
                 JoinMethod::SortMerge => vsort_merge(&l, &r, keys, st.metrics)?,
@@ -1048,6 +1054,26 @@ mod tests {
         assert_eq!(radix_partitions(1000, 100_000, 8), 1, "tiny build: shared-table probe wins");
         assert_eq!(radix_partitions(8 * 2048, 100_000, 2), 8);
         assert_eq!(radix_partitions(1 << 20, 1 << 20, 64), MAX_RADIX_PARTITIONS);
+    }
+
+    #[test]
+    fn radix_fanout_never_exceeds_workers_times_four() {
+        // Regression: next_power_of_two applied after min(workers*4) used
+        // to round past the cap (workers=3 → cap 12 → returned 16).
+        for workers in [2usize, 3, 5, 6, 7, 9, 11, 13] {
+            for build in [2048usize, 6 * 2048, 12 * 2048, 1 << 20] {
+                let parts = radix_partitions(build, 1 << 20, workers);
+                assert!(
+                    parts <= workers * 4,
+                    "workers={workers} build={build}: {parts} > {} (cap)",
+                    workers * 4
+                );
+                assert!(parts.is_power_of_two(), "workers={workers} build={build}: {parts}");
+                assert!(parts <= MAX_RADIX_PARTITIONS);
+            }
+        }
+        // The specific case from the report.
+        assert_eq!(radix_partitions(1 << 20, 1 << 20, 3), 8, "workers=3 caps at 12, rounds to 8");
     }
 
     #[test]

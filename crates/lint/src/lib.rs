@@ -21,9 +21,10 @@ use baseline::Baseline;
 use passes::{Lint, Violation};
 use source::SourceFile;
 
-/// The library targets the passes cover: the six engine crates plus the
-/// umbrella facade. Tooling (els-bench, els-lint) and the vendored shims
-/// are exempt by construction — printing and clock reads are their job.
+/// The library targets the passes cover: the six engine crates, the
+/// umbrella facade, and the server front door. Tooling (els-bench,
+/// els-lint) and the vendored shims are exempt by construction — printing
+/// and clock reads are their job.
 pub const LIBRARY_SRC_ROOTS: &[(&str, &str)] = &[
     ("els-storage", "crates/storage/src"),
     ("els-core", "crates/core/src"),
@@ -32,6 +33,7 @@ pub const LIBRARY_SRC_ROOTS: &[(&str, &str)] = &[
     ("els-exec", "crates/exec/src"),
     ("els-optimizer", "crates/optimizer/src"),
     ("els", "src"),
+    ("els-server", "crates/server/src"),
 ];
 
 /// Manifests the layering pass reads, alongside their crate names.
@@ -43,6 +45,7 @@ pub const LIBRARY_MANIFESTS: &[(&str, &str)] = &[
     ("els-exec", "crates/exec/Cargo.toml"),
     ("els-optimizer", "crates/optimizer/Cargo.toml"),
     ("els", "Cargo.toml"),
+    ("els-server", "crates/server/Cargo.toml"),
 ];
 
 /// Name of the committed ratchet file at the workspace root.

@@ -94,11 +94,13 @@ const RELAXED_ALLOWLIST: &[&str] = &[
     "crates/optimizer/src/plan_cache.rs",
 ];
 
-/// The one library module allowed to spawn threads: the work-stealing
-/// scheduler. Confining parallelism to a single seam gives every parallel
-/// operator the same panic policy (worker panics re-raise, never truncate)
-/// and keeps the determinism argument in one reviewable place.
-const THREAD_ALLOWLIST: &[&str] = &["crates/exec/src/scheduler.rs"];
+/// The library modules allowed to spawn threads: the work-stealing
+/// scheduler and the server's acceptor/worker pool. Confining parallelism
+/// to named seams gives every parallel code path a written panic policy
+/// (the scheduler re-raises so batch results never truncate; the server
+/// pool isolates so one connection's panic never kills the pool) and
+/// keeps each determinism argument in one reviewable place.
+const THREAD_ALLOWLIST: &[&str] = &["crates/exec/src/scheduler.rs", "crates/server/src/pool.rs"];
 
 /// The only module allowed to read wall clocks. PR 3 made Observations
 /// compare timing-blind; keeping clock reads behind one seam keeps it so.
@@ -260,8 +262,16 @@ pub fn run_token_passes(file: &SourceFile, out: &mut Vec<Violation>) {
 
 /// The engine's layer order, lowest first. A library crate may depend only
 /// on crates strictly earlier in this list (plus the vendored `rand` shim).
-pub const LAYER_ORDER: &[&str] =
-    &["els-storage", "els-core", "els-catalog", "els-sql", "els-exec", "els-optimizer", "els"];
+pub const LAYER_ORDER: &[&str] = &[
+    "els-storage",
+    "els-core",
+    "els-catalog",
+    "els-sql",
+    "els-exec",
+    "els-optimizer",
+    "els",
+    "els-server",
+];
 
 /// External dependencies library crates may use: the vendored std-only
 /// `rand` shim. Everything else (including `proptest`/`criterion`) is

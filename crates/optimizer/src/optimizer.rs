@@ -109,6 +109,12 @@ pub struct OptimizerOptions {
     /// catalog's [`els_catalog::FeedbackStore`] and whether the estimator
     /// consults published corrections. `Off` reproduces the paper exactly.
     pub feedback: FeedbackMode,
+    /// Plan-cache lane. Does not shape plans, but *is* folded into
+    /// [`Self::config_fingerprint`] (via the Debug rendering), so two
+    /// configurations differing only in lane never share cache entries.
+    /// Multi-tenant servers give each tenant its own lane so one tenant
+    /// can never replay another's cached plans even on a shared cache.
+    pub lane: u64,
 }
 
 impl Default for OptimizerOptions {
@@ -120,6 +126,7 @@ impl Default for OptimizerOptions {
             cost: CostParams::default(),
             tree_shape: TreeShape::LeftDeep,
             feedback: FeedbackMode::Off,
+            lane: 0,
         }
     }
 }
@@ -167,6 +174,15 @@ impl OptimizerOptions {
     #[must_use]
     pub fn with_strategy(mut self, strategy: EstimatorStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Put these options in a distinct plan-cache lane (default 0). The
+    /// lane salts [`Self::config_fingerprint`], isolating cache entries
+    /// between otherwise-identical configurations.
+    #[must_use]
+    pub fn with_lane(mut self, lane: u64) -> Self {
+        self.lane = lane;
         self
     }
 

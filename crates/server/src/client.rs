@@ -1,0 +1,135 @@
+//! A small blocking client for the line protocol.
+//!
+//! Exists so the integration tests and the `bench_server_traffic` load
+//! generator speak the protocol through one implementation instead of
+//! three hand-rolled ones. Every response parses back into the typed
+//! [`ServerError`] vocabulary, so a bench can distinguish a clean
+//! `Overloaded` rejection from a hang (the read timeout) — the difference
+//! the overload-regression gate is built on.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::error::{ServerError, ServerResult};
+use crate::protocol::{parse_header, parse_row, MAX_LINE_BYTES};
+
+/// One parsed query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// `COUNT(*)` value (or result row count for projections).
+    pub count: u64,
+    /// Whether the server answered from its plan cache.
+    pub cached: bool,
+    /// Result rows as unescaped strings.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A connected, handshaken client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect, handshake as `tenant`, and wait for `READY`. A typed
+    /// error here is the server refusing (overloaded, unknown tenant);
+    /// an `Io` error wraps transport failures, including the read
+    /// timeout that would otherwise be a silent hang.
+    pub fn connect(
+        addr: std::net::SocketAddr,
+        tenant: &str,
+        timeout: Duration,
+    ) -> ServerResult<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Client { reader, writer: stream };
+        // An admission-rejected connection may close before our HELLO
+        // lands (broken pipe); the rejection line is still in flight, so
+        // read the response even when the write failed.
+        let hello_failed =
+            writeln!(client.writer, "HELLO {tenant}").and_then(|()| client.writer.flush()).is_err();
+        let line = match client.read_line() {
+            Ok(line) => line,
+            Err(_) if hello_failed => {
+                return Err(ServerError::Io("connection refused during handshake".to_string()))
+            }
+            Err(e) => return Err(e),
+        };
+        if line == "READY" {
+            return Ok(client);
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (kind, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+            return Err(ServerError::from_wire(kind, msg));
+        }
+        Err(ServerError::Protocol(format!("expected READY, got `{line}`")))
+    }
+
+    /// Run one query and read the full response.
+    pub fn query(&mut self, sql: &str) -> ServerResult<Reply> {
+        writeln!(self.writer, "{sql}")?;
+        self.writer.flush()?;
+        let header = self.read_line()?;
+        let (rows, count, cached) = parse_header(&header)?;
+        let mut out = Vec::with_capacity(rows as usize);
+        loop {
+            let line = self.read_line()?;
+            if line == "." {
+                break;
+            }
+            out.push(parse_row(&line)?);
+        }
+        if out.len() as u64 != rows {
+            return Err(ServerError::Protocol(format!(
+                "header promised {rows} rows, got {}",
+                out.len()
+            )));
+        }
+        Ok(Reply { count, cached, rows: out })
+    }
+
+    /// Send a query but never read the response — simulates a client that
+    /// disconnects mid-result when the `Client` is dropped right after.
+    pub fn fire_and_hang_up(mut self, sql: &str) -> ServerResult<()> {
+        writeln!(self.writer, "{sql}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Polite goodbye; errors are irrelevant because the socket closes
+    /// either way.
+    pub fn quit(mut self) {
+        let _ = writeln!(self.writer, "QUIT");
+        let _ = self.writer.flush();
+    }
+
+    fn read_line(&mut self) -> ServerResult<String> {
+        let mut buf = Vec::new();
+        loop {
+            match self.reader.read_until(b'\n', &mut buf) {
+                Ok(0) if buf.is_empty() => {
+                    return Err(ServerError::Io("connection closed".to_string()))
+                }
+                Ok(0) => break,
+                Ok(_) if buf.last() == Some(&b'\n') => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Unlike the server, a client read timeout is terminal:
+                // the bench counts it as a hang, the protocol's one
+                // unacceptable outcome.
+                Err(e) => return Err(ServerError::Io(e.to_string())),
+            }
+            if buf.len() > MAX_LINE_BYTES {
+                return Err(ServerError::Protocol(format!(
+                    "response line exceeds {MAX_LINE_BYTES} bytes"
+                )));
+            }
+        }
+        Ok(String::from_utf8_lossy(&buf).trim_end().to_string())
+    }
+}

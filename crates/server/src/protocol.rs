@@ -1,0 +1,199 @@
+//! The wire protocol: a minimal line-based SQL exchange.
+//!
+//! Everything is UTF-8 lines terminated by `\n`. One connection:
+//!
+//! ```text
+//! C: HELLO <tenant>
+//! S: READY
+//! C: <sql>                         (one query per line)
+//! S: OK rows=<n> count=<c> cached=<0|1>
+//! S: R <v1>\t<v2>\t...             (n of these, tab-separated, escaped)
+//! S: .                             (end of result)
+//! C: QUIT
+//! S: BYE
+//! ```
+//!
+//! Any failure is a single line `ERR <kind> <escaped message>`; the kind
+//! vocabulary is [`crate::ServerError::wire_kind`]. A query-level `ERR`
+//! (bad SQL, shed) leaves the connection open; handshake and admission
+//! `ERR`s are followed by a close.
+//!
+//! Values and error messages are escaped with a fixed backslash scheme
+//! (`\\`, `\t`, `\n`, `\r`) so embedded tabs/newlines can never corrupt
+//! framing. This module is pure string work — no sockets — so every
+//! framing rule is unit-testable.
+
+use els_storage::Value;
+
+use crate::error::{ServerError, ServerResult};
+
+/// Hard cap on one protocol line. A line longer than this is a protocol
+/// error, not a buffer: it bounds per-connection memory against hostile
+/// or broken clients.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Escape a field for the wire: backslash, tab, newline, carriage return.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_field`]. A dangling or unknown escape is a protocol
+/// error — silently guessing would mask framing corruption.
+pub fn unescape_field(s: &str) -> ServerResult<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                return Err(ServerError::Protocol(format!("unknown escape `\\{other}`")))
+            }
+            None => return Err(ServerError::Protocol("dangling backslash".to_string())),
+        }
+    }
+    Ok(out)
+}
+
+/// Render one cell for the wire (unescaped; callers escape the joined
+/// field). `NULL` spells SQL null; strings travel raw, without the SQL
+/// quotes `Value`'s `Display` adds.
+pub fn render_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => f.to_string(),
+        Value::Str(s) => s.clone(),
+    }
+}
+
+/// The `HELLO <tenant>` opener; `None` when the line is not a handshake.
+pub fn parse_hello(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("HELLO ")?;
+    let tenant = rest.trim();
+    (!tenant.is_empty()).then_some(tenant)
+}
+
+/// The success header for one query result.
+pub fn ok_header(rows: u64, count: u64, cached: bool) -> String {
+    format!("OK rows={rows} count={count} cached={}", u8::from(cached))
+}
+
+/// One result row: `R` plus tab-separated escaped cells.
+pub fn row_line(values: &[Value]) -> String {
+    let mut out = String::from("R");
+    for v in values {
+        out.push('\t');
+        out.push_str(&escape_field(&render_value(v)));
+    }
+    out
+}
+
+/// The one-line rendering of an error.
+pub fn err_line(e: &ServerError) -> String {
+    format!("ERR {} {}", e.wire_kind(), escape_field(&e.to_string()))
+}
+
+/// Parse a server response line the client received: `Ok` for `OK ...`
+/// headers, `Err` for `ERR ...` lines, `Protocol` otherwise.
+pub fn parse_header(line: &str) -> ServerResult<(u64, u64, bool)> {
+    if let Some(rest) = line.strip_prefix("ERR ") {
+        let (kind, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+        let msg = unescape_field(msg)?;
+        return Err(ServerError::from_wire(kind, &msg));
+    }
+    let rest = line
+        .strip_prefix("OK ")
+        .ok_or_else(|| ServerError::Protocol(format!("expected OK/ERR, got `{line}`")))?;
+    let mut rows = None;
+    let mut count = None;
+    let mut cached = None;
+    for field in rest.split(' ') {
+        match field.split_once('=') {
+            Some(("rows", v)) => rows = v.parse::<u64>().ok(),
+            Some(("count", v)) => count = v.parse::<u64>().ok(),
+            Some(("cached", v)) => cached = v.parse::<u8>().ok().map(|b| b != 0),
+            _ => {}
+        }
+    }
+    match (rows, count, cached) {
+        (Some(r), Some(c), Some(h)) => Ok((r, c, h)),
+        _ => Err(ServerError::Protocol(format!("malformed OK header `{line}`"))),
+    }
+}
+
+/// Parse one `R ...` row line into unescaped cells.
+pub fn parse_row(line: &str) -> ServerResult<Vec<String>> {
+    let rest = line
+        .strip_prefix('R')
+        .ok_or_else(|| ServerError::Protocol(format!("expected row line, got `{line}`")))?;
+    if rest.is_empty() {
+        return Ok(Vec::new());
+    }
+    let rest = rest
+        .strip_prefix('\t')
+        .ok_or_else(|| ServerError::Protocol("row line missing tab after R".to_string()))?;
+    rest.split('\t').map(unescape_field).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_hostile_fields() {
+        for s in ["plain", "tab\tnewline\nreturn\rback\\slash", "", "\\t is not a tab"] {
+            let escaped = escape_field(s);
+            assert!(!escaped.contains('\n') && !escaped.contains('\t'), "{escaped}");
+            assert_eq!(unescape_field(&escaped).as_deref(), Ok(s), "{s:?}");
+        }
+        assert!(unescape_field("dangling\\").is_err());
+        assert!(unescape_field("bad\\q").is_err());
+    }
+
+    #[test]
+    fn hello_parses_and_rejects() {
+        assert_eq!(parse_hello("HELLO acme"), Some("acme"));
+        assert_eq!(parse_hello("HELLO  spaced "), Some("spaced"));
+        assert_eq!(parse_hello("HELLO "), None);
+        assert_eq!(parse_hello("SELECT 1"), None);
+    }
+
+    #[test]
+    fn headers_round_trip() {
+        assert_eq!(parse_header(&ok_header(3, 3, true)), Ok((3, 3, true)));
+        assert_eq!(parse_header(&ok_header(0, 42, false)), Ok((0, 42, false)));
+        assert!(matches!(
+            parse_header(&err_line(&ServerError::Overloaded)),
+            Err(ServerError::Overloaded)
+        ));
+        assert!(matches!(parse_header("GARBAGE"), Err(ServerError::Protocol(_))));
+    }
+
+    #[test]
+    fn rows_round_trip_including_tabs_in_values() {
+        let vals =
+            vec![Value::Int(7), Value::Null, Value::Str("a\tb\nc".into()), Value::Float(1.5)];
+        let line = row_line(&vals);
+        assert_eq!(line.matches('\t').count(), 4, "field tabs only: {line:?}");
+        let cells = parse_row(&line).expect("row parses");
+        assert_eq!(cells, vec!["7", "NULL", "a\tb\nc", "1.5"]);
+        assert_eq!(parse_row("R").expect("empty row"), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,288 @@
+//! The front door proper: configuration, shared state, and the
+//! per-connection protocol loop.
+//!
+//! Thread *creation* lives in [`crate::pool`] (the workspace's second
+//! allowlisted parallelism seam); this module is the pure logic those
+//! threads run, so every admission/shed/error path here is testable
+//! without sockets or against a loopback listener.
+//!
+//! ## Load shedding
+//!
+//! Two pressure valves, engaged in order:
+//!
+//! 1. **Backpressure / rejection** — an accepted connection must win a
+//!    slot in the bounded [`AdmissionQueue`] before any worker reads a
+//!    byte from it. A full queue means the client gets one clean
+//!    `ERR overloaded` line and a close: never an unbounded buffer,
+//!    never a hang.
+//! 2. **Degraded service** — while the queue depth is at or above the
+//!    shed watermark, connection handlers serve **cached plans only**
+//!    ([`els::engine::Engine::execute_if_cached`]): a hit costs no
+//!    binding/estimation/enumeration work, a miss is refused with
+//!    `ERR shed`. Optimizer CPU is the first thing sacrificed under
+//!    load, matching the graceful-degradation shape the estimation
+//!    literature argues for under drift.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use els::engine::QueryResult;
+use els_exec::{MetricsRegistry, ServerCounters, ServerCountersSnapshot};
+
+use crate::admission::AdmissionQueue;
+use crate::error::{ServerError, ServerResult};
+use crate::protocol::{err_line, ok_header, parse_hello, row_line, MAX_LINE_BYTES};
+use crate::tenant::Tenants;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fixed worker-pool size; each worker owns one connection at a time.
+    pub workers: usize,
+    /// Capacity of the admission queue (waiting connections beyond the
+    /// ones workers are serving). The hard backpressure bound.
+    pub queue_depth: usize,
+    /// Queue depth at which handlers flip to cached-plan-only mode.
+    pub shed_watermark: usize,
+    /// Poll cadence for blocking reads and queue pops; bounds how long a
+    /// shutdown can take and how often idle workers re-check the flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            shed_watermark: 8,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Clamp degenerate settings instead of failing: at least one worker,
+    /// one queue slot, and a watermark no higher than the queue depth
+    /// (otherwise shed mode could never engage).
+    pub fn normalized(mut self) -> ServerConfig {
+        self.workers = self.workers.max(1);
+        self.queue_depth = self.queue_depth.max(1);
+        self.shed_watermark = self.shed_watermark.clamp(1, self.queue_depth);
+        if self.poll_interval.is_zero() {
+            self.poll_interval = Duration::from_millis(25);
+        }
+        self
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+pub(crate) struct Shared {
+    pub(crate) tenants: Tenants,
+    pub(crate) queue: AdmissionQueue<TcpStream>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) counters: ServerCounters,
+    pub(crate) config: ServerConfig,
+}
+
+impl Shared {
+    pub(crate) fn new(tenants: Tenants, config: ServerConfig) -> Shared {
+        let config = config.normalized();
+        Shared {
+            tenants,
+            queue: AdmissionQueue::new(config.queue_depth),
+            shutdown: AtomicBool::new(false),
+            counters: ServerCounters::default(),
+            config,
+        }
+    }
+
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Bump a counter on this server *and* its mirror in the process-wide
+    /// [`MetricsRegistry`] JSON (same double-entry pattern as the plan
+    /// cache's `EngineCounters`).
+    pub(crate) fn bump(&self, which: impl Fn(&ServerCounters) -> &AtomicU64) {
+        which(&self.counters).fetch_add(1, Ordering::SeqCst);
+        which(MetricsRegistry::global().server_counters()).fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Point-in-time counters for this server instance.
+    pub(crate) fn snapshot(&self) -> ServerCountersSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+/// Reject an admission-refused connection with one typed line. Best
+/// effort: the write gets a short timeout so a dead client cannot stall
+/// the acceptor, and a failed write changes nothing — the connection was
+/// being dropped anyway.
+pub(crate) fn reject_overloaded(stream: TcpStream, shared: &Shared) {
+    shared.bump(|c| &c.rejected);
+    let _ = stream.set_write_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let mut stream = stream;
+    let _ = writeln!(stream, "{}", err_line(&ServerError::Overloaded));
+    let _ = stream.flush();
+    // Drain whatever the client already sent (typically its HELLO) before
+    // closing: dropping a socket with unread input turns the close into a
+    // TCP reset, which can discard the rejection line before the client
+    // reads it. One bounded read keeps the close graceful.
+    let mut sink = [0u8; 512];
+    let _ = std::io::Read::read(&mut stream, &mut sink);
+}
+
+/// Read one `\n`-terminated line, polling so shutdown is honored.
+///
+/// `Ok(None)` is a clean EOF (client closed). Partial data consumed
+/// before a poll timeout survives in `buf` across retries — `read_until`
+/// appends what it consumed before returning the timeout error — so slow
+/// writers are reassembled, not corrupted.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+    buf: &mut Vec<u8>,
+) -> ServerResult<Option<String>> {
+    buf.clear();
+    loop {
+        if shared.shutting_down() {
+            return Ok(None);
+        }
+        match reader.read_until(b'\n', buf) {
+            Ok(0) if buf.is_empty() => return Ok(None),
+            Ok(0) => {
+                // EOF mid-line: treat the remainder as the final line.
+                return Ok(Some(String::from_utf8_lossy(buf).trim_end().to_string()));
+            }
+            Ok(_) if buf.last() == Some(&b'\n') => {
+                return Ok(Some(String::from_utf8_lossy(buf).trim_end().to_string()));
+            }
+            Ok(_) => {} // consumed bytes but no delimiter yet; keep reading
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServerError::Io(e.to_string())),
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            return Err(ServerError::Protocol(format!("line exceeds {MAX_LINE_BYTES} bytes")));
+        }
+    }
+}
+
+/// Write a full query result; any error here means the client went away
+/// mid-result, which the caller treats as a disconnect (not a server
+/// failure).
+fn write_result(writer: &mut TcpStream, result: &QueryResult) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "{}",
+        ok_header(result.rows.num_rows() as u64, result.count, result.cache_hit)
+    )?;
+    for i in 0..result.rows.num_rows() {
+        match result.rows.row(i) {
+            Ok(values) => writeln!(writer, "{}", row_line(&values))?,
+            // Structurally impossible (i < num_rows), but never panic a
+            // serving thread over it: end the result cleanly.
+            Err(_) => break,
+        }
+    }
+    writeln!(writer, ".")?;
+    writer.flush()
+}
+
+/// Serve one admitted connection to completion: handshake, then a
+/// query-per-line loop until QUIT, EOF, shutdown, or a transport error.
+pub(crate) fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf = Vec::new();
+
+    // Handshake: first line must be `HELLO <tenant>` for a hosted tenant.
+    let engine = match read_line(&mut reader, shared, &mut buf) {
+        Ok(Some(line)) => match parse_hello(&line) {
+            Some(name) => match shared.tenants.resolve(name) {
+                Some(engine) => engine,
+                None => {
+                    let e = ServerError::UnknownTenant(name.to_string());
+                    let _ = writeln!(writer, "{}", err_line(&e));
+                    let _ = writer.flush();
+                    return;
+                }
+            },
+            None => {
+                let e = ServerError::Protocol(format!("expected HELLO <tenant>, got `{line}`"));
+                let _ = writeln!(writer, "{}", err_line(&e));
+                let _ = writer.flush();
+                return;
+            }
+        },
+        Ok(None) => return,
+        Err(e) => {
+            let _ = writeln!(writer, "{}", err_line(&e));
+            let _ = writer.flush();
+            return;
+        }
+    };
+    shared.bump(|c| &c.connections);
+    if writeln!(writer, "READY").and_then(|()| writer.flush()).is_err() {
+        return;
+    }
+
+    // Query loop. Engine/shed errors answer on the open connection;
+    // transport errors end it.
+    loop {
+        let sql = match read_line(&mut reader, shared, &mut buf) {
+            Ok(Some(line)) => line,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = writeln!(writer, "{}", err_line(&e));
+                let _ = writer.flush();
+                return;
+            }
+        };
+        if sql.is_empty() {
+            continue;
+        }
+        if sql == "QUIT" {
+            let _ = writeln!(writer, "BYE");
+            let _ = writer.flush();
+            return;
+        }
+        let shed_mode = shared.queue.depth() >= shared.config.shed_watermark;
+        let outcome: ServerResult<QueryResult> = if shed_mode {
+            match engine.execute_if_cached(&sql) {
+                Ok(Some(result)) => Ok(result),
+                Ok(None) => Err(ServerError::Shed),
+                Err(e) => Err(ServerError::Engine(e)),
+            }
+        } else {
+            engine.execute(&sql).map_err(ServerError::Engine)
+        };
+        match outcome {
+            Ok(result) => {
+                shared.bump(|c| &c.queries_ok);
+                if write_result(&mut writer, &result).is_err() {
+                    return; // client went away mid-result
+                }
+            }
+            Err(e) => {
+                match e {
+                    ServerError::Shed => shared.bump(|c| &c.shed),
+                    _ => shared.bump(|c| &c.queries_err),
+                }
+                if writeln!(writer, "{}", err_line(&e)).and_then(|()| writer.flush()).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-tenant namespaces over one process.
+//!
+//! A tenant is a name bound at `HELLO` time to its own [`Engine`]: its own
+//! [`els_catalog::SharedCatalog`] (tenant A literally has no handle to
+//! B's tables) and its own plan-cache *lane*. The engines share one
+//! [`PlanCache`] budget — eviction pressure is global, as in a real
+//! multi-tenant box — but every cache key is salted with the tenant's
+//! lane through [`els::optimizer::OptimizerOptions::config_fingerprint`],
+//! so byte-identical SQL from two tenants can never replay each other's
+//! plans. Isolation is therefore structural (separate catalogs) plus
+//! cryptographic-by-keying (lanes), not filtering.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use els::engine::Engine;
+use els_optimizer::PlanCache;
+
+use crate::error::{ServerError, ServerResult};
+
+/// A tenant name: non-empty ASCII alphanumerics plus `-`/`_`. Rejecting
+/// everything else keeps names unambiguous on the line protocol.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+/// The immutable tenant registry a server is constructed with.
+pub struct Tenants {
+    engines: BTreeMap<String, Arc<Engine>>,
+}
+
+impl Tenants {
+    /// An empty registry.
+    pub fn new() -> Tenants {
+        Tenants { engines: BTreeMap::new() }
+    }
+
+    /// Register `name` with an engine the caller configured. Returns a
+    /// typed error on invalid or duplicate names.
+    pub fn add(mut self, name: &str, engine: Arc<Engine>) -> ServerResult<Tenants> {
+        if !valid_tenant_name(name) {
+            return Err(ServerError::Protocol(format!("invalid tenant name `{name}`")));
+        }
+        if self.engines.contains_key(name) {
+            return Err(ServerError::Protocol(format!("duplicate tenant `{name}`")));
+        }
+        self.engines.insert(name.to_string(), engine);
+        Ok(self)
+    }
+
+    /// Build a lane-isolated registry: one shared plan cache of
+    /// `cache_capacity` entries, one engine per name, each in its own
+    /// lane (1-based, in name order). This is the standard multi-tenant
+    /// shape; callers register tables per tenant via [`Tenants::resolve`].
+    pub fn isolated(names: &[&str], cache_capacity: usize) -> ServerResult<Tenants> {
+        let cache = Arc::new(PlanCache::new(cache_capacity));
+        let mut tenants = Tenants::new();
+        for (i, name) in names.iter().enumerate() {
+            let engine = Engine::new().shared_cache(Arc::clone(&cache)).plan_lane(i as u64 + 1);
+            tenants = tenants.add(name, Arc::new(engine))?;
+        }
+        Ok(tenants)
+    }
+
+    /// The engine serving `name`, if hosted here.
+    pub fn resolve(&self, name: &str) -> Option<Arc<Engine>> {
+        self.engines.get(name).map(Arc::clone)
+    }
+
+    /// Hosted tenant names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.engines.keys().map(String::as_str).collect()
+    }
+
+    /// Number of hosted tenants.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+impl Default for Tenants {
+    fn default() -> Self {
+        Tenants::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use els::storage::datagen::{ColumnSpec, Distribution, TableSpec};
+
+    #[test]
+    fn names_are_validated_and_deduplicated() {
+        assert!(valid_tenant_name("acme-1_x"));
+        assert!(!valid_tenant_name(""));
+        assert!(!valid_tenant_name("has space"));
+        assert!(!valid_tenant_name("evil\ttenant"));
+        let t = Tenants::new().add("a", Arc::new(Engine::new())).expect("first");
+        assert!(t.add("a", Arc::new(Engine::new())).is_err(), "duplicate must fail");
+    }
+
+    #[test]
+    fn isolated_tenants_have_disjoint_catalogs_and_lanes() {
+        let tenants = Tenants::isolated(&["alpha", "beta"], 32).expect("build");
+        assert_eq!(tenants.names(), vec!["alpha", "beta"]);
+        let alpha = tenants.resolve("alpha").expect("alpha");
+        let beta = tenants.resolve("beta").expect("beta");
+        assert!(tenants.resolve("gamma").is_none());
+        // Distinct lanes -> distinct fingerprints for identical options.
+        assert_ne!(
+            alpha.options().config_fingerprint(),
+            beta.options().config_fingerprint(),
+            "tenant lanes must salt the plan-cache key"
+        );
+        // Disjoint catalogs: alpha's table does not exist for beta.
+        alpha
+            .generate(
+                TableSpec::new("private", 10)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                1,
+            )
+            .expect("register");
+        assert_eq!(alpha.execute("SELECT COUNT(*) FROM private").expect("alpha sees it").count, 10);
+        assert!(beta.execute("SELECT COUNT(*) FROM private").is_err(), "beta must not");
+    }
+}

@@ -1,0 +1,245 @@
+//! End-to-end failure-path coverage for the TCP front door: malformed
+//! SQL, mid-result disconnects, tenant isolation, admission rejection,
+//! and cached-plan-only shedding — all over real loopback sockets.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use els::engine::{Engine, EngineError};
+use els::storage::datagen::{ColumnSpec, Distribution, TableSpec};
+use els_server::{serve, Client, ServerConfig, ServerError, Tenants};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Two tenants, same table name, different contents: the sharpest probe
+/// for catalog or plan-cache bleed-through.
+fn two_tenant_server(config: ServerConfig) -> els_server::ServerHandle {
+    let tenants = Tenants::isolated(&["alpha", "beta"], 256).unwrap();
+    for (name, rows, seed) in [("alpha", 1000usize, 1u64), ("beta", 500, 2)] {
+        tenants
+            .resolve(name)
+            .unwrap()
+            .generate(
+                TableSpec::new("t", rows)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                seed,
+            )
+            .unwrap();
+    }
+    serve("127.0.0.1:0", tenants, config).unwrap()
+}
+
+fn wait_for_depth(handle: &els_server::ServerHandle, depth: usize) {
+    for _ in 0..400 {
+        if handle.queue_depth() >= depth {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("queue depth never reached {depth}");
+}
+
+#[test]
+fn malformed_sql_answers_typed_error_and_keeps_the_connection() {
+    let handle = two_tenant_server(ServerConfig::default());
+    let mut c = Client::connect(handle.addr(), "alpha", TIMEOUT).unwrap();
+    let err = c.query("THIS IS NOT SQL").unwrap_err();
+    assert!(matches!(err, ServerError::Engine(EngineError::Sql(_))), "{err:?}");
+    // Same connection, next line: still served.
+    let reply = c.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(reply.count, 1000);
+    // A missing table is a typed error too, and still not fatal.
+    let err = c.query("SELECT COUNT(*) FROM nope").unwrap_err();
+    assert!(matches!(err, ServerError::Engine(EngineError::Sql(_))), "{err:?}");
+    assert_eq!(c.query("SELECT COUNT(*) FROM t WHERE k < 10").unwrap().count, 10);
+    c.quit();
+    let counters = handle.counters();
+    assert!(counters.queries_ok >= 2 && counters.queries_err >= 2, "{counters:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_mid_result_leaves_the_engine_serving_others() {
+    let handle = two_tenant_server(ServerConfig { workers: 2, ..ServerConfig::default() });
+    // A projection with a real row stream, so the server is mid-result
+    // when the socket dies.
+    let rude = Client::connect(handle.addr(), "alpha", TIMEOUT).unwrap();
+    rude.fire_and_hang_up("SELECT t.k FROM t WHERE k < 900").unwrap();
+    // The polite client gets full service throughout.
+    let mut polite = Client::connect(handle.addr(), "beta", TIMEOUT).unwrap();
+    for _ in 0..5 {
+        assert_eq!(polite.query("SELECT COUNT(*) FROM t").unwrap().count, 500);
+    }
+    let rows = polite.query("SELECT t.k FROM t WHERE k < 3").unwrap();
+    assert_eq!(rows.rows.len(), 3);
+    polite.quit();
+    handle.shutdown();
+}
+
+#[test]
+fn tenants_never_observe_each_others_tables_or_plans() {
+    let handle = two_tenant_server(ServerConfig::default());
+    let addr = handle.addr();
+    // Concurrent interleaved load from both tenants on one engine box.
+    let threads: Vec<_> = [("alpha", 1000u64), ("beta", 500u64)]
+        .into_iter()
+        .map(|(tenant, expected)| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, tenant, TIMEOUT).unwrap();
+                let mut cached_seen = false;
+                for _ in 0..20 {
+                    let reply = c.query("SELECT COUNT(*) FROM t").unwrap();
+                    assert_eq!(reply.count, expected, "tenant {tenant} saw a foreign count");
+                    cached_seen |= reply.cached;
+                }
+                c.quit();
+                cached_seen
+            })
+        })
+        .collect();
+    for t in threads {
+        assert!(t.join().unwrap(), "repeated identical SQL should hit the tenant's own lane");
+    }
+    // A tenant this server does not host is turned away at HELLO.
+    let err = Client::connect(addr, "gamma", TIMEOUT).unwrap_err();
+    assert!(matches!(err, ServerError::UnknownTenant(_)), "{err:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn admission_full_rejects_with_typed_overloaded_and_never_hangs() {
+    // One worker, one queue slot: the third concurrent connection must be
+    // rejected at the door.
+    let handle = two_tenant_server(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        shed_watermark: 1,
+        ..ServerConfig::default()
+    });
+    // Occupy the single worker with a live connection...
+    let mut held = Client::connect(handle.addr(), "alpha", TIMEOUT).unwrap();
+    assert_eq!(held.query("SELECT COUNT(*) FROM t").unwrap().count, 1000);
+    // ...fill the queue with a raw connection that never speaks...
+    let parked = TcpStream::connect(handle.addr()).unwrap();
+    wait_for_depth(&handle, 1);
+    // ...and watch the next client get a clean, typed rejection.
+    let err = Client::connect(handle.addr(), "alpha", TIMEOUT).unwrap_err();
+    assert!(matches!(err, ServerError::Overloaded), "{err:?}");
+    assert!(handle.counters().rejected >= 1);
+    drop(parked);
+    held.quit();
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_to_cached_plan_only_service() {
+    let handle = two_tenant_server(ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        shed_watermark: 1,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(handle.addr(), "alpha", TIMEOUT).unwrap();
+    // Warm the cache while unloaded.
+    assert!(!c.query("SELECT COUNT(*) FROM t").unwrap().cached);
+    assert!(c.query("SELECT COUNT(*) FROM t").unwrap().cached);
+    // Park a connection in the queue: depth >= watermark -> shed mode.
+    let parked = TcpStream::connect(handle.addr()).unwrap();
+    wait_for_depth(&handle, 1);
+    // Cached plans still serve; uncached queries are refused, typed.
+    let reply = c.query("SELECT COUNT(*) FROM t").unwrap();
+    assert!(reply.cached && reply.count == 1000, "{reply:?}");
+    let err = c.query("SELECT COUNT(*) FROM t WHERE k < 123").unwrap_err();
+    assert!(matches!(err, ServerError::Shed), "{err:?}");
+    // Relieve the pressure. The single worker serves connections whole,
+    // so the parked socket drains only once `c` hangs up; the next
+    // connection then gets full (unshed) service again.
+    drop(parked);
+    c.quit();
+    let mut c2 = Client::connect(handle.addr(), "alpha", TIMEOUT).unwrap();
+    assert_eq!(c2.query("SELECT COUNT(*) FROM t WHERE k < 123").unwrap().count, 123);
+    let counters = handle.counters();
+    assert!(counters.shed >= 1, "{counters:?}");
+    c2.quit();
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_handshake_is_refused_without_harming_the_server() {
+    let handle = two_tenant_server(ServerConfig::default());
+    // Speak garbage instead of HELLO.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut raw = TcpStream::connect(handle.addr()).unwrap();
+        raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+        writeln!(raw, "GET / HTTP/1.1").unwrap();
+        raw.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(raw).read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR protocol"), "{line:?}");
+    }
+    // The server is unaffected.
+    let mut c = Client::connect(handle.addr(), "beta", TIMEOUT).unwrap();
+    assert_eq!(c.query("SELECT COUNT(*) FROM t").unwrap().count, 500);
+    c.quit();
+    handle.shutdown();
+}
+
+#[test]
+fn shared_cache_pressure_stays_lane_correct() {
+    // Tiny shared cache: tenants evict each other's entries, but a hit
+    // must still always be a *lane-local* hit.
+    let tenants = Tenants::isolated(&["alpha", "beta"], 2).unwrap();
+    for (name, rows, seed) in [("alpha", 300usize, 3u64), ("beta", 700, 4)] {
+        tenants
+            .resolve(name)
+            .unwrap()
+            .generate(
+                TableSpec::new("t", rows)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                seed,
+            )
+            .unwrap();
+    }
+    let handle = serve("127.0.0.1:0", tenants, ServerConfig::default()).unwrap();
+    let mut a = Client::connect(handle.addr(), "alpha", TIMEOUT).unwrap();
+    let mut b = Client::connect(handle.addr(), "beta", TIMEOUT).unwrap();
+    for i in 0..10 {
+        let sql = format!("SELECT COUNT(*) FROM t WHERE k < {}", 50 + i);
+        let ra = a.query(&sql).unwrap();
+        let rb = b.query(&sql).unwrap();
+        // Under eviction churn a reply may or may not be cached, but the
+        // answers must stay tenant-correct throughout.
+        assert_eq!(ra.count, 50 + i);
+        assert_eq!(rb.count, 50 + i);
+    }
+    a.quit();
+    b.quit();
+    handle.shutdown();
+}
+
+/// A sanity check that `Engine`-level lane isolation holds under the
+/// exact shared-cache shape `Tenants::isolated` builds (belt to the
+/// engine unit test's braces).
+#[test]
+fn engine_lane_isolation_under_shared_cache() {
+    let tenants = Tenants::isolated(&["alpha", "beta"], 64).unwrap();
+    let alpha: Arc<Engine> = tenants.resolve("alpha").unwrap();
+    let beta: Arc<Engine> = tenants.resolve("beta").unwrap();
+    for (engine, rows, seed) in [(&alpha, 100usize, 5u64), (&beta, 200, 6)] {
+        engine
+            .generate(
+                TableSpec::new("t", rows)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                seed,
+            )
+            .unwrap();
+    }
+    let sql = "SELECT COUNT(*) FROM t";
+    assert!(!alpha.execute(sql).unwrap().cache_hit);
+    assert!(!beta.execute(sql).unwrap().cache_hit, "beta must not hit alpha's entry");
+    assert_eq!(alpha.execute(sql).unwrap().count, 100);
+    assert_eq!(beta.execute(sql).unwrap().count, 200);
+    assert!(alpha.execute_if_cached(sql).unwrap().unwrap().cache_hit);
+}

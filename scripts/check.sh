@@ -33,4 +33,17 @@ if grep -q "REGRESSION" <<<"$smoke_out"; then
   exit 1
 fi
 
+# Server traffic smoke: closed-loop clients, an overload storm, and a
+# shed probe against the TCP front door over loopback. Exits non-zero
+# and prints OVERLOAD REGRESSION if any client hangs, any storm attempt
+# ends untyped, saturation yields zero typed Overloaded rejections, or
+# cached-plan-only shedding breaks its serve-cached/refuse-uncached
+# contract.
+server_out=$(cargo run --release -q -p els-bench --bin bench_server_traffic -- --smoke)
+echo "$server_out"
+if grep -q "REGRESSION" <<<"$server_out"; then
+  echo "check.sh: server traffic smoke found a regression" >&2
+  exit 1
+fi
+
 echo "check.sh: all gates passed"

@@ -324,7 +324,11 @@ impl Database {
 #[derive(Debug, Default)]
 pub struct Engine {
     catalog: SharedCatalog,
-    cache: PlanCache,
+    /// Behind an `Arc` so several engines (e.g. one per tenant in a
+    /// multi-tenant server) can share one cache budget; per-tenant
+    /// isolation comes from the lane salt in the cache key, not from
+    /// separate caches. See [`Engine::shared_cache`].
+    cache: Arc<PlanCache>,
     options: OptimizerOptions,
     /// The runtime-switchable estimator strategy (encoded for atomic
     /// storage; see [`Engine::set_strategy`]). Overrides
@@ -370,7 +374,28 @@ impl Engine {
     /// fixed before the engine is shared.
     #[must_use]
     pub fn cache_capacity(self, capacity: usize) -> Engine {
-        Engine { cache: PlanCache::new(capacity), ..self }
+        Engine { cache: Arc::new(PlanCache::new(capacity)), ..self }
+    }
+
+    /// Share an existing plan cache with this engine. Multi-tenant
+    /// deployments hang one cache behind every tenant's engine so the
+    /// capacity budget and eviction pressure are global, while the lane
+    /// salt ([`Engine::plan_lane`]) keeps entries strictly per-tenant.
+    #[must_use]
+    pub fn shared_cache(self, cache: Arc<PlanCache>) -> Engine {
+        Engine { cache, ..self }
+    }
+
+    /// Put this engine's cached plans in a distinct lane (default 0).
+    /// The lane is folded into [`OptimizerOptions::config_fingerprint`]
+    /// and hence into every cache key this engine writes or reads, so two
+    /// engines on the same shared cache with different lanes can never
+    /// observe each other's plans — even for byte-identical SQL.
+    #[must_use]
+    pub fn plan_lane(self, lane: u64) -> Engine {
+        let mut options = self.options;
+        options.lane = lane;
+        Engine { options, ..self }
     }
 
     /// Set statistics collection for subsequently registered tables.
@@ -525,6 +550,34 @@ impl Engine {
     /// for.
     pub fn execute(&self, sql: &str) -> EngineResult<QueryResult> {
         let (plan, snapshot, cache_hit) = self.prepare_at(sql)?;
+        self.run_plan(&plan, &snapshot, cache_hit)
+    }
+
+    /// Run a query *only if* its plan is already cached: parse, fingerprint
+    /// and probe the cache, but never optimize. `Ok(None)` signals a miss.
+    /// This is the degraded service mode an overloaded server sheds to —
+    /// cache hits skip binding, estimation and join enumeration, so serving
+    /// only them bounds per-query planning work while under pressure.
+    pub fn execute_if_cached(&self, sql: &str) -> EngineResult<Option<QueryResult>> {
+        let ast = parse(sql)?;
+        let options = self.effective_options();
+        let fingerprint = format!("{}#{:016x}", canonical_sql(&ast), options.config_fingerprint());
+        let snapshot = self.catalog.snapshot();
+        match self.cache.get(&fingerprint, snapshot.epoch()) {
+            Some(plan) => self.run_plan(&plan, &snapshot, true).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Execute a prepared plan against the snapshot it was optimized for
+    /// (the shared tail of [`Engine::execute`] and
+    /// [`Engine::execute_if_cached`]).
+    fn run_plan(
+        &self,
+        plan: &Arc<CachedPlan>,
+        snapshot: &CatalogSnapshot,
+        cache_hit: bool,
+    ) -> EngineResult<QueryResult> {
         let tables = plan
             .table_names
             .iter()
@@ -551,7 +604,7 @@ impl Engine {
             )
             .map_err(|e| EngineError::Optimizer(e.to_string()))?;
             let published = harvest_query(
-                &snapshot,
+                snapshot,
                 self.options.feedback,
                 &plan.optimized,
                 &plan.table_names,
@@ -1065,6 +1118,46 @@ mod tests {
         assert!(second.query_q_error() <= first.query_q_error());
         assert!(second.query_q_error() < 1.5);
         assert!(second.to_string().contains("corrected="), "{second}");
+    }
+
+    #[test]
+    fn execute_if_cached_probes_without_optimizing() {
+        let engine = engine();
+        let sql = "SELECT COUNT(*) FROM a WHERE k < 100";
+        // Cold cache: a probe is a clean miss, not an optimization.
+        assert!(engine.execute_if_cached(sql).unwrap().is_none());
+        assert_eq!(engine.cache_stats().misses, 1);
+        let cold = engine.execute(sql).unwrap();
+        assert!(!cold.cache_hit);
+        let hit = engine.execute_if_cached(sql).unwrap().expect("plan is cached now");
+        assert!(hit.cache_hit);
+        assert_eq!(hit.count, cold.count);
+        // Parse errors still surface as typed errors, not as misses.
+        assert!(matches!(engine.execute_if_cached("NOT SQL"), Err(EngineError::Sql(_))));
+    }
+
+    #[test]
+    fn plan_lanes_isolate_tenants_on_a_shared_cache() {
+        use els_optimizer::PlanCache;
+        let shared = Arc::new(PlanCache::new(64));
+        let mk = |lane: u64| {
+            let e = Engine::new().shared_cache(Arc::clone(&shared)).plan_lane(lane);
+            e.generate(
+                TableSpec::new("t", 1000)
+                    .column(ColumnSpec::new("k", Distribution::SequentialInt { start: 0 })),
+                lane + 1,
+            )
+            .unwrap();
+            e
+        };
+        let (a, b) = (mk(1), mk(2));
+        let sql = "SELECT COUNT(*) FROM t WHERE k < 50";
+        assert!(!a.execute(sql).unwrap().cache_hit);
+        // Tenant B issues byte-identical SQL on the same shared cache and
+        // still misses: the lane salt keeps A's plan out of reach.
+        assert!(!b.execute(sql).unwrap().cache_hit, "lane isolation violated");
+        assert!(b.execute_if_cached(sql).unwrap().expect("B's own plan").cache_hit);
+        assert!(a.execute(sql).unwrap().cache_hit, "A's entry must survive B's traffic");
     }
 
     #[test]
