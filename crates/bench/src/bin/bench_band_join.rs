@@ -1,0 +1,295 @@
+//! Band-join (inequality join) estimation benchmark.
+//!
+//! The equi-join benches measure the paper's selectivity rules on the
+//! predicates Section 4 was written for; this one measures the histogram
+//! inequality extension on the predicates it was *not*: column-vs-column
+//! range comparisons (`r.k < s.k`), executed by the sort + binary-search
+//! band-join operator. Three data families stress the estimator from
+//! different directions:
+//!
+//! * **uniform** — independent uniform keys on a shared domain, where the
+//!   histogram-fraction model is near-exact (plus one equi-join query with
+//!   an inequality *residual*).
+//! * **zipf** — θ=1.0 Zipf keys on both sides: the per-bucket uniformity
+//!   assumption is violated, the histogram's skew capture is what keeps
+//!   the q-error bounded.
+//! * **offset** — sequential keys with the inner shifted by half a table
+//!   (correlated offsets): the band fraction is far from the coin-flip
+//!   ½ a moment-only model would guess, so only the histograms get it.
+//!
+//! Three contenders estimate every query: **ELS** (histogram fractions),
+//! the **UES bound** (cross-product fallback — a band join has no
+//! per-key bound, so the claim it must keep is *never under-estimate*),
+//! and the **No-estimates** baseline. Per contender we pool the
+//! join-operator q-errors from `explain_analyze` (truth by execution).
+//!
+//! In `--smoke` mode (scaled-down tables, no JSON) the run exits non-zero
+//! and prints a `REGRESSION` line — grepped by `scripts/check.sh` — if the
+//! pooled ELS median q-error exceeds [`BAND_ELS_MEDIAN_Q_LIMIT`], if the
+//! UES bound under-estimates any band join, or if any two contenders
+//! disagree on an executed result count. The full run writes
+//! `BENCH_band_join.json`.
+
+// Tooling layer: printing tables and exiting non-zero is this binary's
+// job, so the workspace-wide clippy.toml bans do not apply here.
+#![allow(clippy::disallowed_methods)]
+
+use std::fmt::Write as _;
+
+use els::engine::Database;
+use els_bench::workload::quantile;
+use els_optimizer::{EstimatorPreset, EstimatorStrategy, OptimizerOptions};
+use els_storage::datagen::{ColumnSpec, Distribution, TableSpec};
+use els_storage::Table;
+
+/// The pinned smoke-gate threshold on the pooled ELS median q-error over
+/// the band-join families. Inequality estimates lean on histogram
+/// resolution, so the bar is looser than the equi-join gate's 2.0 — but
+/// anything above this is an estimator regression, not noise.
+const BAND_ELS_MEDIAN_Q_LIMIT: f64 = 4.0;
+
+/// One band-join data family: a generator and the queries asked over it.
+struct Family {
+    name: &'static str,
+    make: fn(u64, usize) -> Vec<Table>,
+    queries: &'static [&'static str],
+}
+
+/// Independent uniform keys over a shared `0..rows` domain.
+fn uniform_tables(seed: u64, rows: usize) -> Vec<Table> {
+    let hi = rows as i64 - 1;
+    let key = |s| {
+        TableSpec::new(if s % 2 == 1 { "r" } else { "s" }, rows)
+            .column(ColumnSpec::new("k", Distribution::UniformInt { lo: 0, hi }))
+            .column(ColumnSpec::new("p", Distribution::UniformInt { lo: 0, hi: 9 }))
+            .generate(s)
+    };
+    vec![key(seed * 2 + 1), key(seed * 2 + 2)]
+}
+
+/// Zipf(θ=1.0) keys on both sides: heavy head, long tail.
+fn zipf_tables(seed: u64, rows: usize) -> Vec<Table> {
+    let n = (rows / 2).max(8) as u64;
+    let key = |s| {
+        TableSpec::new(if s % 2 == 1 { "r" } else { "s" }, rows)
+            .column(ColumnSpec::new("k", Distribution::ZipfInt { n, theta: 1.0, start: 0 }))
+            .column(ColumnSpec::new("p", Distribution::UniformInt { lo: 0, hi: 9 }))
+            .generate(s)
+    };
+    vec![key(seed * 2 + 1), key(seed * 2 + 2)]
+}
+
+/// Sequential keys with the inner shifted by half a table — correlated
+/// offsets, so the true band fraction is far from ½.
+fn offset_tables(seed: u64, rows: usize) -> Vec<Table> {
+    let make = |name, start, s| {
+        TableSpec::new(name, rows)
+            .column(ColumnSpec::new("k", Distribution::SequentialInt { start }))
+            .column(ColumnSpec::new("p", Distribution::UniformInt { lo: 0, hi: 9 }))
+            .generate(s)
+    };
+    vec![make("r", 0, seed * 2 + 1), make("s", rows as i64 / 2, seed * 2 + 2)]
+}
+
+const FAMILIES: [Family; 3] = [
+    Family {
+        name: "uniform",
+        make: uniform_tables,
+        queries: &[
+            "SELECT COUNT(*) FROM r, s WHERE r.k < s.k",
+            "SELECT COUNT(*) FROM r, s WHERE r.k >= s.k",
+            // Equi-join with an inequality residual: the range predicate
+            // rides on a keyed join instead of the band operator.
+            "SELECT COUNT(*) FROM r, s WHERE r.k = s.k AND r.p <= s.p",
+        ],
+    },
+    Family {
+        name: "zipf",
+        make: zipf_tables,
+        queries: &[
+            "SELECT COUNT(*) FROM r, s WHERE r.k <= s.k",
+            "SELECT COUNT(*) FROM r, s WHERE r.k > s.k",
+        ],
+    },
+    Family {
+        name: "offset",
+        make: offset_tables,
+        queries: &[
+            "SELECT COUNT(*) FROM r, s WHERE r.k < s.k",
+            "SELECT COUNT(*) FROM r, s WHERE r.k >= s.k",
+        ],
+    },
+];
+
+/// The estimation contenders. All plan through the ELS preset's plan
+/// space; only the selectivity strategy differs.
+const CONTENDERS: [(&str, EstimatorStrategy); 3] = [
+    ("ELS", EstimatorStrategy::Els),
+    ("UES bound", EstimatorStrategy::UpperBound),
+    ("No-estimates", EstimatorStrategy::NoEstimates),
+];
+
+/// Pooled per-contender, per-family measurements.
+#[derive(Default, Clone)]
+struct Cell {
+    rule: String,
+    qerrs: Vec<f64>,
+    underestimates: usize,
+    /// Join operators executed by the band operator (RANGE method).
+    range_plans: usize,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (rows, trials) = if smoke { (240usize, 2u64) } else { (1_200, 6) };
+    println!(
+        "band join: {} families x {} contenders, {rows} rows/table, {trials} seed(s){}",
+        FAMILIES.len(),
+        CONTENDERS.len(),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let mut regression = false;
+    // cells[family][contender]
+    let mut cells: Vec<Vec<Cell>> = vec![vec![Cell::default(); CONTENDERS.len()]; FAMILIES.len()];
+
+    for (fi, family) in FAMILIES.iter().enumerate() {
+        for seed in 0..trials {
+            let tables = (family.make)(seed, rows);
+            // truth[query] from the first contender: estimation strategy
+            // must never change the executed result.
+            let mut truth: Vec<u64> = Vec::new();
+            for (ci, &(label, strategy)) in CONTENDERS.iter().enumerate() {
+                let mut db = Database::new();
+                db.set_optimizer_options(OptimizerOptions::preset(EstimatorPreset::Els));
+                db.set_strategy(strategy);
+                for t in &tables {
+                    db.register(t.clone()).expect("band fixture tables register");
+                }
+                for (qi, sql) in family.queries.iter().enumerate() {
+                    let report = db.explain_analyze(sql).expect("band workload queries execute");
+                    let cell = &mut cells[fi][ci];
+                    cell.rule = report.rule.clone();
+                    for op in report.join_operators() {
+                        cell.qerrs.push(op.q_error());
+                        if op.estimated < op.actual as f64 {
+                            cell.underestimates += 1;
+                        }
+                        if op.label.contains("RANGE") {
+                            cell.range_plans += 1;
+                        }
+                    }
+                    if ci == 0 {
+                        truth.push(report.result_rows);
+                    } else if report.result_rows != truth[qi] {
+                        regression = true;
+                        println!(
+                            "BAND RESULT REGRESSION: {label} returned {} rows on \
+                             `{sql}` ({} seed {seed}), {} returned {}",
+                            report.result_rows, family.name, CONTENDERS[0].0, truth[qi]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-family table + JSON rows.
+    let mut json = String::from("{\n  \"bench\": \"band_join\",\n");
+    let _ = write!(
+        json,
+        "  \"smoke\": {smoke}, \"rows_per_table\": {rows}, \"trials\": {trials}, \
+         \"els_median_q_limit\": {BAND_ELS_MEDIAN_Q_LIMIT},\n  \"results\": [\n"
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for (fi, family) in FAMILIES.iter().enumerate() {
+        for (ci, &(label, _)) in CONTENDERS.iter().enumerate() {
+            let cell = &mut cells[fi][ci];
+            cell.qerrs.sort_by(f64::total_cmp);
+            let (median_q, p95_q, max_q) = if cell.qerrs.is_empty() {
+                (1.0, 1.0, 1.0)
+            } else {
+                (
+                    quantile(&cell.qerrs, 0.5),
+                    quantile(&cell.qerrs, 0.95),
+                    *cell.qerrs.last().unwrap(),
+                )
+            };
+            println!(
+                "{:<8} {:<13} rule {:<11} samples {:>2}  median q {:>9.2}  p95 q {:>9.2}  \
+                 max q {:>9.2}  under-est {:>2}  range plans {:>2}",
+                family.name,
+                label,
+                cell.rule,
+                cell.qerrs.len(),
+                median_q,
+                p95_q,
+                max_q,
+                cell.underestimates,
+                cell.range_plans
+            );
+            let num = |v: f64| {
+                if v.is_finite() {
+                    format!("{v:.4}")
+                } else {
+                    "\"inf\"".to_owned()
+                }
+            };
+            json_rows.push(format!(
+                "    {{\"family\": \"{}\", \"label\": \"{label}\", \"rule\": \"{}\", \
+                 \"samples\": {}, \"median_q\": {}, \"p95_q\": {}, \"max_q\": {}, \
+                 \"underestimates\": {}, \"range_plans\": {}}}",
+                family.name,
+                cell.rule,
+                cell.qerrs.len(),
+                num(median_q),
+                num(p95_q),
+                num(max_q),
+                cell.underestimates,
+                cell.range_plans
+            ));
+        }
+    }
+    let _ = write!(json, "{}\n  ]\n}}\n", json_rows.join(",\n"));
+
+    // Gates, pooled across families. The band operator must actually have
+    // been exercised — a plan-space regression that stops choosing RANGE
+    // would otherwise silently hollow out the accuracy numbers.
+    let pool = |ci: usize| {
+        let mut qs: Vec<f64> = cells.iter().flat_map(|f| f[ci].qerrs.iter().copied()).collect();
+        qs.sort_by(f64::total_cmp);
+        qs
+    };
+    let els_qs = pool(0);
+    let els_median = quantile(&els_qs, 0.5);
+    println!("pooled ELS band median q-error: {els_median:.2} (limit {BAND_ELS_MEDIAN_Q_LIMIT})");
+    if !(els_median <= BAND_ELS_MEDIAN_Q_LIMIT) {
+        regression = true;
+        println!(
+            "BAND ACCURACY REGRESSION: ELS median q-error {els_median:.2} exceeds the pinned \
+             limit {BAND_ELS_MEDIAN_Q_LIMIT}"
+        );
+    }
+    let ues_under: usize = cells.iter().map(|f| f[1].underestimates).sum();
+    if ues_under > 0 {
+        regression = true;
+        println!(
+            "BAND BOUND REGRESSION: UES bound under-estimated {ues_under} band join operator(s) \
+             — not an upper bound"
+        );
+    }
+    let els_range: usize = cells.iter().map(|f| f[0].range_plans).sum();
+    if els_range == 0 {
+        regression = true;
+        println!("BAND PLAN REGRESSION: no query executed through the RANGE band-join operator");
+    }
+
+    if !smoke {
+        std::fs::write("BENCH_band_join.json", &json).expect("write BENCH_band_join.json");
+        println!("wrote BENCH_band_join.json");
+    }
+    if regression {
+        println!("REGRESSION: band-join accuracy or bound gate failed");
+        std::process::exit(1);
+    }
+}

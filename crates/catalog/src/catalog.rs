@@ -171,10 +171,16 @@ pub struct QueryOracle<'a> {
     tables: Vec<usize>,
 }
 
+impl QueryOracle<'_> {
+    fn column_stats(&self, column: ColumnRef) -> Option<&crate::stats::ColumnStats> {
+        let entry = self.catalog.entries.get(*self.tables.get(column.table)?)?;
+        entry.stats.columns.get(column.column)
+    }
+}
+
 impl SelectivityOracle for QueryOracle<'_> {
     fn local_selectivity(&self, column: ColumnRef, op: CmpOp, value: &Value) -> Option<f64> {
-        let entry = self.catalog.entries.get(*self.tables.get(column.table)?)?;
-        let stats = entry.stats.columns.get(column.column)?;
+        let stats = self.column_stats(column)?;
         let v = value.as_f64()?;
         // MCV answers equality on tracked values exactly.
         if op == CmpOp::Eq {
@@ -183,6 +189,30 @@ impl SelectivityOracle for QueryOracle<'_> {
             }
         }
         stats.histogram.as_ref().map(|h| h.selectivity(op, v))
+    }
+
+    fn join_range_selectivity(&self, left: ColumnRef, op: CmpOp, right: ColumnRef) -> Option<f64> {
+        let ls = self.column_stats(left)?;
+        let rs = self.column_stats(right)?;
+        let lh = ls.histogram.as_ref()?;
+        let rh = rs.histogram.as_ref()?;
+        // Both strict directions come from the pair integral; the inclusive
+        // variants are complements of the *reverse* strict direction, which
+        // makes "below or equal = below + equal" hold by construction.
+        let lt = lh.fraction_pairs_below(rh);
+        let gt = rh.fraction_pairs_below(lh);
+        let sel = match op {
+            CmpOp::Lt => lt,
+            CmpOp::Le => 1.0 - gt,
+            CmpOp::Gt => gt,
+            CmpOp::Ge => 1.0 - lt,
+            // Equality joins go through the equivalence-class machinery.
+            CmpOp::Eq | CmpOp::Ne => return None,
+        };
+        // Histograms cover non-NULL rows; a NULL on either side fails the
+        // comparison, so scale to the cross product of all rows.
+        let non_null = (1.0 - ls.null_fraction) * (1.0 - rs.null_fraction);
+        Some((sel * non_null).clamp(0.0, 1.0))
     }
 }
 
@@ -281,6 +311,38 @@ mod tests {
         let c2 = sample_catalog(&CollectOptions::full());
         let o2 = c2.oracle(&["A"]).unwrap();
         assert!(o2.local_selectivity(ColumnRef::new(0, 0), CmpOp::Eq, &Value::from("s")).is_none());
+    }
+
+    #[test]
+    fn oracle_answers_range_join_selectivity_from_histograms() {
+        // A.x uniform 0..999, B.y cycles 0..49: P(x < y) = E_y[y/1000]
+        // = 24.5/1000; P(x > y) is nearly everything.
+        let c = sample_catalog(&CollectOptions::full());
+        let a = ColumnRef::new(0, 0);
+        let b = ColumnRef::new(1, 0);
+        let oracle = c.oracle(&["A", "B"]).unwrap();
+        let lt = oracle.join_range_selectivity(a, CmpOp::Lt, b).expect("histograms answer");
+        assert!((lt - 0.0245).abs() < 0.01, "P(x<y) {lt}");
+        let gt = oracle.join_range_selectivity(a, CmpOp::Gt, b).unwrap();
+        let le = oracle.join_range_selectivity(a, CmpOp::Le, b).unwrap();
+        let ge = oracle.join_range_selectivity(a, CmpOp::Ge, b).unwrap();
+        // Inclusive dominates strict up to fp jitter (the interpolated
+        // CDFs are continuous, so the pair-equality mass is ~0 and the
+        // complement identity makes `le` land within epsilon of `lt`).
+        assert!(le >= lt - 1e-9 && ge >= gt - 1e-9, "inclusive dominates strict");
+        assert!(lt + ge <= 1.0 + 1e-9 && le + gt <= 1.0 + 1e-9, "complements fit");
+        assert!((gt - (1.0 - 0.0245)).abs() < 0.01, "P(x>y) {gt}");
+        // Equality is not a range question.
+        assert_eq!(oracle.join_range_selectivity(a, CmpOp::Eq, b), None);
+    }
+
+    #[test]
+    fn oracle_range_join_misses_without_histograms() {
+        let c = sample_catalog(&CollectOptions::default());
+        let oracle = c.oracle(&["A", "B"]).unwrap();
+        assert!(oracle
+            .join_range_selectivity(ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(1, 0))
+            .is_none());
     }
 
     #[test]

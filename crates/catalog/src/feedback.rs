@@ -16,7 +16,11 @@
 //! * joins — the canonical column pair of the join's equivalence class
 //!   (all members mapped to `(table name, column index)`, sorted, first
 //!   two taken), so every predicate implied by the same class shares one
-//!   correction regardless of join order or `FROM` order.
+//!   correction regardless of join order or `FROM` order;
+//! * range joins — the oriented column pair plus the comparison operator
+//!   (flipped alongside the endpoints when they sort the other way), so
+//!   `A.x < B.y` and `B.y > A.x` share one correction while `A.x < B.y`
+//!   and `A.x >= B.y` stay separate.
 //!
 //! Each entry keeps two logs: `log_live`, the decayed estimate of the true
 //! correction, and `log_pub`, the value `FeedbackMode::Apply` actually
@@ -32,6 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use els_core::correction::CorrectionSource;
+use els_core::predicate::CmpOp;
 use els_core::sync::lock_recovering;
 use els_core::ColumnRef;
 
@@ -80,6 +85,19 @@ pub enum FeedbackKey {
         /// Lexicographically larger endpoint (equal for self-joins).
         b: (String, usize),
     },
+    /// An inequality (range) join predicate `a op b`. Unlike equality
+    /// joins there is no equivalence class — the key is the oriented
+    /// column pair plus the comparison operator, canonicalized so that
+    /// `A.x < B.y` and `B.y > A.x` name the same key.
+    Range {
+        /// Lexicographically smaller endpoint.
+        a: (String, usize),
+        /// The comparison, rendered (`<`, `<=`, `>`, `>=`) as applied to
+        /// the canonical endpoint order.
+        op: String,
+        /// Lexicographically larger endpoint.
+        b: (String, usize),
+    },
 }
 
 impl FeedbackKey {
@@ -95,6 +113,19 @@ impl FeedbackKey {
             FeedbackKey::Join { a, b }
         } else {
             FeedbackKey::Join { a: b, b: a }
+        }
+    }
+
+    /// A range-join key for `a op b`; canonicalized by sorting the
+    /// endpoints and flipping `op` when they swap (and, for equal
+    /// endpoints — two aliases of one table joined on the same column —
+    /// normalizing to the `<` family), so both renderings of one
+    /// inequality name the same key.
+    pub fn range(a: (String, usize), op: CmpOp, b: (String, usize)) -> FeedbackKey {
+        if a < b || (a == b && !matches!(op, CmpOp::Gt | CmpOp::Ge)) {
+            FeedbackKey::Range { a, op: op.to_string(), b }
+        } else {
+            FeedbackKey::Range { a: b, op: op.flip().to_string(), b: a }
         }
     }
 }
@@ -366,6 +397,16 @@ impl QueryCorrections {
         let a = endpoints.swap_remove(0);
         Some(FeedbackKey::join(a, b))
     }
+
+    /// The canonical key for the inequality join predicate `left op right`
+    /// (both sides mapped to `(table name, column index)`; the constructor
+    /// re-orients so `FROM` order cannot split one inequality across two
+    /// keys). `None` when either position is out of range.
+    pub fn range_key(&self, left: ColumnRef, op: CmpOp, right: ColumnRef) -> Option<FeedbackKey> {
+        let a = (self.tables.get(left.table)?.clone(), left.column);
+        let b = (self.tables.get(right.table)?.clone(), right.column);
+        Some(FeedbackKey::range(a, op, b))
+    }
 }
 
 impl CorrectionSource for QueryCorrections {
@@ -377,6 +418,12 @@ impl CorrectionSource for QueryCorrections {
 
     fn join_correction(&self, members: &[ColumnRef]) -> Option<f64> {
         let corr = self.store.correction(&self.join_key(members)?)?;
+        self.applied.fetch_add(1, Ordering::Relaxed);
+        Some(corr)
+    }
+
+    fn range_correction(&self, left: ColumnRef, op: CmpOp, right: ColumnRef) -> Option<f64> {
+        let corr = self.store.correction(&self.range_key(left, op, right)?)?;
         self.applied.fetch_add(1, Ordering::Relaxed);
         Some(corr)
     }
@@ -398,6 +445,47 @@ mod tests {
         // Self-join endpoints may coincide.
         let selfjoin = FeedbackKey::join(("t".into(), 0), ("t".into(), 0));
         assert!(matches!(selfjoin, FeedbackKey::Join { a, b } if a == b));
+    }
+
+    #[test]
+    fn range_keys_canonicalize_by_flipping_the_operator() {
+        // `A.x < B.y` and `B.y > A.x` are the same inequality.
+        let lt = FeedbackKey::range(("a".into(), 0), CmpOp::Lt, ("b".into(), 1));
+        let gt = FeedbackKey::range(("b".into(), 1), CmpOp::Gt, ("a".into(), 0));
+        assert_eq!(lt, gt);
+        assert!(matches!(&lt, FeedbackKey::Range { a, op, b }
+            if a == &("a".to_owned(), 0) && op == "<" && b == &("b".to_owned(), 1)));
+        // Different operators on the same pair stay distinct keys.
+        let le = FeedbackKey::range(("a".into(), 0), CmpOp::Le, ("b".into(), 1));
+        assert_ne!(lt, le);
+        // Equal endpoints (self-join aliases) normalize to the `<` family.
+        let self_lt = FeedbackKey::range(("t".into(), 0), CmpOp::Lt, ("t".into(), 0));
+        let self_gt = FeedbackKey::range(("t".into(), 0), CmpOp::Gt, ("t".into(), 0));
+        assert_eq!(self_lt, self_gt);
+    }
+
+    #[test]
+    fn range_corrections_survive_from_order_shuffles() {
+        let store = Arc::new(FeedbackStore::new());
+        // Learn under FROM [a, b] with `a.c0 < b.c1`.
+        let learn = QueryCorrections::new(Arc::clone(&store), vec!["a".into(), "b".into()]);
+        let key = learn.range_key(ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(1, 1)).unwrap();
+        store.observe(key, 100.0, 1000.0, false);
+        // Apply under FROM [b, a], where the binder's positional
+        // canonicalization renders the same predicate `b.c1 > a.c0`.
+        let apply = QueryCorrections::new(Arc::clone(&store), vec!["b".into(), "a".into()]);
+        let c = apply
+            .range_correction(ColumnRef::new(0, 1), CmpOp::Gt, ColumnRef::new(1, 0))
+            .expect("same key from the flipped rendering");
+        assert!((c - 10.0).abs() < 1e-9);
+        assert_eq!(apply.applied(), 1);
+        // A different operator on the same pair has learned nothing.
+        assert_eq!(
+            apply.range_correction(ColumnRef::new(0, 1), CmpOp::Ge, ColumnRef::new(1, 0)),
+            None
+        );
+        // Out-of-range positions produce no key.
+        assert_eq!(apply.range_key(ColumnRef::new(9, 0), CmpOp::Lt, ColumnRef::new(0, 0)), None);
     }
 
     #[test]

@@ -198,6 +198,64 @@ impl Histogram {
         0.0
     }
 
+    /// Estimated probability that a row drawn from this histogram is
+    /// **strictly below** a row drawn independently from `other`:
+    /// `P(X < Y) = E_Y[F_X(Y)]`, integrated bucket-by-bucket over `other`
+    /// — each of `other`'s buckets contributes its row fraction times the
+    /// exact average of this histogram's piecewise-linear
+    /// [`Histogram::fraction_below`] over the bucket's range (endpoint
+    /// trapezoids would overestimate *both* directions at once wherever a
+    /// convex CDF kinks inside the other side's bucket, violating
+    /// `P(X<Y) + P(Y<X) <= 1`).
+    ///
+    /// The result is strict on purpose: inclusive variants come from the
+    /// complement (`P(X <= Y) = 1 - P(Y < X)`), which keeps "below or
+    /// equal = below + equal" exact without a separate pair-equality
+    /// integral. A point bucket (`lo == hi`) contributes exactly
+    /// `F_X(point)`, so two single-valued columns at the same value give
+    /// `P(X < Y) = 0` and `P(X <= Y) = 1`.
+    pub fn fraction_pairs_below(&self, other: &Histogram) -> f64 {
+        let total = other.total_count() as f64;
+        if total == 0.0 || self.total_count() == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for b in other.buckets() {
+            let weight = b.count as f64 / total;
+            acc += weight * self.mean_fraction_below(b.lo, b.hi);
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// Average of [`Histogram::fraction_below`] over `[lo, hi]` under a
+    /// uniform density — exact for the piecewise-linear interpolated CDF;
+    /// plain `fraction_below(lo)` when the interval is a point.
+    fn mean_fraction_below(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return self.fraction_below(lo);
+        }
+        let total = self.total_count() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let width = hi - lo;
+        let mut acc = 0.0;
+        for b in self.buckets() {
+            // This bucket's contribution to the CDF is 0 below `b.lo`, a
+            // linear ramp across `[b.lo, b.hi]`, and 1 above `b.hi` (for a
+            // point bucket the ramp degenerates to a step at the point).
+            let span = (b.hi - b.lo).max(f64::MIN_POSITIVE);
+            let (l, h) = (lo.max(b.lo), hi.min(b.hi));
+            let mut integral = 0.0;
+            if h > l {
+                integral += ((h - b.lo).powi(2) - (l - b.lo).powi(2)) / (2.0 * span);
+            }
+            integral += (hi - b.hi.max(lo)).max(0.0);
+            acc += b.count as f64 * integral;
+        }
+        (acc / (total * width)).clamp(0.0, 1.0)
+    }
+
     /// Selectivity of `column op v` from this histogram.
     pub fn selectivity(&self, op: CmpOp, v: f64) -> f64 {
         match op {
@@ -395,6 +453,75 @@ mod tests {
     }
 
     #[test]
+    fn pairs_below_on_identical_uniform_columns_is_half() {
+        for h in [
+            Histogram::equi_width(&uniform_0_999(), 10).unwrap(),
+            Histogram::equi_depth(&uniform_0_999(), 10).unwrap(),
+        ] {
+            let lt = h.fraction_pairs_below(&h);
+            // True P(X < Y) on 1000 i.i.d. uniform points is
+            // (1 - 1/1000)/2 = 0.4995.
+            assert!((lt - 0.5).abs() < 0.02, "P(X<Y) {lt} far from 0.5");
+            // Strict + strict leaves room for the equality diagonal.
+            assert!(2.0 * lt <= 1.0 + 1e-9, "strict halves overlap: {lt}");
+        }
+    }
+
+    #[test]
+    fn pairs_below_on_disjoint_domains_is_degenerate() {
+        let low: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let high: Vec<f64> = (0..100).map(|i| 1000.0 + i as f64).collect();
+        let hl = Histogram::equi_depth(&low, 8).unwrap();
+        let hh = Histogram::equi_depth(&high, 8).unwrap();
+        assert!((hl.fraction_pairs_below(&hh) - 1.0).abs() < 1e-9);
+        assert!(hh.fraction_pairs_below(&hl).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairs_below_point_vs_uniform_matches_truth() {
+        // X ≡ 7 against Y uniform on {0..13}: P(X < Y) = P(Y > 7) = 6/14,
+        // P(Y < X) = P(Y < 7) = 7/14.
+        let point = Histogram::equi_width(&[7.0; 50], 4).unwrap();
+        let unif: Vec<f64> = (0..14).map(|i| i as f64).collect();
+        let u = Histogram::equi_depth(&unif, 14).unwrap();
+        let lt = point.fraction_pairs_below(&u);
+        assert!((lt - 6.0 / 14.0).abs() < 0.05, "P(7<Y) {lt}");
+        let gt = u.fraction_pairs_below(&point);
+        assert!((gt - 7.0 / 14.0).abs() < 0.05, "P(Y<7) {gt}");
+    }
+
+    #[test]
+    fn pairs_below_two_equal_points_leaves_all_mass_on_the_diagonal() {
+        // Degenerate single-valued buckets on both sides: strictly-below is
+        // 0 both ways, so below-or-equal (the complement of the reverse
+        // strict) is 1 — the whole cross product is the equality diagonal.
+        let a = Histogram::equi_width(&[5.0, 5.0, 5.0], 4).unwrap();
+        let b = Histogram::equi_depth(&[5.0; 7], 2).unwrap();
+        assert_eq!(a.fraction_pairs_below(&b), 0.0);
+        assert_eq!(b.fraction_pairs_below(&a), 0.0);
+        // Shifted point: everything on one side.
+        let c = Histogram::equi_width(&[6.0, 6.0], 1).unwrap();
+        assert_eq!(a.fraction_pairs_below(&c), 1.0);
+        assert_eq!(c.fraction_pairs_below(&a), 0.0);
+    }
+
+    #[test]
+    fn inclusive_selectivity_is_below_plus_equal_at_bucket_edges() {
+        // Satellite audit: `<=` must be fraction_below + fraction_equal and
+        // `>` its complement, exactly, at interior bucket boundaries where
+        // the strict/inclusive distinction is easiest to get wrong.
+        let h = Histogram::equi_width(&uniform_0_999(), 10).unwrap();
+        for edge in [100.0, 500.0, 900.0] {
+            let below = h.fraction_below(edge);
+            let eq = h.fraction_equal(edge);
+            assert!(eq > 0.0, "boundary value {edge} has mass");
+            assert_eq!(h.selectivity(CmpOp::Le, edge), below + eq);
+            assert_eq!(h.selectivity(CmpOp::Gt, edge), 1.0 - below - eq);
+            assert_eq!(h.selectivity(CmpOp::Ge, edge), 1.0 - below);
+        }
+    }
+
+    #[test]
     fn ne_is_complement_of_eq() {
         let h = Histogram::equi_depth(&uniform_0_999(), 10).unwrap();
         let eq = h.selectivity(CmpOp::Eq, 500.0);
@@ -464,6 +591,25 @@ mod tests {
                 proptest::prop_assert_eq!(h.selectivity(CmpOp::Gt, above), 0.0);
                 proptest::prop_assert_eq!(h.selectivity(CmpOp::Ge, above), 0.0);
                 proptest::prop_assert_eq!(h.selectivity(CmpOp::Eq, point), 1.0);
+            }
+        }
+
+        #[test]
+        fn pairs_below_is_a_probability_and_strict_halves_fit(
+            xs in proptest::collection::vec(-100.0f64..100.0, 1..120),
+            ys in proptest::collection::vec(-100.0f64..100.0, 1..120),
+            nb in 1usize..8,
+        ) {
+            for (hx, hy) in [
+                (Histogram::equi_width(&xs, nb).unwrap(), Histogram::equi_width(&ys, nb).unwrap()),
+                (Histogram::equi_depth(&xs, nb).unwrap(), Histogram::equi_depth(&ys, nb).unwrap()),
+            ] {
+                let lt = hx.fraction_pairs_below(&hy);
+                let gt = hy.fraction_pairs_below(&hx);
+                proptest::prop_assert!((0.0..=1.0).contains(&lt));
+                proptest::prop_assert!((0.0..=1.0).contains(&gt));
+                // P(X<Y) + P(Y<X) <= 1: the diagonal never goes negative.
+                proptest::prop_assert!(lt + gt <= 1.0 + 1e-9, "lt {lt} + gt {gt} > 1");
             }
         }
 

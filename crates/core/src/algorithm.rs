@@ -29,7 +29,7 @@ use crate::equivalence::EquivalenceClasses;
 use crate::error::ElsResult;
 use crate::estimator::{JoinState, PreparedQuery};
 use crate::ids::{ClassId, ColumnRef, TableId};
-use crate::join_sel::annotate_join_predicates_corrected;
+use crate::join_sel::{annotate_join_predicates_corrected, annotate_range_predicates};
 use crate::local_effects::{compute_effective_stats_corrected, DistinctReduction, EffectiveStats};
 use crate::predicate::{dedup_predicates, Predicate};
 use crate::rules::{RepresentativeStrategy, SelectivityRule};
@@ -234,8 +234,13 @@ impl Els {
         let reps: HashMap<ClassId, f64> =
             class_sels.into_iter().map(|(k, v)| (k, options.representative.derive(&v))).collect();
 
+        // Inequality join predicates: classless, annotated from histograms
+        // (oracle), the uniform-domain model, and feedback corrections.
+        let ranges = annotate_range_predicates(&predicates, stats, oracle, corrections)?;
+
         let table_cardinality = effective.tables.iter().map(|t| t.cardinality).collect();
-        let prepared = PreparedQuery::from_parts(table_cardinality, infos, reps, options.rule);
+        let prepared = PreparedQuery::from_parts(table_cardinality, infos, reps, options.rule)
+            .with_range_predicates(ranges);
         Ok(Els { options: *options, predicates, classes, effective, adjustments, prepared })
     }
 

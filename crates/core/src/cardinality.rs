@@ -205,6 +205,12 @@ impl BaseTables {
 ///
 /// Estimates depend only on the table *set*, not the join order, so the
 /// bound is reproducible across plan shapes.
+///
+/// Inequality join predicates ([`Predicate::JoinRange`]) never tighten
+/// the bound: a selectivity for `L < R` would be an estimate, not a
+/// guarantee, so a table pair linked only by a range predicate bounds at
+/// the cross product — exactly what the worst data (every left value
+/// below every right value) realizes.
 #[derive(Debug, Clone)]
 pub struct UpperBoundEstimator {
     base: BaseTables,
@@ -615,6 +621,28 @@ mod tests {
                 "bound {bound} below the achievable worst case"
             );
         }
+    }
+
+    #[test]
+    fn range_joins_leave_the_upper_bound_at_the_cross_product() {
+        // A pure inequality join has no equality edge. The worst data
+        // (every left value below every right value) realizes the full
+        // cross product, so any tighter bound would be unsound.
+        let stats = QueryStatistics::new(vec![
+            TableStatistics::new(10.0, vec![ColumnStatistics::with_domain(10.0, 0.0, 9.0)]),
+            TableStatistics::new(20.0, vec![ColumnStatistics::with_domain(20.0, 0.0, 19.0)]),
+        ]);
+        let preds = vec![Predicate::join_range(c(0, 0), CmpOp::Lt, c(1, 0))];
+        let ues = UpperBoundEstimator::new(&preds, &stats).unwrap();
+        let s = ues.join(&ues.initial_state(0).unwrap(), 1).unwrap();
+        assert_eq!(s.cardinality(), 200.0);
+        // The Simpli-Squared baseline stays at the largest member, and the
+        // range predicate survives into the exposed predicate set for the
+        // physical plan to evaluate.
+        let simpli = NoEstimatesEstimator::new(&preds, &stats).unwrap();
+        let s = simpli.join(&simpli.initial_state(0).unwrap(), 1).unwrap();
+        assert_eq!(s.cardinality(), 20.0);
+        assert!(simpli.predicates().iter().any(|p| matches!(p, Predicate::JoinRange { .. })));
     }
 
     #[test]

@@ -138,7 +138,8 @@ fn eq_sides(p: &Predicate) -> Option<(crate::ids::ColumnRef, crate::ids::ColumnR
         // `IS [NOT] NULL` never participates in closure: a satisfied
         // column equality already implies both sides are non-NULL, and
         // propagating nullness tests adds nothing the estimator uses.
-        Predicate::LocalCmp { .. } | Predicate::IsNull { .. } => None,
+        // Range joins are inequalities — they never merge classes.
+        Predicate::LocalCmp { .. } | Predicate::IsNull { .. } | Predicate::JoinRange { .. } => None,
     }
 }
 

@@ -20,7 +20,7 @@
 //!   passes all of them so the key cannot depend on `FROM` order).
 
 use crate::ids::ColumnRef;
-use crate::predicate::Predicate;
+use crate::predicate::{CmpOp, Predicate};
 
 /// Supplier of learned correction factors. A `None` answer means "no
 /// published correction" and leaves the estimate untouched, so a source
@@ -34,6 +34,15 @@ pub trait CorrectionSource {
     /// Correction factor for a join whose equivalence class has exactly
     /// `members` (sorted, at least two entries).
     fn join_correction(&self, members: &[ColumnRef]) -> Option<f64>;
+
+    /// Correction factor for the inequality join predicate `left op right`
+    /// (already canonicalized: `left.table < right.table`). Inequality
+    /// predicates have no equivalence class, so they are keyed separately
+    /// from [`CorrectionSource::join_correction`]. Default: none.
+    fn range_correction(&self, left: ColumnRef, op: CmpOp, right: ColumnRef) -> Option<f64> {
+        let _ = (left, op, right);
+        None
+    }
 }
 
 /// A source that has learned nothing; estimation is exactly the paper's.

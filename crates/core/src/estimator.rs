@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use crate::error::{ElsError, ElsResult};
 use crate::ids::{ClassId, TableId};
-use crate::join_sel::JoinPredicateInfo;
+use crate::join_sel::{JoinPredicateInfo, RangePredicateInfo};
 use crate::rules::SelectivityRule;
 
 /// Maximum number of tables in one query (states are 64-bit bitmasks).
@@ -106,6 +106,9 @@ pub struct PreparedQuery {
     pub(crate) table_cardinality: Vec<f64>,
     /// Annotated join predicates (post-closure when closure is enabled).
     pub(crate) join_predicates: Vec<JoinPredicateInfo>,
+    /// Annotated inequality join predicates. Classless: each multiplies its
+    /// selectivity into the first step that crosses it.
+    pub(crate) range_predicates: Vec<RangePredicateInfo>,
     /// Fixed representative selectivity per class (for Rule REP).
     pub(crate) class_representative: HashMap<ClassId, f64>,
     /// The configured selectivity-choice rule.
@@ -122,7 +125,20 @@ impl PreparedQuery {
         class_representative: HashMap<ClassId, f64>,
         rule: SelectivityRule,
     ) -> Self {
-        PreparedQuery { table_cardinality, join_predicates, class_representative, rule }
+        PreparedQuery {
+            table_cardinality,
+            join_predicates,
+            range_predicates: Vec::new(),
+            class_representative,
+            rule,
+        }
+    }
+
+    /// Attach annotated inequality join predicates (builder style).
+    #[must_use]
+    pub fn with_range_predicates(mut self, range_predicates: Vec<RangePredicateInfo>) -> Self {
+        self.range_predicates = range_predicates;
+        self
     }
 
     /// Number of tables in the query.
@@ -139,6 +155,24 @@ impl PreparedQuery {
     /// The annotated join predicates.
     pub fn join_predicates(&self) -> &[JoinPredicateInfo] {
         &self.join_predicates
+    }
+
+    /// The annotated inequality join predicates.
+    pub fn range_predicates(&self) -> &[RangePredicateInfo] {
+        &self.range_predicates
+    }
+
+    /// Product of the selectivities of the range predicates linking `table`
+    /// to the tables of `state` (1.0 when none cross).
+    fn range_selectivity(&self, state: &JoinState, table: TableId) -> f64 {
+        self.range_predicates
+            .iter()
+            .filter(|p| {
+                (p.left.table == table && state.contains(p.right.table))
+                    || (p.right.table == table && state.contains(p.left.table))
+            })
+            .map(|p| p.selectivity)
+            .product()
     }
 
     /// The selectivity-choice rule in force.
@@ -196,6 +230,7 @@ impl PreparedQuery {
             let representative = self.class_representative.get(&class).copied().unwrap_or(1.0);
             selectivity *= self.rule.combine(&eligible, representative);
         }
+        selectivity *= self.range_selectivity(state, table);
         Ok(JoinState {
             tables: state.tables | (1 << table),
             cardinality: state.cardinality * base * selectivity,
@@ -264,6 +299,13 @@ impl PreparedQuery {
         for (class, eligible) in by_class {
             let representative = self.class_representative.get(&class).copied().unwrap_or(1.0);
             selectivity *= self.rule.combine(&eligible, representative);
+        }
+        for p in &self.range_predicates {
+            let links = (a.contains(p.left.table) && b.contains(p.right.table))
+                || (b.contains(p.left.table) && a.contains(p.right.table));
+            if links {
+                selectivity *= p.selectivity;
+            }
         }
         Ok(JoinState {
             tables: a.tables | b.tables,
@@ -374,6 +416,40 @@ mod tests {
         // Both underestimate, but via different paths; the intermediate
         // differs: R1 ⋈ R2 = 100*1000*0.01 = 1000.
         assert_eq!(q.estimate_order(&[0, 1, 2]).unwrap()[0], 1000.0);
+    }
+
+    #[test]
+    fn range_predicates_multiply_into_crossing_steps() {
+        use crate::join_sel::RangePredicateInfo;
+        use crate::predicate::CmpOp;
+        let q = PreparedQuery::from_parts(
+            vec![10.0, 20.0, 30.0],
+            Vec::new(),
+            HashMap::new(),
+            SelectivityRule::LargestSelectivity,
+        )
+        .with_range_predicates(vec![RangePredicateInfo {
+            left: c(0, 0),
+            op: CmpOp::Lt,
+            right: c(1, 0),
+            selectivity: 0.25,
+        }]);
+        assert_eq!(q.range_predicates().len(), 1);
+        // Crossing step applies the 0.25; the unrelated table does not.
+        let s = q.initial_state(0).unwrap();
+        let s01 = q.join(&s, 1).unwrap();
+        assert_eq!(s01.cardinality(), 10.0 * 20.0 * 0.25);
+        let s012 = q.join(&s01, 2).unwrap();
+        assert_eq!(s012.cardinality(), 10.0 * 20.0 * 0.25 * 30.0);
+        // Starting elsewhere, the predicate fires when its pair first meets.
+        let s2 = q.initial_state(2).unwrap();
+        let s20 = q.join(&s2, 0).unwrap();
+        assert_eq!(s20.cardinality(), 300.0);
+        let s201 = q.join(&s20, 1).unwrap();
+        assert_eq!(s201.cardinality(), 300.0 * 20.0 * 0.25);
+        // Bushy form agrees.
+        let bushy = q.join_sets(&q.initial_state(1).unwrap(), &s20).unwrap();
+        assert_eq!(bushy.cardinality(), s201.cardinality());
     }
 
     #[test]

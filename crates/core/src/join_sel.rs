@@ -16,7 +16,9 @@ use crate::correction::CorrectionSource;
 use crate::equivalence::EquivalenceClasses;
 use crate::error::{ElsError, ElsResult};
 use crate::ids::{ClassId, ColumnRef};
-use crate::predicate::Predicate;
+use crate::predicate::{CmpOp, Predicate};
+use crate::selectivity::{model_join_range_selectivity, SelectivityOracle};
+use crate::stats::QueryStatistics;
 
 /// Equation 2: selectivity of one join predicate from its two column
 /// cardinalities. Returns 0 when either column is empty (an empty side makes
@@ -95,6 +97,53 @@ pub fn annotate_join_predicates_corrected(
         }
     }
     Ok(infos)
+}
+
+/// One inequality join predicate, annotated for the incremental estimator.
+/// Unlike [`JoinPredicateInfo`], range predicates have no equivalence class:
+/// each one multiplies its selectivity into the step that first crosses it,
+/// like an extra restriction on the cross product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangePredicateInfo {
+    /// Left column (lower-numbered table).
+    pub left: ColumnRef,
+    /// The range operator.
+    pub op: CmpOp,
+    /// Right column (higher-numbered table).
+    pub right: ColumnRef,
+    /// Estimated selectivity over the cross product of the two tables.
+    pub selectivity: f64,
+}
+
+/// Annotate every [`Predicate::JoinRange`] in `predicates` with its
+/// selectivity: the oracle (histogram integration in `els-catalog`) is
+/// consulted first, then the uniform-domain model over the base column
+/// statistics, and finally the feedback correction for the predicate's
+/// inequality key is multiplied in and the result clamped to `[0, 1]`.
+pub fn annotate_range_predicates(
+    predicates: &[Predicate],
+    stats: &QueryStatistics,
+    oracle: &dyn SelectivityOracle,
+    corrections: &dyn CorrectionSource,
+) -> ElsResult<Vec<RangePredicateInfo>> {
+    let mut out = Vec::new();
+    for p in predicates {
+        if let Predicate::JoinRange { left, op, right } = p {
+            let mut selectivity = match oracle.join_range_selectivity(*left, *op, *right) {
+                Some(s) => s.clamp(0.0, 1.0),
+                None => {
+                    model_join_range_selectivity(stats.column(*left)?, *op, stats.column(*right)?)
+                }
+            };
+            if let Some(corr) = corrections.range_correction(*left, *op, *right) {
+                if corr.is_finite() && corr > 0.0 {
+                    selectivity = (selectivity * corr).clamp(0.0, 1.0);
+                }
+            }
+            out.push(RangePredicateInfo { left: *left, op: *op, right: *right, selectivity });
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -198,6 +247,64 @@ mod tests {
         )
         .unwrap();
         assert_eq!(identity, plain);
+    }
+
+    #[test]
+    fn annotate_range_predicates_uses_model_oracle_and_corrections() {
+        use crate::stats::{ColumnStatistics, TableStatistics};
+        let stats = QueryStatistics::new(vec![
+            TableStatistics::new(100.0, vec![ColumnStatistics::with_domain(100.0, 0.0, 99.0)]),
+            TableStatistics::new(100.0, vec![ColumnStatistics::with_domain(100.0, 0.0, 99.0)]),
+        ]);
+        let preds = vec![
+            Predicate::join_range(c(0, 0), CmpOp::Lt, c(1, 0)),
+            Predicate::col_eq(c(0, 0), c(1, 0)),
+        ];
+        // Model path: identical 100-point grids → (d−1)/2d = 0.495.
+        let infos = crate::correction::NoCorrections;
+        let out = annotate_range_predicates(&preds, &stats, &crate::selectivity::NoOracle, &infos)
+            .unwrap();
+        assert_eq!(out.len(), 1, "equi predicate skipped");
+        assert_eq!(out[0].op, CmpOp::Lt);
+        assert!((out[0].selectivity - 0.495).abs() < 1e-12, "got {}", out[0].selectivity);
+
+        // Oracle path overrides the model.
+        struct Fixed;
+        impl SelectivityOracle for Fixed {
+            fn local_selectivity(
+                &self,
+                _: ColumnRef,
+                _: CmpOp,
+                _: &els_storage::Value,
+            ) -> Option<f64> {
+                None
+            }
+            fn join_range_selectivity(&self, _: ColumnRef, _: CmpOp, _: ColumnRef) -> Option<f64> {
+                Some(0.25)
+            }
+        }
+        let out = annotate_range_predicates(&preds, &stats, &Fixed, &infos).unwrap();
+        assert_eq!(out[0].selectivity, 0.25);
+
+        // Corrections multiply in and clamp; degenerate factors are ignored.
+        struct Corr(f64);
+        impl CorrectionSource for Corr {
+            fn scan_correction(&self, _: usize, _: &str) -> Option<f64> {
+                None
+            }
+            fn join_correction(&self, _: &[ColumnRef]) -> Option<f64> {
+                None
+            }
+            fn range_correction(&self, _: ColumnRef, _: CmpOp, _: ColumnRef) -> Option<f64> {
+                Some(self.0)
+            }
+        }
+        let out = annotate_range_predicates(&preds, &stats, &Fixed, &Corr(2.0)).unwrap();
+        assert_eq!(out[0].selectivity, 0.5);
+        let out = annotate_range_predicates(&preds, &stats, &Fixed, &Corr(100.0)).unwrap();
+        assert_eq!(out[0].selectivity, 1.0);
+        let out = annotate_range_predicates(&preds, &stats, &Fixed, &Corr(f64::NAN)).unwrap();
+        assert_eq!(out[0].selectivity, 0.25);
     }
 
     #[test]

@@ -116,6 +116,20 @@ pub enum Predicate {
         /// Column of the higher-numbered table.
         right: ColumnRef,
     },
+    /// `left op right` across two tables with a range operator (`<`, `<=`,
+    /// `>`, `>=`) — an inequality (band) join predicate. Canonicalized so
+    /// `left.table < right.table`, flipping the operator when the operands
+    /// swap. Range predicates never merge equivalence classes and never
+    /// participate in transitive closure; they restrict join results
+    /// multiplicatively, like the paper's local predicates restrict scans.
+    JoinRange {
+        /// Column of the lower-numbered table.
+        left: ColumnRef,
+        /// The range operator relating `left` to `right`.
+        op: CmpOp,
+        /// Column of the higher-numbered table.
+        right: ColumnRef,
+    },
     /// `column IS NULL` / `column IS NOT NULL`. Not part of the paper's
     /// predicate language, but required for SQL completeness; NULLs never
     /// satisfy comparisons and never join, so these interact with the rest
@@ -162,6 +176,23 @@ impl Predicate {
         p
     }
 
+    /// Build an inequality join predicate `a op b` between columns of two
+    /// different tables, canonicalizing so the lower-numbered table is on
+    /// the left (the operator flips with the operands).
+    ///
+    /// # Panics
+    /// Panics when `op` is not a range operator or both columns are in the
+    /// same table — same-table inequalities are not join predicates.
+    pub fn join_range(a: ColumnRef, op: CmpOp, b: ColumnRef) -> Predicate {
+        assert!(op.is_range(), "join_range requires a range operator, got `{op}`");
+        assert_ne!(a.table, b.table, "join_range called with two columns of the same table");
+        if a.table < b.table {
+            Predicate::JoinRange { left: a, op, right: b }
+        } else {
+            Predicate::JoinRange { left: b, op: op.flip(), right: a }
+        }
+    }
+
     /// Build `column IS NULL`.
     pub fn is_null(column: ColumnRef) -> Predicate {
         Predicate::IsNull { column, negated: false }
@@ -172,9 +203,10 @@ impl Predicate {
         Predicate::IsNull { column, negated: true }
     }
 
-    /// True for every predicate shape except cross-table join equalities.
+    /// True for every predicate shape except cross-table join predicates
+    /// (equalities and range predicates).
     pub fn is_local(&self) -> bool {
-        !matches!(self, Predicate::JoinEq { .. })
+        !matches!(self, Predicate::JoinEq { .. } | Predicate::JoinRange { .. })
     }
 
     /// True for column-equality predicates (local or join) — the predicates
@@ -187,7 +219,9 @@ impl Predicate {
     pub fn columns(&self) -> Vec<ColumnRef> {
         match self {
             Predicate::LocalCmp { column, .. } | Predicate::IsNull { column, .. } => vec![*column],
-            Predicate::LocalColEq { left, right } | Predicate::JoinEq { left, right } => {
+            Predicate::LocalColEq { left, right }
+            | Predicate::JoinEq { left, right }
+            | Predicate::JoinRange { left, right, .. } => {
                 vec![*left, *right]
             }
         }
@@ -227,6 +261,21 @@ impl Predicate {
                 }
                 Ok(())
             }
+            Predicate::JoinRange { left, op, right } => {
+                check(*left)?;
+                check(*right)?;
+                if !op.is_range() {
+                    return Err(ElsError::MalformedPredicate(format!(
+                        "range join with a non-range operator: {left} {op} {right}"
+                    )));
+                }
+                if left.table == right.table {
+                    return Err(ElsError::MalformedPredicate(format!(
+                        "range join within one table: {left} {op} {right}"
+                    )));
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -237,6 +286,7 @@ impl fmt::Display for Predicate {
             Predicate::LocalCmp { column, op, value } => write!(f, "{column} {op} {value}"),
             Predicate::LocalColEq { left, right } => write!(f, "{left} = {right}"),
             Predicate::JoinEq { left, right } => write!(f, "{left} = {right}"),
+            Predicate::JoinRange { left, op, right } => write!(f, "{left} {op} {right}"),
             Predicate::IsNull { column, negated: false } => write!(f, "{column} IS NULL"),
             Predicate::IsNull { column, negated: true } => write!(f, "{column} IS NOT NULL"),
         }
@@ -335,10 +385,64 @@ mod tests {
     }
 
     #[test]
+    fn join_range_canonicalizes_by_flipping() {
+        let forward = Predicate::join_range(ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(1, 0));
+        assert_eq!(
+            forward,
+            Predicate::JoinRange {
+                left: ColumnRef::new(0, 0),
+                op: CmpOp::Lt,
+                right: ColumnRef::new(1, 0)
+            }
+        );
+        // `R1.c0 > R0.c0` is the same predicate written the other way round.
+        let flipped = Predicate::join_range(ColumnRef::new(1, 0), CmpOp::Gt, ColumnRef::new(0, 0));
+        assert_eq!(flipped, forward);
+        let out = dedup_predicates(&[forward.clone(), flipped]);
+        assert_eq!(out, vec![forward]);
+    }
+
+    #[test]
+    #[should_panic(expected = "range operator")]
+    fn join_range_rejects_equality_operator() {
+        let _ = Predicate::join_range(ColumnRef::new(0, 0), CmpOp::Eq, ColumnRef::new(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "same table")]
+    fn join_range_rejects_same_table() {
+        let _ = Predicate::join_range(ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(0, 1));
+    }
+
+    #[test]
+    fn join_range_validates_and_is_not_local() {
+        let shape = vec![2usize, 1];
+        let p = Predicate::join_range(ColumnRef::new(0, 1), CmpOp::Le, ColumnRef::new(1, 0));
+        assert!(p.validate(&shape).is_ok());
+        assert!(!p.is_local());
+        assert!(!p.is_column_equality());
+        assert_eq!(p.columns(), vec![ColumnRef::new(0, 1), ColumnRef::new(1, 0)]);
+        let bad = Predicate::JoinRange {
+            left: ColumnRef::new(0, 0),
+            op: CmpOp::Eq,
+            right: ColumnRef::new(1, 0),
+        };
+        assert!(matches!(bad.validate(&shape), Err(ElsError::MalformedPredicate(_))));
+        let bad = Predicate::JoinRange {
+            left: ColumnRef::new(0, 0),
+            op: CmpOp::Lt,
+            right: ColumnRef::new(0, 1),
+        };
+        assert!(matches!(bad.validate(&shape), Err(ElsError::MalformedPredicate(_))));
+    }
+
+    #[test]
     fn display_is_readable() {
         let p = Predicate::local_cmp(ColumnRef::new(0, 0), CmpOp::Lt, 100i64);
         assert_eq!(p.to_string(), "R0.c0 < 100");
         let j = Predicate::col_eq(ColumnRef::new(0, 0), ColumnRef::new(1, 0));
         assert_eq!(j.to_string(), "R0.c0 = R1.c0");
+        let r = Predicate::join_range(ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(1, 0));
+        assert_eq!(r.to_string(), "R0.c0 < R1.c0");
     }
 }

@@ -35,6 +35,11 @@ pub const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
 /// is unknown or zero (System R's classic 1/10).
 pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
 
+/// Default selectivity of an inequality join predicate `L op R` when neither
+/// histograms nor domain bounds are known — same 1/3 convention as local
+/// range predicates.
+pub const DEFAULT_RANGE_JOIN_SELECTIVITY: f64 = 1.0 / 3.0;
+
 /// Hook for distribution statistics (histograms, most-common values).
 ///
 /// `els-core` calls this before applying its uniform model; a `Some(s)`
@@ -43,6 +48,15 @@ pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
 pub trait SelectivityOracle {
     /// Selectivity in `[0, 1]` of `column op value`, if this oracle knows.
     fn local_selectivity(&self, column: ColumnRef, op: CmpOp, value: &Value) -> Option<f64>;
+
+    /// Selectivity in `[0, 1]` of the inequality join `left op right` over
+    /// the cross product of the two base tables, if this oracle knows —
+    /// histogram implementations integrate `fraction_below`/`fraction_equal`
+    /// of one side over the other side's buckets. Default: unknown.
+    fn join_range_selectivity(&self, left: ColumnRef, op: CmpOp, right: ColumnRef) -> Option<f64> {
+        let _ = (left, op, right);
+        None
+    }
 }
 
 /// An oracle that knows nothing; estimation always falls back to the
@@ -54,6 +68,85 @@ impl SelectivityOracle for NoOracle {
     fn local_selectivity(&self, _: ColumnRef, _: CmpOp, _: &Value) -> Option<f64> {
         None
     }
+}
+
+/// Uniform-domain model for an inequality join `L op R`: both columns are
+/// modelled as uniform on their `[min, max]` domains (the same assumption
+/// [`model_selectivity`] makes for local ranges), which gives `P(L < R)` in
+/// closed form; `P(L = R)` reuses Equation 2's `1 / max(d1, d2)` when the
+/// domains overlap. NULLs never satisfy a comparison, so both null
+/// fractions scale the result. Falls back to
+/// [`DEFAULT_RANGE_JOIN_SELECTIVITY`] when either domain is unknown.
+pub fn model_join_range_selectivity(
+    left: &ColumnStatistics,
+    op: CmpOp,
+    right: &ColumnStatistics,
+) -> f64 {
+    debug_assert!(op.is_range(), "model_join_range_selectivity wants a range operator");
+    let non_null = (1.0 - left.null_fraction) * (1.0 - right.null_fraction);
+    let (Some(a), Some(b), Some(c), Some(d)) = (left.min, left.max, right.min, right.max) else {
+        return (DEFAULT_RANGE_JOIN_SELECTIVITY * non_null).clamp(0.0, 1.0);
+    };
+    if !(a.is_finite() && b.is_finite() && c.is_finite() && d.is_finite()) || b < a || d < c {
+        return (DEFAULT_RANGE_JOIN_SELECTIVITY * non_null).clamp(0.0, 1.0);
+    }
+    // Mass on the diagonal: zero when the domains are disjoint, Equation 2's
+    // containment bound otherwise. The continuous integral below splits that
+    // mass evenly between `<` and `>`, so half of it is moved out of each
+    // strict side — for two identical d-point grids this reproduces the
+    // exact discrete answers (d−1)/2d, 1/d, (d−1)/2d.
+    let eq = if b < c || d < a {
+        0.0
+    } else if b <= a && d <= c {
+        // Two overlapping point domains are the same single value.
+        1.0
+    } else {
+        crate::join_sel::join_selectivity(left.distinct.max(1.0), right.distinct.max(1.0))
+    };
+    let lt = (uniform_prob_less(a, b, c, d) - eq / 2.0).max(0.0);
+    let gt = (uniform_prob_less(c, d, a, b) - eq / 2.0).max(0.0);
+    let sel = match op {
+        CmpOp::Lt => lt,
+        CmpOp::Le => lt + eq,
+        CmpOp::Gt => gt,
+        CmpOp::Ge => gt + eq,
+        CmpOp::Eq | CmpOp::Ne => unreachable!("guarded by is_range"),
+    };
+    (sel * non_null).clamp(0.0, 1.0)
+}
+
+/// `P(L < R)` for independent `L ~ U[a, b]`, `R ~ U[c, d]`, handling
+/// degenerate (single-point) intervals. Computed as the average of
+/// `F_L(r) = P(L < r)` over `[c, d]`.
+fn uniform_prob_less(a: f64, b: f64, c: f64, d: f64) -> f64 {
+    // Degenerate right side: a point mass at c.
+    if d <= c {
+        return if b <= a {
+            if a < c {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            ((c - a) / (b - a)).clamp(0.0, 1.0)
+        };
+    }
+    // Degenerate left side: F_L(r) = [r > a].
+    if b <= a {
+        return ((d - a.max(c)) / (d - c)).clamp(0.0, 1.0);
+    }
+    // Piecewise integral of F_L over [c, d]: zero below a, linear ramp on
+    // [a, b], one above b.
+    let lo = c.max(a);
+    let hi = d.min(b);
+    let mut integral = 0.0;
+    if hi > lo {
+        integral += ((hi - a).powi(2) - (lo - a).powi(2)) / (2.0 * (b - a));
+    }
+    if d > b {
+        integral += d - b.max(c);
+    }
+    (integral / (d - c)).clamp(0.0, 1.0)
 }
 
 /// What the per-column resolution of Step 3 decided.
@@ -505,6 +598,98 @@ mod tests {
         let stats = seq_stats(1000.0);
         let r = resolve_column_predicates(col(), &stats, &[(CmpOp::Lt, Value::Int(100))], &Fixed);
         assert_eq!(r.selectivity, 0.25);
+    }
+
+    #[test]
+    fn join_range_model_on_identical_grids_matches_exact_discrete_answers() {
+        // L and R both d=1000 sequential values 0..999: exactly
+        // P(L < R) = (d−1)/2d = 0.4995, P(L <= R) = (d+1)/2d = 0.5005.
+        let stats = seq_stats(1000.0);
+        let lt = model_join_range_selectivity(&stats, CmpOp::Lt, &stats);
+        assert!((lt - 0.4995).abs() < 1e-12, "got {lt}");
+        let le = model_join_range_selectivity(&stats, CmpOp::Le, &stats);
+        assert!((le - 0.5005).abs() < 1e-12, "got {le}");
+        // Lt and Gt are symmetric on identical domains.
+        let gt = model_join_range_selectivity(&stats, CmpOp::Gt, &stats);
+        assert_eq!(lt, gt);
+    }
+
+    #[test]
+    fn join_range_model_on_disjoint_domains_is_zero_or_one() {
+        let lo = ColumnStatistics::with_domain(100.0, 0.0, 99.0);
+        let hi = ColumnStatistics::with_domain(100.0, 1000.0, 1099.0);
+        assert_eq!(model_join_range_selectivity(&lo, CmpOp::Lt, &hi), 1.0);
+        assert_eq!(model_join_range_selectivity(&lo, CmpOp::Gt, &hi), 0.0);
+        assert_eq!(model_join_range_selectivity(&hi, CmpOp::Le, &lo), 0.0);
+        assert_eq!(model_join_range_selectivity(&hi, CmpOp::Ge, &lo), 1.0);
+    }
+
+    #[test]
+    fn join_range_model_handles_offset_and_degenerate_domains() {
+        // L ~ U[0, 100], R ~ U[50, 150]: P(L < R) by the piecewise integral:
+        // (1/100)·[∫_50^100 (r/100) dr + 50] = (1/100)·[37.5 + 50] = 0.875,
+        // minus half the diagonal mass 1/101.
+        let l = ColumnStatistics::with_domain(101.0, 0.0, 100.0);
+        let r = ColumnStatistics::with_domain(101.0, 50.0, 150.0);
+        let lt = model_join_range_selectivity(&l, CmpOp::Lt, &r);
+        assert!((lt - (0.875 - 0.5 / 101.0)).abs() < 1e-12, "got {lt}");
+        // Degenerate single-point sides.
+        let point = ColumnStatistics::with_domain(1.0, 7.0, 7.0);
+        let wide = ColumnStatistics::with_domain(100.0, 0.0, 13.0);
+        // P(7 < R) with R ~ U[0, 13] = 6/13, minus half the diagonal mass
+        // 1/max(1, 100) = 0.01.
+        let s = model_join_range_selectivity(&point, CmpOp::Lt, &wide);
+        assert!((s - (6.0 / 13.0 - 0.005)).abs() < 1e-12, "got {s}");
+        // Two identical points: L < R never, L <= R always (eq mass 1).
+        let s = model_join_range_selectivity(&point, CmpOp::Lt, &point);
+        assert_eq!(s, 0.0);
+        let s = model_join_range_selectivity(&point, CmpOp::Le, &point);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn join_range_model_without_domains_uses_default_and_scales_nulls() {
+        let unknown = ColumnStatistics::with_distinct(100.0);
+        let s = model_join_range_selectivity(&unknown, CmpOp::Lt, &unknown);
+        assert_eq!(s, DEFAULT_RANGE_JOIN_SELECTIVITY);
+        let mut nully = seq_stats(10.0);
+        nully.null_fraction = 0.5;
+        let full = seq_stats(10.0);
+        let s = model_join_range_selectivity(&nully, CmpOp::Lt, &full);
+        let base = model_join_range_selectivity(&full, CmpOp::Lt, &full);
+        assert!((s - base * 0.5).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn join_range_model_is_a_probability_and_complements(
+            a in -500.0f64..500.0,
+            w1 in 0.0f64..1000.0,
+            c in -500.0f64..500.0,
+            w2 in 0.0f64..1000.0,
+            d1 in 1.0f64..10_000.0,
+            d2 in 1.0f64..10_000.0,
+        ) {
+            let l = ColumnStatistics::with_domain(d1.floor(), a, a + w1);
+            let r = ColumnStatistics::with_domain(d2.floor(), c, c + w2);
+            let lt = model_join_range_selectivity(&l, CmpOp::Lt, &r);
+            let le = model_join_range_selectivity(&l, CmpOp::Le, &r);
+            let gt = model_join_range_selectivity(&l, CmpOp::Gt, &r);
+            let ge = model_join_range_selectivity(&l, CmpOp::Ge, &r);
+            for s in [lt, le, gt, ge] {
+                proptest::prop_assert!((0.0..=1.0).contains(&s));
+            }
+            proptest::prop_assert!(lt <= le + 1e-12);
+            proptest::prop_assert!(gt <= ge + 1e-12);
+            // Complements never lose mass (`L < R` and `L >= R` partition
+            // the non-NULL pairs); clamping the diagonal split can only
+            // overcount, and by at most the eq mass.
+            let eq = 1.0 / d1.floor().max(d2.floor());
+            proptest::prop_assert!(lt + ge >= 1.0 - 1e-9);
+            proptest::prop_assert!(le + gt >= 1.0 - 1e-9);
+            proptest::prop_assert!(lt + ge <= 1.0 + eq + 1e-9);
+            proptest::prop_assert!(le + gt <= 1.0 + eq + 1e-9);
+        }
     }
 
     proptest::proptest! {

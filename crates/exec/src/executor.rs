@@ -450,7 +450,7 @@ fn execute_node_inner(
             metrics.tuples_emitted += filtered.num_rows() as u64;
             Ok(filtered)
         }
-        PlanNode::Join { method, left, right, keys } => {
+        PlanNode::Join { method, left, right, keys, ranges } => {
             let l = execute_node_observed(left, tables, metrics, io, obs)?;
             // Nested loops with a base-table inner uses the System-R access
             // pattern: rescan the stored relation (filters applied on the
@@ -459,19 +459,28 @@ fn execute_node_inner(
                 (method, right.as_ref())
             {
                 let mut st = ExecState { metrics, io, obs };
-                return rescan_nested_loop(&l, *table_id, filters, keys, tables, &mut st);
+                let out = rescan_nested_loop(&l, *table_id, filters, keys, tables, &mut st)?;
+                return crate::join::apply_join_ranges(out, ranges, metrics);
             }
             if *method == JoinMethod::IndexNestedLoop {
                 let mut st = ExecState { metrics, io, obs };
-                return indexed_nested_loop(&l, right, keys, tables, &mut st);
+                let out = indexed_nested_loop(&l, right, keys, tables, &mut st)?;
+                return crate::join::apply_join_ranges(out, ranges, metrics);
             }
             let r = execute_node_observed(right, tables, metrics, io, obs)?;
-            match method {
+            if *method == JoinMethod::Range {
+                if !keys.is_empty() {
+                    return Err(ExecError::InvalidPlan("range join cannot carry equi-keys".into()));
+                }
+                return crate::join::range_join(&l, &r, ranges, metrics);
+            }
+            let out = match method {
                 JoinMethod::NestedLoop => nested_loop_join(&l, &r, keys, metrics),
                 JoinMethod::SortMerge => sort_merge_join(&l, &r, keys, metrics),
                 JoinMethod::Hash => hash_join(&l, &r, keys, metrics),
-                JoinMethod::IndexNestedLoop => unreachable!("handled above"),
-            }
+                JoinMethod::IndexNestedLoop | JoinMethod::Range => unreachable!("handled above"),
+            }?;
+            crate::join::apply_join_ranges(out, ranges, metrics)
         }
     }
 }
@@ -566,6 +575,7 @@ mod tests {
                 left: Box::new(PlanNode::Scan { table_id: 0, filters }),
                 right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
                 keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+                ranges: vec![],
             },
             output: PlanOutput::CountStar,
         }
@@ -633,6 +643,7 @@ mod tests {
                 left: Box::new(PlanNode::Scan { table_id: 0, filters: vec![filter.clone()] }),
                 right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
                 keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+                ranges: vec![],
             },
             output: PlanOutput::CountStar,
         };
@@ -663,8 +674,10 @@ mod tests {
                     left: Box::new(scan(1)),
                     right: Box::new(scan(0)),
                     keys: vec![],
+                    ranges: vec![],
                 }),
                 keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+                ranges: vec![],
             },
             output: PlanOutput::CountStar,
         };
@@ -683,6 +696,7 @@ mod tests {
                 left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
                 right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
                 keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+                ranges: vec![],
             },
             output: PlanOutput::CountStar,
         };
@@ -708,6 +722,7 @@ mod tests {
                 left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
                 right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
                 keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+                ranges: vec![],
             },
             output: PlanOutput::CountStar,
         };
@@ -839,6 +854,82 @@ mod tests {
         }
     }
 
+    fn range_plan(method: JoinMethod, keys: Vec<(ColumnRef, ColumnRef)>, op: CmpOp) -> QueryPlan {
+        QueryPlan {
+            order_by: Vec::new(),
+            limit: None,
+            root: PlanNode::Join {
+                method,
+                left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
+                right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
+                keys,
+                ranges: vec![(ColumnRef::new(0, 0), op, ColumnRef::new(1, 0))],
+            },
+            output: PlanOutput::CountStar,
+        }
+    }
+
+    #[test]
+    fn range_join_plan_matches_row_mode_across_workers() {
+        // T0.k in 0..100, T1.k in 0..1000: |{(a,b) : a < b}| = Σ(999-k).
+        let expected: u64 = (0..100u64).map(|k| 999 - k).sum();
+        for output in [PlanOutput::CountStar, PlanOutput::Star] {
+            let mut plan = range_plan(JoinMethod::Range, vec![], CmpOp::Lt);
+            plan.output = output;
+            let (row, row_obs) =
+                execute_plan_observed_with(&plan, &tables(), ExecMode::RowAtATime).unwrap();
+            assert_eq!(row.count, expected);
+            assert_eq!(row.metrics.range_join_rows, expected);
+            for workers in [1, 2, 3, 8] {
+                let (vec, vec_obs) =
+                    execute_plan_observed_with(&plan, &tables(), ExecMode::Vectorized { workers })
+                        .unwrap();
+                assert_eq!(vec.count, row.count, "workers={workers}");
+                assert_eq!(vec.rows.num_rows(), row.rows.num_rows(), "workers={workers}");
+                for r in 0..row.rows.num_rows() {
+                    assert_eq!(vec.rows.row(r).unwrap(), row.rows.row(r).unwrap());
+                }
+                assert_eq!(comparable(vec.metrics), comparable(row.metrics), "workers={workers}");
+                assert_eq!(vec_obs, row_obs, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_ranges_agree_across_methods_and_modes() {
+        // Keyed on k with residual `T0.k <= T1.k`: the residual keeps every
+        // matched pair, so the count stays 100 and both modes charge the
+        // same comparisons. The residual path never touches the band-join
+        // counter.
+        for method in [JoinMethod::NestedLoop, JoinMethod::SortMerge, JoinMethod::Hash] {
+            let keys = vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))];
+            let plan = range_plan(method, keys, CmpOp::Le);
+            let row = execute_plan_with(&plan, &tables(), ExecMode::RowAtATime).unwrap();
+            let vec =
+                execute_plan_with(&plan, &tables(), ExecMode::Vectorized { workers: 1 }).unwrap();
+            assert_eq!(row.count, 100, "{method:?}");
+            assert_eq!(vec.count, 100, "{method:?}");
+            assert_eq!(comparable(vec.metrics), comparable(row.metrics), "{method:?}");
+            assert_eq!(row.metrics.range_join_rows, 0, "{method:?}");
+        }
+        // A strict residual on the same column pair eliminates every pair.
+        let keys = vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))];
+        let plan = range_plan(JoinMethod::Hash, keys, CmpOp::Lt);
+        for mode in [ExecMode::RowAtATime, ExecMode::Vectorized { workers: 1 }] {
+            assert_eq!(execute_plan_with(&plan, &tables(), mode).unwrap().count, 0);
+        }
+    }
+
+    #[test]
+    fn range_join_with_keys_is_rejected_in_both_modes() {
+        let keys = vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))];
+        let plan = range_plan(JoinMethod::Range, keys, CmpOp::Lt);
+        for mode in [ExecMode::RowAtATime, ExecMode::Vectorized { workers: 1 }] {
+            let err = execute_plan_with(&plan, &tables(), mode).unwrap_err();
+            assert!(matches!(err, ExecError::InvalidPlan(_)), "{err}");
+        }
+    }
+
     #[test]
     fn evaluators_expose_modes_and_run() {
         assert_eq!(RowOracle.mode(), ExecMode::RowAtATime);
@@ -885,9 +976,11 @@ mod tests {
                     left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
                     right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
                     keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+                    ranges: vec![],
                 }),
                 right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
                 keys: vec![(ColumnRef::new(1, 0), ColumnRef::new(1, 0))],
+                ranges: vec![],
             },
             output: PlanOutput::CountStar,
         };
@@ -915,10 +1008,12 @@ mod tests {
                     left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
                     right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
                     keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+                    ranges: vec![],
                 }),
                 right: Box::new(PlanNode::Scan { table_id: 2, filters: Vec::new() }),
                 // Join on either prior table's key: use T1's column.
                 keys: vec![(ColumnRef::new(1, 0), ColumnRef::new(2, 0))],
+                ranges: vec![],
             },
             output: PlanOutput::CountStar,
         };

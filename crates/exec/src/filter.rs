@@ -63,9 +63,9 @@ impl CompiledFilter {
             Predicate::IsNull { column, negated } => {
                 Ok(CompiledFilter::IsNull { column: *column, negated: *negated })
             }
-            Predicate::JoinEq { .. } => Err(ExecError::InvalidPlan(format!(
-                "join predicate `{p}` cannot run as a scan filter"
-            ))),
+            Predicate::JoinEq { .. } | Predicate::JoinRange { .. } => Err(ExecError::InvalidPlan(
+                format!("join predicate `{p}` cannot run as a scan filter"),
+            )),
         }
     }
 

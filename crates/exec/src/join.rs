@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use els_core::predicate::CmpOp;
 use els_core::ColumnRef;
 use els_storage::Value;
 
@@ -335,6 +336,179 @@ pub fn hash_join(
     Chunk::join_rows(left, right, &rows)
 }
 
+/// SQL truth of `lv op rv` for one candidate join pair: NULL on either
+/// side never matches; non-NULL values compare under [`Value::total_cmp`],
+/// which agrees with SQL comparison on same-typed operands and keeps
+/// `Int`/`Float` cross-type comparisons consistent with the filter layer.
+pub(crate) fn range_pair_matches(lv: &Value, rv: &Value, op: CmpOp) -> bool {
+    if lv.is_null() || rv.is_null() {
+        return false;
+    }
+    let ord = lv.total_cmp(rv);
+    match op {
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+    }
+}
+
+/// Comparisons charged per outer row for the band probe's binary search
+/// over `n` sorted inner keys: `ceil(log₂ n) + 1`. A fixed function of the
+/// input size (not of the data), so the row and vectorized operators — and
+/// the serial and morsel-parallel schedules — charge identically.
+pub(crate) fn probe_charge(n: usize) -> u64 {
+    (n.max(1) as f64).log2().ceil() as u64 + 1
+}
+
+/// The band probe shared by the row and vectorized range-join operators:
+/// both inputs are non-NULL `(key, logical row)` entries sorted ascending
+/// by key; every left entry binary-searches the right side for its band
+/// boundary and emits each `(left row, right row)` pair with
+/// `left key op right key`. Pure — the caller charges
+/// `len(left) · probe_charge(len(right))` comparisons and sorts the result.
+pub(crate) fn band_probe(
+    lrows: &[(Value, u32)],
+    rrows: &[(Value, u32)],
+    op: CmpOp,
+) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for (lv, lj) in lrows {
+        let matches = match op {
+            // Matches form a suffix (right keys above the boundary) ...
+            CmpOp::Lt => {
+                &rrows[rrows
+                    .partition_point(|(rv, _)| rv.total_cmp(lv) != std::cmp::Ordering::Greater)..]
+            }
+            CmpOp::Le => {
+                &rrows[rrows
+                    .partition_point(|(rv, _)| rv.total_cmp(lv) == std::cmp::Ordering::Less)..]
+            }
+            // ... or a prefix (right keys below it).
+            CmpOp::Gt => {
+                &rrows[..rrows
+                    .partition_point(|(rv, _)| rv.total_cmp(lv) == std::cmp::Ordering::Less)]
+            }
+            CmpOp::Ge => {
+                &rrows[..rrows
+                    .partition_point(|(rv, _)| rv.total_cmp(lv) != std::cmp::Ordering::Greater)]
+            }
+            CmpOp::Eq | CmpOp::Ne => unreachable!("range operators validated by the join operator"),
+        };
+        for &(_, rj) in matches {
+            pairs.push((*lj, rj));
+        }
+    }
+    pairs
+}
+
+/// Sort-based band join on inequality `ranges` (no equi-keys): sort both
+/// sides once on the first range's columns, binary-search each outer row's
+/// band boundary in the sorted inner, then filter the candidates through
+/// any residual ranges. NULL keys never match. Charges `rows_sorted` for
+/// both sides, `n log n` sort comparisons, [`probe_charge`] per outer key,
+/// one comparison per candidate per residual range, and counts every
+/// output row in both `tuples_emitted` and `range_join_rows`.
+pub fn range_join(
+    left: &Chunk,
+    right: &Chunk,
+    ranges: &[(ColumnRef, CmpOp, ColumnRef)],
+    metrics: &mut ExecMetrics,
+) -> ExecResult<Chunk> {
+    let Some(&(lc, op, rc)) = ranges.first() else {
+        return Err(ExecError::InvalidPlan("range join requires at least one range".into()));
+    };
+    if !op.is_range() {
+        return Err(ExecError::InvalidPlan(format!("`{op}` cannot drive a range join")));
+    }
+    crate::error::check_rowid_range(left.num_rows())?;
+    crate::error::check_rowid_range(right.num_rows())?;
+    let (lp, rp) = (left.require(lc)?, right.require(rc)?);
+    let gather = |chunk: &Chunk, pos: usize| -> ExecResult<Vec<(Value, u32)>> {
+        let mut out = Vec::with_capacity(chunk.num_rows());
+        for row in 0..chunk.num_rows() {
+            let v = chunk.data.column(pos)?.get(row)?;
+            if !v.is_null() {
+                out.push((v, row as u32));
+            }
+        }
+        Ok(out)
+    };
+    let mut lrows = gather(left, lp)?;
+    let mut rrows = gather(right, rp)?;
+    metrics.rows_sorted += (lrows.len() + rrows.len()) as u64;
+    lrows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    rrows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    metrics.comparisons += sort_charge(lrows.len()) + sort_charge(rrows.len());
+    metrics.comparisons += lrows.len() as u64 * probe_charge(rrows.len());
+    let mut pairs = band_probe(&lrows, &rrows, op);
+    if ranges.len() > 1 {
+        // Residual ranges filter the band's candidates; charge one
+        // comparison per candidate per residual regardless of
+        // short-circuiting, so the charge is schedule-independent.
+        metrics.comparisons += pairs.len() as u64 * (ranges.len() - 1) as u64;
+        let extras: Vec<(usize, CmpOp, usize)> = ranges[1..]
+            .iter()
+            .map(|&(l, o, r)| Ok((left.require(l)?, o, right.require(r)?)))
+            .collect::<ExecResult<_>>()?;
+        let mut kept = Vec::with_capacity(pairs.len());
+        'pairs: for (lj, rj) in pairs {
+            for &(le, o, re) in &extras {
+                let lv = left.data.column(le)?.get(lj as usize)?;
+                let rv = right.data.column(re)?.get(rj as usize)?;
+                if !range_pair_matches(&lv, &rv, o) {
+                    continue 'pairs;
+                }
+            }
+            kept.push((lj, rj));
+        }
+        pairs = kept;
+    }
+    pairs.sort_unstable();
+    metrics.tuples_emitted += pairs.len() as u64;
+    metrics.range_join_rows += pairs.len() as u64;
+    let rows: Vec<(usize, usize)> = pairs.iter().map(|&(l, r)| (l as usize, r as usize)).collect();
+    Chunk::join_rows(left, right, &rows)
+}
+
+/// Residual inequality filter for keyed joins: keep the output rows of an
+/// equi-join whose `ranges` all hold (both columns resolve in the joined
+/// chunk, so range orientation does not matter here). Charges one
+/// comparison per input row per range — the same charge the vectorized
+/// pair-list filter applies — and passes the chunk through untouched when
+/// `ranges` is empty.
+pub fn apply_join_ranges(
+    chunk: Chunk,
+    ranges: &[(ColumnRef, CmpOp, ColumnRef)],
+    metrics: &mut ExecMetrics,
+) -> ExecResult<Chunk> {
+    if ranges.is_empty() {
+        return Ok(chunk);
+    }
+    let pos: Vec<(usize, CmpOp, usize)> = ranges
+        .iter()
+        .map(|&(l, o, r)| Ok((chunk.require(l)?, o, chunk.require(r)?)))
+        .collect::<ExecResult<_>>()?;
+    metrics.comparisons += chunk.num_rows() as u64 * ranges.len() as u64;
+    let mut keep = Vec::new();
+    'rows: for row in 0..chunk.num_rows() {
+        for &(lp, o, rp) in &pos {
+            let lv = chunk.data.column(lp)?.get(row)?;
+            let rv = chunk.data.column(rp)?.get(row)?;
+            if !range_pair_matches(&lv, &rv, o) {
+                continue 'rows;
+            }
+        }
+        keep.push(row);
+    }
+    if keep.len() == chunk.num_rows() {
+        return Ok(chunk);
+    }
+    chunk.filter_rows(&keep)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +727,128 @@ mod tests {
         // The rescan charged the ORIGINAL inner pages once per outer tuple.
         assert_eq!(m1.pages_read, 20 * inner_t.num_pages() as u64);
         assert_eq!(m1.tuples_scanned, 20 * 100);
+    }
+
+    /// Brute-force band-join reference: all non-NULL pairs with `lv op rv`.
+    fn range_reference(left: &Chunk, right: &Chunk, op: CmpOp) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for l in 0..left.num_rows() {
+            let lv = left.data.column(0).unwrap().get(l).unwrap();
+            for r in 0..right.num_rows() {
+                let rv = right.data.column(0).unwrap().get(r).unwrap();
+                if range_pair_matches(&lv, &rv, op) {
+                    out.push((l, r));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn range_join_matches_brute_force_on_every_operator() {
+        let l = chunk(0, &[Some(5), Some(1), None, Some(3), Some(3)]);
+        let r = chunk(1, &[Some(2), None, Some(4), Some(3)]);
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let expect = range_reference(&l, &r, op);
+            let mut m = ExecMetrics::default();
+            let out =
+                range_join(&l, &r, &[(ColumnRef::new(0, 0), op, ColumnRef::new(1, 0))], &mut m)
+                    .unwrap();
+            assert_eq!(out.num_rows(), expect.len(), "{op}");
+            // Every output pair satisfies the predicate.
+            for i in 0..out.num_rows() {
+                let row = out.data.row(i).unwrap();
+                assert!(range_pair_matches(&row[0], &row[1], op), "{op}: {row:?}");
+            }
+            assert_eq!(m.range_join_rows, expect.len() as u64, "{op}");
+            assert_eq!(m.tuples_emitted, expect.len() as u64, "{op}");
+            // Both sides' non-NULL keys passed through the sort.
+            assert_eq!(m.rows_sorted, 4 + 3, "{op}");
+            assert!(m.comparisons > 0, "{op}");
+        }
+    }
+
+    #[test]
+    fn range_join_rejects_degenerate_plans() {
+        let l = chunk(0, &[Some(1)]);
+        let r = chunk(1, &[Some(2)]);
+        let mut m = ExecMetrics::default();
+        assert!(matches!(range_join(&l, &r, &[], &mut m), Err(ExecError::InvalidPlan(_))));
+        let eq = [(ColumnRef::new(0, 0), CmpOp::Eq, ColumnRef::new(1, 0))];
+        assert!(matches!(range_join(&l, &r, &eq, &mut m), Err(ExecError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn residual_ranges_filter_band_candidates() {
+        // Two columns per side: band on column 0, residual on column 1.
+        let mut lt = Table::empty("l", &[("a", DataType::Int), ("u", DataType::Int)]);
+        for (a, u) in [(1, 10), (2, 0), (3, 10)] {
+            lt.push_row(vec![Value::Int(a), Value::Int(u)]).unwrap();
+        }
+        let mut rt = Table::empty("r", &[("b", DataType::Int), ("v", DataType::Int)]);
+        for (b, v) in [(2, 5), (4, 5), (9, 20)] {
+            rt.push_row(vec![Value::Int(b), Value::Int(v)]).unwrap();
+        }
+        let l = Chunk::from_base_table(0, lt);
+        let r = Chunk::from_base_table(1, rt);
+        let band = (ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(1, 0));
+        let residual = (ColumnRef::new(0, 1), CmpOp::Lt, ColumnRef::new(1, 1));
+        let mut m_band = ExecMetrics::default();
+        let band_only = range_join(&l, &r, &[band], &mut m_band).unwrap();
+        assert_eq!(band_only.num_rows(), 7, "a < b alone");
+        let mut m = ExecMetrics::default();
+        let out = range_join(&l, &r, &[band, residual], &mut m).unwrap();
+        // Of the 7 band candidates, u < v keeps (1,⋅) only against v=20,
+        // (2,⋅) against both of its b-matches, and (3,⋅) only against v=20.
+        assert_eq!(out.num_rows(), 4);
+        assert_eq!(m.range_join_rows, 4);
+        // The residual charged one comparison per band candidate.
+        assert_eq!(m.comparisons, m_band.comparisons + 7);
+    }
+
+    #[test]
+    fn apply_join_ranges_filters_joined_rows() {
+        // A keyless cartesian product post-filtered by a range behaves like
+        // the band join on the same predicate.
+        let l = chunk(0, &[Some(1), Some(2), Some(3)]);
+        let r = chunk(1, &[Some(2), Some(3)]);
+        let mut m = ExecMetrics::default();
+        let product = nested_loop_join(&l, &r, &[], &mut m).unwrap();
+        assert_eq!(product.num_rows(), 6);
+        let ranges = [(ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(1, 0))];
+        let before = m.comparisons;
+        let filtered = apply_join_ranges(product, &ranges, &mut m).unwrap();
+        assert_eq!(filtered.num_rows(), 3, "(1,2), (1,3), (2,3)");
+        assert_eq!(m.comparisons, before + 6, "one comparison per row per range");
+        // Empty ranges pass through untouched and charge nothing.
+        let n = m.comparisons;
+        let same = apply_join_ranges(filtered, &[], &mut m).unwrap();
+        assert_eq!(same.num_rows(), 3);
+        assert_eq!(m.comparisons, n);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn range_join_agrees_with_brute_force_on_random_inputs(
+            lvals in proptest::collection::vec(proptest::option::of(0i64..12), 0..30),
+            rvals in proptest::collection::vec(proptest::option::of(0i64..12), 0..30),
+            op_ix in 0usize..4,
+        ) {
+            let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][op_ix];
+            let l = chunk(0, &lvals);
+            let r = chunk(1, &rvals);
+            let expect = range_reference(&l, &r, op);
+            let mut m = ExecMetrics::default();
+            let out = range_join(&l, &r, &[(ColumnRef::new(0, 0), op, ColumnRef::new(1, 0))], &mut m)
+                .unwrap();
+            proptest::prop_assert_eq!(out.num_rows(), expect.len());
+            for i in 0..out.num_rows() {
+                let row = out.data.row(i).unwrap();
+                proptest::prop_assert!(range_pair_matches(&row[0], &row[1], op));
+            }
+            proptest::prop_assert_eq!(m.range_join_rows, expect.len() as u64);
+        }
     }
 
     proptest::proptest! {

@@ -61,6 +61,6 @@ pub use metrics::{
     json_escape, EngineCounters, EngineCountersSnapshot, ExecMetrics, MetricsRegistry,
     QErrorHistogram, ServerCounters, ServerCountersSnapshot,
 };
-pub use plan::{JoinMethod, PlanNode, QueryPlan};
+pub use plan::{JoinMethod, PlanNode, PlanOutput, QueryPlan};
 pub use scheduler::RunStats;
 pub use vectorized::{radix_partitions, MAX_RADIX_PARTITIONS, MORSEL_ROWS, PARALLEL_MIN_ROWS};

@@ -59,6 +59,11 @@ pub struct ExecMetrics {
     /// kernels. Fused `COUNT(*)` roots produce none; the differential tests
     /// assert that.
     pub pair_lists: u64,
+    /// Rows emitted by range (band) join operators — the inequality-join
+    /// twin of `tuples_emitted`, kept separate so band-join output volume
+    /// is observable next to equi-join traffic. Charged identically by the
+    /// row and vectorized operators (the differential tests compare it).
+    pub range_join_rows: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -79,6 +84,7 @@ impl ExecMetrics {
         self.partitions += other.partitions;
         self.steals += other.steals;
         self.pair_lists += other.pair_lists;
+        self.range_join_rows += other.range_join_rows;
         self.elapsed += other.elapsed;
     }
 }
@@ -88,7 +94,7 @@ impl fmt::Display for ExecMetrics {
         write!(
             f,
             "scanned={} pages={} phys={} emitted={} cmps={} sorted={} probes={} kernel={} \
-             selreuse={} morsels={} parts={} steals={} pairlists={} elapsed={:?}",
+             selreuse={} morsels={} parts={} steals={} pairlists={} rangerows={} elapsed={:?}",
             self.tuples_scanned,
             self.pages_read,
             self.physical_pages_read,
@@ -102,6 +108,7 @@ impl fmt::Display for ExecMetrics {
             self.partitions,
             self.steals,
             self.pair_lists,
+            self.range_join_rows,
             self.elapsed
         )
     }
@@ -347,6 +354,7 @@ pub struct MetricsRegistry {
     steals: AtomicU64,
     hash_probes: AtomicU64,
     tuples_scanned: AtomicU64,
+    range_join_rows: AtomicU64,
     feedback_learned: AtomicU64,
     feedback_applied: AtomicU64,
     feedback_epoch_bumps: AtomicU64,
@@ -429,6 +437,7 @@ impl MetricsRegistry {
         self.steals.fetch_add(metrics.steals, Ordering::Relaxed);
         self.hash_probes.fetch_add(metrics.hash_probes, Ordering::Relaxed);
         self.tuples_scanned.fetch_add(metrics.tuples_scanned, Ordering::Relaxed);
+        self.range_join_rows.fetch_add(metrics.range_join_rows, Ordering::Relaxed);
     }
 
     /// The registry's plan-cache counters. Plan caches mirror their bumps
@@ -496,13 +505,15 @@ impl MetricsRegistry {
         let _ = writeln!(
             json,
             "  \"kernels\": {{ \"kernel_rows\": {}, \"morsels\": {}, \"partitions\": {}, \
-             \"steals\": {}, \"hash_probes\": {}, \"tuples_scanned\": {} }},",
+             \"steals\": {}, \"hash_probes\": {}, \"tuples_scanned\": {}, \
+             \"range_join_rows\": {} }},",
             self.kernel_rows.load(Ordering::Relaxed),
             self.morsels.load(Ordering::Relaxed),
             self.partitions.load(Ordering::Relaxed),
             self.steals.load(Ordering::Relaxed),
             self.hash_probes.load(Ordering::Relaxed),
             self.tuples_scanned.load(Ordering::Relaxed),
+            self.range_join_rows.load(Ordering::Relaxed),
         );
         let (learned, applied, epoch_bumps) = self.feedback_totals();
         let _ = writeln!(
@@ -559,6 +570,7 @@ mod tests {
             partitions: 10,
             steals: 11,
             pair_lists: 12,
+            range_join_rows: 13,
             elapsed: Duration::from_millis(10),
         };
         let b = a;
@@ -572,6 +584,7 @@ mod tests {
         assert_eq!(a.partitions, 20);
         assert_eq!(a.steals, 22);
         assert_eq!(a.pair_lists, 24);
+        assert_eq!(a.range_join_rows, 26);
         assert_eq!(a.elapsed, Duration::from_millis(20));
     }
 
@@ -672,6 +685,7 @@ mod tests {
             morsels: 2,
             partitions: 4,
             steals: 3,
+            range_join_rows: 6,
             ..ExecMetrics::default()
         });
         r.cache_counters().hits.fetch_add(1, Ordering::Relaxed);
@@ -689,6 +703,7 @@ mod tests {
         assert!(json.contains("\"kernel_rows\": 5"), "{json}");
         assert!(json.contains("\"partitions\": 4"), "{json}");
         assert!(json.contains("\"steals\": 3"), "{json}");
+        assert!(json.contains("\"range_join_rows\": 6"), "{json}");
         assert!(json.contains("\"feedback\": { \"learned\": 3, \"applied\": 2"), "{json}");
         assert!(json.contains("\"hits\": 1"), "{json}");
         assert!(json.contains("\"LS\""), "{json}");

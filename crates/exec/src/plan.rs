@@ -6,6 +6,7 @@
 //! with a per-join method choice, topped by an optional projection or
 //! `COUNT(*)`.
 
+use els_core::predicate::CmpOp;
 use els_core::ColumnRef;
 
 use crate::filter::CompiledFilter;
@@ -22,6 +23,12 @@ pub enum JoinMethod {
     /// Nested loops probing a sorted index on the inner's (first) join key
     /// column. Only valid with a base-table inner and at least one key.
     IndexNestedLoop,
+    /// Sort-based band join on an inequality predicate: both sides are
+    /// sorted on the first range pair's columns, then each outer row binary
+    /// searches the inner for its band boundary. Only valid with empty
+    /// `keys` and at least one range (an equi-key join evaluates ranges as
+    /// a residual filter on one of the keyed methods instead).
+    Range,
 }
 
 impl JoinMethod {
@@ -32,6 +39,7 @@ impl JoinMethod {
             JoinMethod::SortMerge => "SM",
             JoinMethod::Hash => "HASH",
             JoinMethod::IndexNestedLoop => "INL",
+            JoinMethod::Range => "RANGE",
         }
     }
 }
@@ -47,7 +55,8 @@ pub enum PlanNode {
         filters: Vec<CompiledFilter>,
     },
     /// Join two subplans on equality `keys` (`(left column, right column)`
-    /// in query coordinates).
+    /// in query coordinates), optionally constrained by inequality
+    /// `ranges`.
     Join {
         /// Algorithm.
         method: JoinMethod,
@@ -57,6 +66,12 @@ pub enum PlanNode {
         right: Box<PlanNode>,
         /// Equi-join keys.
         keys: Vec<(ColumnRef, ColumnRef)>,
+        /// Inequality predicates `(left column, op, right column)` crossing
+        /// the two inputs. With empty `keys` and [`JoinMethod::Range`] the
+        /// first range drives the band probe and the rest filter its
+        /// candidates; with non-empty `keys` every range is a residual
+        /// filter on the keyed join's output (any method).
+        ranges: Vec<(ColumnRef, CmpOp, ColumnRef)>,
     },
 }
 
@@ -110,8 +125,12 @@ impl PlanNode {
                 }
                 out.push_str(")\n");
             }
-            PlanNode::Join { method, left, right, keys } => {
-                out.push_str(&format!("{pad}{}Join({} key(s))\n", method.name(), keys.len()));
+            PlanNode::Join { method, left, right, keys, ranges } => {
+                out.push_str(&format!("{pad}{}Join({} key(s)", method.name(), keys.len()));
+                if !ranges.is_empty() {
+                    out.push_str(&format!(", {} range(s)", ranges.len()));
+                }
+                out.push_str(")\n");
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
@@ -172,9 +191,11 @@ mod tests {
                 left: Box::new(scan(2)),
                 right: Box::new(scan(0)),
                 keys: vec![],
+                ranges: vec![],
             }),
             right: Box::new(scan(1)),
             keys: vec![],
+            ranges: vec![],
         };
         assert_eq!(plan.tables(), vec![0, 1, 2]);
         assert_eq!(plan.join_order(), vec![2, 0, 1]);
@@ -187,6 +208,7 @@ mod tests {
             left: Box::new(scan(0)),
             right: Box::new(scan(1)),
             keys: vec![(ColumnRef::new(0, 0), ColumnRef::new(1, 0))],
+            ranges: vec![],
         };
         let text = plan.explain();
         assert!(text.contains("HASHJoin(1 key(s))"));
@@ -195,10 +217,24 @@ mod tests {
     }
 
     #[test]
+    fn explain_renders_ranges() {
+        let plan = PlanNode::Join {
+            method: JoinMethod::Range,
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            keys: vec![],
+            ranges: vec![(ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(1, 0))],
+        };
+        let text = plan.explain();
+        assert!(text.contains("RANGEJoin(0 key(s), 1 range(s))"), "{text}");
+    }
+
+    #[test]
     fn method_names() {
         assert_eq!(JoinMethod::NestedLoop.name(), "NL");
         assert_eq!(JoinMethod::SortMerge.name(), "SM");
         assert_eq!(JoinMethod::Hash.name(), "HASH");
         assert_eq!(JoinMethod::IndexNestedLoop.name(), "INL");
+        assert_eq!(JoinMethod::Range.name(), "RANGE");
     }
 }

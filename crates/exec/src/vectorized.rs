@@ -40,6 +40,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
+use els_core::predicate::CmpOp;
 use els_core::ColumnRef;
 use els_storage::{ColumnVector, Table, Value};
 
@@ -48,7 +49,8 @@ use crate::error::{ExecError, ExecResult};
 use crate::executor::ExecState;
 use crate::filter::{bind_filters, filter_selection};
 use crate::join::{
-    cmp_key_slices, hash_join, hash_key, nested_loop_join, sort_charge, sort_merge_join, HashKey,
+    band_probe, cmp_key_slices, hash_join, hash_key, nested_loop_join, probe_charge,
+    range_pair_matches, sort_charge, sort_merge_join, HashKey,
 };
 use crate::metrics::ExecMetrics;
 use crate::plan::{JoinMethod, PlanNode};
@@ -270,8 +272,11 @@ pub(crate) fn execute_root_count(
     workers: usize,
     st: &mut ExecState<'_>,
 ) -> ExecResult<u64> {
-    if let PlanNode::Join { method, left, right, keys } = node {
-        if !keys.is_empty() && matches!(method, JoinMethod::Hash | JoinMethod::SortMerge) {
+    if let PlanNode::Join { method, left, right, keys, ranges } = node {
+        if !keys.is_empty()
+            && ranges.is_empty()
+            && matches!(method, JoinMethod::Hash | JoinMethod::SortMerge)
+        {
             let start = crate::timing::Stopwatch::start();
             let l = exec_node(left, tables, workers, st)?;
             let r = exec_node(right, tables, workers, st)?;
@@ -331,7 +336,7 @@ fn exec_inner(
             st.metrics.tuples_emitted += sel.len() as u64;
             Ok(VChunk::scan(*table_id, Arc::clone(data), sel))
         }
-        PlanNode::Join { method, left, right, keys } => {
+        PlanNode::Join { method, left, right, keys, ranges } => {
             let l = exec_node(left, tables, workers, st)?;
             // Rescanning and indexed nested loops share the row-path
             // operators (see module docs): their cost is the simulated
@@ -343,14 +348,26 @@ fn exec_inner(
                 let out = crate::executor::rescan_nested_loop(
                     &lchunk, *table_id, filters, keys, tables, st,
                 )?;
+                let out = crate::join::apply_join_ranges(out, ranges, st.metrics)?;
                 return VChunk::from_chunk(out);
             }
             if *method == JoinMethod::IndexNestedLoop {
                 let lchunk = l.materialize()?;
                 let out = crate::executor::indexed_nested_loop(&lchunk, right, keys, tables, st)?;
+                let out = crate::join::apply_join_ranges(out, ranges, st.metrics)?;
                 return VChunk::from_chunk(out);
             }
             let r = exec_node(right, tables, workers, st)?;
+            if *method == JoinMethod::Range {
+                if !keys.is_empty() {
+                    return Err(ExecError::InvalidPlan("range join cannot carry equi-keys".into()));
+                }
+                let pairs = vrange_join(&l, &r, ranges, workers, st.metrics)?;
+                st.metrics.pair_lists += 1;
+                st.metrics.tuples_emitted += pairs.len() as u64;
+                st.metrics.range_join_rows += pairs.len() as u64;
+                return Ok(VChunk::compose(l, r, &pairs));
+            }
             if keys.is_empty() || *method == JoinMethod::NestedLoop {
                 // Keyless joins degenerate to cartesian nested loops in
                 // every method; NL over a materialized inner is the row
@@ -360,19 +377,23 @@ fn exec_inner(
                     JoinMethod::NestedLoop => nested_loop_join(&lc, &rc, keys, st.metrics)?,
                     JoinMethod::SortMerge => sort_merge_join(&lc, &rc, keys, st.metrics)?,
                     JoinMethod::Hash => hash_join(&lc, &rc, keys, st.metrics)?,
-                    JoinMethod::IndexNestedLoop => unreachable!("handled above"),
+                    JoinMethod::IndexNestedLoop | JoinMethod::Range => {
+                        unreachable!("handled above")
+                    }
                 };
+                let out = crate::join::apply_join_ranges(out, ranges, st.metrics)?;
                 return VChunk::from_chunk(out);
             }
             let pairs = match method {
                 JoinMethod::SortMerge => vsort_merge(&l, &r, keys, st.metrics)?,
                 JoinMethod::Hash => vhash_join(&l, &r, keys, workers, st.metrics)?,
-                JoinMethod::NestedLoop | JoinMethod::IndexNestedLoop => {
+                JoinMethod::NestedLoop | JoinMethod::IndexNestedLoop | JoinMethod::Range => {
                     unreachable!("handled above")
                 }
             };
             st.metrics.pair_lists += 1;
             st.metrics.tuples_emitted += pairs.len() as u64;
+            let pairs = filter_pairs_by_ranges(&l, &r, pairs, ranges, st.metrics)?;
             Ok(VChunk::compose(l, r, &pairs))
         }
     }
@@ -430,6 +451,115 @@ fn gather_sort_keys(side: &[SideKey<'_>], len: usize) -> ExecResult<Vec<(Vec<Val
         out.push((ks, j as u32));
     }
     Ok(out)
+}
+
+/// One side's non-NULL `(key, logical row)` entries for a single range
+/// column, in logical-row order (so the stable sort below permutes exactly
+/// like the row operator's).
+fn gather_range_keys(side: &SideKey<'_>, len: usize) -> ExecResult<Vec<(Value, u32)>> {
+    let mut out = Vec::with_capacity(len);
+    for j in 0..len {
+        let v = side.col.get(side.ids[j] as usize)?;
+        if !v.is_null() {
+            out.push((v, j as u32));
+        }
+    }
+    Ok(out)
+}
+
+/// Vectorized band join on logical row ids — the late-materializing twin
+/// of [`crate::join::range_join`]. Sorts both sides' keys once, binary
+/// searches each outer key's band boundary ([`band_probe`]), and filters
+/// candidates through residual ranges. The outer side splits into morsels
+/// dispatched through the work-stealing scheduler when `workers > 1` and
+/// the outer is at least [`PARALLEL_MIN_ROWS`]; morsel results concatenate
+/// in morsel order, and the final left-major sort makes the pair list
+/// independent of the schedule. Every logical-work counter is charged
+/// exactly as the row operator charges it (`morsels` is reported
+/// identically by the serial and parallel paths, like the hash probe).
+fn vrange_join(
+    left: &VChunk,
+    right: &VChunk,
+    ranges: &[(ColumnRef, CmpOp, ColumnRef)],
+    workers: usize,
+    metrics: &mut ExecMetrics,
+) -> ExecResult<Vec<(u32, u32)>> {
+    let Some(&(lc, op, rc)) = ranges.first() else {
+        return Err(ExecError::InvalidPlan("range join requires at least one range".into()));
+    };
+    if !op.is_range() {
+        return Err(ExecError::InvalidPlan(format!("`{op}` cannot drive a range join")));
+    }
+    let lside = side_keys(left, std::iter::once(lc))?;
+    let rside = side_keys(right, std::iter::once(rc))?;
+    let mut lrows = gather_range_keys(&lside[0], left.len())?;
+    let mut rrows = gather_range_keys(&rside[0], right.len())?;
+    metrics.rows_sorted += (lrows.len() + rrows.len()) as u64;
+    lrows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    rrows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    metrics.comparisons += sort_charge(lrows.len()) + sort_charge(rrows.len());
+    metrics.comparisons += lrows.len() as u64 * probe_charge(rrows.len());
+    let n_morsels = lrows.len().div_ceil(MORSEL_ROWS);
+    metrics.morsels += n_morsels as u64;
+    let mut pairs: Vec<(u32, u32)> = if workers > 1 && lrows.len() >= PARALLEL_MIN_ROWS {
+        let (morsel_pairs, stats) = crate::scheduler::run_tasks(workers, n_morsels, |m| {
+            let lo = m * MORSEL_ROWS;
+            let hi = (lo + MORSEL_ROWS).min(lrows.len());
+            band_probe(&lrows[lo..hi], &rrows, op)
+        });
+        metrics.steals += stats.steals;
+        morsel_pairs.into_iter().flatten().collect()
+    } else {
+        band_probe(&lrows, &rrows, op)
+    };
+    if ranges.len() > 1 {
+        metrics.comparisons += pairs.len() as u64 * (ranges.len() - 1) as u64;
+        pairs = retain_matching_pairs(left, right, pairs, &ranges[1..])?;
+    }
+    pairs.sort_unstable();
+    Ok(pairs)
+}
+
+/// Residual inequality filter over a keyed join's pair list — the
+/// late-materializing twin of [`crate::join::apply_join_ranges`], charging
+/// the same one comparison per candidate pair per range.
+fn filter_pairs_by_ranges(
+    left: &VChunk,
+    right: &VChunk,
+    pairs: Vec<(u32, u32)>,
+    ranges: &[(ColumnRef, CmpOp, ColumnRef)],
+    metrics: &mut ExecMetrics,
+) -> ExecResult<Vec<(u32, u32)>> {
+    if ranges.is_empty() {
+        return Ok(pairs);
+    }
+    metrics.comparisons += pairs.len() as u64 * ranges.len() as u64;
+    retain_matching_pairs(left, right, pairs, ranges)
+}
+
+/// Keep the pairs whose row values satisfy every range (NULLs never
+/// match). Pure filtering — the caller charges the comparisons.
+fn retain_matching_pairs(
+    left: &VChunk,
+    right: &VChunk,
+    pairs: Vec<(u32, u32)>,
+    ranges: &[(ColumnRef, CmpOp, ColumnRef)],
+) -> ExecResult<Vec<(u32, u32)>> {
+    let lsides = side_keys(left, ranges.iter().map(|&(l, _, _)| l))?;
+    let rsides = side_keys(right, ranges.iter().map(|&(_, _, r)| r))?;
+    let ops: Vec<CmpOp> = ranges.iter().map(|&(_, o, _)| o).collect();
+    let mut kept = Vec::with_capacity(pairs.len());
+    'pairs: for (lj, rj) in pairs {
+        for ((ls, rs), &o) in lsides.iter().zip(&rsides).zip(&ops) {
+            let lv = ls.col.get(ls.ids[lj as usize] as usize)?;
+            let rv = rs.col.get(rs.ids[rj as usize] as usize)?;
+            if !range_pair_matches(&lv, &rv, o) {
+                continue 'pairs;
+            }
+        }
+        kept.push((lj, rj));
+    }
+    Ok(kept)
 }
 
 /// A minimal deterministic multiply-mix hasher for `i64` join keys; the
@@ -1045,6 +1175,29 @@ mod tests {
             (pids.len().div_ceil(MORSEL_ROWS)) as u64,
             "serial probe reports the same morsel count the parallel paths dispatch"
         );
+    }
+
+    #[test]
+    fn parallel_band_probe_matches_serial_and_counts_morsels() {
+        // Outer side large enough to trip the morsel-parallel path; keys
+        // drawn from a narrow domain so bands overlap heavily.
+        let louter = int_keys_table("l", 2 * PARALLEL_MIN_ROWS, 300);
+        let rinner = int_keys_table("r", 700, 300);
+        let lv = VChunk::scan(0, Arc::clone(&louter), (0..louter.num_rows() as u32).collect());
+        let rv = VChunk::scan(1, Arc::clone(&rinner), (0..rinner.num_rows() as u32).collect());
+        let ranges = vec![(ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(1, 0))];
+        let mut serial_m = ExecMetrics::default();
+        let serial = vrange_join(&lv, &rv, &ranges, 1, &mut serial_m).unwrap();
+        assert!(!serial.is_empty());
+        assert_eq!(serial_m.morsels, (louter.num_rows().div_ceil(MORSEL_ROWS)) as u64);
+        for workers in [2, 3, 8] {
+            let mut par_m = ExecMetrics::default();
+            let parallel = vrange_join(&lv, &rv, &ranges, workers, &mut par_m).unwrap();
+            assert_eq!(parallel, serial, "workers={workers}");
+            assert_eq!(par_m.morsels, serial_m.morsels, "workers={workers}");
+            assert_eq!(par_m.comparisons, serial_m.comparisons, "workers={workers}");
+            assert_eq!(par_m.rows_sorted, serial_m.rows_sorted, "workers={workers}");
+        }
     }
 
     #[test]

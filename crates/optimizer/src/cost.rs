@@ -144,6 +144,44 @@ impl CostParams {
         build + probes + output_rows_est.max(0.0) * self.cpu_tuple_cost
     }
 
+    /// Cost of a sort-based band join over a stored inner: scan the inner,
+    /// sort both filtered inputs, then one logarithmic boundary search per
+    /// outer tuple. Unlike sort-merge there is no linear co-walk — every
+    /// outer tuple pays a binary search — and the (often enormous) band
+    /// output is charged per emitted tuple.
+    pub fn range_join(
+        &self,
+        outer_rows_est: f64,
+        inner_profile: &TableProfile,
+        inner_rows_eff: f64,
+        output_rows_est: f64,
+    ) -> f64 {
+        self.scan(inner_profile)
+            + self.range_join_cpu(outer_rows_est, inner_rows_eff, output_rows_est)
+    }
+
+    /// Band join over two intermediates: sorts + probes + emission, no
+    /// inner scan (its production cost is charged by its subplan).
+    pub fn range_join_intermediate(
+        &self,
+        outer_rows_est: f64,
+        inner_rows: f64,
+        output_rows_est: f64,
+    ) -> f64 {
+        self.range_join_cpu(outer_rows_est, inner_rows, output_rows_est)
+    }
+
+    /// Shared CPU term of the band join: two sorts, one `log₂ inner`
+    /// boundary search per outer tuple, per-tuple emission.
+    fn range_join_cpu(&self, outer_rows_est: f64, inner_rows: f64, output_rows_est: f64) -> f64 {
+        let nlogn = |n: f64| if n > 1.0 { n * n.log2() } else { 0.0 };
+        let probe_depth = if inner_rows > 2.0 { inner_rows.log2() } else { 1.0 };
+        (nlogn(outer_rows_est) + nlogn(inner_rows)) * self.cpu_cmp_cost
+            + outer_rows_est.max(0.0) * probe_depth * self.cpu_cmp_cost
+            + (outer_rows_est.max(0.0) + inner_rows.max(0.0)) * self.cpu_tuple_cost
+            + output_rows_est.max(0.0) * self.cpu_tuple_cost
+    }
+
     /// Bushy variants: the inner is a *materialized intermediate* of
     /// `inner_rows` tuples and `inner_width` bytes per tuple (its own
     /// production cost is charged by its subplan). Nested loops rescans the
@@ -279,6 +317,23 @@ mod tests {
         let small_serial = serial.hash(100.0, &giant(), 100_000.0, 10.0);
         let small_par = par.hash(100.0, &giant(), 100_000.0, 10.0);
         assert!((small_serial - small_par - probe_discount).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_join_beats_nested_loop_but_pays_for_its_output() {
+        let p = CostParams::default();
+        // An honest 1000-tuple outer over a giant inner: log-probes beat
+        // full rescans by orders of magnitude.
+        let band = p.range_join(1000.0, &giant(), 100_000.0, 10_000.0);
+        let nl = p.nested_loop(1000.0, &giant());
+        assert!(band < nl, "band {band} should beat nl {nl}");
+        // The emission term matters: a band producing 10M tuples costs more
+        // than one producing 10k from the same inputs.
+        let wide = p.range_join(1000.0, &giant(), 100_000.0, 1e7);
+        assert!(wide > band, "wide {wide} <= narrow {band}");
+        // Intermediate variant drops only the inner scan.
+        let inter = p.range_join_intermediate(1000.0, 100_000.0, 10_000.0);
+        assert!((band - inter - p.scan(&giant())).abs() < 1e-9);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! candidate so results are deterministic.
 
 use els_core::estimator::JoinState;
-use els_core::predicate::Predicate;
+use els_core::predicate::{CmpOp, Predicate};
 use els_core::{CardinalityEstimator, ColumnRef};
 use els_exec::filter::CompiledFilter;
 use els_exec::{JoinMethod, PlanNode};
@@ -103,6 +103,39 @@ pub fn join_keys_between(
     keys
 }
 
+/// Inequality predicates linking the tables of `mask` to `table`, oriented
+/// left-side-in-mask (flipping the operator when the stored orientation is
+/// the other way round).
+pub fn range_keys(
+    predicates: &[Predicate],
+    mask: u64,
+    table: usize,
+) -> Vec<(ColumnRef, CmpOp, ColumnRef)> {
+    range_keys_between(predicates, mask, 1u64 << table)
+}
+
+/// Inequality predicates between two disjoint table sets, oriented
+/// `(left in left_mask, op, right in right_mask)`.
+pub fn range_keys_between(
+    predicates: &[Predicate],
+    left_mask: u64,
+    right_mask: u64,
+) -> Vec<(ColumnRef, CmpOp, ColumnRef)> {
+    let in_left = |t: usize| left_mask & (1 << t) != 0;
+    let in_right = |t: usize| right_mask & (1 << t) != 0;
+    let mut ranges = Vec::new();
+    for p in predicates {
+        if let Predicate::JoinRange { left, op, right } = p {
+            if in_left(left.table) && in_right(right.table) {
+                ranges.push((*left, *op, *right));
+            } else if in_left(right.table) && in_right(left.table) {
+                ranges.push((*right, op.flip(), *left));
+            }
+        }
+    }
+    ranges
+}
+
 /// Run the DP over left-deep trees. `els` must have been prepared over the
 /// same table numbering as `profiles`.
 pub fn enumerate_left_deep(
@@ -185,21 +218,37 @@ pub fn enumerate(
             let inner_eff = els.effective_cardinality(t)?;
             let out_rows = new_state.cardinality();
             let keys = join_keys(predicates, mask as u64, t);
+            let ranges = range_keys(predicates, mask as u64, t);
 
+            // The band join is not part of the configured method list: it
+            // becomes a candidate exactly when it is executable — no
+            // equi-keys but at least one inequality edge. Keyed joins treat
+            // the inequalities as residual filters instead.
+            let band_ok = keys.is_empty() && !ranges.is_empty();
+            // Keyless methods materialize the full cross product before the
+            // residual inequality filter; only the band join prunes while
+            // probing, so only it is charged the filtered output.
+            let emit_rows = if band_ok { outer_rows * inner_eff } else { out_rows };
             let mut best_method: Option<(JoinMethod, f64)> = None;
-            for &m in methods {
+            for &m in methods.iter().chain(band_ok.then_some(&JoinMethod::Range)) {
                 // Indexed nested loops needs at least one key to probe on.
                 if m == JoinMethod::IndexNestedLoop && keys.is_empty() {
+                    continue;
+                }
+                if m == JoinMethod::Range && !band_ok {
                     continue;
                 }
                 let join_cost = match m {
                     JoinMethod::NestedLoop => params.nested_loop(outer_rows, &profiles[t]),
                     JoinMethod::SortMerge => {
-                        params.sort_merge(outer_rows, &profiles[t], inner_eff, out_rows)
+                        params.sort_merge(outer_rows, &profiles[t], inner_eff, emit_rows)
                     }
-                    JoinMethod::Hash => params.hash(outer_rows, &profiles[t], inner_eff, out_rows),
+                    JoinMethod::Hash => params.hash(outer_rows, &profiles[t], inner_eff, emit_rows),
                     JoinMethod::IndexNestedLoop => {
-                        params.index_nested_loop(outer_rows, &profiles[t], out_rows)
+                        params.index_nested_loop(outer_rows, &profiles[t], emit_rows)
+                    }
+                    JoinMethod::Range => {
+                        params.range_join(outer_rows, &profiles[t], inner_eff, out_rows)
                     }
                 };
                 if best_method.is_none_or(|(_, c)| join_cost < c) {
@@ -219,6 +268,7 @@ pub fn enumerate(
                         filters: scan_filters(predicates, t)?,
                     }),
                     keys,
+                    ranges,
                 };
                 best[new_mask] = Some(Entry {
                     cost: total,
@@ -250,10 +300,17 @@ pub fn enumerate(
                         let outer_rows = entry.state.cardinality();
                         let inner_rows = partner.state.cardinality();
 
+                        let keys = join_keys_between(predicates, mask as u64, sub as u64);
+                        let ranges = range_keys_between(predicates, mask as u64, sub as u64);
+                        let band_ok = keys.is_empty() && !ranges.is_empty();
+                        let emit_rows = if band_ok { outer_rows * inner_rows } else { out_rows };
                         let mut best_method: Option<(JoinMethod, f64)> = None;
-                        for &m in methods {
+                        for &m in methods.iter().chain(band_ok.then_some(&JoinMethod::Range)) {
                             // Indexes exist on stored tables only.
                             if m == JoinMethod::IndexNestedLoop {
+                                continue;
+                            }
+                            if m == JoinMethod::Range && !band_ok {
                                 continue;
                             }
                             let join_cost = match m {
@@ -262,11 +319,13 @@ pub fn enumerate(
                                     inner_rows,
                                     partner.width,
                                 ),
-                                JoinMethod::SortMerge => {
-                                    params.sort_merge_intermediate(outer_rows, inner_rows, out_rows)
-                                }
+                                JoinMethod::SortMerge => params
+                                    .sort_merge_intermediate(outer_rows, inner_rows, emit_rows),
                                 JoinMethod::Hash => {
-                                    params.hash_intermediate(outer_rows, inner_rows, out_rows)
+                                    params.hash_intermediate(outer_rows, inner_rows, emit_rows)
+                                }
+                                JoinMethod::Range => {
+                                    params.range_join_intermediate(outer_rows, inner_rows, out_rows)
                                 }
                                 JoinMethod::IndexNestedLoop => unreachable!("skipped above"),
                             };
@@ -288,7 +347,8 @@ pub fn enumerate(
                                 method,
                                 left: Box::new(entry.node.clone()),
                                 right: Box::new(partner.node.clone()),
-                                keys: join_keys_between(predicates, mask as u64, sub as u64),
+                                keys,
+                                ranges,
                             };
                             best[new_mask] = Some(Entry {
                                 cost: total,
@@ -437,6 +497,79 @@ mod tests {
         } else {
             panic!("expected a join root");
         }
+    }
+
+    #[test]
+    fn pure_inequality_queries_choose_the_band_join() {
+        // Two tables linked only by `R0.x < R1.y`, with nearly disjoint
+        // domains (R0's values sit above R1's) so the band output is tiny:
+        // sort + log-probe beats rescanning the inner per outer tuple, and
+        // the plan carries the range edge.
+        let stats = QueryStatistics::new(vec![
+            TableStatistics::new(
+                1000.0,
+                vec![ColumnStatistics::with_domain(1000.0, 1000.0, 1999.0)],
+            ),
+            TableStatistics::new(5000.0, vec![ColumnStatistics::with_domain(1000.0, 0.0, 999.0)]),
+        ]);
+        let preds = vec![Predicate::join_range(c(0, 0), CmpOp::Lt, c(1, 0))];
+        let els = Els::prepare(&preds, &stats, &ElsOptions::algorithm_els()).unwrap();
+        let profiles =
+            vec![TableProfile::synthetic(1000.0, 16), TableProfile::synthetic(5000.0, 16)];
+        let r = enumerate_left_deep(&els, &profiles, &NL_SM, &CostParams::default()).unwrap();
+        let PlanNode::Join { method, keys, ranges, left, right } = &r.root else {
+            panic!("expected a join root");
+        };
+        assert_eq!(*method, JoinMethod::Range, "{}", r.root.explain());
+        assert!(keys.is_empty());
+        assert_eq!(ranges.len(), 1);
+        // The range is oriented left-column-in-left-subtree regardless of
+        // which table the DP put on the outer side.
+        let (lc, _, rc) = ranges[0];
+        let left_tables = left.tables();
+        assert!(left_tables.contains(&lc.table), "{}", r.root.explain());
+        assert!(right.tables().contains(&rc.table), "{}", r.root.explain());
+    }
+
+    #[test]
+    fn range_keys_between_flips_the_operator_with_the_sides() {
+        let preds = vec![Predicate::join_range(c(0, 0), CmpOp::Lt, c(1, 0))];
+        let fwd = range_keys_between(&preds, 0b01, 0b10);
+        assert_eq!(fwd, vec![(c(0, 0), CmpOp::Lt, c(1, 0))]);
+        let rev = range_keys_between(&preds, 0b10, 0b01);
+        assert_eq!(rev, vec![(c(1, 0), CmpOp::Gt, c(0, 0))]);
+        // Edges internal to one side never leak out.
+        assert!(range_keys_between(&preds, 0b11, 0b100).is_empty());
+    }
+
+    #[test]
+    fn keyed_joins_carry_ranges_as_residuals() {
+        // Equi-key plus inequality on the same table pair: the plan keeps a
+        // keyed method and attaches the range as a residual.
+        let mk = |rows: f64| {
+            TableStatistics::new(
+                rows,
+                vec![
+                    ColumnStatistics::with_domain(rows, 0.0, rows - 1.0),
+                    ColumnStatistics::with_domain(rows, 0.0, rows - 1.0),
+                ],
+            )
+        };
+        let stats = QueryStatistics::new(vec![mk(1000.0), mk(1000.0)]);
+        let preds = vec![
+            Predicate::col_eq(c(0, 0), c(1, 0)),
+            Predicate::join_range(c(0, 1), CmpOp::Le, c(1, 1)),
+        ];
+        let els = Els::prepare(&preds, &stats, &ElsOptions::algorithm_els()).unwrap();
+        let profiles =
+            vec![TableProfile::synthetic(1000.0, 16), TableProfile::synthetic(1000.0, 16)];
+        let r = enumerate_left_deep(&els, &profiles, &NL_SM, &CostParams::default()).unwrap();
+        let PlanNode::Join { method, keys, ranges, .. } = &r.root else {
+            panic!("expected a join root");
+        };
+        assert_ne!(*method, JoinMethod::Range, "{}", r.root.explain());
+        assert_eq!(keys.len(), 1);
+        assert_eq!(ranges.len(), 1);
     }
 
     #[test]

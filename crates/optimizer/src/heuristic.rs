@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 use els_core::CardinalityEstimator;
 
 use crate::cost::CostParams;
-use crate::enumerate::{join_keys, scan_filters, EnumerationResult};
+use crate::enumerate::{join_keys, range_keys, scan_filters, EnumerationResult};
 use crate::error::{OptimizerError, OptimizerResult};
 use crate::profile::TableProfile;
 
@@ -56,20 +56,33 @@ pub fn cost_order(
         let inner_eff = els.effective_cardinality(t)?;
         let out_rows = new_state.cardinality();
         let keys = join_keys(predicates, mask, t);
+        let ranges = range_keys(predicates, mask, t);
 
+        // Same method policy as the DP: the band join competes exactly when
+        // it is executable (no equi-keys, at least one inequality edge).
+        let band_ok = keys.is_empty() && !ranges.is_empty();
+        // Keyless methods emit the full cross product before the residual
+        // inequality filter; only the band join prunes while probing.
+        let emit_rows = if band_ok { outer_rows * inner_eff } else { out_rows };
         let mut best: Option<(JoinMethod, f64)> = None;
-        for &m in methods {
+        for &m in methods.iter().chain(band_ok.then_some(&JoinMethod::Range)) {
             if m == JoinMethod::IndexNestedLoop && keys.is_empty() {
+                continue;
+            }
+            if m == JoinMethod::Range && !band_ok {
                 continue;
             }
             let join_cost = match m {
                 JoinMethod::NestedLoop => params.nested_loop(outer_rows, &profiles[t]),
                 JoinMethod::SortMerge => {
-                    params.sort_merge(outer_rows, &profiles[t], inner_eff, out_rows)
+                    params.sort_merge(outer_rows, &profiles[t], inner_eff, emit_rows)
                 }
-                JoinMethod::Hash => params.hash(outer_rows, &profiles[t], inner_eff, out_rows),
+                JoinMethod::Hash => params.hash(outer_rows, &profiles[t], inner_eff, emit_rows),
                 JoinMethod::IndexNestedLoop => {
-                    params.index_nested_loop(outer_rows, &profiles[t], out_rows)
+                    params.index_nested_loop(outer_rows, &profiles[t], emit_rows)
+                }
+                JoinMethod::Range => {
+                    params.range_join(outer_rows, &profiles[t], inner_eff, out_rows)
                 }
             };
             if best.is_none_or(|(_, c)| join_cost < c) {
@@ -85,6 +98,7 @@ pub fn cost_order(
             left: Box::new(node),
             right: Box::new(PlanNode::Scan { table_id: t, filters: scan_filters(predicates, t)? }),
             keys,
+            ranges,
         };
         mask |= 1 << t;
         state = new_state;

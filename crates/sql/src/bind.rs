@@ -40,12 +40,14 @@ pub struct BoundQuery {
 
 /// Resolve `query` against `catalog`.
 ///
-/// Shapes follow the paper's conjunctive-query model: between two columns
-/// only `=` is supported (equality predicates are what transitive closure
-/// and equivalence classes consume); between a column and a literal any
-/// comparison works, and a literal-first predicate is flipped. The
-/// tautology `R.x = R.x` is dropped. Comparisons between two literals are
-/// rejected.
+/// Shapes extend the paper's conjunctive-query model: between two columns
+/// `=` binds to an equality predicate (what transitive closure and
+/// equivalence classes consume), and the range comparisons `<`, `<=`, `>`,
+/// `>=` bind to a [`Predicate::join_range`] when the columns live in
+/// different `FROM` tables (`!=` and same-table ranges stay typed errors);
+/// between a column and a literal any comparison works, and a
+/// literal-first predicate is flipped. The tautology `R.x = R.x` is
+/// dropped. Comparisons between two literals are rejected.
 pub fn bind(query: &Query, catalog: &Catalog) -> SqlResult<BoundQuery> {
     // FROM list: every table must exist; binding names must be unique.
     let mut binding_names: Vec<String> = Vec::with_capacity(query.from.len());
@@ -138,17 +140,30 @@ pub fn bind(query: &Query, catalog: &Catalog) -> SqlResult<BoundQuery> {
             }
             crate::ast::PredicateAst::Cmp { left, op, right } => match (left, right) {
                 (Operand::Column(a), Operand::Column(b)) => {
-                    if *op != CmpOp::Eq {
-                        return Err(SqlError::Bind(format!(
-                            "only `=` is supported between columns, got `{a} {op} {b}`"
-                        )));
-                    }
                     let (ra, rb) = (resolve(a)?, resolve(b)?);
-                    if ra == rb {
-                        // R.x = R.x: a tautology; drop it.
-                        continue;
+                    match op {
+                        CmpOp::Eq => {
+                            if ra == rb {
+                                // R.x = R.x: a tautology; drop it.
+                                continue;
+                            }
+                            predicates.push(Predicate::col_eq(ra, rb));
+                        }
+                        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                            if ra.table == rb.table {
+                                return Err(SqlError::Bind(format!(
+                                    "range comparisons between columns of one table are not \
+                                     supported, got `{a} {op} {b}`"
+                                )));
+                            }
+                            predicates.push(Predicate::join_range(ra, *op, rb));
+                        }
+                        CmpOp::Ne => {
+                            return Err(SqlError::Bind(format!(
+                                "`!=` is not supported between columns, got `{a} {op} {b}`"
+                            )));
+                        }
                     }
-                    predicates.push(Predicate::col_eq(ra, rb));
                 }
                 (Operand::Column(c), Operand::Literal(v)) => {
                     predicates.push(Predicate::LocalCmp {
@@ -290,8 +305,28 @@ mod tests {
     }
 
     #[test]
-    fn non_equality_between_columns_rejected() {
-        assert!(matches!(bound("SELECT * FROM S, M WHERE s < m"), Err(SqlError::Bind(_))));
+    fn range_comparison_between_columns_binds_as_join_range() {
+        let b = bound("SELECT COUNT(*) FROM S, M WHERE s < m").unwrap();
+        assert_eq!(
+            b.predicates,
+            vec![Predicate::join_range(ColumnRef::new(0, 0), CmpOp::Lt, ColumnRef::new(1, 0))]
+        );
+        // A self-join across two aliases is two distinct positional tables.
+        let b = bound("SELECT COUNT(*) FROM S a, S b WHERE a.s >= b.s").unwrap();
+        assert_eq!(
+            b.predicates,
+            vec![Predicate::join_range(ColumnRef::new(0, 0), CmpOp::Ge, ColumnRef::new(1, 0))]
+        );
+    }
+
+    #[test]
+    fn non_join_inequalities_between_columns_rejected() {
+        // `!=` between columns has no estimation model.
+        let err = bound("SELECT * FROM S, M WHERE s != m").unwrap_err();
+        assert!(matches!(err, SqlError::Bind(msg) if msg.contains("!=")));
+        // A range between two columns of one table is not a join.
+        let err = bound("SELECT * FROM S WHERE s < s").unwrap_err();
+        assert!(matches!(err, SqlError::Bind(msg) if msg.contains("one table")));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //!
 //! * whitespace/case-of-keyword normalization (free: the AST has neither),
 //! * flipping symmetric comparisons (`=`, `<>`) so the lexically smaller
-//!   operand is on the left,
+//!   operand is on the left — and column-vs-column *asymmetric*
+//!   comparisons too, with the operator flipped alongside (`a.x < b.y` ≡
+//!   `b.y > a.x`),
 //! * sorting the conjuncts of the `WHERE` clause.
 //!
 //! Identifiers are *not* case-folded — the binder resolves names exactly,
@@ -26,7 +28,7 @@ use crate::unparse::render_predicate;
 pub fn canonical_sql(query: &Query) -> String {
     let mut canonical = query.clone();
     for p in &mut canonical.predicates {
-        orient_symmetric(p);
+        orient_comparison(p);
     }
     canonical.predicates.sort_by_key(render_predicate);
     canonical.to_string()
@@ -37,16 +39,27 @@ pub fn fingerprint(sql: &str) -> SqlResult<String> {
     Ok(canonical_sql(&parse(sql)?))
 }
 
-/// Put the lexically smaller operand first for symmetric operators.
-fn orient_symmetric(p: &mut PredicateAst) {
+/// Put the lexically smaller operand first: symmetric operators (`=`,
+/// `<>`) swap freely, and an asymmetric comparison between two *columns*
+/// swaps with the operator flipped — `a.x < b.y` and `b.y > a.x` are the
+/// same predicate read in either direction, and without the flip they
+/// fingerprinted differently (two cache entries, split feedback). A
+/// column-vs-literal comparison is left alone: flipping it here would only
+/// duplicate the binder's literal-first normalization.
+fn orient_comparison(p: &mut PredicateAst) {
     let PredicateAst::Cmp { left, op, right } = p else { return };
-    if !op.is_symmetric() {
+    let swappable = op.is_symmetric()
+        || (matches!(left, Operand::Column(_)) && matches!(right, Operand::Column(_)));
+    if !swappable {
         return;
     }
-    // Literal-vs-column order is normalized too; compare rendered forms so
-    // the orientation agrees with the sort that follows.
+    // Compare rendered forms so the orientation agrees with the sort that
+    // follows.
     if operand_key(left) > operand_key(right) {
         std::mem::swap(left, right);
+        if !op.is_symmetric() {
+            *op = op.flip();
+        }
     }
 }
 
@@ -82,6 +95,25 @@ mod tests {
     fn asymmetric_comparisons_are_left_alone() {
         let a = fingerprint("SELECT COUNT(*) FROM S WHERE s < 100").unwrap();
         assert!(a.contains("s < 100"), "{a}");
+    }
+
+    #[test]
+    fn column_inequalities_orient_by_flipping_the_operator() {
+        // Regression: these are one predicate read in two directions, but
+        // the old orientation skipped every asymmetric comparison, so they
+        // fingerprinted (and cached) separately.
+        let a = fingerprint("SELECT COUNT(*) FROM S, M WHERE s < m").unwrap();
+        let b = fingerprint("SELECT COUNT(*) FROM S, M WHERE m > s").unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("m > s"), "lexically smaller column first: {a}");
+        // The opposite inequality stays a different query.
+        let c = fingerprint("SELECT COUNT(*) FROM S, M WHERE s > m").unwrap();
+        assert_ne!(a, c);
+        // Inclusive variants flip too, and stay distinct from strict ones.
+        let d = fingerprint("SELECT COUNT(*) FROM S, M WHERE s <= m").unwrap();
+        let e = fingerprint("SELECT COUNT(*) FROM S, M WHERE m >= s").unwrap();
+        assert_eq!(d, e);
+        assert_ne!(a, d);
     }
 
     #[test]

@@ -33,6 +33,20 @@ if grep -q "REGRESSION" <<<"$smoke_out"; then
   exit 1
 fi
 
+# Band-join smoke: inequality-join estimation accuracy over uniform,
+# Zipf, and correlated-offset key data. Exits non-zero and prints a
+# REGRESSION line if the ELS median q-error on band joins exceeds its
+# pinned limit, the UES contender under-estimates any band join (it
+# claims to be an upper bound — a band join must fall back to the cross
+# product), any contender's executed count diverges, or no query runs
+# through the RANGE band-join operator at all.
+band_out=$(cargo run --release -q -p els-bench --bin bench_band_join -- --smoke)
+echo "$band_out"
+if grep -q "REGRESSION" <<<"$band_out"; then
+  echo "check.sh: band-join smoke found a regression" >&2
+  exit 1
+fi
+
 # Server traffic smoke: closed-loop clients, an overload storm, and a
 # shed probe against the TCP front door over loopback. Exits non-zero
 # and prints OVERLOAD REGRESSION if any client hangs, any storm attempt

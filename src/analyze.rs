@@ -414,15 +414,36 @@ pub fn harvest_feedback(
         // a class's eligible set into one value and apply it once.
         let mut applications: HashMap<FeedbackKey, usize> = HashMap::new();
         for p in els.predicates() {
-            let Predicate::JoinEq { left, right } = p else { continue };
-            let crosses = (lop.tables.contains(&left.table) && rop.tables.contains(&right.table))
-                || (rop.tables.contains(&left.table) && lop.tables.contains(&right.table));
-            if !crosses {
-                continue;
+            match p {
+                Predicate::JoinEq { left, right } => {
+                    let crosses = (lop.tables.contains(&left.table)
+                        && rop.tables.contains(&right.table))
+                        || (rop.tables.contains(&left.table) && lop.tables.contains(&right.table));
+                    if !crosses {
+                        continue;
+                    }
+                    let Some(class) = els.classes().class_of(*left) else { continue };
+                    let Some(key) = corrections.join_key(els.classes().members(class)) else {
+                        continue;
+                    };
+                    *applications.entry(key).or_insert(0) += 1;
+                }
+                // Inequality edges: applied once per predicate under every
+                // rule (range selectivities multiply independently of the
+                // equi-join rule's choose-vs-multiply policy), keyed by the
+                // canonicalized `(column, op, column)` triple.
+                Predicate::JoinRange { left, op, right } => {
+                    let crosses = (lop.tables.contains(&left.table)
+                        && rop.tables.contains(&right.table))
+                        || (rop.tables.contains(&left.table) && lop.tables.contains(&right.table));
+                    if !crosses {
+                        continue;
+                    }
+                    let Some(key) = corrections.range_key(*left, *op, *right) else { continue };
+                    *applications.entry(key).or_insert(0) += 1;
+                }
+                _ => {}
             }
-            let Some(class) = els.classes().class_of(*left) else { continue };
-            let Some(key) = corrections.join_key(els.classes().members(class)) else { continue };
-            *applications.entry(key).or_insert(0) += 1;
         }
         if applications.is_empty() {
             // A cartesian step (or classes the key schema cannot name):

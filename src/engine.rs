@@ -832,6 +832,42 @@ mod tests {
     }
 
     #[test]
+    fn inequality_join_round_trip() {
+        // a.k in 0..1000, b.k in 0..500: |{(x,y) : x < y}| = Σ_{y<500} y.
+        let expected: u64 = (0..500u64).sum();
+        let mut db = db();
+        let r = db.execute("SELECT COUNT(*) FROM a, b WHERE a.k < b.k").unwrap();
+        assert_eq!(r.count, expected);
+        assert_eq!(r.join_order.len(), 2);
+        db.set_exec_mode(ExecMode::RowAtATime);
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM a, b WHERE a.k < b.k").unwrap().count,
+            expected
+        );
+        // BETWEEN on a column pair binds to two inequality edges.
+        let band = db.execute("SELECT COUNT(*) FROM a, b WHERE a.k BETWEEN b.k AND b.k").unwrap();
+        assert_eq!(band.count, 500, "degenerate band is the equi-join");
+    }
+
+    #[test]
+    fn explain_analyze_reports_range_join_q_error() {
+        let db = db();
+        let expected: u64 = (0..500u64).sum();
+        let rep = db.explain_analyze("SELECT COUNT(*) FROM a, b WHERE a.k < b.k").unwrap();
+        assert_eq!(rep.result_rows, expected);
+        let joins: Vec<_> = rep.join_operators().collect();
+        assert_eq!(joins.len(), 1);
+        assert!(joins[0].label.contains("RANGE"), "band join expected: {}", joins[0].label);
+        assert_eq!(joins[0].actual, expected);
+        let q = joins[0].q_error();
+        assert!(q.is_finite() && q >= 1.0, "qerr {q}");
+        assert!(rep.metrics.range_join_rows >= expected, "{}", rep.metrics);
+        let text = rep.to_string();
+        assert!(text.contains("Join<RANGE>"), "{text}");
+        assert!(text.contains("qerr="), "{text}");
+    }
+
+    #[test]
     fn estimator_is_switchable() {
         let mut db = db();
         db.set_estimator(EstimatorPreset::Sm);
@@ -903,6 +939,48 @@ mod tests {
         assert_eq!(warm.estimated_sizes, cold.estimated_sizes);
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn flipped_inequalities_share_a_cache_entry() {
+        // `a.k < b.k` and `b.k > a.k` canonicalize to the same fingerprint.
+        let engine = engine();
+        let cold = engine.execute("SELECT COUNT(*) FROM a, b WHERE a.k < b.k").unwrap();
+        assert!(!cold.cache_hit);
+        let warm = engine.execute("SELECT COUNT(*) FROM a, b WHERE b.k > a.k").unwrap();
+        assert!(warm.cache_hit, "flipped comparison must reuse the cached plan");
+        assert_eq!(warm.count, cold.count);
+    }
+
+    #[test]
+    fn range_feedback_learns_band_join_corrections() {
+        // A band join over Zipf-skewed columns: mass piles up on small
+        // values, so the uniform fraction misprices `r.k < s.k`. The
+        // feedback loop must harvest a range-keyed residual and improve
+        // (or at least not regress) the repeated estimate.
+        let engine = Engine::new().feedback(FeedbackMode::Apply);
+        for (name, seed) in [("r", 21), ("s", 22)] {
+            engine
+                .generate(
+                    TableSpec::new(name, 800).column(ColumnSpec::new(
+                        "k",
+                        Distribution::ZipfInt { n: 400, theta: 1.0, start: 0 },
+                    )),
+                    seed,
+                )
+                .unwrap();
+        }
+        let sql = "SELECT COUNT(*) FROM r, s WHERE r.k < s.k";
+        let q = |est: f64, act: f64| (est.max(1.0) / act).max(act / est.max(1.0));
+        let first = engine.execute(sql).unwrap();
+        let actual = first.count as f64;
+        assert!(actual > 0.0);
+        let q1 = q(*first.estimated_sizes.last().unwrap(), actual);
+        let second = engine.execute(sql).unwrap();
+        let q2 = q(*second.estimated_sizes.last().unwrap(), actual);
+        assert!(q2 <= q1 + 1e-9, "range feedback regressed: {q1} -> {q2}");
+        let counters = engine.snapshot().feedback().counters();
+        assert!(counters.learned >= 1, "band-join residual must be harvested");
     }
 
     #[test]

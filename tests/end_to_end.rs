@@ -51,6 +51,19 @@ fn brute_force_count(tables: &[Arc<Table>], predicates: &[els::core::Predicate])
                         .unwrap();
                     a.sql_eq(&b)
                 }
+                els::core::Predicate::JoinRange { left, op, right } => {
+                    let a = tables[left.table]
+                        .column(left.column)
+                        .unwrap()
+                        .get(row[left.table])
+                        .unwrap();
+                    let b = tables[right.table]
+                        .column(right.column)
+                        .unwrap()
+                        .get(row[right.table])
+                        .unwrap();
+                    a.sql_cmp(&b).map(|o| op.eval(o)).unwrap_or(false)
+                }
             });
             return ok as u64;
         }
@@ -184,6 +197,53 @@ fn duplicate_predicates_query() {
     check_query(
         "SELECT COUNT(*) FROM A, Bt WHERE A.k = Bt.k AND A.k = Bt.k AND A.k < 12 AND A.k < 12",
     );
+}
+
+#[test]
+fn pure_inequality_band_join() {
+    check_query("SELECT COUNT(*) FROM A, Bt WHERE A.k < Bt.k");
+}
+
+#[test]
+fn inequality_with_filters() {
+    check_query("SELECT COUNT(*) FROM A, Bt WHERE A.k >= Bt.k AND A.k < 12 AND Bt.w = 1");
+}
+
+#[test]
+fn mixed_equi_and_inequality_join() {
+    check_query("SELECT COUNT(*) FROM A, Bt WHERE A.k = Bt.k AND A.v <= Bt.w");
+}
+
+#[test]
+fn column_between_band_join() {
+    check_query("SELECT COUNT(*) FROM A, Bt WHERE Bt.k BETWEEN A.v AND A.k");
+}
+
+#[test]
+fn three_way_with_inequality_edge() {
+    check_query("SELECT COUNT(*) FROM A, Bt, Ct WHERE A.k = Bt.k AND Bt.k > Ct.k");
+}
+
+#[test]
+fn inverted_between_is_statically_empty() {
+    // `BETWEEN 5 AND 3` binds to the contradictory pair `k >= 5 AND k <= 3`:
+    // the estimate collapses to zero and so does the executed result —
+    // end-to-end, under every preset.
+    let catalog = small_catalog();
+    let sql = "SELECT COUNT(*) FROM A, Bt WHERE A.k = Bt.k AND A.k BETWEEN 5 AND 3";
+    let bound = bind(&parse(sql).unwrap(), &catalog).unwrap();
+    let tables = bound_query_tables(&bound, &catalog).unwrap();
+    assert_eq!(brute_force_count(&tables, &bound.predicates), 0);
+    for preset in EstimatorPreset::all() {
+        let optimized =
+            optimize_bound(&bound, &catalog, &OptimizerOptions::preset(preset)).unwrap();
+        let out = execute_plan(&optimized.plan, &tables).unwrap();
+        assert_eq!(out.count, 0, "{sql} under {}", preset.label());
+        if preset == EstimatorPreset::Els {
+            let last = *optimized.estimated_sizes.last().unwrap();
+            assert!(last < 1.0, "contradictory range must estimate below one tuple: {last}");
+        }
+    }
 }
 
 #[test]

@@ -79,8 +79,21 @@ fn random_sql(seed: u64, catalog: &Catalog) -> String {
     let ntables = catalog.table_names().len();
     let mut conjuncts = Vec::new();
     for i in 1..ntables {
-        let col = if rng.gen_bool(0.25) { "v" } else { "k" };
-        conjuncts.push(format!("t{}.{col} = t{i}.{col}", i - 1));
+        // Sometimes the adjacency edge is an inequality: the plan gets a
+        // keyless band join (or a residual-filtered cartesian method).
+        if rng.gen_bool(0.3) {
+            let op = ["<", "<=", ">", ">="][rng.gen_range(0..4usize)];
+            conjuncts.push(format!("t{}.k {op} t{i}.k", i - 1));
+        } else {
+            let col = if rng.gen_bool(0.25) { "v" } else { "k" };
+            conjuncts.push(format!("t{}.{col} = t{i}.{col}", i - 1));
+        }
+        // Occasionally stack an inequality on top of the edge, exercising
+        // residual filtering on keyed joins and multi-range band joins.
+        if rng.gen_bool(0.2) {
+            let op = ["<", "<=", ">", ">="][rng.gen_range(0..4usize)];
+            conjuncts.push(format!("t{}.f {op} t{i}.f", i - 1));
+        }
     }
     for i in 0..ntables {
         match rng.gen_range(0..5) {
@@ -105,8 +118,12 @@ fn random_sql(seed: u64, catalog: &Catalog) -> String {
 }
 
 fn force_method(node: &mut PlanNode, m: JoinMethod) {
-    if let PlanNode::Join { method, left, right, .. } = node {
-        *method = m;
+    if let PlanNode::Join { method, keys, left, right, .. } = node {
+        // Keyless joins (cartesian steps and band joins) keep whatever the
+        // optimizer picked — the keyed methods are not defined for them.
+        if !keys.is_empty() {
+            *method = m;
+        }
         force_method(left, m);
         force_method(right, m);
     }
@@ -418,6 +435,55 @@ fn all_null_and_empty_build_sides_join_to_nothing() {
                     .unwrap();
             assert_eq!(out.count, 0, "`{sql}` workers={workers}");
         }
+    }
+}
+
+/// The morsel-parallel band join at scale: an outer side past the parallel
+/// threshold against a small inner, joined only by `outer.k < inner.k`.
+/// Row-oracle parity (rows, counters including `range_join_rows`,
+/// observations) across worker counts, with the morsel split engaged.
+#[test]
+fn parallel_band_join_matches_on_a_large_outer() {
+    use els::core::ColumnRef;
+    use els::exec::{PlanOutput, PARALLEL_MIN_ROWS};
+
+    let outer = Arc::new(
+        TableSpec::new("outer", 2 * PARALLEL_MIN_ROWS)
+            .column(ColumnSpec::new(
+                "k",
+                Distribution::WithNulls {
+                    inner: Box::new(Distribution::UniformInt { lo: 0, hi: 600 }),
+                    null_fraction: 0.05,
+                },
+            ))
+            .generate(41),
+    );
+    let inner = Arc::new(
+        TableSpec::new("inner", 500)
+            .column(ColumnSpec::new("k", Distribution::UniformInt { lo: 0, hi: 600 }))
+            .generate(42),
+    );
+    let tables = vec![outer, inner];
+    for output in [PlanOutput::CountStar, PlanOutput::Star] {
+        let plan = QueryPlan {
+            root: PlanNode::Join {
+                method: JoinMethod::Range,
+                left: Box::new(PlanNode::Scan { table_id: 0, filters: Vec::new() }),
+                right: Box::new(PlanNode::Scan { table_id: 1, filters: Vec::new() }),
+                keys: vec![],
+                ranges: vec![(ColumnRef::new(0, 0), els::core::CmpOp::Lt, ColumnRef::new(1, 0))],
+            },
+            output,
+            order_by: Vec::new(),
+            limit: None,
+        };
+        check_plan(&plan, &tables, "large band join [RANGE]");
+        let (out, _) =
+            execute_plan_observed_with(&plan, &tables, ExecMode::Vectorized { workers: 4 })
+                .unwrap();
+        assert!(out.count > 0);
+        assert!(out.metrics.morsels > 1, "morsel split expected, got {}", out.metrics.morsels);
+        assert_eq!(out.metrics.range_join_rows, out.count, "band output is the query result");
     }
 }
 

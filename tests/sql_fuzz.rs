@@ -55,6 +55,9 @@ fn brute_force(tables: &[Arc<Table>], predicates: &[Predicate]) -> u64 {
             Predicate::LocalColEq { left, right } | Predicate::JoinEq { left, right } => {
                 get(left).sql_eq(&get(right))
             }
+            Predicate::JoinRange { left, op, right } => {
+                get(left).sql_cmp(&get(right)).map(|o| op.eval(o)).unwrap_or(false)
+            }
         }
     }
     fn rec(tables: &[Arc<Table>], preds: &[Predicate], row: &mut Vec<usize>, d: usize) -> u64 {
@@ -82,13 +85,22 @@ fn random_query(seed: u64) -> String {
     for _ in 0..rng.gen_range(0..5usize) {
         let t1 = rng.gen_range(0..ntables);
         let c1 = cols[rng.gen_range(0..2usize)];
-        match rng.gen_range(0..4) {
+        match rng.gen_range(0..5) {
             // Join / column equality.
             0 if ntables > 1 => {
                 let t2 = rng.gen_range(0..ntables);
                 let c2 = cols[rng.gen_range(0..2usize)];
                 if t1 != t2 || c1 != c2 {
                     conjuncts.push(format!("{}.{c1} = {}.{c2}", from[t1], from[t2]));
+                }
+            }
+            // Cross-table inequality (a band-join edge).
+            4 if ntables > 1 => {
+                let t2 = rng.gen_range(0..ntables);
+                if t1 != t2 {
+                    let c2 = cols[rng.gen_range(0..2usize)];
+                    let op = ["<", "<=", ">", ">="][rng.gen_range(0..4usize)];
+                    conjuncts.push(format!("{}.{c1} {op} {}.{c2}", from[t1], from[t2]));
                 }
             }
             // Constant comparison.
