@@ -311,11 +311,16 @@ impl Els {
     }
 
     /// Convenience: the final estimated size of joining all tables in the
-    /// given order.
+    /// given order. A single-table order estimates at that table's
+    /// effective cardinality; an empty order estimates an empty result.
     pub fn estimate_final(&self, order: &[TableId]) -> ElsResult<f64> {
-        Ok(self.estimate_order(order)?.last().copied().unwrap_or_else(|| {
-            order.first().map_or(0.0, |&t| self.prepared.base_cardinality(t).unwrap_or(0.0))
-        }))
+        if let Some(&last) = self.estimate_order(order)?.last() {
+            return Ok(last);
+        }
+        match order.first() {
+            Some(&t) => self.prepared.base_cardinality(t),
+            None => Ok(0.0),
+        }
     }
 }
 

@@ -253,13 +253,16 @@ impl UpperBoundEstimator {
     }
 
     /// Max-frequency bound of a base-table column (worst-case fallback
-    /// already folded in at construction).
-    fn column_mf(&self, c: ColumnRef) -> f64 {
+    /// already folded in at construction). `join_edges` only holds
+    /// validated columns, so a miss means the edge list and the statistics
+    /// drifted apart — surface that as a typed error rather than the old
+    /// silent `f64::INFINITY` (which would quietly neutralize the bound).
+    fn column_mf(&self, c: ColumnRef) -> ElsResult<f64> {
         self.max_frequency
             .get(c.table)
             .and_then(|cols| cols.get(c.column))
             .copied()
-            .unwrap_or(f64::INFINITY)
+            .ok_or(ElsError::UnknownColumn(c))
     }
 
     /// The upper bound for one table set, by folding tables into a
@@ -290,6 +293,7 @@ impl UpperBoundEstimator {
                         || (r.table == t && in_component & (1u64 << l.table) != 0)
                 })
             });
+            // els-lint: allow(numeric-discipline, "deliberate cartesian fallback: when no remaining table joins the component, fold the lowest-id one at full size")
             let t = remaining.remove(connected.unwrap_or(0));
             let t_card = self.base.checked(t)?;
             // One intermediate row matches at most `t_factor` rows of the
@@ -306,7 +310,7 @@ impl UpperBoundEstimator {
                 } else {
                     continue;
                 };
-                t_factor = t_factor.min(self.column_mf(t_col));
+                t_factor = t_factor.min(self.column_mf(t_col)?);
                 component_factor =
                     component_factor.min(mf.get(&comp_col).copied().unwrap_or(bound));
             }

@@ -62,7 +62,9 @@ impl UnionFind {
         if ra == rb {
             return;
         }
+        // els-lint: allow(numeric-discipline, "provably safe: ra/rb are find_slot roots of slots insert() created, and every created slot pushed a size entry; 1 is the exact size of a fresh singleton")
         let size_a = self.size.get(ra).copied().unwrap_or(1);
+        // els-lint: allow(numeric-discipline, "provably safe: same invariant as size_a — union-find slots and their size entries are created together")
         let size_b = self.size.get(rb).copied().unwrap_or(1);
         let (big, small) = if size_a >= size_b { (ra, rb) } else { (rb, ra) };
         if let Some(p) = self.parent.get_mut(small) {

@@ -76,8 +76,12 @@ pub fn worst_case_amplification(n_tables: usize, eps_card: f64, eps_distinct: f6
     if n_tables == 0 {
         return 1.0;
     }
-    let num = (1.0 + eps_card.max(0.0)).powi(n_tables as i32);
-    let den = (1.0 - eps_distinct.clamp(0.0, 0.999_999)).powi(n_tables as i32 - 1);
+    // Saturate rather than wrap for absurd table counts: the
+    // amplification is monotone in n, and powi(i32::MAX) overflows to
+    // infinity, which is the honest answer there.
+    let n = i32::try_from(n_tables).unwrap_or(i32::MAX);
+    let num = (1.0 + eps_card.max(0.0)).powi(n);
+    let den = (1.0 - eps_distinct.clamp(0.0, 0.999_999)).powi(n - 1);
     num / den
 }
 

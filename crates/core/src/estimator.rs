@@ -200,6 +200,24 @@ impl PreparedQuery {
         Ok(JoinState { tables: 1 << table, cardinality })
     }
 
+    /// The representative selectivity of `class`. Only
+    /// [`SelectivityRule::Representative`] consumes the value
+    /// ([`SelectivityRule::combine`] ignores it under every other rule), so
+    /// a missing entry is fine there — but under Rule REP it means Steps
+    /// 1–5 and this query disagree about the class set (drifted or
+    /// hand-built stats), and silently substituting 1.0 would turn every
+    /// affected join step into a cartesian product. Degrade to a typed
+    /// error instead.
+    fn representative(&self, class: ClassId) -> ElsResult<f64> {
+        match self.class_representative.get(&class).copied() {
+            Some(r) => Ok(r),
+            None if self.rule != SelectivityRule::Representative => Ok(1.0),
+            None => Err(ElsError::DegenerateStats(format!(
+                "rule REP has no representative selectivity for class {class}"
+            ))),
+        }
+    }
+
     /// Selectivities of the predicates linking `table` to the tables of
     /// `state`, grouped by equivalence class.
     fn eligible_by_class(&self, state: &JoinState, table: TableId) -> HashMap<ClassId, Vec<f64>> {
@@ -227,8 +245,7 @@ impl PreparedQuery {
         }
         let mut selectivity = 1.0f64;
         for (class, eligible) in self.eligible_by_class(state, table) {
-            let representative = self.class_representative.get(&class).copied().unwrap_or(1.0);
-            selectivity *= self.rule.combine(&eligible, representative);
+            selectivity *= self.rule.combine(&eligible, self.representative(class)?);
         }
         selectivity *= self.range_selectivity(state, table);
         Ok(JoinState {
@@ -248,15 +265,11 @@ impl PreparedQuery {
     ) -> ElsResult<JoinStepExplanation> {
         let new_state = self.join(state, table)?;
         let base_cardinality = self.checked_base(table)?;
-        let mut classes: Vec<ClassChoice> = self
-            .eligible_by_class(state, table)
-            .into_iter()
-            .map(|(class, eligible)| {
-                let representative = self.class_representative.get(&class).copied().unwrap_or(1.0);
-                let chosen = self.rule.combine(&eligible, representative);
-                ClassChoice { class, eligible, chosen }
-            })
-            .collect();
+        let mut classes: Vec<ClassChoice> = Vec::new();
+        for (class, eligible) in self.eligible_by_class(state, table) {
+            let chosen = self.rule.combine(&eligible, self.representative(class)?);
+            classes.push(ClassChoice { class, eligible, chosen });
+        }
         classes.sort_by_key(|c| c.class);
         Ok(JoinStepExplanation {
             table,
@@ -297,8 +310,7 @@ impl PreparedQuery {
         }
         let mut selectivity = 1.0f64;
         for (class, eligible) in by_class {
-            let representative = self.class_representative.get(&class).copied().unwrap_or(1.0);
-            selectivity *= self.rule.combine(&eligible, representative);
+            selectivity *= self.rule.combine(&eligible, self.representative(class)?);
         }
         for p in &self.range_predicates {
             let links = (a.contains(p.left.table) && b.contains(p.right.table))
@@ -555,6 +567,45 @@ mod tests {
             assert!(q.explain_join(&s, bad).is_err());
             assert!(q.base_cardinality(bad).is_err());
             assert!(q.estimate_order(&[0, bad]).is_err());
+        }
+    }
+
+    /// Regression: under Rule REP a class with no representative entry used
+    /// to silently contribute selectivity 1.0 — a cartesian step planned as
+    /// confident — from any drifted or hand-built `from_parts` input. It
+    /// must now be a typed `DegenerateStats` error; every other rule keeps
+    /// ignoring the representative map entirely.
+    #[test]
+    fn missing_representative_is_an_error_only_under_rule_rep() {
+        let preds = transitive_closure(&[Predicate::col_eq(c(0, 0), c(1, 0))]);
+        let classes = EquivalenceClasses::from_predicates(&preds);
+        let infos =
+            annotate_join_predicates(&preds, &classes, |cr| [10.0, 100.0][cr.table]).unwrap();
+        for rule in [
+            SelectivityRule::LargestSelectivity,
+            SelectivityRule::SmallestSelectivity,
+            SelectivityRule::Multiplicative,
+        ] {
+            let q =
+                PreparedQuery::from_parts(vec![100.0, 1000.0], infos.clone(), HashMap::new(), rule);
+            let s = q.join(&q.initial_state(0).unwrap(), 1).unwrap();
+            assert!(s.cardinality() > 0.0, "{rule:?} must not need representatives");
+            assert!(q.explain_join(&q.initial_state(0).unwrap(), 1).is_ok());
+        }
+        let q = PreparedQuery::from_parts(
+            vec![100.0, 1000.0],
+            infos,
+            HashMap::new(),
+            SelectivityRule::Representative,
+        );
+        let s0 = q.initial_state(0).unwrap();
+        for err in [
+            q.join(&s0, 1).unwrap_err(),
+            q.explain_join(&s0, 1).unwrap_err(),
+            q.join_sets(&s0, &q.initial_state(1).unwrap()).unwrap_err(),
+        ] {
+            assert!(matches!(err, ElsError::DegenerateStats(_)), "got {err:?}");
+            assert!(err.to_string().contains("EC"), "error must name the class: {err}");
         }
     }
 

@@ -88,6 +88,7 @@ pub mod error_model;
 pub mod estimator;
 pub mod exact;
 pub mod explain;
+pub mod float;
 pub mod ids;
 pub mod join_sel;
 pub mod local_effects;

@@ -27,6 +27,7 @@ use std::collections::HashMap;
 
 use crate::correction::{scan_fingerprint, CorrectionSource, NoCorrections};
 use crate::error::{ElsError, ElsResult};
+use crate::float::exactly_zero;
 use crate::ids::ColumnRef;
 use crate::predicate::Predicate;
 use crate::selectivity::{resolve_column_predicates, ResolvedShape, SelectivityOracle};
@@ -82,6 +83,7 @@ impl EffectiveStats {
             .get(c.table)
             .and_then(|t| t.column_distinct.get(c.column))
             .copied()
+            // els-lint: allow(numeric-discipline, "documented degrade-don't-panic API: 0.0 distinct values for an unknown column is the doc-comment contract, and join_sel treats 0 as 'no join support'")
             .unwrap_or(0.0)
     }
 
@@ -92,6 +94,7 @@ impl EffectiveStats {
             .get(c.table)
             .and_then(|t| t.original_distinct.get(c.column))
             .copied()
+            // els-lint: allow(numeric-discipline, "documented degrade-don't-panic API: same 0.0-when-unknown contract as EffectiveStats::distinct above")
             .unwrap_or(0.0)
     }
 }
@@ -169,7 +172,7 @@ pub fn compute_effective_stats_corrected(
             // selectivities already carry the non-NULL factor).
             if let Some(&(is_null, is_not_null)) = null_tests.get(&cref) {
                 if is_null {
-                    if is_not_null || has_cmp || cstats.null_fraction == 0.0 {
+                    if is_not_null || has_cmp || exactly_zero(cstats.null_fraction) {
                         contradiction = true;
                     } else {
                         table_sel *= cstats.null_fraction;
@@ -236,7 +239,7 @@ pub fn compute_effective_stats_corrected(
             let d = cstats.distinct;
             // Selectivity contributed by predicates on *other* columns.
             let other_sel = if own_sel > 0.0 { table_sel / own_sel } else { 0.0 };
-            let d_prime = if contradiction || cardinality == 0.0 {
+            let d_prime = if contradiction || exactly_zero(cardinality) {
                 0.0
             } else if cardinality >= original {
                 // No reduction at all: keep d exactly.
@@ -256,7 +259,10 @@ pub fn compute_effective_stats_corrected(
                         urn::proportional_distinct(d, cardinality, original)?
                     }
                 };
-                own_bound.unwrap_or(f64::INFINITY).min(indirect)
+                match own_bound {
+                    Some(own) => own.min(indirect),
+                    None => indirect,
+                }
             };
             column_distinct.push(d_prime.min(cardinality.max(0.0)).min(d));
         }

@@ -27,6 +27,7 @@
 //! boundary (an empty selection holds zero distinct values).
 
 use crate::error::{ElsError, ElsResult};
+use crate::float::exactly_zero;
 
 /// Reject NaN, infinite and negative model inputs with a typed error.
 fn check_input(name: &str, v: f64) -> ElsResult<()> {
@@ -59,7 +60,7 @@ fn check_input(name: &str, v: f64) -> ElsResult<()> {
 pub fn expected_distinct(urns: f64, balls: f64) -> ElsResult<f64> {
     check_input("urn count", urns)?;
     check_input("ball count", balls)?;
-    if urns == 0.0 || balls == 0.0 {
+    if exactly_zero(urns) || exactly_zero(balls) {
         return Ok(0.0);
     }
     if urns <= 1.0 {
@@ -99,7 +100,7 @@ pub fn proportional_distinct(d: f64, k: f64, n: f64) -> ElsResult<f64> {
     check_input("distinct count", d)?;
     check_input("selected tuple count", k)?;
     check_input("table cardinality", n)?;
-    if n == 0.0 || d == 0.0 || k == 0.0 {
+    if exactly_zero(n) || exactly_zero(d) || exactly_zero(k) {
         return Ok(0.0);
     }
     Ok((d * (k / n).min(1.0)).min(k).min(d).max(1.0_f64.min(d).min(k)))

@@ -66,6 +66,18 @@ pub fn check_rowid_range(rows: usize) -> ExecResult<()> {
     }
 }
 
+/// Narrow a row index to a `u32` row id. This is the executor's single
+/// sanctioned `usize → u32` narrowing: every caller sits downstream of a
+/// [`check_rowid_range`] guard on its input's row count, so the cast is
+/// provably lossless there — the debug assert re-states (and the tests
+/// exercise) that contract.
+#[inline]
+pub fn rowid(i: usize) -> u32 {
+    debug_assert!(i <= u32::MAX as usize, "row index {i} escaped check_rowid_range");
+    // els-lint: allow(numeric-discipline, "the one sanctioned usize->u32 narrowing: callers are downstream of check_rowid_range on their input's row count, and debug builds assert it")
+    i as u32
+}
+
 impl std::error::Error for ExecError {}
 
 impl From<els_storage::StorageError> for ExecError {
@@ -102,5 +114,19 @@ mod tests {
             check_rowid_range(u32::MAX as usize + 1),
             Err(ExecError::SelectionOverflow { rows: u32::MAX as usize + 1 })
         );
+    }
+
+    #[test]
+    fn rowid_is_exact_over_the_guarded_range() {
+        assert_eq!(rowid(0), 0);
+        assert_eq!(rowid(7), 7);
+        assert_eq!(rowid(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "escaped check_rowid_range")]
+    #[cfg(debug_assertions)]
+    fn rowid_catches_unguarded_overflow_in_debug_builds() {
+        let _ = rowid(u32::MAX as usize + 1);
     }
 }

@@ -291,7 +291,7 @@ pub fn filter_selection(
     // row ids in release builds; refuse with a typed error instead.
     crate::error::check_rowid_range(n)?;
     if bound.is_empty() {
-        sel.extend(0..n as u32);
+        sel.extend((0..n).map(crate::error::rowid));
         return Ok(());
     }
     let mut first = true;
@@ -300,7 +300,7 @@ pub fn filter_selection(
         if first {
             metrics.comparisons += n as u64;
             metrics.kernel_rows += n as u64;
-            sel.extend((0..n as u32).filter(|&i| pred(i as usize)));
+            sel.extend((0..n).filter(|&i| pred(i)).map(crate::error::rowid));
             first = false;
         } else {
             metrics.comparisons += sel.len() as u64;

@@ -32,11 +32,14 @@ impl SortedIndex {
     /// tuples.
     pub fn build(table: &Table, column: usize) -> ExecResult<SortedIndex> {
         let col = table.column(column)?;
+        // Index entries address rows with u32 ids, exactly like selection
+        // vectors; refuse oversized tables instead of aliasing row ids.
+        crate::error::check_rowid_range(col.len())?;
         let mut entries: Vec<(Value, u32)> = Vec::with_capacity(col.len());
         for row in 0..col.len() {
             let v = col.get(row)?;
             if !v.is_null() {
-                entries.push((v, row as u32));
+                entries.push((v, crate::error::rowid(row)));
             }
         }
         entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));

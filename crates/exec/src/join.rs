@@ -360,7 +360,9 @@ pub(crate) fn range_pair_matches(lv: &Value, rv: &Value, op: CmpOp) -> bool {
 /// input size (not of the data), so the row and vectorized operators — and
 /// the serial and morsel-parallel schedules — charge identically.
 pub(crate) fn probe_charge(n: usize) -> u64 {
-    (n.max(1) as f64).log2().ceil() as u64 + 1
+    let n = n.max(1);
+    let ceil_log2 = if n.is_power_of_two() { n.ilog2() } else { n.ilog2() + 1 };
+    u64::from(ceil_log2) + 1
 }
 
 /// The band probe shared by the row and vectorized range-join operators:
@@ -431,7 +433,7 @@ pub fn range_join(
         for row in 0..chunk.num_rows() {
             let v = chunk.data.column(pos)?.get(row)?;
             if !v.is_null() {
-                out.push((v, row as u32));
+                out.push((v, crate::error::rowid(row)));
             }
         }
         Ok(out)

@@ -133,7 +133,7 @@ impl VChunk {
         crate::error::check_rowid_range(len)?;
         Ok(VChunk {
             sources: vec![VSource::Mat(Box::new(c))],
-            rowids: vec![(0..len as u32).collect()],
+            rowids: vec![(0..len).map(crate::error::rowid).collect()],
             len,
         })
     }
@@ -448,7 +448,7 @@ fn gather_sort_keys(side: &[SideKey<'_>], len: usize) -> ExecResult<Vec<(Vec<Val
             }
             ks.push(v);
         }
-        out.push((ks, j as u32));
+        out.push((ks, crate::error::rowid(j)));
     }
     Ok(out)
 }
@@ -461,7 +461,7 @@ fn gather_range_keys(side: &SideKey<'_>, len: usize) -> ExecResult<Vec<(Value, u
     for j in 0..len {
         let v = side.col.get(side.ids[j] as usize)?;
         if !v.is_null() {
-            out.push((v, j as u32));
+            out.push((v, crate::error::rowid(j)));
         }
     }
     Ok(out)
@@ -622,7 +622,10 @@ fn vhash_join(
             let mut table: HashMap<&str, Vec<u32>> = HashMap::new();
             for (j, &rid) in lk.ids.iter().enumerate() {
                 if lv[rid as usize] {
-                    table.entry(ld[rid as usize].as_str()).or_default().push(j as u32);
+                    table
+                        .entry(ld[rid as usize].as_str())
+                        .or_default()
+                        .push(crate::error::rowid(j));
                 }
             }
             metrics.hash_probes += rk.ids.len() as u64;
@@ -631,7 +634,7 @@ fn vhash_join(
                 if rv[rid as usize] {
                     if let Some(ls) = table.get(rd[rid as usize].as_str()) {
                         for &lj in ls {
-                            pairs.push((lj, j as u32));
+                            pairs.push((lj, crate::error::rowid(j)));
                         }
                     }
                 }
@@ -645,7 +648,7 @@ fn vhash_join(
     let mut table: HashMap<Vec<HashKey>, Vec<u32>> = HashMap::new();
     for (j, k) in gather_hash_keys(&lsides, left.len())?.into_iter().enumerate() {
         if let Some(k) = k {
-            table.entry(k).or_default().push(j as u32);
+            table.entry(k).or_default().push(crate::error::rowid(j));
         }
     }
     metrics.hash_probes += right.len() as u64;
@@ -654,7 +657,7 @@ fn vhash_join(
         if let Some(k) = k {
             if let Some(ls) = table.get(&k) {
                 for &lj in ls {
-                    pairs.push((lj, j as u32));
+                    pairs.push((lj, crate::error::rowid(j)));
                 }
             }
         }
@@ -844,7 +847,7 @@ fn gather_int_entries(keys: &IntKeys<'_>) -> Vec<(i64, u32)> {
         .iter()
         .enumerate()
         .filter(|&(_, &rid)| keys.valid[rid as usize])
-        .map(|(j, &rid)| (keys.data[rid as usize], j as u32))
+        .map(|(j, &rid)| (keys.data[rid as usize], crate::error::rowid(j)))
         .collect()
 }
 
@@ -883,7 +886,7 @@ fn radix_join<T: Send>(
         for (off, &rid) in probe.ids[lo..hi].iter().enumerate() {
             if probe.valid[rid as usize] {
                 let k = probe.data[rid as usize];
-                buf[(int_key_mix(k) >> shift) as usize].push((k, (lo + off) as u32));
+                buf[(int_key_mix(k) >> shift) as usize].push((k, crate::error::rowid(lo + off)));
             }
         }
         buf
@@ -927,7 +930,7 @@ fn probe_morsel(table: &IntMap, probe: &IntKeys<'_>, lo: usize, hi: usize) -> Ve
         if probe.valid[rid as usize] {
             if let Some(ls) = table.get(&probe.data[rid as usize]) {
                 for &lj in ls {
-                    pairs.push((lj, (lo + off) as u32));
+                    pairs.push((lj, crate::error::rowid(lo + off)));
                 }
             }
         }
@@ -1012,7 +1015,7 @@ fn int_sort_merge(l: &IntKeys<'_>, r: &IntKeys<'_>, metrics: &mut ExecMetrics) -
             .iter()
             .enumerate()
             .filter(|&(_, &rid)| k.valid[rid as usize])
-            .map(|(j, &rid)| (k.data[rid as usize], j as u32))
+            .map(|(j, &rid)| (k.data[rid as usize], crate::error::rowid(j)))
             .collect()
     };
     let mut lrows = collect(l);

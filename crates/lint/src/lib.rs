@@ -1,25 +1,43 @@
 //! `els-lint` — in-workspace static analysis for the ELS engine.
 //!
-//! Five passes enforce invariants the test suite cannot see (see
-//! `DESIGN.md` §4f): panic-freedom, determinism, metrics-only I/O, atomics
-//! discipline, and crate layering. Pre-existing violations are
-//! grandfathered in `lint-baseline.json`, a ratchet: per-file-per-lint
-//! counts may only decrease, new violations fail, and suppressions require
-//! a written justification that is reviewed like code.
+//! Two layers of passes enforce invariants the test suite cannot see (see
+//! `DESIGN.md` §4f and §4k). The per-file token passes — panic-freedom,
+//! determinism, metrics-only I/O, atomics discipline, numeric-cast
+//! discipline, and crate layering — read one file at a time. On top of
+//! them a workspace layer builds a symbol table and a best-effort call
+//! graph (`symbols`, `callgraph`) and runs two inter-procedural passes:
+//! panic-reachability (which panic sites can a public entry point reach,
+//! with shortest witness paths) and lock-order (every lock acquisition
+//! held across another must run forward in `els_core::sync::LOCK_ORDER`;
+//! a cycle is a hard error no baseline can absorb).
+//!
+//! Pre-existing violations are grandfathered in `lint-baseline.json`, a
+//! ratchet: per-file-per-lint counts may only decrease, new violations
+//! fail, and suppressions require a written justification that is
+//! reviewed like code.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod lock_order;
+pub mod numeric;
+pub mod panic_reach;
 pub mod passes;
 pub mod report;
 pub mod source;
+pub mod symbols;
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
+use callgraph::CallGraph;
+use lock_order::LockEdge;
+use panic_reach::PanicPath;
 use passes::{Lint, Violation};
 use source::SourceFile;
+use symbols::{ParsedFile, SymbolTable};
 
 /// The library targets the passes cover: the six engine crates, the
 /// umbrella facade, and the server front door. Tooling (els-bench,
@@ -74,10 +92,19 @@ pub struct Outcome {
     pub counts: Baseline,
     /// The committed baseline the counts were compared against.
     pub baseline: Baseline,
+    /// Raw text of the baseline file as loaded (None when absent) — lets
+    /// `--baseline-update` detect a file that changed under the run.
+    pub baseline_raw: Option<String>,
     /// Violations not covered by the baseline — these fail the run.
     pub new_violations: Vec<Violation>,
     /// Malformed/unused suppressions and I/O problems — always fail.
     pub hard_errors: Vec<HardError>,
+    /// The lock order parsed from `els_core::sync`, for the JSON report.
+    pub lock_order: Vec<String>,
+    /// Every held-while-acquiring edge the lock-order pass derived.
+    pub lock_edges: Vec<LockEdge>,
+    /// Shortest entry-to-panic witness paths from panic-reachability.
+    pub panic_paths: Vec<PanicPath>,
 }
 
 impl Outcome {
@@ -88,12 +115,18 @@ impl Outcome {
 }
 
 /// Run every pass over the workspace at `root`.
+///
+/// Order matters: all files are parsed up front so the workspace passes
+/// see the whole call graph; suppressions are applied *last*, after every
+/// pass (per-file and inter-procedural) has produced its violations, so a
+/// suppression can discharge a panic-reachability or lock-order finding
+/// the same way it discharges a token-pass one.
 pub fn run(root: &Path) -> Result<Outcome, String> {
     let mut violations = Vec::new();
     let mut hard_errors = Vec::new();
-    let mut files_scanned = 0usize;
 
-    for (_, src_root) in LIBRARY_SRC_ROOTS {
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+    for (crate_name, src_root) in LIBRARY_SRC_ROOTS {
         let dir = root.join(src_root);
         if !dir.is_dir() {
             return Err(format!("library source root `{src_root}` not found under {root:?}"));
@@ -102,14 +135,33 @@ pub fn run(root: &Path) -> Result<Outcome, String> {
         collect_rs_files(&dir, &mut files)?;
         files.sort();
         for path in files {
-            files_scanned += 1;
             let rel = rel_path(root, &path);
             let text =
                 fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", rel))?;
-            let file = SourceFile::parse(&rel, &text);
-            lint_one_file(&file, &mut violations, &mut hard_errors);
+            parsed.push(ParsedFile::new(crate_name, SourceFile::parse(&rel, &text)));
         }
     }
+    let files_scanned = parsed.len();
+
+    // Per-file passes.
+    for pf in &parsed {
+        for e in &pf.source.errors {
+            hard_errors.push(HardError {
+                file: pf.source.rel_path.clone(),
+                line: e.line,
+                message: e.message.clone(),
+            });
+        }
+        passes::run_token_passes(&pf.source, &mut violations);
+        violations.append(&mut numeric::check_file(pf));
+    }
+
+    // Workspace passes over the symbol table and call graph.
+    let table = SymbolTable::build(&parsed);
+    let graph = CallGraph::build(&parsed, &table);
+    let panic_paths = panic_reach::run(&parsed, &table, &graph, &mut violations, &mut hard_errors);
+    let (lock_order, lock_edges) =
+        lock_order::run(&parsed, &table, &graph, &mut violations, &mut hard_errors);
 
     for (crate_name, manifest_rel) in LIBRARY_MANIFESTS {
         let text = fs::read_to_string(root.join(manifest_rel))
@@ -117,31 +169,41 @@ pub fn run(root: &Path) -> Result<Outcome, String> {
         passes::run_layering_pass(crate_name, manifest_rel, &text, &mut violations);
     }
 
+    for pf in &parsed {
+        apply_suppressions(&pf.source, &mut violations, &mut hard_errors);
+    }
+
     let counts = count_unsuppressed(&violations);
-    let baseline = load_baseline(root)?;
+    let baseline_raw = read_baseline_raw(root)?;
+    let baseline = match &baseline_raw {
+        Some(text) => baseline::from_json(text).map_err(|e| format!("{BASELINE_FILE}: {e}"))?,
+        None => Baseline::new(),
+    };
     let new_violations = find_new(&violations, &counts, &baseline);
 
-    Ok(Outcome { files_scanned, violations, counts, baseline, new_violations, hard_errors })
+    Ok(Outcome {
+        files_scanned,
+        violations,
+        counts,
+        baseline,
+        baseline_raw,
+        new_violations,
+        hard_errors,
+        lock_order,
+        lock_edges,
+        panic_paths,
+    })
 }
 
-/// Lint one parsed file: run the token passes, then apply suppressions.
+/// Apply one file's suppressions to the full violation set.
 /// Suppression rules: the lint name must exist, the justification is
 /// mandatory (enforced at parse), and a suppression that matches no
 /// violation is itself an error — stale allows rot into lies.
-fn lint_one_file(
+fn apply_suppressions(
     file: &SourceFile,
     violations: &mut Vec<Violation>,
     hard_errors: &mut Vec<HardError>,
 ) {
-    for e in &file.errors {
-        hard_errors.push(HardError {
-            file: file.rel_path.clone(),
-            line: e.line,
-            message: e.message.clone(),
-        });
-    }
-    let mut fresh = Vec::new();
-    passes::run_token_passes(file, &mut fresh);
     for sup in &file.suppressions {
         let Some(lint) = Lint::from_name(&sup.lint) else {
             hard_errors.push(HardError {
@@ -156,7 +218,10 @@ fn lint_one_file(
             continue;
         };
         let mut used = false;
-        for v in fresh.iter_mut().filter(|v| v.lint == lint && v.line == sup.applies_to) {
+        for v in violations
+            .iter_mut()
+            .filter(|v| v.file == file.rel_path && v.lint == lint && v.line == sup.applies_to)
+        {
             v.suppressed = true;
             used = true;
         }
@@ -171,7 +236,6 @@ fn lint_one_file(
             });
         }
     }
-    violations.append(&mut fresh);
 }
 
 /// Unsuppressed violation counts per (lint, file).
@@ -208,16 +272,30 @@ fn find_new(violations: &[Violation], counts: &Baseline, baseline: &Baseline) ->
     out
 }
 
-/// Load `lint-baseline.json`; a missing file is an empty baseline (the
-/// bootstrap case).
-pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+/// Raw baseline text; `None` when the file is absent (the bootstrap
+/// case).
+pub fn read_baseline_raw(root: &Path) -> Result<Option<String>, String> {
     let path = root.join(BASELINE_FILE);
     if !path.exists() {
-        return Ok(Baseline::new());
+        return Ok(None);
     }
-    let text =
-        fs::read_to_string(&path).map_err(|e| format!("cannot read {BASELINE_FILE}: {e}"))?;
-    baseline::from_json(&text).map_err(|e| format!("{BASELINE_FILE}: {e}"))
+    fs::read_to_string(&path).map(Some).map_err(|e| format!("cannot read {BASELINE_FILE}: {e}"))
+}
+
+/// Load `lint-baseline.json`; a missing file is an empty baseline.
+pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    match read_baseline_raw(root)? {
+        Some(text) => baseline::from_json(&text).map_err(|e| format!("{BASELINE_FILE}: {e}")),
+        None => Ok(Baseline::new()),
+    }
+}
+
+/// True when the baseline file on disk no longer matches what this run
+/// loaded — e.g. edited by hand or by a concurrent run. `--baseline-update`
+/// refuses to write over such a file: an update must start from the state
+/// it was ratcheted against.
+pub fn baseline_dirty(root: &Path, outcome: &Outcome) -> bool {
+    fs::read_to_string(root.join(BASELINE_FILE)).ok() != outcome.baseline_raw
 }
 
 /// Write the current counts as the new baseline. The caller has already

@@ -54,6 +54,14 @@ fn main() -> ExitCode {
             eprintln!("els-lint: fix suppression errors before updating the baseline");
             return ExitCode::from(1);
         }
+        if els_lint::baseline_dirty(&root, &outcome) {
+            eprintln!(
+                "els-lint: {} changed on disk since this run loaded it; re-run \
+                 --baseline-update against the current file",
+                els_lint::BASELINE_FILE
+            );
+            return ExitCode::from(2);
+        }
         if let Err(e) = els_lint::write_baseline(&root, &outcome.counts) {
             eprintln!("els-lint: {e}");
             return ExitCode::from(2);

@@ -1,0 +1,213 @@
+//! Numeric-cast and float-equality discipline for the estimator and
+//! executor crates.
+//!
+//! Cardinality estimation is arithmetic all the way down — selectivities,
+//! bucket counts, row ids — and the places it goes wrong quietly are raw
+//! `as` casts (truncation wraps, `f64 as u64` saturates since Rust 1.45)
+//! and exact float comparison. This pass classifies the casts the token
+//! stream can see and bans the rest of the workspace from re-growing them:
+//!
+//! * **narrowing `as`** (rule A): any `as` to a type that cannot hold a
+//!   `usize`/`i64`/`f64` (`u8 u16 u32 i8 i16 i32 f32`) in els-core or
+//!   els-exec. Literal casts (`0xFF as u8`) are provably lossless and
+//!   exempt. Sanctioned narrowings carry a suppression naming the bound
+//!   that makes them safe — `els_exec::error::rowid` is the canonical one.
+//! * **rounding casts** (rule B): `.ceil()`/`.floor()`/`.round()`/
+//!   `.trunc()` immediately cast to a wide integer. Saturation at
+//!   `u64::MAX` silently turns an estimator overflow into a plausible
+//!   huge number; each site must argue its input is bounded.
+//! * **float literal equality** (rule C): `==`/`!=` against a float
+//!   literal anywhere in els-core except the `float` module, whose
+//!   `exactly_zero`/`exactly_one`/`approx_eq` helpers are the sanctioned
+//!   spellings.
+//! * **literal-default fallbacks** (rule D): `.unwrap_or(<literal>)` in
+//!   els-core. A silent `unwrap_or(1.0)` on a missing statistic is how
+//!   drifted stats become confident wrong estimates; each one is either a
+//!   typed `ElsError` or a suppression explaining why the default is
+//!   principled.
+
+use crate::lexer::TokenKind;
+use crate::passes::{Lint, Violation};
+use crate::symbols::ParsedFile;
+
+/// Types a raw `as` may not target without justification (rule A).
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Wide integer targets that make a rounding cast saturating (rule B).
+const WIDE_INT_TYPES: &[&str] = &["u64", "i64", "u128", "i128", "usize", "isize"];
+
+/// Rounding methods whose result is habitually cast (rule B).
+const ROUNDING_METHODS: &[&str] = &["ceil", "floor", "round", "trunc"];
+
+/// The sanctioned home of exact float comparison (rule C exemption).
+const FLOAT_HELPER_FILE: &str = "crates/core/src/float.rs";
+
+fn in_scope(pf: &ParsedFile) -> bool {
+    pf.source.rel_path.starts_with("crates/core/src/")
+        || pf.source.rel_path.starts_with("crates/exec/src/")
+}
+
+fn is_core(pf: &ParsedFile) -> bool {
+    pf.source.rel_path.starts_with("crates/core/src/")
+}
+
+/// Run all four rules over one file's non-test code.
+pub fn check_file(pf: &ParsedFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !in_scope(pf) {
+        return out;
+    }
+    for ci in 0..pf.code.len() {
+        let Some(tok) = pf.tok(ci) else { continue };
+        let mut push = |message: String| {
+            out.push(Violation {
+                lint: Lint::NumericDiscipline,
+                file: pf.source.rel_path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message,
+                suppressed: false,
+            });
+        };
+        match tok.kind {
+            TokenKind::Ident if tok.text == "as" => {
+                let target = pf.text(ci + 1);
+                let src_is_literal =
+                    ci > 0 && pf.tok(ci - 1).is_some_and(|t| t.kind == TokenKind::Number);
+                // Rule A: narrowing cast of a non-literal value.
+                if NARROW_TYPES.contains(&target) && !src_is_literal {
+                    push(format!(
+                        "narrowing `as {target}` cast: wraps on overflow; use a checked \
+                         conversion (`check_rowid_range` + `rowid` for row ids) or suppress \
+                         with the bound that makes it lossless"
+                    ));
+                }
+                // Rule B: `.ceil() as u64` and friends.
+                if WIDE_INT_TYPES.contains(&target)
+                    && ci >= 3
+                    && pf.is_punct(ci - 1, ')')
+                    && pf.is_punct(ci - 2, '(')
+                    && pf.tok(ci - 3).is_some_and(|t| ROUNDING_METHODS.contains(&t.text.as_str()))
+                {
+                    push(format!(
+                        "rounding cast `.{}() as {target}` saturates at {target}::MAX: an \
+                         estimator overflow becomes a plausible huge number; suppress with \
+                         the bound on the input",
+                        pf.text(ci - 3)
+                    ));
+                }
+            }
+            // Rule C: `== 1.0` / `1.0 !=` — exact float-literal equality.
+            TokenKind::Number if tok.text.contains('.') => {
+                if !is_core(pf) || pf.source.rel_path == FLOAT_HELPER_FILE {
+                    continue;
+                }
+                let before = ci >= 2
+                    && pf.is_punct(ci - 1, '=')
+                    && (pf.is_punct(ci - 2, '=') || pf.is_punct(ci - 2, '!'));
+                let after = pf.is_punct(ci + 2, '=')
+                    && (pf.is_punct(ci + 1, '=') || pf.is_punct(ci + 1, '!'));
+                if before || after {
+                    push(format!(
+                        "exact float comparison against `{}`: use \
+                         els_core::float::{{exactly_zero, exactly_one, approx_eq}}",
+                        tok.text
+                    ));
+                }
+            }
+            // Rule D: `.unwrap_or(<number literal>)` in els-core.
+            TokenKind::Ident if tok.text == "unwrap_or" => {
+                if !is_core(pf) || ci == 0 || !pf.is_punct(ci - 1, '.') || !pf.is_punct(ci + 1, '(')
+                {
+                    continue;
+                }
+                if pf.tok(ci + 2).is_some_and(|t| t.kind == TokenKind::Number) {
+                    push(format!(
+                        "silent literal default `.unwrap_or({})`: a missing statistic \
+                         deserves a typed ElsError (DegenerateStats) or a suppression \
+                         arguing the default is principled",
+                        pf.text(ci + 2)
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(&ParsedFile::new("els-core", SourceFile::parse(path, src)))
+    }
+
+    #[test]
+    fn narrowing_cast_is_flagged_and_literal_cast_is_not() {
+        let v =
+            check("crates/exec/src/m.rs", "fn f(i: usize) -> u32 { let _ = 0xFF as u8; i as u32 }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("narrowing `as u32`"));
+    }
+
+    #[test]
+    fn widening_cast_is_fine() {
+        let v = check("crates/core/src/m.rs", "fn f(i: u32) -> f64 { i as f64 }");
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn rounding_cast_to_wide_int_is_flagged() {
+        let v = check("crates/exec/src/m.rs", "fn f(x: f64) -> u64 { x.ceil() as u64 }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("rounding cast `.ceil() as u64`"));
+        // `.ceil() as f64` round-trips losslessly: not flagged.
+        let ok = check("crates/core/src/m.rs", "fn f(x: f64) -> f64 { x.ceil() as f64 }");
+        assert_eq!(ok, vec![]);
+    }
+
+    #[test]
+    fn float_literal_equality_is_banned_outside_the_float_module() {
+        let v = check("crates/core/src/m.rs", "fn f(x: f64) -> bool { x == 0.0 || 1.0 != x }");
+        assert_eq!(v.len(), 2, "{v:?}");
+        let ok = check(FLOAT_HELPER_FILE, "pub fn exactly_zero(x: f64) -> bool { x == 0.0 }");
+        assert_eq!(ok, vec![]);
+        // `<=`/`>=` and assignment are not equality.
+        let ok = check("crates/core/src/m.rs", "fn f(x: f64) -> bool { let y = 1.0; x <= 2.5 }");
+        assert_eq!(ok, vec![]);
+        // exec may compare floats (selection kernels do) — core-only rule.
+        let ok = check("crates/exec/src/m.rs", "fn f(x: f64) -> bool { x == 0.0 }");
+        assert_eq!(ok, vec![]);
+    }
+
+    #[test]
+    fn literal_unwrap_or_is_flagged_in_core_only() {
+        let v = check("crates/core/src/m.rs", "fn f(o: Option<f64>) -> f64 { o.unwrap_or(1.0) }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("unwrap_or(1.0)"));
+        // Variable defaults carry intent; not flagged.
+        let ok =
+            check("crates/core/src/m.rs", "fn f(o: Option<f64>, d: f64) -> f64 { o.unwrap_or(d) }");
+        assert_eq!(ok, vec![]);
+        let ok = check("crates/exec/src/m.rs", "fn f(o: Option<u64>) -> u64 { o.unwrap_or(0) }");
+        assert_eq!(ok, vec![]);
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_untouched() {
+        let v = check("crates/sql/src/m.rs", "fn f(i: usize) -> u32 { i as u32 }");
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn test_code_is_invisible() {
+        let v = check(
+            "crates/core/src/m.rs",
+            "#[cfg(test)]\nmod tests { fn f(i: usize) -> u32 { i as u32 } }",
+        );
+        assert_eq!(v, vec![]);
+    }
+}

@@ -33,11 +33,25 @@ pub enum Lint {
     /// Crate dependencies must respect the layer order and add no new
     /// external dependencies.
     Layering,
+    /// Inter-procedural: a panic site (assert, slice index, unwrap) is
+    /// reachable from a public entry point (`Database::execute`,
+    /// `serve_connection`, ...) through the workspace call graph. Reported
+    /// at the panic site with the shortest call path, ratcheted per file.
+    PanicReachability,
+    /// Inter-procedural: the held-while-acquiring graph over the
+    /// `els_core::sync` lock classes must agree with the committed
+    /// `LOCK_ORDER` total order; a cycle is a hard error.
+    LockOrder,
+    /// Numeric-cast and float-comparison discipline in els-core/els-exec:
+    /// no silent narrowing `as` casts, no unguarded float-to-int rounding
+    /// casts, no float `==`/`!=` outside `els_core::float`, no silent
+    /// numeric-literal `unwrap_or` defaults in the estimator path.
+    NumericDiscipline,
 }
 
 impl Lint {
     /// All lints, in report order.
-    pub fn all() -> [Lint; 6] {
+    pub fn all() -> [Lint; 9] {
         [
             Lint::PanicFreedom,
             Lint::Determinism,
@@ -45,6 +59,9 @@ impl Lint {
             Lint::Atomics,
             Lint::ParallelismSeam,
             Lint::Layering,
+            Lint::PanicReachability,
+            Lint::LockOrder,
+            Lint::NumericDiscipline,
         ]
     }
 
@@ -57,6 +74,9 @@ impl Lint {
             Lint::Atomics => "atomics-discipline",
             Lint::ParallelismSeam => "parallelism-seam",
             Lint::Layering => "layering",
+            Lint::PanicReachability => "panic-reachability",
+            Lint::LockOrder => "lock-order",
+            Lint::NumericDiscipline => "numeric-discipline",
         }
     }
 
@@ -108,7 +128,9 @@ const CLOCK_ALLOWLIST: &[&str] = &["crates/exec/src/timing.rs"];
 
 /// Keywords that can directly precede a `[` that is *not* an index
 /// expression (slice patterns, array types in expression position, ...).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+/// Shared with the panic-reachability pass, which applies the same index
+/// heuristic workspace-wide.
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move", "as",
     "const", "static", "dyn", "impl", "for", "where", "while", "loop", "use", "pub", "fn", "enum",
     "struct", "trait", "type", "unsafe", "crate", "super", "mod", "extern", "box", "await",

@@ -1,0 +1,152 @@
+//! Property tests for the call-graph builder: for generated workspaces of
+//! free functions and methods with a known set of calls, the graph must
+//! contain **exactly** the generated edges — nothing missing, and no
+//! false edges from decoy call syntax buried in raw strings, comments, or
+//! `cfg(test)` code. The no-false-edge half is the load-bearing one: the
+//! lock-order pass turns edges into deadlock verdicts, so an invented
+//! edge is an invented bug report.
+
+use std::collections::BTreeSet;
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use els_lint::callgraph::CallGraph;
+use els_lint::source::SourceFile;
+use els_lint::symbols::{ParsedFile, SymbolTable};
+
+/// A callable in the generated workspace: free fn `f{i}` or method
+/// `T{i}::m{i}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Callable {
+    idx: usize,
+    method: bool,
+}
+
+impl Callable {
+    fn qualified(self) -> String {
+        if self.method {
+            format!("T{}::m{}", self.idx, self.idx)
+        } else {
+            format!("f{}", self.idx)
+        }
+    }
+
+    /// The call expression a body uses to invoke this callable.
+    fn call_expr(self) -> String {
+        if self.method {
+            format!("T{}::m{}();", self.idx, self.idx)
+        } else {
+            format!("f{}();", self.idx)
+        }
+    }
+}
+
+/// Every call spelling, hidden where the lexer must not see code: if any
+/// of these produced an edge, the graph would be inventing calls.
+fn decoy_lines(n: usize) -> String {
+    let all_calls: String = (0..n).map(|i| format!("f{i}(); T{i}::m{i}(); ")).collect();
+    format!(
+        "        let _raw = r#\"{all_calls}\"#;\n\
+         \x20       /* {all_calls} */\n\
+         \x20       // {all_calls}\n\
+         \x20       let _s = \"{all_calls}\";\n"
+    )
+}
+
+/// Render the generated workspace into one or two files of one crate.
+fn render(n: usize, calls: &BTreeSet<(Callable, Callable)>, split: bool) -> Vec<ParsedFile> {
+    let body = |caller: Callable| -> String {
+        let mut b = String::new();
+        for (_, callee) in calls.iter().filter(|(c, _)| *c == caller) {
+            b.push_str(&format!("        {}\n", callee.call_expr()));
+        }
+        b.push_str(&decoy_lines(n));
+        b
+    };
+    let mut texts = vec![String::new(), String::new()];
+    for i in 0..n {
+        let file = if split { i % 2 } else { 0 };
+        texts[file].push_str(&format!(
+            "pub fn f{i}() {{\n{}}}\n",
+            body(Callable { idx: i, method: false })
+        ));
+        texts[file].push_str(&format!(
+            "impl T{i} {{\n    pub fn m{i}() {{\n{}    }}\n}}\n",
+            body(Callable { idx: i, method: true })
+        ));
+    }
+    // A cfg(test) module calling everything: masked code, so no edges.
+    let test_mod: String = format!(
+        "#[cfg(test)]\nmod tests {{\n    fn t() {{\n{}    }}\n}}\n",
+        (0..n).map(|i| format!("        f{i}(); T{i}::m{i}();\n")).collect::<String>()
+    );
+    texts[0].push_str(&test_mod);
+    texts
+        .into_iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_empty())
+        .map(|(i, t)| {
+            ParsedFile::new("els-core", SourceFile::parse(&format!("crates/core/src/g{i}.rs"), &t))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn the_graph_holds_exactly_the_generated_edges(
+        n in 1usize..6,
+        call_seed in collection::vec((0usize..12, proptest::bool::ANY, 0usize..12, proptest::bool::ANY), 0..24),
+        split in proptest::bool::ANY,
+    ) {
+        let calls: BTreeSet<(Callable, Callable)> = call_seed
+            .iter()
+            .map(|&(a, am, b, bm)| {
+                (Callable { idx: a % n, method: am }, Callable { idx: b % n, method: bm })
+            })
+            .collect();
+
+        let files = render(n, &calls, split);
+        let table = SymbolTable::build(&files);
+        let graph = CallGraph::build(&files, &table);
+
+        let got: BTreeSet<(String, String)> = graph
+            .calls
+            .iter()
+            .map(|c| (table.fns[c.caller].qualified(), table.fns[c.callee].qualified()))
+            .collect();
+        let expected: BTreeSet<(String, String)> =
+            calls.iter().map(|(a, b)| (a.qualified(), b.qualified())).collect();
+
+        prop_assert_eq!(
+            &got, &expected,
+            "false edges: {:?}; missed edges: {:?}",
+            got.difference(&expected).collect::<Vec<_>>(),
+            expected.difference(&got).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn decoy_only_files_produce_no_symbols_and_no_edges(
+        n in 1usize..6,
+    ) {
+        // A file that is nothing but decoys: no fn defs outside strings,
+        // comments, and cfg(test) — so no symbols and no edges at all.
+        let text = format!(
+            "const DOC: &str = r#\"fn ghost() {{ f0(); }}\"#;\n\
+             /* fn phantom() {{ T0::m0(); }} */\n\
+             #[cfg(test)]\nmod tests {{\n    fn t() {{\n{}    }}\n}}\n",
+            (0..n).map(|i| format!("        f{i}();\n")).collect::<String>()
+        );
+        let files = vec![ParsedFile::new(
+            "els-core",
+            SourceFile::parse("crates/core/src/decoy.rs", &text),
+        )];
+        let table = SymbolTable::build(&files);
+        let graph = CallGraph::build(&files, &table);
+        prop_assert_eq!(table.fns.len(), 0, "no fn may be seen: {:?}", table.fns);
+        prop_assert_eq!(graph.calls.len(), 0);
+    }
+}

@@ -56,3 +56,82 @@ fn ratchet_only_tightens() {
         assert!(cur <= baselined, "{lint}: {cur} unsuppressed but only {baselined} baselined");
     }
 }
+
+#[test]
+fn the_original_lints_stay_at_zero_baseline() {
+    // The five token passes and the layering pass reached zero
+    // grandfathered violations; only the inter-procedural
+    // panic-reachability pass may carry baseline entries. Keeping the
+    // others pinned at zero means a regression in them can never be
+    // ratcheted in by a careless --baseline-update.
+    let outcome = run(workspace_root()).expect("lint run must not fail to read the tree");
+    for lint in [
+        "panic-freedom",
+        "determinism",
+        "metrics-only-io",
+        "atomics-discipline",
+        "parallelism-seam",
+        "layering",
+        "lock-order",
+        "numeric-discipline",
+    ] {
+        let total: u64 = outcome.baseline.get(lint).map(|m| m.values().sum()).unwrap_or(0);
+        assert_eq!(total, 0, "`{lint}` grew a baseline entry; fix or suppress instead");
+    }
+}
+
+#[test]
+fn the_lock_order_graph_is_derived_and_acyclic() {
+    // The pass parsed the order out of els_core::sync (not a stale copy).
+    // Today the engine holds no lock while acquiring another, so the edge
+    // set is empty; if nesting ever appears, every edge must run forward.
+    // Acyclicity is enforced inside run() as a hard error, which
+    // workspace_passes_its_own_lints already asserts empty.
+    let outcome = run(workspace_root()).expect("lint run must not fail to read the tree");
+    assert_eq!(
+        outcome.lock_order,
+        [
+            "shared.state",
+            "plan_cache.state",
+            "admission.state",
+            "metrics.qerr",
+            "feedback.entries",
+            "scheduler.deques"
+        ],
+        "lock order no longer matches els_core::sync::LOCK_ORDER"
+    );
+    for e in &outcome.lock_edges {
+        let from = outcome.lock_order.iter().position(|c| *c == e.from);
+        let to = outcome.lock_order.iter().position(|c| *c == e.to);
+        assert!(from < to, "backward edge survived the run: {e:?}");
+    }
+}
+
+#[test]
+fn baseline_update_detects_a_file_changed_underfoot() {
+    // --baseline-update must refuse to write over a baseline that changed
+    // after the run loaded it (hand edit, concurrent run): simulate with a
+    // scratch workspace whose baseline mutates between run() and the check.
+    let dir = std::env::temp_dir().join(format!("els-lint-dirty-{}", std::process::id()));
+    for (_, root) in els_lint::LIBRARY_SRC_ROOTS {
+        std::fs::create_dir_all(dir.join(root)).expect("scratch src root");
+    }
+    for (_, manifest) in els_lint::LIBRARY_MANIFESTS {
+        let path = dir.join(manifest);
+        std::fs::create_dir_all(path.parent().unwrap()).expect("scratch manifest dir");
+        std::fs::write(&path, "[package]\nname = \"x\"\n").expect("scratch manifest");
+    }
+    let baseline_path = dir.join(els_lint::BASELINE_FILE);
+    std::fs::write(&baseline_path, "{\"version\": 1, \"baseline\": {}}").expect("seed baseline");
+
+    let outcome = run(&dir).expect("scratch run");
+    assert!(!els_lint::baseline_dirty(&dir, &outcome), "nothing changed yet");
+
+    std::fs::write(&baseline_path, "{\"version\": 1, \"baseline\": { }}").expect("mutate");
+    assert!(els_lint::baseline_dirty(&dir, &outcome), "byte change must be detected");
+
+    std::fs::remove_file(&baseline_path).expect("remove");
+    assert!(els_lint::baseline_dirty(&dir, &outcome), "deletion must be detected");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -17,10 +17,10 @@
 //! the state is a plain deque + flag with no partial-update window.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-use els_core::sync::lock_recovering;
+use els_core::sync::{lock_recovering, wait_timeout_recovering};
 
 /// What a blocking pop observed.
 #[derive(Debug, PartialEq, Eq)]
@@ -85,10 +85,9 @@ impl<T> AdmissionQueue<T> {
             if state.closed {
                 return Popped::Closed;
             }
-            let (next, wait) =
-                self.ready.wait_timeout(state, timeout).unwrap_or_else(PoisonError::into_inner);
+            let (next, timed_out) = wait_timeout_recovering(&self.ready, state, timeout);
             state = next;
-            if wait.timed_out() {
+            if timed_out {
                 return match state.items.pop_front() {
                     Some(item) => Popped::Item(item),
                     None if state.closed => Popped::Closed,
